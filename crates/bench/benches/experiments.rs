@@ -1,0 +1,124 @@
+//! Criterion benchmarks of the per-experiment pipeline stages — one bench
+//! per table/figure artifact, exercising the exact code path the experiment
+//! binaries use (at smoke scale, so the benches finish in seconds). The
+//! numeric regeneration of each artifact lives in the `table1`, `fig3`,
+//! `fig4`, `heatmaps` and `ablation` binaries; these benches track the cost
+//! of each stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_bench::runner::map_config;
+use xbar_bench::{DatasetKind, ExperimentScale, Scenario};
+use xbar_core::heatmap::Heatmap;
+use xbar_core::pipeline::map_to_crossbars;
+use xbar_core::rearrange::{ColumnOrder, Rearrangement};
+use xbar_nn::vgg::VggVariant;
+use xbar_prune::compression::compression_rate;
+use xbar_prune::transform::transform;
+use xbar_prune::unroll::unrolled_matrices;
+use xbar_prune::PruneMethod;
+
+fn smoke_model() -> xbar_bench::TrainedModel {
+    let sc = Scenario::new(
+        VggVariant::Vgg11,
+        DatasetKind::Cifar10Like,
+        PruneMethod::ChannelFilter,
+        ExperimentScale::smoke(),
+    );
+    let data = sc.dataset();
+    sc.train_model(&data)
+}
+
+/// Table I: the crossbar-compression-rate computation.
+fn bench_table1_compression(c: &mut Criterion) {
+    let tm = smoke_model();
+    c.bench_function("table1_compression_rate_32x32", |b| {
+        b.iter(|| compression_rate(&tm.model, PruneMethod::ChannelFilter, 32, 32));
+    });
+}
+
+/// Fig 3(a-c): one full non-ideal mapping pass per crossbar size.
+fn bench_fig3_mapping(c: &mut Criterion) {
+    let tm = smoke_model();
+    let mut group = c.benchmark_group("fig3_map_model");
+    group.sample_size(10);
+    for size in [16usize, 32, 64] {
+        let cfg = map_config(&tm, size, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| map_to_crossbars(&tm.model, &cfg).expect("maps"));
+        });
+    }
+    group.finish();
+}
+
+/// Fig 3(d): NF extraction is part of mapping; this isolates the T
+/// transformation over all layers.
+fn bench_fig3d_transform(c: &mut Criterion) {
+    let tm = smoke_model();
+    let unrolled = unrolled_matrices(&tm.model);
+    c.bench_function("fig3d_transform_all_layers", |b| {
+        b.iter(|| {
+            unrolled
+                .iter()
+                .map(|ul| {
+                    transform(&ul.matrix, PruneMethod::ChannelFilter, 32, 32).mapped_elements()
+                })
+                .sum::<usize>()
+        });
+    });
+}
+
+/// Fig 3(f): heatmap extraction for the weight-matrix visualisation.
+fn bench_fig3f_heatmap(c: &mut Criterion) {
+    let tm = smoke_model();
+    let unrolled = unrolled_matrices(&tm.model);
+    let panel = transform(&unrolled[2].matrix, PruneMethod::ChannelFilter, 32, 32)
+        .panels
+        .first()
+        .expect("C/F yields one panel")
+        .matrix
+        .clone();
+    c.bench_function("fig3f_heatmap_128", |b| {
+        b.iter(|| Heatmap::from_matrix(&panel, 128, 128).to_csv().len());
+    });
+}
+
+/// Fig 4(a-d): the R transformation (compute + apply + invert) on a panel.
+fn bench_fig4_rearrange(c: &mut Criterion) {
+    let tm = smoke_model();
+    let unrolled = unrolled_matrices(&tm.model);
+    let panel = transform(&unrolled[4].matrix, PruneMethod::ChannelFilter, 32, 32)
+        .panels
+        .first()
+        .expect("C/F yields one panel")
+        .matrix
+        .clone();
+    c.bench_function("fig4_rearrange_round_trip", |b| {
+        b.iter(|| {
+            let r = Rearrangement::compute(&panel, ColumnOrder::CenterOut, 32);
+            r.invert(&r.apply(&panel))
+        });
+    });
+}
+
+/// Fig 4(e-f): the WCT cut-off determination over the whole model.
+fn bench_fig4_wct_cut(c: &mut Criterion) {
+    let tm = smoke_model();
+    c.bench_function("fig4_wct_determine_cut", |b| {
+        b.iter_batched(
+            || tm.model.clone(),
+            |mut m| xbar_core::wct::determine_w_cut(&mut m, 0.97),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_table1_compression,
+    bench_fig3_mapping,
+    bench_fig3d_transform,
+    bench_fig3f_heatmap,
+    bench_fig4_rearrange,
+    bench_fig4_wct_cut
+);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Criterion benchmarks of the computational kernels underlying the
+//! reproduction: matmul, convolution lowering, the linear solvers, and the
+//! per-tile crossbar simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xbar_linalg::dense::LuDecomposition;
+use xbar_linalg::iterative::{conjugate_gradient, sor, IterOptions};
+use xbar_sim::conductance::ConductanceMatrix;
+use xbar_sim::params::CrossbarParams;
+use xbar_sim::solve::{NonIdealSolver, SolveMethod};
+use xbar_sim::tile::simulate_tile;
+use xbar_sim::MappingScale;
+use xbar_tensor::conv::{im2col, ConvGeom};
+use xbar_tensor::Tensor;
+
+fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut s = seed | 1;
+    Tensor::from_fn(shape, |_| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        ((s % 2000) as f32 - 1000.0) / 1000.0
+    })
+}
+
+fn rand_conductances(n: usize, params: &CrossbarParams, seed: u64) -> ConductanceMatrix {
+    let mut g = ConductanceMatrix::filled(n, n, 0.0);
+    let mut s = seed | 1;
+    for i in 0..n {
+        for j in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let f = (s % 1000) as f64 / 1000.0;
+            g.set(i, j, params.g_min() + f * (params.g_max() - params.g_min()));
+        }
+    }
+    g
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let a = rand_tensor(&[n, n], 1);
+        let b = rand_tensor(&[n, n], 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).expect("shapes agree"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let geom = ConvGeom {
+        in_c: 64,
+        h: 16,
+        w: 16,
+        kh: 3,
+        kw: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let img = rand_tensor(&[64, 16, 16], 3);
+    c.bench_function("im2col_64c_16x16_k3", |b| {
+        b.iter(|| im2col(&img, &geom).expect("geometry valid"));
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_solve");
+    group.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let mut params = CrossbarParams::with_size(n);
+        params.sigma_variation = 0.0;
+        let g = rand_conductances(n, &params, 7);
+        let v = vec![params.v_read; n];
+        group.bench_with_input(BenchmarkId::new("line_relaxation", n), &n, |b, _| {
+            let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+            b.iter(|| solver.effective_conductances(&g, &v).expect("solves"));
+        });
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("dense_exact", n), &n, |b, _| {
+                let solver = NonIdealSolver::new(params, SolveMethod::DenseExact);
+                b.iter(|| solver.effective_conductances(&g, &v).expect("solves"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sparse_iterative(c: &mut Criterion) {
+    // Generic sparse solvers on a crossbar-like SPD system.
+    use xbar_linalg::sparse::CooBuilder;
+    let n = 512usize;
+    let mut b = CooBuilder::new(n);
+    let mut s = 5u64;
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % 1000) as f64 / 1000.0
+    };
+    for i in 0..n {
+        for d in 1..=3usize {
+            let j = (i + d * 11) % n;
+            if i < j {
+                b.stamp_conductance(Some(i), Some(j), 0.1 + rnd());
+            }
+        }
+        b.stamp_conductance(Some(i), None, 0.5 + rnd());
+    }
+    let m = b.build();
+    let rhs: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) / 3.0).collect();
+    let mut group = c.benchmark_group("sparse_512");
+    group.sample_size(20);
+    group.bench_function("sor", |bch| {
+        bch.iter(|| sor(&m, &rhs, None, &IterOptions::default()).expect("converges"));
+    });
+    group.bench_function("cg", |bch| {
+        bch.iter(|| conjugate_gradient(&m, &rhs, &IterOptions::default()).expect("converges"));
+    });
+    group.bench_function("lu_dense", |bch| {
+        let dense = m.to_dense();
+        bch.iter(|| {
+            LuDecomposition::new(&dense)
+                .expect("nonsingular")
+                .solve(&rhs)
+                .expect("solves")
+        });
+    });
+    group.finish();
+}
+
+fn bench_tile_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_sim");
+    group.sample_size(20);
+    for n in [16usize, 32, 64] {
+        let params = CrossbarParams::with_size(n);
+        let tile = rand_tensor(&[n, n], 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                simulate_tile(
+                    &tile,
+                    MappingScale::PerTileMax,
+                    1.0,
+                    &params,
+                    SolveMethod::LineRelaxation,
+                    0,
+                )
+                .expect("simulates")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_im2col,
+    bench_solvers,
+    bench_sparse_iterative,
+    bench_tile_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Calibration tool: prints software vs crossbar accuracy and NF for the
+//! unpruned and C/F-pruned VGG11/CIFAR10-like models across crossbar sizes,
+//! for the current default circuit parameters. Used to sanity-check that the
+//! paper's qualitative trends hold before running the full figure harnesses.
+
+use xbar_bench::report::pct;
+use xbar_bench::{DatasetKind, ExperimentScale, Scenario};
+use xbar_core::pipeline::{map_to_crossbars, MapConfig};
+use xbar_data::Split;
+use xbar_nn::train::{evaluate, DataRef};
+use xbar_nn::vgg::VggVariant;
+use xbar_prune::PruneMethod;
+use xbar_sim::params::CrossbarParams;
+
+fn main() {
+    let mut scale = ExperimentScale::quick();
+    let mut base = CrossbarParams::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--train" => scale.train_size = args.next().unwrap().parse().unwrap(),
+            "--epochs" => scale.epochs = args.next().unwrap().parse().unwrap(),
+            "--width" => scale.width = args.next().unwrap().parse().unwrap(),
+            "--rmin" => base.r_min = args.next().unwrap().parse().unwrap(),
+            "--rmax" => base.r_max = args.next().unwrap().parse().unwrap(),
+            "--sigma" => base.sigma_variation = args.next().unwrap().parse().unwrap(),
+            "--driver" => base.r_driver = args.next().unwrap().parse().unwrap(),
+            "--sense" => base.r_sense = args.next().unwrap().parse().unwrap(),
+            "--wire-row" => base.r_wire_row = args.next().unwrap().parse().unwrap(),
+            "--wire-col" => base.r_wire_col = args.next().unwrap().parse().unwrap(),
+            other => panic!("unknown arg {other}"),
+        }
+    }
+    let start = std::time::Instant::now();
+    for method in [PruneMethod::None, PruneMethod::ChannelFilter] {
+        let mut sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale);
+        if let Ok(noise) = std::env::var("XBAR_NOISE") {
+            sc.noise_std = Some(noise.parse().unwrap());
+        }
+        let data = sc.dataset();
+        let tm = sc.train_model_cached(&data);
+        println!(
+            "[{:.0?}] {} software acc = {}%",
+            start.elapsed(),
+            method,
+            pct(tm.software_accuracy)
+        );
+        let test = DataRef::new(data.images(Split::Test), data.labels(Split::Test)).unwrap();
+        for size in [16usize, 32, 64] {
+            let mut params = base;
+            params.rows = size;
+            params.cols = size;
+            let mut variants = vec![("full", params)];
+            let mut ir_only = params;
+            ir_only.sigma_variation = 0.0;
+            variants.push(("ir-only", ir_only));
+            let mut var_only = params;
+            var_only.r_driver = 0.0;
+            var_only.r_sense = 0.0;
+            var_only.r_wire_row = 0.0;
+            var_only.r_wire_col = 0.0;
+            variants.push(("var-only", var_only));
+            for (tag, params) in variants {
+                let cfg = MapConfig {
+                    params,
+                    method,
+                    seed: 7,
+                    ..Default::default()
+                };
+                let (mut noisy, report) = map_to_crossbars(&tm.model, &cfg).unwrap();
+                let acc = evaluate(&mut noisy, test, 64).unwrap();
+                println!(
+                    "[{:.0?}]   {}x{} {tag}: acc = {}% (drop {:.1}pp), NF = {:.4}, lowG = {:.2}, xbars = {}",
+                    start.elapsed(),
+                    size,
+                    size,
+                    pct(acc),
+                    100.0 * (tm.software_accuracy - acc),
+                    report.mean_nf(),
+                    report.mean_low_g_fraction(),
+                    report.crossbar_count()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Regenerates the paper's **Fig. 3** panels (a)–(d):
+//!
+//! * (a) inference accuracy vs crossbar size, VGG11/CIFAR10-like, unpruned
+//!   vs C/F vs XCS vs XRS at s = 0.8;
+//! * (b) accuracy vs crossbar size for C/F at s ∈ {0.5, 0.65, 0.8};
+//! * (c) as (a) for VGG16;
+//! * (d) average NF for unpruned vs C/F weight matrices at 32×32 and 64×64.
+//!
+//! Usage: `cargo run --release -p xbar-bench --bin fig3 [--panel a|b|c|d]
+//! [--full|--smoke] [--seed N]` (no panel = all).
+
+use xbar_bench::report::{pct, Table};
+use xbar_bench::runner::{
+    crossbar_accuracy_avg, map_config, panel_arg, parse_common_args, DEFAULT_REPS, SIZES,
+};
+use xbar_bench::{DatasetKind, Scenario};
+use xbar_nn::vgg::VggVariant;
+use xbar_prune::PruneMethod;
+
+fn main() {
+    let (scale, seed) = parse_common_args();
+    let panel = panel_arg("--panel");
+    let run = |p: &str| panel.as_deref().is_none_or(|sel| sel == p);
+    let start = std::time::Instant::now();
+
+    let methods = [
+        PruneMethod::None,
+        PruneMethod::ChannelFilter,
+        PruneMethod::XbarColumn,
+        PruneMethod::XbarRow,
+    ];
+
+    // Panels (a) and (c): accuracy vs size per method.
+    for (panel_id, variant) in [("a", VggVariant::Vgg11), ("c", VggVariant::Vgg16)] {
+        if !run(panel_id) {
+            continue;
+        }
+        let mut table = Table::new(
+            format!(
+                "Fig 3({panel_id}): accuracy vs crossbar size, {variant}/CIFAR10-like (s = 0.8)"
+            ),
+            &[
+                "Method",
+                "Software (%)",
+                "16x16 (%)",
+                "32x32 (%)",
+                "64x64 (%)",
+            ],
+        );
+        for method in methods {
+            let sc =
+                Scenario::new(variant, DatasetKind::Cifar10Like, method, scale).with_seed(seed);
+            let data = sc.dataset();
+            let tm = sc.train_model_cached(&data);
+            let mut row = vec![method.to_string(), pct(tm.software_accuracy)];
+            for size in SIZES {
+                let cfg = map_config(&tm, size, seed);
+                let (acc, _) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
+                eprintln!(
+                    "[{:.0?}] fig3{panel_id} {method} {size}x{size}: {}%",
+                    start.elapsed(),
+                    pct(acc)
+                );
+                row.push(pct(acc));
+            }
+            table.push_row(row);
+        }
+        table
+            .emit(&format!("fig3{panel_id}"))
+            .expect("write results");
+    }
+
+    // Panel (b): C/F sparsity sweep on VGG11.
+    if run("b") {
+        let mut table = Table::new(
+            "Fig 3(b): accuracy vs crossbar size for C/F sparsities, VGG11/CIFAR10-like",
+            &[
+                "Sparsity",
+                "Software (%)",
+                "16x16 (%)",
+                "32x32 (%)",
+                "64x64 (%)",
+            ],
+        );
+        for s in [0.5f64, 0.65, 0.8] {
+            let sc = Scenario::new(
+                VggVariant::Vgg11,
+                DatasetKind::Cifar10Like,
+                PruneMethod::ChannelFilter,
+                scale,
+            )
+            .with_seed(seed)
+            .with_sparsity(s);
+            let data = sc.dataset();
+            let tm = sc.train_model_cached(&data);
+            let mut row = vec![format!("{s:.2}"), pct(tm.software_accuracy)];
+            for size in SIZES {
+                let cfg = map_config(&tm, size, seed);
+                let (acc, _) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
+                eprintln!(
+                    "[{:.0?}] fig3b s={s} {size}x{size}: {}%",
+                    start.elapsed(),
+                    pct(acc)
+                );
+                row.push(pct(acc));
+            }
+            table.push_row(row);
+        }
+        table.emit("fig3b").expect("write results");
+    }
+
+    // Panel (d): average NF, unpruned vs C/F, 32x32 -> 64x64.
+    if run("d") {
+        let mut table = Table::new(
+            "Fig 3(d): average NF, unpruned vs C/F pruned VGG11/CIFAR10-like",
+            &["Method", "NF @ 32x32", "NF @ 64x64", "Growth (x)"],
+        );
+        for method in [PruneMethod::None, PruneMethod::ChannelFilter] {
+            let sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale)
+                .with_seed(seed);
+            let data = sc.dataset();
+            let tm = sc.train_model_cached(&data);
+            let mut nfs = Vec::new();
+            for size in [32usize, 64] {
+                let cfg = map_config(&tm, size, seed);
+                let (_, report) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
+                nfs.push(report.mean_nf());
+            }
+            eprintln!(
+                "[{:.0?}] fig3d {method}: NF 32={:.4} 64={:.4}",
+                start.elapsed(),
+                nfs[0],
+                nfs[1]
+            );
+            table.push_row(vec![
+                method.to_string(),
+                format!("{:.4}", nfs[0]),
+                format!("{:.4}", nfs[1]),
+                format!("{:.2}", nfs[1] / nfs[0].max(1e-12)),
+            ]);
+        }
+        table.emit("fig3d").expect("write results");
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-layer mapping inventory: for a trained model and a crossbar size,
+//! prints each weighted layer's unrolled shape, tiles used, NF statistics
+//! and low-conductance fraction, plus the area/energy estimate. Useful for
+//! seeing *where* in a network the non-idealities concentrate (the deep
+//! 512-channel VGG blocks dominate both crossbar count and NF).
+//!
+//! Usage: `cargo run --release -p xbar-bench --bin inventory
+//! [--size N] [--method none|cf] [--full|--smoke] [--seed N]`
+
+use xbar_bench::report::{panel_arg_or, pct, Table};
+use xbar_bench::runner::{map_config, parse_common_args};
+use xbar_bench::{DatasetKind, Scenario};
+use xbar_core::cost::{estimate_cost, CostModel};
+use xbar_core::pipeline::map_to_crossbars;
+use xbar_nn::vgg::VggVariant;
+use xbar_prune::PruneMethod;
+
+fn main() {
+    let (scale, seed) = parse_common_args();
+    let size: usize = panel_arg_or("--size", "32")
+        .parse()
+        .expect("--size takes an integer");
+    let method = match panel_arg_or("--method", "cf").as_str() {
+        "none" => PruneMethod::None,
+        "cf" => PruneMethod::ChannelFilter,
+        "xcs" => PruneMethod::XbarColumn,
+        "xrs" => PruneMethod::XbarRow,
+        other => panic!("unknown method {other}"),
+    };
+    let sc =
+        Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale).with_seed(seed);
+    let data = sc.dataset();
+    let tm = sc.train_model_cached(&data);
+    let cfg = map_config(&tm, size, seed);
+    let (_, report) = map_to_crossbars(&tm.model, &cfg).expect("mapping pipeline");
+    let mut table = Table::new(
+        format!(
+            "Layer inventory: VGG11 ({method}) on {size}x{size} crossbars — software acc {}%",
+            pct(tm.software_accuracy)
+        ),
+        &[
+            "Layer",
+            "Kind",
+            "Crossbars",
+            "Mean NF",
+            "NF std",
+            "Low-G fraction",
+        ],
+    );
+    for lr in &report.layers {
+        let kind = tm.model.layers()[lr.layer_index].kind_name();
+        table.push_row(vec![
+            format!("#{}", lr.layer_index),
+            kind.to_string(),
+            lr.crossbar_count.to_string(),
+            format!("{:.4}", lr.nf.mean()),
+            format!("{:.4}", lr.nf.std()),
+            format!("{:.3}", lr.low_g_fraction),
+        ]);
+    }
+    table.emit("inventory").expect("write results");
+    let cost = estimate_cost(&tm.model, &cfg, &CostModel::default());
+    println!(
+        "total: {} crossbars, {:.2} mm^2, {:.1} uJ/inference (first-order model)",
+        cost.crossbars,
+        cost.area_um2 / 1e6,
+        cost.energy_uj
+    );
+}

@@ -1,0 +1,121 @@
+//! Regenerates the paper's **Table I**: software accuracies and
+//! crossbar-compression-rates (32×32 crossbars) for the unpruned and
+//! structure-pruned VGG11/VGG16 models on the CIFAR10-like (s = 0.8) and
+//! CIFAR100-like (s = 0.6) datasets.
+//!
+//! Usage: `cargo run --release -p xbar-bench --bin table1 [--full|--smoke] [--seed N]`
+
+use xbar_bench::report::{pct, rate, Table};
+use xbar_bench::runner::parse_common_args;
+use xbar_bench::{DatasetKind, Scenario};
+use xbar_nn::vgg::VggVariant;
+use xbar_prune::compression::compression_rate;
+use xbar_prune::PruneMethod;
+
+fn main() {
+    let (scale, seed) = parse_common_args();
+    let mut table = Table::new(
+        "Table I: software accuracy and crossbar-compression-rate (32x32)",
+        &[
+            "Dataset",
+            "Network",
+            "Method",
+            "Sparsity",
+            "Software acc (%)",
+            "Compression",
+        ],
+    );
+    let cases: Vec<(DatasetKind, VggVariant, PruneMethod)> = vec![
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg11,
+            PruneMethod::None,
+        ),
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg11,
+            PruneMethod::ChannelFilter,
+        ),
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg11,
+            PruneMethod::XbarColumn,
+        ),
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg11,
+            PruneMethod::XbarRow,
+        ),
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg16,
+            PruneMethod::None,
+        ),
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg16,
+            PruneMethod::ChannelFilter,
+        ),
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg16,
+            PruneMethod::XbarColumn,
+        ),
+        (
+            DatasetKind::Cifar10Like,
+            VggVariant::Vgg16,
+            PruneMethod::XbarRow,
+        ),
+        (
+            DatasetKind::Cifar100Like,
+            VggVariant::Vgg11,
+            PruneMethod::None,
+        ),
+        (
+            DatasetKind::Cifar100Like,
+            VggVariant::Vgg11,
+            PruneMethod::ChannelFilter,
+        ),
+        (
+            DatasetKind::Cifar100Like,
+            VggVariant::Vgg16,
+            PruneMethod::None,
+        ),
+        (
+            DatasetKind::Cifar100Like,
+            VggVariant::Vgg16,
+            PruneMethod::ChannelFilter,
+        ),
+    ];
+    let start = std::time::Instant::now();
+    for (dataset, variant, method) in cases {
+        let sc = Scenario::new(variant, dataset, method, scale).with_seed(seed);
+        let data = sc.dataset();
+        let tm = sc.train_model_cached(&data);
+        let compression = match method {
+            PruneMethod::None => "-".to_string(),
+            m => rate(compression_rate(&tm.model, m, 32, 32)),
+        };
+        eprintln!(
+            "[{:.0?}] {} {} {}: software {}%",
+            start.elapsed(),
+            dataset.name(),
+            variant,
+            method,
+            pct(tm.software_accuracy)
+        );
+        table.push_row(vec![
+            dataset.name().to_string(),
+            variant.to_string(),
+            method.to_string(),
+            if method == PruneMethod::None {
+                "-".to_string()
+            } else {
+                format!("{:.1}", sc.sparsity)
+            },
+            pct(tm.software_accuracy),
+            compression,
+        ]);
+    }
+    table.emit("table1").expect("write results");
+}

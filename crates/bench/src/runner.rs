@@ -1,0 +1,211 @@
+//! Shared helpers for the experiment binaries: CLI parsing and
+//! crossbar-accuracy evaluation of trained scenarios.
+
+use crate::scenario::{ExperimentScale, TrainedModel};
+use xbar_core::pipeline::{map_to_crossbars, MapConfig, MapReport};
+use xbar_data::{Dataset, Split};
+use xbar_nn::train::{evaluate, DataRef};
+use xbar_prune::PruneMethod;
+use xbar_sim::params::CrossbarParams;
+
+/// Crossbar sizes swept by the paper's figures.
+pub const SIZES: [usize; 3] = [16, 32, 64];
+
+/// Parses the common CLI flags shared by every experiment binary:
+/// `--full`, `--smoke`, `--seed <n>`. Returns the scale and seed.
+///
+/// # Panics
+///
+/// Panics (with a usage message) on unknown flags.
+pub fn parse_common_args() -> (ExperimentScale, u64) {
+    let mut scale = ExperimentScale::quick();
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => scale = ExperimentScale::full(),
+            "--smoke" => scale = ExperimentScale::smoke(),
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer");
+            }
+            // Binary-specific selectors (--panel, --which, --size, --method,
+            // …) are parsed by the individual binaries; skip them and their
+            // value here.
+            other if other.starts_with("--") => {
+                let _ = args.next();
+            }
+            other => panic!("unknown argument {other}; supported: --full --smoke --seed <n> plus binary-specific --flags"),
+        }
+    }
+    (scale, seed)
+}
+
+/// Returns the value following `--panel`/`--which` on the command line, if
+/// present.
+pub fn panel_arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Builds the [`MapConfig`] for a trained model at a given crossbar size,
+/// matching the model's pruning method for the `T` transformation.
+pub fn map_config(tm: &TrainedModel, size: usize, seed: u64) -> MapConfig {
+    MapConfig {
+        params: CrossbarParams::with_size(size),
+        method: effective_method(tm),
+        seed,
+        ..Default::default()
+    }
+}
+
+fn effective_method(tm: &TrainedModel) -> PruneMethod {
+    if tm.masks.is_some() {
+        tm.scenario.method
+    } else {
+        PruneMethod::None
+    }
+}
+
+/// Maps a trained model onto non-ideal crossbars and evaluates test
+/// accuracy.
+///
+/// # Panics
+///
+/// Panics on internal pipeline errors (bugs, not user errors).
+pub fn crossbar_accuracy(tm: &TrainedModel, data: &Dataset, cfg: &MapConfig) -> (f64, MapReport) {
+    let (mut noisy, report) = map_to_crossbars(&tm.model, cfg).expect("mapping pipeline");
+    let test = DataRef::new(data.images(Split::Test), data.labels(Split::Test))
+        .expect("dataset well-formed");
+    let acc = evaluate(&mut noisy, test, 64).expect("evaluation shape-safe");
+    (acc, report)
+}
+
+/// Number of device-variation seeds averaged per reported accuracy.
+pub const DEFAULT_REPS: usize = 3;
+
+/// Relative synaptic weight error `‖W′−W‖₂ / ‖W‖₂` between a model and its
+/// crossbar-mapped version, pooled over every conv/linear weight. This is a
+/// deterministic, classification-noise-free measure of how much damage the
+/// mapping did, naturally weighted toward the large (important) weights.
+///
+/// # Panics
+///
+/// Panics if the models have different architectures.
+pub fn relative_weight_error(original: &xbar_nn::Sequential, mapped: &xbar_nn::Sequential) -> f64 {
+    let mut orig = original.clone();
+    let mut map = mapped.clone();
+    let o_params = orig.params_mut();
+    let mut m_params = map.params_mut();
+    assert_eq!(o_params.len(), m_params.len(), "architecture mismatch");
+    let mut err_sq = 0.0f64;
+    let mut norm_sq = 0.0f64;
+    for (o, m) in o_params.into_iter().zip(m_params.iter_mut()) {
+        if !o.kind.is_synaptic() {
+            continue;
+        }
+        for (&a, &b) in o.value.as_slice().iter().zip(m.value.as_slice()) {
+            let d = (a - b) as f64;
+            err_sq += d * d;
+            norm_sq += (a as f64) * (a as f64);
+        }
+    }
+    (err_sq / norm_sq.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+/// Like [`crossbar_accuracy`] but averaged over `reps` device-variation
+/// seeds (the circuit is deterministic; only the Gaussian programming
+/// variation changes between repetitions). Returns the mean accuracy and the
+/// last repetition's report (NF statistics barely vary between seeds).
+///
+/// # Panics
+///
+/// Panics if `reps` is zero or on internal pipeline errors.
+pub fn crossbar_accuracy_avg(
+    tm: &TrainedModel,
+    data: &Dataset,
+    cfg: &MapConfig,
+    reps: usize,
+) -> (f64, MapReport) {
+    assert!(reps > 0, "need at least one repetition");
+    let mut total = 0.0f64;
+    let mut last_report = None;
+    for r in 0..reps {
+        let mut rep_cfg = *cfg;
+        rep_cfg.seed = cfg.seed.wrapping_add(1000 * r as u64);
+        let (acc, report) = crossbar_accuracy(tm, data, &rep_cfg);
+        total += acc;
+        last_report = Some(report);
+    }
+    (total / reps as f64, last_report.expect("reps > 0"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{DatasetKind, Scenario};
+    use xbar_nn::vgg::VggVariant;
+
+    #[test]
+    fn relative_weight_error_is_zero_for_identical_models() {
+        let m = xbar_nn::vgg::VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .build(3);
+        assert_eq!(relative_weight_error(&m, &m.clone()), 0.0);
+    }
+
+    #[test]
+    fn relative_weight_error_scales_with_perturbation() {
+        let m = xbar_nn::vgg::VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .build(4);
+        let mut perturbed = m.clone();
+        for p in perturbed.params_mut() {
+            if p.kind.is_synaptic() {
+                p.value.map_in_place(|x| x * 1.1);
+            }
+        }
+        let err = relative_weight_error(&m, &perturbed);
+        assert!((err - 0.1).abs() < 1e-3, "10% scale = 10% error, got {err}");
+    }
+
+    #[test]
+    fn accuracy_averaging_reduces_to_single_run_for_reps_one() {
+        let sc = Scenario::new(
+            VggVariant::Vgg11,
+            DatasetKind::Cifar10Like,
+            PruneMethod::None,
+            ExperimentScale::smoke(),
+        );
+        let data = sc.dataset();
+        let tm = sc.train_model(&data);
+        let cfg = map_config(&tm, 16, 5);
+        let (single, _) = crossbar_accuracy(&tm, &data, &cfg);
+        let (avg, _) = crossbar_accuracy_avg(&tm, &data, &cfg, 1);
+        assert_eq!(single, avg);
+    }
+
+    #[test]
+    fn map_config_inherits_method() {
+        let sc = Scenario::new(
+            VggVariant::Vgg11,
+            DatasetKind::Cifar10Like,
+            PruneMethod::ChannelFilter,
+            ExperimentScale::smoke(),
+        );
+        let data = sc.dataset();
+        let tm = sc.train_model(&data);
+        let cfg = map_config(&tm, 32, 1);
+        assert_eq!(cfg.method, PruneMethod::ChannelFilter);
+        assert_eq!(cfg.params.rows, 32);
+        let (acc, report) = crossbar_accuracy(&tm, &data, &cfg);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(report.crossbar_count() > 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Weight-magnitude heatmap export (paper Fig. 3(f)).
+//!
+//! The paper visualises the `|W|` heatmaps of C/F-pruned VGG16 layers before
+//! and after the R transformation: post-R, low-magnitude (light) points
+//! concentrate together. This module downsamples a weight matrix to a fixed
+//! grid of mean `|w|` values and serialises it as CSV for external plotting,
+//! plus a quantitative *clustering score* used by the tests and benches to
+//! assert the transformation's effect without eyeballing images.
+
+use xbar_tensor::Tensor;
+
+/// A downsampled magnitude heatmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    rows: usize,
+    cols: usize,
+    values: Vec<f64>,
+}
+
+impl Heatmap {
+    /// Downsamples `|matrix|` to at most `max_rows × max_cols` cells, each
+    /// holding the mean absolute weight of its block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not 2-D or a target dimension is zero.
+    pub fn from_matrix(matrix: &Tensor, max_rows: usize, max_cols: usize) -> Self {
+        assert_eq!(matrix.ndim(), 2, "heatmaps are built from 2-D matrices");
+        assert!(
+            max_rows > 0 && max_cols > 0,
+            "heatmap dims must be non-zero"
+        );
+        let (mr, mc) = (matrix.rows(), matrix.cols());
+        let rows = mr.min(max_rows);
+        let cols = mc.min(max_cols);
+        let mut values = vec![0.0f64; rows * cols];
+        let mut counts = vec![0usize; rows * cols];
+        for r in 0..mr {
+            let hr = r * rows / mr;
+            for (c, &v) in matrix.row(r).iter().enumerate() {
+                let hc = c * cols / mc;
+                values[hr * cols + hc] += v.abs() as f64;
+                counts[hr * cols + hc] += 1;
+            }
+        }
+        for (v, &n) in values.iter_mut().zip(&counts) {
+            if n > 0 {
+                *v /= n as f64;
+            }
+        }
+        Self { rows, cols, values }
+    }
+
+    /// Heatmap rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Heatmap columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell value.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.values[r * self.cols + c]
+    }
+
+    /// Serialises as CSV (one row per line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for r in 0..self.rows {
+            let row: Vec<String> = (0..self.cols)
+                .map(|c| format!("{:.6e}", self.at(r, c)))
+                .collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Mean absolute difference between horizontally adjacent column magnitudes
+/// of a matrix — a clustering score. Columns with similar magnitude sitting
+/// next to each other (the post-R layout) give a *low* score; intermixed
+/// light/dark columns give a high one.
+///
+/// # Panics
+///
+/// Panics if `matrix` is not 2-D.
+pub fn column_adjacency_score(matrix: &Tensor) -> f64 {
+    let cols = matrix.cols();
+    if cols < 2 {
+        return 0.0;
+    }
+    let col_means: Vec<f64> = (0..cols)
+        .map(|c| {
+            let col = matrix.col(c);
+            col.iter().map(|&v| v.abs() as f64).sum::<f64>() / col.len().max(1) as f64
+        })
+        .collect();
+    col_means
+        .windows(2)
+        .map(|w| (w[0] - w[1]).abs())
+        .sum::<f64>()
+        / (cols - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rearrange::{ColumnOrder, Rearrangement};
+
+    #[test]
+    fn heatmap_of_uniform_matrix_is_flat() {
+        let m = Tensor::filled(&[16, 16], -0.5);
+        let h = Heatmap::from_matrix(&m, 4, 4);
+        assert_eq!((h.rows(), h.cols()), (4, 4));
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((h.at(r, c) - 0.5).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn heatmap_preserves_block_structure() {
+        // Left half small, right half large.
+        let m = Tensor::from_fn(&[8, 8], |i| if i % 8 < 4 { 0.1 } else { 1.0 });
+        let h = Heatmap::from_matrix(&m, 2, 2);
+        assert!(h.at(0, 0) < h.at(0, 1));
+        assert!(h.at(1, 0) < h.at(1, 1));
+    }
+
+    #[test]
+    fn small_matrix_is_not_upsampled() {
+        let m = Tensor::ones(&[2, 3]);
+        let h = Heatmap::from_matrix(&m, 10, 10);
+        assert_eq!((h.rows(), h.cols()), (2, 3));
+    }
+
+    #[test]
+    fn csv_has_expected_shape() {
+        let m = Tensor::ones(&[4, 4]);
+        let h = Heatmap::from_matrix(&m, 2, 2);
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 2);
+    }
+
+    #[test]
+    fn rearrangement_lowers_adjacency_score() {
+        // Alternating light/dark columns: maximal intermixing.
+        let m = Tensor::from_fn(&[6, 8], |i| {
+            let c = i % 8;
+            if c % 2 == 0 {
+                0.05 + 0.001 * (i / 8) as f32
+            } else {
+                1.0 + 0.01 * (i / 8) as f32
+            }
+        });
+        let before = column_adjacency_score(&m);
+        let r = Rearrangement::compute(&m, ColumnOrder::Ascending, 32);
+        let after = column_adjacency_score(&r.apply(&m));
+        assert!(
+            after < before,
+            "R should cluster columns: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn degenerate_matrices() {
+        assert_eq!(column_adjacency_score(&Tensor::zeros(&[3, 1])), 0.0);
+    }
+}

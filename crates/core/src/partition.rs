@@ -1,0 +1,128 @@
+//! Partitioning panels into fixed-size crossbar tiles and reassembling them.
+
+use xbar_tensor::Tensor;
+
+/// One tile cut from a panel: the padded weight block plus its origin.
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// Row offset of this tile within its panel.
+    pub row_start: usize,
+    /// Column offset of this tile within its panel.
+    pub col_start: usize,
+    /// `rows × cols` weights, zero-padded past the panel edge (zeros map to
+    /// `Gmin`, like unused crossbar cells).
+    pub weights: Tensor,
+}
+
+/// Cuts a panel into `rows × cols` tiles, padding edge tiles with zeros.
+///
+/// # Panics
+///
+/// Panics if `panel` is not 2-D or a tile dimension is zero.
+pub fn partition(panel: &Tensor, rows: usize, cols: usize) -> Vec<Tile> {
+    assert_eq!(panel.ndim(), 2, "panels are 2-D");
+    assert!(rows > 0 && cols > 0, "tile dims must be non-zero");
+    let (pr, pc) = (panel.rows(), panel.cols());
+    let mut tiles = Vec::with_capacity(pr.div_ceil(rows) * pc.div_ceil(cols));
+    let mut r0 = 0;
+    while r0 < pr {
+        let mut c0 = 0;
+        while c0 < pc {
+            tiles.push(Tile {
+                row_start: r0,
+                col_start: c0,
+                weights: panel.submatrix_padded(r0, c0, rows, cols),
+            });
+            c0 += cols;
+        }
+        r0 += rows;
+    }
+    tiles
+}
+
+/// Reassembles a panel of shape `[panel_rows, panel_cols]` from (possibly
+/// perturbed) tiles produced by [`partition`]; padding cells are discarded.
+///
+/// # Panics
+///
+/// Panics if a tile lies entirely outside the panel.
+pub fn reassemble(tiles: &[Tile], panel_rows: usize, panel_cols: usize) -> Tensor {
+    let mut panel = Tensor::zeros(&[panel_rows, panel_cols]);
+    for tile in tiles {
+        assert!(
+            tile.row_start < panel_rows && tile.col_start < panel_cols,
+            "tile origin ({}, {}) outside panel {}x{}",
+            tile.row_start,
+            tile.col_start,
+            panel_rows,
+            panel_cols
+        );
+        panel.write_submatrix(tile.row_start, tile.col_start, &tile.weights);
+    }
+    panel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tiling_round_trips() {
+        let panel = Tensor::from_fn(&[8, 6], |i| i as f32);
+        let tiles = partition(&panel, 4, 3);
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(reassemble(&tiles, 8, 6), panel);
+    }
+
+    #[test]
+    fn ragged_tiling_pads_and_round_trips() {
+        let panel = Tensor::from_fn(&[5, 7], |i| (i + 1) as f32);
+        let tiles = partition(&panel, 4, 4);
+        assert_eq!(tiles.len(), 4);
+        // Edge tile is padded with zeros.
+        let last = tiles.last().unwrap();
+        assert_eq!(last.weights.shape(), &[4, 4]);
+        assert_eq!(last.weights.at2(1, 3), 0.0); // beyond row 5 / col 7
+        assert_eq!(reassemble(&tiles, 5, 7), panel);
+    }
+
+    #[test]
+    fn perturbed_tiles_land_in_place() {
+        let panel = Tensor::ones(&[4, 4]);
+        let mut tiles = partition(&panel, 2, 2);
+        for t in &mut tiles {
+            t.weights = t.weights.scale(2.0);
+        }
+        let back = reassemble(&tiles, 4, 4);
+        assert!(back.as_slice().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn tile_count_formula() {
+        let panel = Tensor::zeros(&[100, 33]);
+        let tiles = partition(&panel, 32, 32);
+        assert_eq!(tiles.len(), 4 * 2);
+    }
+
+    #[test]
+    fn tile_larger_than_panel_is_single_padded_tile() {
+        let panel = Tensor::ones(&[3, 2]);
+        let tiles = partition(&panel, 8, 8);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].weights.shape(), &[8, 8]);
+        let sum: f32 = tiles[0].weights.as_slice().iter().sum();
+        assert_eq!(sum, 6.0);
+        assert_eq!(reassemble(&tiles, 3, 2), panel);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside panel")]
+    fn reassemble_rejects_stray_tile() {
+        let tile = Tile {
+            row_start: 10,
+            col_start: 0,
+            weights: Tensor::zeros(&[2, 2]),
+        };
+        reassemble(&[tile], 4, 4);
+    }
+}

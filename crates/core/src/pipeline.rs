@@ -1,0 +1,393 @@
+//! The end-to-end crossbar mapping pipeline (paper Fig. 2).
+
+use crate::partition::{partition, reassemble, Tile};
+use crate::rearrange::{ColumnOrder, Rearrangement};
+use std::fmt;
+use xbar_nn::Sequential;
+use xbar_prune::transform::{transform, TransformedLayer};
+use xbar_prune::unroll::{unrolled_matrices, write_back};
+use xbar_prune::PruneMethod;
+use xbar_sim::nf::NfAccumulator;
+use xbar_sim::params::CrossbarParams;
+use xbar_sim::solve::SolveMethod;
+use xbar_sim::tile::simulate_tile;
+use xbar_sim::MappingScale;
+use xbar_tensor::{ShapeError, Tensor};
+
+/// Errors from the mapping pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// Tensor shape inconsistency.
+    Shape(ShapeError),
+    /// Circuit solver failure.
+    Solve(xbar_linalg::SolveError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Shape(e) => write!(f, "shape error: {e}"),
+            MapError::Solve(e) => write!(f, "circuit solve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<ShapeError> for MapError {
+    fn from(e: ShapeError) -> Self {
+        MapError::Shape(e)
+    }
+}
+
+impl From<xbar_linalg::SolveError> for MapError {
+    fn from(e: xbar_linalg::SolveError) -> Self {
+        MapError::Solve(e)
+    }
+}
+
+/// Configuration of one crossbar mapping run.
+#[derive(Debug, Clone, Copy)]
+pub struct MapConfig {
+    /// Crossbar tile parameters (size, parasitics, variation).
+    pub params: CrossbarParams,
+    /// Which `T` transformation to apply (must match how the model was
+    /// pruned; `None` for unpruned models).
+    pub method: PruneMethod,
+    /// Optional R transformation applied per panel before partitioning.
+    pub rearrange: Option<ColumnOrder>,
+    /// Weight→conductance reference scale.
+    pub scale: MappingScale,
+    /// Circuit solver.
+    pub solve: SolveMethod,
+    /// Seed for device variation (deterministic per tile).
+    pub seed: u64,
+}
+
+impl Default for MapConfig {
+    fn default() -> Self {
+        Self {
+            params: CrossbarParams::default(),
+            method: PruneMethod::None,
+            rearrange: None,
+            scale: MappingScale::PerLayerMax,
+            solve: SolveMethod::LineRelaxation,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-layer mapping statistics.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Index of the layer within the model.
+    pub layer_index: usize,
+    /// Crossbar tiles used by this layer.
+    pub crossbar_count: usize,
+    /// NF observations across this layer's tiles.
+    pub nf: NfAccumulator,
+    /// Mean low-conductance-device fraction across tiles.
+    pub low_g_fraction: f64,
+}
+
+/// Aggregate mapping statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MapReport {
+    /// Per-layer records in network order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl MapReport {
+    /// Total crossbars used by the model.
+    pub fn crossbar_count(&self) -> usize {
+        self.layers.iter().map(|l| l.crossbar_count).sum()
+    }
+
+    /// Mean NF over every column of every tile of every layer.
+    pub fn mean_nf(&self) -> f64 {
+        let mut acc = NfAccumulator::new();
+        for l in &self.layers {
+            acc.merge(&l.nf);
+        }
+        acc.mean()
+    }
+
+    /// Crossbar-count-weighted mean low-conductance fraction.
+    pub fn mean_low_g_fraction(&self) -> f64 {
+        let total: usize = self.layers.iter().map(|l| l.crossbar_count).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .map(|l| l.low_g_fraction * l.crossbar_count as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Maps every weighted layer of `model` onto non-ideal crossbars and returns
+/// a clone of the model carrying the non-ideal weights `W'`, plus statistics.
+///
+/// The input model's weights must already reflect the pruning pattern
+/// matching `cfg.method` (masks applied).
+///
+/// # Errors
+///
+/// Returns [`MapError`] on shape inconsistencies or circuit-solver failure.
+pub fn map_to_crossbars(
+    model: &Sequential,
+    cfg: &MapConfig,
+) -> Result<(Sequential, MapReport), MapError> {
+    cfg.params.validate();
+    let mut noisy = model.clone();
+    let mut report = MapReport::default();
+    for ul in unrolled_matrices(model) {
+        let layer_abs_max = ul.matrix.abs_max();
+        let transformed: TransformedLayer =
+            transform(&ul.matrix, cfg.method, cfg.params.rows, cfg.params.cols);
+        let mut noisy_panels: Vec<Tensor> = Vec::with_capacity(transformed.panels.len());
+        let mut layer_report = LayerReport {
+            layer_index: ul.layer_index,
+            crossbar_count: 0,
+            nf: NfAccumulator::new(),
+            low_g_fraction: 0.0,
+        };
+        let mut low_g_sum = 0.0f64;
+        for (panel_idx, panel) in transformed.panels.iter().enumerate() {
+            let rearrangement = match cfg.rearrange {
+                Some(order) => Rearrangement::compute(&panel.matrix, order, cfg.params.cols),
+                None => Rearrangement::identity(panel.matrix.cols()),
+            };
+            let arranged = rearrangement.apply(&panel.matrix);
+            let mut tiles = partition(&arranged, cfg.params.rows, cfg.params.cols);
+            let outcomes = simulate_tiles_parallel(
+                &tiles,
+                cfg,
+                layer_abs_max,
+                tile_seed_base(cfg.seed, ul.layer_index, panel_idx),
+            )?;
+            for (tile, outcome) in tiles.iter_mut().zip(&outcomes) {
+                tile.weights = outcome.weights.clone();
+                layer_report.nf.push(outcome.nf());
+                low_g_sum += outcome.low_g_fraction;
+            }
+            layer_report.crossbar_count += tiles.len();
+            let noisy_arranged = reassemble(&tiles, arranged.rows(), arranged.cols());
+            noisy_panels.push(rearrangement.invert(&noisy_arranged));
+        }
+        layer_report.low_g_fraction = if layer_report.crossbar_count == 0 {
+            0.0
+        } else {
+            low_g_sum / layer_report.crossbar_count as f64
+        };
+        let noisy_matrix = transformed.invert(&noisy_panels);
+        write_back(&mut noisy, ul.layer_index, &noisy_matrix);
+        report.layers.push(layer_report);
+    }
+    Ok((noisy, report))
+}
+
+fn tile_seed_base(seed: u64, layer_index: usize, panel_idx: usize) -> u64 {
+    seed ^ (layer_index as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (panel_idx as u64).wrapping_mul(0xD1B54A32D192ED03)
+}
+
+/// Simulates tiles across worker threads (tiles are independent crossbars).
+fn simulate_tiles_parallel(
+    tiles: &[Tile],
+    cfg: &MapConfig,
+    layer_abs_max: f32,
+    seed_base: u64,
+) -> Result<Vec<xbar_sim::tile::TileOutcome>, MapError> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(tiles.len().max(1));
+    if workers <= 1 || tiles.len() < 4 {
+        return tiles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                simulate_tile(
+                    &t.weights,
+                    cfg.scale,
+                    layer_abs_max,
+                    &cfg.params,
+                    cfg.solve,
+                    seed_base.wrapping_add(i as u64),
+                )
+                .map_err(MapError::from)
+            })
+            .collect();
+    }
+    let chunk = tiles.len().div_ceil(workers);
+    let results = crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (w, tile_chunk) in tiles.chunks(chunk).enumerate() {
+            let start = w * chunk;
+            handles.push(scope.spawn(move |_| {
+                tile_chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        simulate_tile(
+                            &t.weights,
+                            cfg.scale,
+                            layer_abs_max,
+                            &cfg.params,
+                            cfg.solve,
+                            seed_base.wrapping_add((start + i) as u64),
+                        )
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tile worker panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })
+    .expect("crossbeam scope failed")?;
+    Ok(results.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+    use xbar_nn::Layer;
+    use xbar_prune::cf::prune_cf;
+
+    fn tiny_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 8, 3, 1, 1, 1)),
+            Layer::ReLU(ReLU::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(8 * 4 * 4, 4, 2)),
+        ])
+    }
+
+    fn small_cfg() -> MapConfig {
+        let mut params = CrossbarParams::with_size(16);
+        params.sigma_variation = 0.0;
+        MapConfig {
+            params,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mapping_preserves_architecture_and_perturbs_weights() {
+        let model = tiny_model();
+        let (noisy, report) = map_to_crossbars(&model, &small_cfg()).unwrap();
+        assert_eq!(noisy.len(), model.len());
+        assert_eq!(report.layers.len(), 2);
+        // Weights changed but not wildly.
+        let orig = &model.layers()[0].as_conv().unwrap().weight().value;
+        let pert = &noisy.layers()[0].as_conv().unwrap().weight().value;
+        assert_ne!(orig, pert);
+        let rel: f32 = orig
+            .as_slice()
+            .iter()
+            .zip(pert.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+            / orig.abs_max();
+        assert!(rel < 1.0, "perturbation should be bounded, got {rel}");
+    }
+
+    #[test]
+    fn ideal_params_leave_weights_nearly_unchanged() {
+        let model = tiny_model();
+        let mut cfg = small_cfg();
+        cfg.params = cfg.params.ideal();
+        let (noisy, report) = map_to_crossbars(&model, &cfg).unwrap();
+        let orig = &model.layers()[0].as_conv().unwrap().weight().value;
+        let pert = &noisy.layers()[0].as_conv().unwrap().weight().value;
+        for (a, b) in orig.as_slice().iter().zip(pert.as_slice()) {
+            assert!((a - b).abs() < 1e-4 * orig.abs_max().max(1.0));
+        }
+        assert!(report.mean_nf() < 1e-4);
+    }
+
+    #[test]
+    fn crossbar_count_matches_compression_module() {
+        let model = tiny_model();
+        let cfg = small_cfg();
+        let (_, report) = map_to_crossbars(&model, &cfg).unwrap();
+        let expected =
+            xbar_prune::compression::model_crossbar_count(&model, PruneMethod::None, 16, 16);
+        assert_eq!(report.crossbar_count(), expected);
+    }
+
+    #[test]
+    fn pruned_mapping_keeps_pruned_weights_zero() {
+        let mut model = tiny_model();
+        let masks = prune_cf(&model, 0.5);
+        masks.apply_to(&mut model);
+        let mut cfg = small_cfg();
+        cfg.method = PruneMethod::ChannelFilter;
+        let (noisy, _) = map_to_crossbars(&model, &cfg).unwrap();
+        // Every weight that was exactly zero stays exactly zero (T⁻¹ leaves
+        // eliminated positions untouched).
+        for (li, layer) in model.layers().iter().enumerate() {
+            let (orig, pert) = match (layer.as_conv(), noisy.layers()[li].as_conv()) {
+                (Some(a), Some(b)) => (&a.weight().value, &b.weight().value),
+                _ => continue,
+            };
+            for (a, b) in orig.as_slice().iter().zip(pert.as_slice()) {
+                if *a == 0.0 {
+                    assert_eq!(*b, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rearrangement_round_trips_structurally() {
+        let model = tiny_model();
+        let mut cfg = small_cfg();
+        cfg.params = cfg.params.ideal();
+        cfg.rearrange = Some(ColumnOrder::Ascending);
+        let (noisy, _) = map_to_crossbars(&model, &cfg).unwrap();
+        // With ideal params, R then R⁻¹ must reproduce the original weights.
+        let orig = &model.layers()[0].as_conv().unwrap().weight().value;
+        let pert = &noisy.layers()[0].as_conv().unwrap().weight().value;
+        for (a, b) in orig.as_slice().iter().zip(pert.as_slice()) {
+            assert!((a - b).abs() < 1e-4 * orig.abs_max().max(1.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = tiny_model();
+        let mut cfg = small_cfg();
+        cfg.params.sigma_variation = 0.1;
+        let (a, _) = map_to_crossbars(&model, &cfg).unwrap();
+        let (b, _) = map_to_crossbars(&model, &cfg).unwrap();
+        cfg.seed = 99;
+        let (c, _) = map_to_crossbars(&model, &cfg).unwrap();
+        let wa = &a.layers()[0].as_conv().unwrap().weight().value;
+        let wb = &b.layers()[0].as_conv().unwrap().weight().value;
+        let wc = &c.layers()[0].as_conv().unwrap().weight().value;
+        assert_eq!(wa, wb);
+        assert_ne!(wa, wc);
+    }
+
+    #[test]
+    fn larger_crossbars_increase_nf() {
+        let model = tiny_model();
+        let mut nf = Vec::new();
+        for n in [16usize, 64] {
+            let mut cfg = small_cfg();
+            cfg.params = CrossbarParams::with_size(n);
+            cfg.params.sigma_variation = 0.0;
+            let (_, report) = map_to_crossbars(&model, &cfg).unwrap();
+            nf.push(report.mean_nf());
+        }
+        assert!(nf[1] > nf[0], "{nf:?}");
+    }
+}

@@ -1,0 +1,295 @@
+//! The R transformation: crossbar-column rearrangement (paper Section VI-A).
+//!
+//! For each panel, the score `(μ·σ)^½` is computed per column from the
+//! absolute weight values; columns are then reordered so that low-score
+//! (low-conductance) columns share crossbar tiles, raising the proportion of
+//! near-`Gmin` synapses per tile and cutting NF where it matters. The
+//! permutation is recorded so `R⁻¹` can restore column order after the
+//! non-ideal weights come back from the crossbar simulation.
+
+use xbar_tensor::stats::mu_sigma_score;
+use xbar_tensor::Tensor;
+
+/// Column placement policy after sorting by `(μ·σ)^½`.
+///
+/// Two effects are in play (see the A3 ablation in `xbar-bench`):
+///
+/// * **grouping** — putting similar-score columns in the same tile raises
+///   the proportion of low-conductance synapses in most tiles (the paper's
+///   stated mechanism);
+/// * **within-tile position** — the row wire runs from the driver across the
+///   tile's columns, so a high-current (dark) column placed far from the
+///   driver drags its own large current across every wire segment. Placing
+///   dark columns *near* the driver minimises the cumulative IR drop.
+///
+/// `GroupedDescending` combines both and is the strongest policy in our
+/// circuit model; `Ascending` and `CenterOut` realise the orderings the
+/// paper describes/visualises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnOrder {
+    /// Ascending score order: low-conductance columns pack into the leading
+    /// tiles; within a tile, dark columns sit far from the driver.
+    Ascending,
+    /// Descending score order: dark columns near the driver everywhere, at
+    /// the cost of mixing tiles less cleanly at tile boundaries.
+    Descending,
+    /// Low-score columns at the centre, high-score at the peripheries — the
+    /// layout visualised in the paper's Fig. 3(f) heatmaps.
+    CenterOut,
+    /// Ascending grouping into tiles of `tile_cols`, then descending within
+    /// each tile: low-G tiles stay grouped *and* every tile's darkest
+    /// columns sit next to the driver.
+    GroupedDescending,
+}
+
+/// A recorded column permutation (R and its inverse R⁻¹).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rearrangement {
+    /// `perm[new_col] = old_col`.
+    perm: Vec<usize>,
+}
+
+impl Rearrangement {
+    /// Computes the rearrangement for a matrix under the given policy.
+    /// `tile_cols` is the crossbar tile width (used by
+    /// [`ColumnOrder::GroupedDescending`]; ignored otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not 2-D or `tile_cols` is zero.
+    pub fn compute(matrix: &Tensor, order: ColumnOrder, tile_cols: usize) -> Self {
+        assert!(tile_cols > 0, "tile width must be non-zero");
+        let cols = matrix.cols();
+        let scores: Vec<f64> = (0..cols).map(|c| mu_sigma_score(&matrix.col(c))).collect();
+        let mut ascending: Vec<usize> = (0..cols).collect();
+        ascending.sort_by(|&a, &b| {
+            scores[a]
+                .partial_cmp(&scores[b])
+                .expect("NaN column score")
+                .then(a.cmp(&b))
+        });
+        let perm = match order {
+            ColumnOrder::Ascending => ascending,
+            ColumnOrder::Descending => {
+                let mut desc = ascending;
+                desc.reverse();
+                desc
+            }
+            ColumnOrder::GroupedDescending => {
+                let mut grouped = Vec::with_capacity(cols);
+                for chunk in ascending.chunks(tile_cols) {
+                    grouped.extend(chunk.iter().rev());
+                }
+                grouped
+            }
+            ColumnOrder::CenterOut => {
+                // Place ascending scores from the centre outward: smallest in
+                // the middle, alternating right/left.
+                let mut slots = vec![0usize; cols];
+                let centre = cols / 2;
+                for (k, &old) in ascending.iter().enumerate() {
+                    let offset = k.div_ceil(2);
+                    let pos = if k % 2 == 0 {
+                        centre.saturating_add(offset).min(cols.saturating_sub(1))
+                    } else {
+                        centre.saturating_sub(offset)
+                    };
+                    slots[k] = pos;
+                    let _ = old;
+                }
+                // The alternating walk can collide at the edges for even
+                // sizes; fall back to a deterministic exact placement:
+                // positions sorted by distance from centre.
+                let mut by_distance: Vec<usize> = (0..cols).collect();
+                by_distance.sort_by_key(|&p| {
+                    let d = p as isize - centre as isize;
+                    (d.abs(), d) // ties: left of centre first
+                });
+                let mut perm = vec![0usize; cols];
+                for (k, &pos) in by_distance.iter().enumerate() {
+                    perm[pos] = ascending[k];
+                }
+                perm
+            }
+        };
+        Self { perm }
+    }
+
+    /// Identity rearrangement for `cols` columns.
+    pub fn identity(cols: usize) -> Self {
+        Self {
+            perm: (0..cols).collect(),
+        }
+    }
+
+    /// The permutation: `perm()[new_col] = old_col`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Applies R: returns the matrix with columns reordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count disagrees with the recorded permutation.
+    pub fn apply(&self, matrix: &Tensor) -> Tensor {
+        assert_eq!(matrix.cols(), self.perm.len(), "column count mismatch");
+        let (rows, cols) = (matrix.rows(), matrix.cols());
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for (new_c, &old_c) in self.perm.iter().enumerate() {
+            for r in 0..rows {
+                out.set2(r, new_c, matrix.at2(r, old_c));
+            }
+        }
+        out
+    }
+
+    /// Applies R⁻¹: restores original column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count disagrees with the recorded permutation.
+    pub fn invert(&self, matrix: &Tensor) -> Tensor {
+        assert_eq!(matrix.cols(), self.perm.len(), "column count mismatch");
+        let (rows, cols) = (matrix.rows(), matrix.cols());
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for (new_c, &old_c) in self.perm.iter().enumerate() {
+            for r in 0..rows {
+                out.set2(r, old_c, matrix.at2(r, new_c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graded_matrix() -> Tensor {
+        // Column c has constant magnitude c+jitter so scores order 0..4, with
+        // within-column spread so σ is non-zero.
+        Tensor::from_fn(&[4, 5], |i| {
+            let c = i % 5;
+            let r = i / 5;
+            (c as f32 + 1.0) * (1.0 + 0.1 * r as f32)
+        })
+    }
+
+    #[test]
+    fn ascending_orders_by_score() {
+        let m = graded_matrix();
+        let r = Rearrangement::compute(&m, ColumnOrder::Ascending, 32);
+        assert_eq!(r.perm(), &[0, 1, 2, 3, 4]);
+        // Reversed input gives reversed permutation.
+        let rev = Tensor::from_fn(&[4, 5], |i| {
+            let c = i % 5;
+            let r = i / 5;
+            (5.0 - c as f32) * (1.0 + 0.1 * r as f32)
+        });
+        let r = Rearrangement::compute(&rev, ColumnOrder::Ascending, 32);
+        assert_eq!(r.perm(), &[4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn apply_then_invert_is_identity() {
+        let m = graded_matrix();
+        for order in [
+            ColumnOrder::Ascending,
+            ColumnOrder::Descending,
+            ColumnOrder::CenterOut,
+            ColumnOrder::GroupedDescending,
+        ] {
+            let r = Rearrangement::compute(&m, order, 2);
+            let back = r.invert(&r.apply(&m));
+            assert_eq!(back, m, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn descending_reverses_ascending() {
+        let m = graded_matrix();
+        let r = Rearrangement::compute(&m, ColumnOrder::Descending, 2);
+        assert_eq!(r.perm(), &[4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn grouped_descending_groups_then_reverses_within_tiles() {
+        let m = graded_matrix(); // ascending scores 0..4, tile width 2
+        let r = Rearrangement::compute(&m, ColumnOrder::GroupedDescending, 2);
+        // Ascending chunks [0,1][2,3][4] reversed within: [1,0][3,2][4].
+        assert_eq!(r.perm(), &[1, 0, 3, 2, 4]);
+    }
+
+    #[test]
+    fn perm_is_a_permutation() {
+        let m = graded_matrix();
+        for order in [
+            ColumnOrder::Ascending,
+            ColumnOrder::Descending,
+            ColumnOrder::CenterOut,
+            ColumnOrder::GroupedDescending,
+        ] {
+            let r = Rearrangement::compute(&m, order, 2);
+            let mut sorted = r.perm().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..5).collect::<Vec<_>>(), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn center_out_puts_smallest_score_in_middle() {
+        let m = graded_matrix(); // scores ascend with column id
+        let r = Rearrangement::compute(&m, ColumnOrder::CenterOut, 32);
+        let centre = 5 / 2;
+        assert_eq!(r.perm()[centre], 0, "smallest-score column at the centre");
+        // Largest score lands at a periphery.
+        let pos_of_largest = r.perm().iter().position(|&c| c == 4).unwrap();
+        assert!(pos_of_largest == 0 || pos_of_largest == 4);
+    }
+
+    #[test]
+    fn ascending_groups_low_columns_into_leading_tile() {
+        // 6 columns, tile width 3: after R the three smallest-score columns
+        // share the first tile.
+        let m = Tensor::from_fn(&[2, 6], |i| {
+            let c = i % 6;
+            let mag = [5.0f32, 0.1, 4.0, 0.2, 3.0, 0.3][c];
+            mag * (1.0 + 0.2 * (i / 6) as f32)
+        });
+        let r = Rearrangement::compute(&m, ColumnOrder::Ascending, 32);
+        let rearranged = r.apply(&m);
+        let first_tile_max: f32 = (0..3)
+            .map(|c| {
+                rearranged
+                    .col(c)
+                    .iter()
+                    .fold(0.0f32, |a, &v| a.max(v.abs()))
+            })
+            .fold(0.0, f32::max);
+        let second_tile_min: f32 = (3..6)
+            .map(|c| {
+                rearranged
+                    .col(c)
+                    .iter()
+                    .fold(f32::MAX, |a, &v| a.min(v.abs()))
+            })
+            .fold(f32::MAX, f32::min);
+        assert!(first_tile_max < second_tile_min);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let m = graded_matrix();
+        let r = Rearrangement::identity(5);
+        assert_eq!(r.apply(&m), m);
+        assert_eq!(r.invert(&m), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn apply_checks_width() {
+        let r = Rearrangement::identity(3);
+        r.apply(&Tensor::zeros(&[2, 4]));
+    }
+}

@@ -1,0 +1,153 @@
+//! BatchNorm recalibration after crossbar mapping — an extension mitigation
+//! beyond the paper.
+//!
+//! The non-ideal weights `W'` systematically shrink activations (every
+//! crossbar loses a fraction NF of its dot-product current), so the
+//! BatchNorm running statistics estimated during software training no longer
+//! match the mapped network's activation distribution. Re-estimating those
+//! statistics with a few forward passes of calibration data — no weight
+//! updates, so it is as hardware-cheap as the R transformation — recovers a
+//! large part of the non-ideality-induced loss. Quantified in the A4
+//! ablation of `xbar-bench`.
+
+use xbar_nn::train::DataRef;
+use xbar_nn::{Layer, Mode, Sequential};
+use xbar_tensor::ShapeError;
+
+/// Re-estimates every BatchNorm layer's running statistics from
+/// `calibration` data using cumulative averaging (momentum `1/(k+1)` on
+/// batch `k`). Weights are untouched. Returns the number of batches used.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the calibration data does not fit the model.
+pub fn recalibrate_batchnorm(
+    model: &mut Sequential,
+    calibration: DataRef<'_>,
+    batch_size: usize,
+    max_batches: usize,
+) -> Result<usize, ShapeError> {
+    let n = calibration.len();
+    if n == 0 || max_batches == 0 {
+        return Ok(0);
+    }
+    for layer in model.layers_mut() {
+        if let Layer::BatchNorm2d(bn) = layer {
+            bn.reset_running_stats();
+        }
+    }
+    let indices: Vec<usize> = (0..n).collect();
+    let mut used = 0usize;
+    for (k, chunk) in indices.chunks(batch_size.max(2)).enumerate() {
+        if k >= max_batches || chunk.len() < 2 {
+            break;
+        }
+        let momentum = 1.0 / (k as f32 + 1.0);
+        for layer in model.layers_mut() {
+            if let Layer::BatchNorm2d(bn) = layer {
+                bn.set_momentum(momentum);
+            }
+        }
+        let (images, _) = calibration.gather(chunk);
+        model.forward(&images, Mode::Train)?;
+        used += 1;
+    }
+    // Restore the conventional momentum in case the model is trained again.
+    for layer in model.layers_mut() {
+        if let Layer::BatchNorm2d(bn) = layer {
+            bn.set_momentum(0.1);
+        }
+    }
+    Ok(used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{map_to_crossbars, MapConfig};
+    use xbar_nn::layers::{BatchNorm2d, Conv2d, Flatten, Linear, ReLU};
+    use xbar_nn::train::{evaluate, train, TrainConfig};
+    use xbar_sim::params::CrossbarParams;
+    use xbar_tensor::Tensor;
+
+    fn toy_data() -> (Tensor, Vec<usize>) {
+        let n = 64;
+        let mut data = Vec::with_capacity(n * 2 * 16);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let v = if class == 0 { 1.0f32 } else { -1.0 };
+            for k in 0..32 {
+                let jitter = (((i * 31 + k * 7) % 11) as f32 - 5.0) / 25.0;
+                data.push(v + jitter);
+            }
+            labels.push(class);
+        }
+        (Tensor::from_vec(data, &[n, 2, 4, 4]).unwrap(), labels)
+    }
+
+    fn toy_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(2, 4, 3, 1, 1, 1)),
+            Layer::BatchNorm2d(BatchNorm2d::new(4)),
+            Layer::ReLU(ReLU::new()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(64, 2, 2)),
+        ])
+    }
+
+    #[test]
+    fn recalibration_runs_and_counts_batches() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        let used = recalibrate_batchnorm(&mut model, data, 16, 3).unwrap();
+        assert_eq!(used, 3);
+        assert_eq!(recalibrate_batchnorm(&mut model, data, 16, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn recalibration_does_not_change_weights() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        let before = model.layers()[0].as_conv().unwrap().weight().value.clone();
+        recalibrate_batchnorm(&mut model, data, 16, 4).unwrap();
+        let after = model.layers()[0].as_conv().unwrap().weight().value.clone();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn recalibration_recovers_accuracy_on_mapped_model() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            lr_decay_epochs: vec![],
+            ..TrainConfig::default()
+        };
+        train(&mut model, data, &cfg, None).unwrap();
+        let software = evaluate(&mut model, data, 32).unwrap();
+        assert!(software > 0.9, "toy task should be learnable: {software}");
+        // Map onto strongly non-ideal crossbars.
+        let mut params = CrossbarParams::with_size(64);
+        params.r_driver *= 4.0;
+        params.r_sense *= 4.0;
+        params.sigma_variation = 0.0;
+        let map_cfg = MapConfig {
+            params,
+            ..Default::default()
+        };
+        let (mut mapped, _) = map_to_crossbars(&model, &map_cfg).unwrap();
+        let degraded = evaluate(&mut mapped, data, 32).unwrap();
+        let mut recal = mapped.clone();
+        recalibrate_batchnorm(&mut recal, data, 16, 4).unwrap();
+        let recovered = evaluate(&mut recal, data, 32).unwrap();
+        assert!(
+            recovered >= degraded,
+            "recalibration must not hurt: {degraded} -> {recovered}"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Weight-Constrained-Training (WCT), paper Section VI-B.
+//!
+//! From the trained model's weight distribution a cut-off `W_cut` is chosen
+//! (a high quantile of `|W|` across all synaptic layers); weights are
+//! transformed as `W = min{|W|, W_cut}·sign(W)` and the model is retrained
+//! for a couple of epochs with the clamp (and any pruning masks) enforced
+//! after every step. Mapped with a **fixed** conductance scale equal to the
+//! *pre-clamp* `max|W|`, the constrained network occupies a greater
+//! proportion of low conductance states, which reduces NF (see `DESIGN.md`
+//! for why the scale choice matters).
+
+use xbar_nn::train::{train, ClampConstraint, DataRef, TrainConfig, WeightConstraint};
+use xbar_nn::Sequential;
+use xbar_sim::MappingScale;
+use xbar_tensor::stats::abs_quantile;
+use xbar_tensor::ShapeError;
+
+/// WCT hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct WctConfig {
+    /// Quantile of `|W|` (across all synaptic weights) used as `W_cut`.
+    /// The default 0.97 clips only the outlier tail: aggressive cut-offs
+    /// push every weight into the `Gmin` device-variation noise floor and
+    /// trade the IR-drop gain back away (measured in the A1 ablation).
+    pub quantile: f64,
+    /// Constrained retraining schedule; the paper uses 2 epochs to stay
+    /// iso-accuracy with the baseline.
+    pub train: TrainConfig,
+}
+
+impl Default for WctConfig {
+    fn default() -> Self {
+        let mut train = TrainConfig {
+            epochs: 2,
+            lr_decay_epochs: vec![],
+            ..TrainConfig::default()
+        };
+        train.sgd.lr = 0.01;
+        Self {
+            quantile: 0.97,
+            train,
+        }
+    }
+}
+
+/// Outcome of a WCT pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WctOutcome {
+    /// The cut-off applied.
+    pub w_cut: f32,
+    /// `max|W|` over synaptic weights *before* clamping — the fixed
+    /// weight→conductance reference scale to map the WCT model with.
+    pub pre_clamp_abs_max: f32,
+}
+
+impl WctOutcome {
+    /// The mapping scale that realises the low-conductance benefit.
+    pub fn mapping_scale(&self) -> MappingScale {
+        MappingScale::Fixed(self.pre_clamp_abs_max)
+    }
+}
+
+/// Maximum `|W|` over all synaptic (conv/linear) weights.
+pub fn synaptic_abs_max(model: &mut Sequential) -> f32 {
+    model
+        .params_mut()
+        .iter()
+        .filter(|p| p.kind.is_synaptic())
+        .map(|p| p.value.abs_max())
+        .fold(0.0, f32::max)
+}
+
+/// Determines `W_cut` as the `quantile` of `|W|` pooled across every
+/// synaptic layer, ignoring exact zeros (pruned weights would otherwise drag
+/// the quantile down on sparse models).
+///
+/// # Panics
+///
+/// Panics if `quantile` is outside `[0, 1]`.
+pub fn determine_w_cut(model: &mut Sequential, quantile: f64) -> f32 {
+    let mut all: Vec<f32> = Vec::new();
+    for p in model.params_mut() {
+        if p.kind.is_synaptic() {
+            all.extend(p.value.as_slice().iter().copied().filter(|w| *w != 0.0));
+        }
+    }
+    abs_quantile(&all, quantile)
+}
+
+/// A constraint stack: applies each inner constraint in order (e.g. pruning
+/// masks, then the WCT clamp).
+pub struct CombinedConstraint<'a> {
+    constraints: Vec<&'a dyn WeightConstraint>,
+}
+
+impl<'a> CombinedConstraint<'a> {
+    /// Builds a stack from the given constraints.
+    pub fn new(constraints: Vec<&'a dyn WeightConstraint>) -> Self {
+        Self { constraints }
+    }
+}
+
+impl WeightConstraint for CombinedConstraint<'_> {
+    fn apply(&self, model: &mut Sequential) {
+        for c in &self.constraints {
+            c.apply(model);
+        }
+    }
+}
+
+/// Applies WCT to a trained model in place: determines `W_cut`, clamps, and
+/// retrains under the clamp combined with `extra` (typically the pruning
+/// masks). Returns the cut-off and the pre-clamp scale for mapping.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if training data and model disagree.
+pub fn apply_wct(
+    model: &mut Sequential,
+    data: DataRef<'_>,
+    cfg: &WctConfig,
+    extra: Option<&dyn WeightConstraint>,
+) -> Result<WctOutcome, ShapeError> {
+    let pre_clamp_abs_max = synaptic_abs_max(model);
+    let w_cut = determine_w_cut(model, cfg.quantile);
+    let clamp = ClampConstraint { limit: w_cut };
+    let mut stack: Vec<&dyn WeightConstraint> = Vec::new();
+    if let Some(extra) = extra {
+        stack.push(extra);
+    }
+    stack.push(&clamp);
+    let combined = CombinedConstraint::new(stack);
+    // `train` applies the constraint before the first step, which performs
+    // the initial W = min{|W|, W_cut}·sign(W) transformation.
+    train(model, data, &cfg.train, Some(&combined))?;
+    Ok(WctOutcome {
+        w_cut,
+        pre_clamp_abs_max,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::{Flatten, Linear};
+    use xbar_nn::Layer;
+    use xbar_prune::mask::{LayerMask, MaskSet};
+    use xbar_tensor::Tensor;
+
+    fn toy_data() -> (Tensor, Vec<usize>) {
+        let n = 32;
+        let mut data = Vec::with_capacity(n * 4);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let v = if class == 0 { 1.0 } else { -1.0 };
+            data.extend_from_slice(&[v, v * 0.5, -v, v]);
+            labels.push(class);
+        }
+        (Tensor::from_vec(data, &[n, 1, 2, 2]).unwrap(), labels)
+    }
+
+    fn toy_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(4, 2, 7)),
+        ])
+    }
+
+    #[test]
+    fn w_cut_is_quantile_of_nonzero_weights() {
+        let mut m = toy_model();
+        {
+            let w = &mut m.layers_mut()[1]
+                .as_linear_mut()
+                .unwrap()
+                .weight_mut()
+                .value;
+            w.as_mut_slice()
+                .copy_from_slice(&[0.0, 0.1, 0.2, 0.3, -0.4, 0.5, 0.6, 0.0]);
+        }
+        // Non-zero |w| = [.1 .2 .3 .4 .5 .6]; median = 0.35.
+        let cut = determine_w_cut(&mut m, 0.5);
+        assert!((cut - 0.35).abs() < 1e-6, "cut {cut}");
+    }
+
+    #[test]
+    fn wct_clamps_and_keeps_masks() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        // Mask out the first output row.
+        let mut mask = Tensor::ones(&[2, 4]);
+        mask.row_mut(0).fill(0.0);
+        let mut set = MaskSet::new();
+        set.push(LayerMask {
+            layer_index: 1,
+            mask,
+        });
+        set.apply_to(&mut model);
+        let cfg = WctConfig::default();
+        let outcome = apply_wct(&mut model, data, &cfg, Some(&set)).unwrap();
+        let w = &model.layers()[1].as_linear().unwrap().weight().value;
+        assert!(w.abs_max() <= outcome.w_cut + 1e-6);
+        assert!(w.row(0).iter().all(|&x| x == 0.0), "mask survives WCT");
+        assert!(outcome.pre_clamp_abs_max >= outcome.w_cut);
+    }
+
+    #[test]
+    fn mapping_scale_is_fixed_pre_clamp() {
+        let out = WctOutcome {
+            w_cut: 0.2,
+            pre_clamp_abs_max: 0.7,
+        };
+        match out.mapping_scale() {
+            MappingScale::Fixed(w) => assert_eq!(w, 0.7),
+            other => panic!("unexpected scale {other:?}"),
+        }
+    }
+
+    #[test]
+    fn combined_constraint_applies_in_order() {
+        let mut model = toy_model();
+        let clamp_small = ClampConstraint { limit: 0.1 };
+        let clamp_big = ClampConstraint { limit: 10.0 };
+        let combined = CombinedConstraint::new(vec![&clamp_big, &clamp_small]);
+        combined.apply(&mut model);
+        let w = &model.layers()[1].as_linear().unwrap().weight().value;
+        assert!(w.abs_max() <= 0.1 + 1e-6);
+    }
+
+    #[test]
+    fn wct_keeps_toy_accuracy() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        // Train unconstrained first.
+        let mut pre = TrainConfig {
+            epochs: 10,
+            lr_decay_epochs: vec![],
+            ..TrainConfig::default()
+        };
+        pre.sgd.weight_decay = 0.0;
+        train(&mut model, data, &pre, None).unwrap();
+        let base = xbar_nn::train::evaluate(&mut model, data, 8).unwrap();
+        let cfg = WctConfig::default();
+        apply_wct(&mut model, data, &cfg, None).unwrap();
+        let after = xbar_nn::train::evaluate(&mut model, data, 8).unwrap();
+        assert!(
+            after >= base - 0.1,
+            "WCT should be near iso-accuracy: {base} -> {after}"
+        );
+    }
+}

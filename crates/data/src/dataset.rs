@@ -1,0 +1,139 @@
+//! In-memory labelled image dataset.
+
+use xbar_tensor::Tensor;
+
+/// Which split of a dataset to access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training split.
+    Train,
+    /// Held-out test split.
+    Test,
+}
+
+/// An in-memory image-classification dataset with train and test splits.
+///
+/// Images are stored `[N, C, H, W]`, already normalised to roughly zero mean
+/// and unit variance per channel.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    num_classes: usize,
+    train_images: Tensor,
+    train_labels: Vec<usize>,
+    test_images: Tensor,
+    test_labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Assembles a dataset from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if image counts and label counts disagree, or a label is out of
+    /// range.
+    pub fn new(
+        num_classes: usize,
+        train_images: Tensor,
+        train_labels: Vec<usize>,
+        test_images: Tensor,
+        test_labels: Vec<usize>,
+    ) -> Self {
+        assert_eq!(train_images.shape()[0], train_labels.len());
+        assert_eq!(test_images.shape()[0], test_labels.len());
+        assert!(
+            train_labels
+                .iter()
+                .chain(&test_labels)
+                .all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Self {
+            num_classes,
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Images of a split, `[N, C, H, W]`.
+    pub fn images(&self, split: Split) -> &Tensor {
+        match split {
+            Split::Train => &self.train_images,
+            Split::Test => &self.test_images,
+        }
+    }
+
+    /// Labels of a split.
+    pub fn labels(&self, split: Split) -> &[usize] {
+        match split {
+            Split::Train => &self.train_labels,
+            Split::Test => &self.test_labels,
+        }
+    }
+
+    /// Number of examples in a split.
+    pub fn len(&self, split: Split) -> usize {
+        self.labels(split).len()
+    }
+
+    /// Whether a split is empty.
+    pub fn is_empty(&self, split: Split) -> bool {
+        self.labels(split).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            2,
+            Tensor::zeros(&[3, 1, 2, 2]),
+            vec![0, 1, 0],
+            Tensor::zeros(&[1, 1, 2, 2]),
+            vec![1],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.len(Split::Train), 3);
+        assert_eq!(d.len(Split::Test), 1);
+        assert!(!d.is_empty(Split::Train));
+        assert_eq!(d.labels(Split::Test), &[1]);
+        assert_eq!(d.images(Split::Train).shape(), &[3, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_range_checked() {
+        Dataset::new(
+            1,
+            Tensor::zeros(&[1, 1, 1, 1]),
+            vec![1],
+            Tensor::zeros(&[0, 1, 1, 1]),
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn count_mismatch_panics() {
+        Dataset::new(
+            2,
+            Tensor::zeros(&[2, 1, 1, 1]),
+            vec![0],
+            Tensor::zeros(&[0, 1, 1, 1]),
+            vec![],
+        );
+    }
+}

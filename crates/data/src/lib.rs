@@ -1,0 +1,32 @@
+//! # xbar-data
+//!
+//! Deterministic synthetic CIFAR-like image datasets for the `xbar-repro`
+//! workspace.
+//!
+//! The paper evaluates on CIFAR10 and CIFAR100. Those datasets are not
+//! available offline, so this crate generates a *CIFAR-like* substitute:
+//! 32×32×3 images drawn from per-class prototypes (smooth colour gradients +
+//! Gaussian blobs + class-specific frequency textures) with per-sample noise,
+//! random shifts and horizontal flips. The task difficulty (noise level) is
+//! tunable so trained software accuracies land in the same regime as the
+//! paper's Table I, and — crucially for the reproduction — the *relative*
+//! behaviour of pruned vs unpruned models under crossbar non-idealities
+//! depends only on having a non-trivial natural-image-like task, which this
+//! provides. The substitution is documented in `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use xbar_data::{CifarLikeConfig, Split};
+//!
+//! let cfg = CifarLikeConfig::cifar10_like().train_size(64).test_size(32);
+//! let ds = cfg.generate(42);
+//! assert_eq!(ds.images(Split::Train).shape(), &[64, 3, 32, 32]);
+//! assert_eq!(ds.labels(Split::Test).len(), 32);
+//! ```
+
+mod cifar_like;
+mod dataset;
+
+pub use cifar_like::CifarLikeConfig;
+pub use dataset::{Dataset, Split};

@@ -1,0 +1,280 @@
+//! Iterative solvers for the sparse crossbar nodal systems.
+//!
+//! The nodal matrices are symmetric positive definite and (with driver and
+//! sense conductances present) strictly diagonally dominant, so Gauss–Seidel
+//! and SOR converge geometrically and conjugate gradient converges in at most
+//! `n` steps. Gauss–Seidel with a mild over-relaxation (`ω ≈ 1.6`) is the
+//! workhorse used by `xbar-sim`; CG is provided for cross-checks.
+
+use crate::sparse::CsrMatrix;
+use crate::{Result, SolveError};
+
+/// Stopping criteria for the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterOptions {
+    /// Maximum sweeps / iterations before giving up.
+    pub max_iterations: usize,
+    /// Relative residual target: stop when `‖b − A·x‖∞ ≤ tolerance·‖b‖∞`.
+    pub tolerance: f64,
+    /// SOR relaxation factor; `1.0` reduces SOR to plain Gauss–Seidel.
+    pub omega: f64,
+}
+
+impl Default for IterOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 20_000,
+            tolerance: 1e-10,
+            omega: 1.6,
+        }
+    }
+}
+
+impl IterOptions {
+    /// Options tuned for the crossbar simulator: looser tolerance (the
+    /// device-variation noise floor is far above 1e-10) and capped sweeps.
+    pub fn crossbar() -> Self {
+        Self {
+            max_iterations: 50_000,
+            tolerance: 1e-9,
+            omega: 1.7,
+        }
+    }
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, &x| m.max(x.abs()))
+}
+
+/// Solves `A·x = b` by successive over-relaxation (Gauss–Seidel when
+/// `omega == 1`), starting from `x0` (zeros if `None`).
+///
+/// # Errors
+///
+/// * [`SolveError::Dimension`] if `b` has the wrong length;
+/// * [`SolveError::Singular`] if a diagonal entry is zero;
+/// * [`SolveError::NoConvergence`] if the residual target is not met.
+pub fn sor(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, opts: &IterOptions) -> Result<Vec<f64>> {
+    let n = a.n();
+    if b.len() != n {
+        return Err(SolveError::dim("sor: rhs length mismatch"));
+    }
+    let mut x = match x0 {
+        Some(x0) if x0.len() == n => x0.to_vec(),
+        Some(_) => return Err(SolveError::dim("sor: initial guess length mismatch")),
+        None => vec![0.0; n],
+    };
+    for r in 0..n {
+        if a.diagonal(r) == 0.0 {
+            return Err(SolveError::Singular { pivot: r });
+        }
+    }
+    let b_norm = inf_norm(b).max(f64::MIN_POSITIVE);
+    let omega = opts.omega;
+    // Residual checks are O(nnz); do them every few sweeps.
+    const CHECK_EVERY: usize = 8;
+    for it in 1..=opts.max_iterations {
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            let mut sigma = 0.0;
+            let mut diag = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == r {
+                    diag = v;
+                } else {
+                    sigma += v * x[c];
+                }
+            }
+            let gs = (b[r] - sigma) / diag;
+            x[r] += omega * (gs - x[r]);
+        }
+        if it % CHECK_EVERY == 0 || it == opts.max_iterations {
+            let res = a.residual_inf(&x, b)?;
+            if res <= opts.tolerance * b_norm {
+                return Ok(x);
+            }
+        }
+    }
+    let res = a.residual_inf(&x, b)?;
+    if res <= opts.tolerance * b_norm {
+        Ok(x)
+    } else {
+        Err(SolveError::NoConvergence {
+            iterations: opts.max_iterations,
+            residual: res / b_norm,
+        })
+    }
+}
+
+/// Solves `A·x = b` by (Jacobi-preconditioned) conjugate gradient. `A` must
+/// be symmetric positive definite, which crossbar nodal matrices are.
+///
+/// # Errors
+///
+/// * [`SolveError::Dimension`] if `b` has the wrong length;
+/// * [`SolveError::Singular`] if a diagonal entry is non-positive;
+/// * [`SolveError::NoConvergence`] if the residual target is not met.
+#[allow(clippy::needless_range_loop)]
+pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], opts: &IterOptions) -> Result<Vec<f64>> {
+    let n = a.n();
+    if b.len() != n {
+        return Err(SolveError::dim("cg: rhs length mismatch"));
+    }
+    let mut diag_inv = vec![0.0; n];
+    for r in 0..n {
+        let d = a.diagonal(r);
+        if d <= 0.0 {
+            return Err(SolveError::Singular { pivot: r });
+        }
+        diag_inv[r] = 1.0 / d;
+    }
+    let b_norm = inf_norm(b).max(f64::MIN_POSITIVE);
+    let mut x = vec![0.0; n];
+    let mut r: Vec<f64> = b.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&diag_inv).map(|(&ri, &di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
+    for it in 1..=opts.max_iterations {
+        let ap = a.matvec(&p)?;
+        let pap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a * b).sum();
+        if pap.abs() < f64::MIN_POSITIVE {
+            break;
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        if inf_norm(&r) <= opts.tolerance * b_norm {
+            return Ok(x);
+        }
+        for i in 0..n {
+            z[i] = r[i] * diag_inv[i];
+        }
+        let rz_new: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        if it == opts.max_iterations {
+            break;
+        }
+    }
+    let res = a.residual_inf(&x, b)?;
+    if res <= opts.tolerance * b_norm {
+        Ok(x)
+    } else {
+        Err(SolveError::NoConvergence {
+            iterations: opts.max_iterations,
+            residual: res / b_norm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::LuDecomposition;
+    use crate::norms::max_abs_diff;
+    use crate::sparse::CooBuilder;
+
+    /// Deterministic random SPD diagonally dominant CSR system.
+    fn random_spd(n: usize, seed: u64) -> (CsrMatrix, Vec<f64>) {
+        let mut s = seed;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 1000) as f64) / 1000.0
+        };
+        let mut b = CooBuilder::new(n);
+        for i in 0..n {
+            // Sparse symmetric couplings to a few neighbours.
+            for d in 1..=3usize {
+                let j = (i + d * 7) % n;
+                if j != i && i < j {
+                    let g = 0.1 + rnd();
+                    b.stamp_conductance(Some(i), Some(j), g);
+                }
+            }
+            // Ground leg keeps it strictly dominant / SPD.
+            b.stamp_conductance(Some(i), None, 0.5 + rnd());
+        }
+        let m = b.build();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() - 0.5).collect();
+        (m, rhs)
+    }
+
+    #[test]
+    fn sor_matches_lu() {
+        let (m, b) = random_spd(50, 3);
+        let lu = LuDecomposition::new(&m.to_dense()).unwrap();
+        let exact = lu.solve(&b).unwrap();
+        let approx = sor(&m, &b, None, &IterOptions::default()).unwrap();
+        assert!(max_abs_diff(&exact, &approx) < 1e-7);
+    }
+
+    #[test]
+    fn gauss_seidel_converges_with_omega_one() {
+        let (m, b) = random_spd(30, 9);
+        let opts = IterOptions {
+            omega: 1.0,
+            ..Default::default()
+        };
+        let x = sor(&m, &b, None, &opts).unwrap();
+        assert!(m.residual_inf(&x, &b).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn cg_matches_lu() {
+        let (m, b) = random_spd(64, 11);
+        let lu = LuDecomposition::new(&m.to_dense()).unwrap();
+        let exact = lu.solve(&b).unwrap();
+        let approx = conjugate_gradient(&m, &b, &IterOptions::default()).unwrap();
+        assert!(max_abs_diff(&exact, &approx) < 1e-7);
+    }
+
+    #[test]
+    fn warm_start_accepts_previous_solution() {
+        let (m, b) = random_spd(20, 21);
+        let x = sor(&m, &b, None, &IterOptions::default()).unwrap();
+        let x2 = sor(&m, &b, Some(&x), &IterOptions::default()).unwrap();
+        assert!(max_abs_diff(&x, &x2) < 1e-9);
+    }
+
+    #[test]
+    fn no_convergence_reported() {
+        let (m, b) = random_spd(30, 5);
+        let opts = IterOptions {
+            max_iterations: 1,
+            tolerance: 1e-14,
+            omega: 1.0,
+        };
+        assert!(matches!(
+            sor(&m, &b, None, &opts),
+            Err(SolveError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_diagonal_is_singular() {
+        let mut builder = CooBuilder::new(2);
+        builder.add(0, 1, 1.0);
+        builder.add(1, 0, 1.0);
+        builder.add(1, 1, 1.0);
+        let m = builder.build();
+        assert!(matches!(
+            sor(&m, &[1.0, 1.0], None, &IterOptions::default()),
+            Err(SolveError::Singular { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let (m, _) = random_spd(4, 2);
+        assert!(sor(&m, &[1.0], None, &IterOptions::default()).is_err());
+        assert!(conjugate_gradient(&m, &[1.0], &IterOptions::default()).is_err());
+        assert!(sor(&m, &[0.0; 4], Some(&[0.0; 2]), &IterOptions::default()).is_err());
+    }
+}

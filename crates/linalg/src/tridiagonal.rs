@@ -1,0 +1,122 @@
+//! Tridiagonal systems via the Thomas algorithm.
+//!
+//! Each row (and each column) of the crossbar equivalent circuit is a chain:
+//! driver → wire segment → wire segment → … with a shunt leg at every node.
+//! With the other side's node voltages held fixed, the chain's nodal
+//! equations are tridiagonal, so the crossbar solver's inner step is a
+//! sequence of exact Thomas solves (see `xbar-sim`'s line relaxation).
+
+use crate::{Result, SolveError};
+
+/// Solves a tridiagonal system in place.
+///
+/// The system is `sub[i]·x[i-1] + diag[i]·x[i] + sup[i]·x[i+1] = rhs[i]`,
+/// where `sub[0]` and `sup[n-1]` are ignored.
+///
+/// # Errors
+///
+/// * [`SolveError::Dimension`] if the slices have different lengths;
+/// * [`SolveError::Singular`] if elimination hits a zero pivot.
+pub fn solve_tridiagonal(sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) -> Result<Vec<f64>> {
+    let n = diag.len();
+    if sub.len() != n || sup.len() != n || rhs.len() != n {
+        return Err(SolveError::dim(
+            "tridiagonal bands and rhs must all have length n",
+        ));
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut c_prime = vec![0.0f64; n];
+    let mut d_prime = vec![0.0f64; n];
+    if diag[0] == 0.0 {
+        return Err(SolveError::Singular { pivot: 0 });
+    }
+    c_prime[0] = sup[0] / diag[0];
+    d_prime[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let denom = diag[i] - sub[i] * c_prime[i - 1];
+        if denom == 0.0 {
+            return Err(SolveError::Singular { pivot: i });
+        }
+        c_prime[i] = sup[i] / denom;
+        d_prime[i] = (rhs[i] - sub[i] * d_prime[i - 1]) / denom;
+    }
+    let mut x = d_prime;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= c_prime[i] * next;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{DenseMatrix, LuDecomposition};
+    use crate::norms::max_abs_diff;
+
+    #[test]
+    fn solves_identity() {
+        let n = 5;
+        let x = solve_tridiagonal(
+            &vec![0.0; n],
+            &vec![1.0; n],
+            &vec![0.0; n],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn matches_lu_on_random_chain() {
+        let n = 20;
+        let mut s = 5u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 1000) as f64) / 1000.0 + 0.1
+        };
+        let sub: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -rnd() }).collect();
+        let sup: Vec<f64> = (0..n)
+            .map(|i| if i == n - 1 { 0.0 } else { -rnd() })
+            .collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| sub[i].abs() + sup[i].abs() + 0.5 + rnd())
+            .collect();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() - 0.5).collect();
+        let x = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+        let mut dense = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            dense.set(i, i, diag[i]);
+            if i > 0 {
+                dense.set(i, i - 1, sub[i]);
+            }
+            if i + 1 < n {
+                dense.set(i, i + 1, sup[i]);
+            }
+        }
+        let exact = LuDecomposition::new(&dense).unwrap().solve(&rhs).unwrap();
+        assert!(max_abs_diff(&x, &exact) < 1e-10);
+    }
+
+    #[test]
+    fn empty_system() {
+        assert!(solve_tridiagonal(&[], &[], &[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(solve_tridiagonal(&[0.0], &[1.0, 1.0], &[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn singular_pivot_detected() {
+        assert!(matches!(
+            solve_tridiagonal(&[0.0, 1.0], &[0.0, 1.0], &[0.0, 0.0], &[1.0, 1.0]),
+            Err(SolveError::Singular { pivot: 0 })
+        ));
+    }
+}

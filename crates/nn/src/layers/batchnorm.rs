@@ -1,0 +1,346 @@
+//! Per-channel batch normalisation for `[N, C, H, W]` activations.
+
+use crate::param::{Param, ParamKind};
+use crate::Mode;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::{ShapeError, Tensor};
+
+/// Batch normalisation over the channel dimension (the standard companion of
+/// every VGG convolution).
+///
+/// Training mode normalises with batch statistics and maintains running
+/// estimates; evaluation mode uses the running estimates, which is what the
+/// crossbar-mapped inference uses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    #[serde(skip)]
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with γ=1, β=0 and default
+    /// `eps = 1e-5`, `momentum = 0.1`.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new(Tensor::ones(&[channels]), ParamKind::BnGamma),
+            beta: Param::new(Tensor::zeros(&[channels]), ParamKind::BnBeta),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Scale parameter γ.
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// Shift parameter β.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// Learnable parameters (γ, β).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    /// Sets the running-statistics momentum. Recalibration procedures use
+    /// `1/(k+1)` per batch `k` to turn the running estimates into cumulative
+    /// means over a calibration set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < momentum <= 1`.
+    pub fn set_momentum(&mut self, momentum: f32) {
+        assert!(
+            momentum > 0.0 && momentum <= 1.0,
+            "momentum must be in (0, 1]"
+        );
+        self.momentum = momentum;
+    }
+
+    /// Resets the running statistics to their initial state (mean 0,
+    /// variance 1), e.g. before recalibration.
+    pub fn reset_running_stats(&mut self) {
+        self.running_mean.as_mut_slice().fill(0.0);
+        self.running_var.as_mut_slice().fill(1.0);
+    }
+
+    /// Mutable access to the running statistics `(mean, var)` — part of the
+    /// model's inference state (checkpointing must include them: a trained
+    /// model evaluated with fresh statistics is garbage).
+    pub fn running_stats_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.running_mean, &mut self.running_var)
+    }
+
+    /// All tensors defining this layer's inference behaviour: γ, β, running
+    /// mean, running variance (in that order).
+    pub fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.gamma.value,
+            &mut self.beta.value,
+            &mut self.running_mean,
+            &mut self.running_var,
+        ]
+    }
+
+    fn check(&self, x: &Tensor) -> Result<(usize, usize, usize, usize), ShapeError> {
+        if x.ndim() != 4 || x.shape()[1] != self.channels {
+            return Err(ShapeError::new(format!(
+                "batchnorm2d expects [N, {}, H, W], got {:?}",
+                self.channels,
+                x.shape()
+            )));
+        }
+        Ok((x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]))
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on input-shape mismatch.
+    #[allow(clippy::needless_range_loop)]
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        let (n, c, h, w) = self.check(x)?;
+        let plane = h * w;
+        let count = (n * plane) as f64;
+        let src = x.as_slice();
+        let mut out = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut inv_stds = vec![0.0f32; c];
+        for ci in 0..c {
+            let (mean, var) = match mode {
+                Mode::Train => {
+                    let mut sum = 0.0f64;
+                    let mut sq = 0.0f64;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * plane;
+                        for &v in &src[base..base + plane] {
+                            sum += v as f64;
+                            sq += (v as f64) * (v as f64);
+                        }
+                    }
+                    let mean = sum / count;
+                    let var = (sq / count - mean * mean).max(0.0);
+                    // Update running statistics.
+                    let m = self.momentum as f64;
+                    let rm = self.running_mean.as_mut_slice();
+                    rm[ci] = ((1.0 - m) * rm[ci] as f64 + m * mean) as f32;
+                    let rv = self.running_var.as_mut_slice();
+                    rv[ci] = ((1.0 - m) * rv[ci] as f64 + m * var) as f32;
+                    (mean as f32, var as f32)
+                }
+                Mode::Eval => (
+                    self.running_mean.as_slice()[ci],
+                    self.running_var.as_slice()[ci],
+                ),
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.value.as_slice()[ci];
+            let b = self.beta.value.as_slice()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for k in base..base + plane {
+                    let xh = (src[k] - mean) * inv_std;
+                    xhat.as_mut_slice()[k] = xh;
+                    out.as_mut_slice()[k] = g * xh + b;
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(BnCache {
+                xhat,
+                inv_std: inv_stds,
+                input_shape: x.shape().to_vec(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Backward pass (training-mode statistics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if called before a training-mode `forward` or
+    /// on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("batchnorm2d backward called before train forward"))?;
+        if grad_out.shape() != cache.input_shape.as_slice() {
+            return Err(ShapeError::mismatch(
+                "batchnorm2d backward",
+                &cache.input_shape,
+                grad_out.shape(),
+            ));
+        }
+        let (n, c, h, w) = (
+            cache.input_shape[0],
+            cache.input_shape[1],
+            cache.input_shape[2],
+            cache.input_shape[3],
+        );
+        let plane = h * w;
+        let count = (n * plane) as f64;
+        let dy = grad_out.as_slice();
+        let xh = cache.xhat.as_slice();
+        let mut dx = Tensor::zeros(grad_out.shape());
+        for ci in 0..c {
+            // Reductions over the channel.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for k in base..base + plane {
+                    sum_dy += dy[k] as f64;
+                    sum_dy_xhat += (dy[k] as f64) * (xh[k] as f64);
+                }
+            }
+            self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat as f32;
+            self.beta.grad.as_mut_slice()[ci] += sum_dy as f32;
+            let g = self.gamma.value.as_slice()[ci] as f64;
+            let inv_std = cache.inv_std[ci] as f64;
+            let mean_dy = sum_dy / count;
+            let mean_dy_xhat = sum_dy_xhat / count;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for k in base..base + plane {
+                    let v =
+                        g * inv_std * ((dy[k] as f64) - mean_dy - (xh[k] as f64) * mean_dy_xhat);
+                    dx.as_mut_slice()[k] = v as f32;
+                }
+            }
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::{check_grad, probe_loss, rand_tensor};
+
+    #[test]
+    fn train_forward_normalises() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = rand_tensor(&[4, 2, 3, 3], 1);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel mean ~0, var ~1.
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                for hy in 0..3 {
+                    for wx in 0..3 {
+                        vals.push(y.get(&[ni, ci, hy, wx]).unwrap() as f64);
+                    }
+                }
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Before any training step running stats are (0, 1): eval is identity
+        // (up to eps) with default gamma/beta.
+        let x = rand_tensor(&[2, 1, 2, 2], 3);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn running_stats_move_toward_batch_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::filled(&[2, 1, 2, 2], 10.0);
+        bn.forward(&x, Mode::Train).unwrap();
+        assert!(bn.running_mean.as_slice()[0] > 0.9); // 0.1 * 10
+        assert!(bn.running_var.as_slice()[0] < 1.0); // decayed toward 0
+    }
+
+    #[test]
+    fn shape_checked() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Train)
+            .is_err());
+        assert!(bn.backward(&Tensor::zeros(&[1, 3, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric() {
+        let shape = [2, 2, 2, 2];
+        let x = rand_tensor(&shape, 7);
+        let probe = rand_tensor(&shape, 8);
+        let mut bn = BatchNorm2d::new(2);
+        bn.forward(&x, Mode::Train).unwrap();
+        let dx = bn.backward(&probe).unwrap();
+        let mut eval = |vals: &[f32]| {
+            let mut b = BatchNorm2d::new(2);
+            let xi = Tensor::from_vec(vals.to_vec(), &shape).unwrap();
+            let out = b.forward(&xi, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval, x.as_slice(), dx.as_slice(), 1e-3, 5e-2);
+    }
+
+    #[test]
+    fn gamma_beta_gradients_match_numeric() {
+        let shape = [2, 2, 2, 2];
+        let x = rand_tensor(&shape, 9);
+        let probe = rand_tensor(&shape, 10);
+        let mut bn = BatchNorm2d::new(2);
+        bn.forward(&x, Mode::Train).unwrap();
+        bn.backward(&probe).unwrap();
+        let g0 = bn.gamma.value.as_slice().to_vec();
+        let ganalytic = bn.gamma.grad.as_slice().to_vec();
+        let mut eval_gamma = |vals: &[f32]| {
+            let mut b = BatchNorm2d::new(2);
+            b.gamma.value.as_mut_slice().copy_from_slice(vals);
+            let out = b.forward(&x, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval_gamma, &g0, &ganalytic, 1e-3, 2e-2);
+
+        let b0 = bn.beta.value.as_slice().to_vec();
+        let banalytic = bn.beta.grad.as_slice().to_vec();
+        let mut eval_beta = |vals: &[f32]| {
+            let mut b = BatchNorm2d::new(2);
+            b.beta.value.as_mut_slice().copy_from_slice(vals);
+            let out = b.forward(&x, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval_beta, &b0, &banalytic, 1e-3, 2e-2);
+    }
+}

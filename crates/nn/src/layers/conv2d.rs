@@ -1,0 +1,337 @@
+//! 2-D convolution implemented by `im2col` lowering — the same unrolling the
+//! paper's hardware framework applies before crossbar mapping.
+
+use crate::param::{Param, ParamKind};
+use crate::Mode;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::conv::{col2im, im2col, ConvGeom};
+use xbar_tensor::init::Init;
+use xbar_tensor::{ShapeError, Tensor};
+
+/// A 2-D convolution layer over `[N, C, H, W]` activations.
+///
+/// The kernel is stored as a 2-D tensor of shape `[out_c, in_c·kh·kw]`; its
+/// transpose is precisely the `fan_in × fan_out` weight matrix that the
+/// crossbar-mapping pipeline partitions into tiles (columns = filters, as in
+/// the paper's C/F-pruning description).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Param,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        let fan_in = in_c * kernel * kernel;
+        let weight = Param::new(
+            Init::KaimingNormal.sample(&[out_c, fan_in], fan_in, out_c, seed),
+            ParamKind::ConvWeight,
+        );
+        let bias = Param::new(Tensor::zeros(&[out_c]), ParamKind::Bias);
+        Self {
+            in_c,
+            out_c,
+            kernel,
+            stride,
+            pad,
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel (filter) count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Kernel side length.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// The `[out_c, in_c·kh·kw]` weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// The `[out_c]` bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable access to the bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Learnable parameters (weight, bias).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn geom(&self, h: usize, w: usize) -> ConvGeom {
+        ConvGeom {
+            in_c: self.in_c,
+            h,
+            w,
+            kh: self.kernel,
+            kw: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// Forward pass over a `[N, in_c, H, W]` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input shape disagrees with the layer.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, ShapeError> {
+        if x.ndim() != 4 || x.shape()[1] != self.in_c {
+            return Err(ShapeError::new(format!(
+                "conv2d expects [N, {}, H, W], got {:?}",
+                self.in_c,
+                x.shape()
+            )));
+        }
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let geom = self.geom(h, w);
+        geom.validate()?;
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let patches = geom.n_patches();
+        let image_len = self.in_c * h * w;
+        let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let out_image_len = self.out_c * oh * ow;
+        let bias = self.bias.value.as_slice();
+        for i in 0..n {
+            let img = Tensor::from_vec(
+                x.as_slice()[i * image_len..(i + 1) * image_len].to_vec(),
+                &[self.in_c, h, w],
+            )?;
+            let cols = im2col(&img, &geom)?;
+            let y = self.weight.value.matmul(&cols)?; // [out_c, patches]
+            let dst = &mut out.as_mut_slice()[i * out_image_len..(i + 1) * out_image_len];
+            for (c, &b) in bias.iter().enumerate() {
+                let yrow = y.row(c);
+                let drow = &mut dst[c * patches..(c + 1) * patches];
+                for (d, &v) in drow.iter_mut().zip(yrow) {
+                    *d = v + b;
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        Ok(out)
+    }
+
+    /// Backward pass; accumulates weight/bias gradients and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `forward` was not called first or shapes
+    /// disagree.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("conv2d backward called before forward"))?
+            .clone();
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let geom = self.geom(h, w);
+        let (oh, ow) = (geom.out_h(), geom.out_w());
+        let patches = geom.n_patches();
+        if grad_out.shape() != [n, self.out_c, oh, ow] {
+            return Err(ShapeError::mismatch(
+                "conv2d backward",
+                &[n, self.out_c, oh, ow],
+                grad_out.shape(),
+            ));
+        }
+        let image_len = self.in_c * h * w;
+        let out_image_len = self.out_c * oh * ow;
+        let mut dx = Tensor::zeros(x.shape());
+        for i in 0..n {
+            let img = Tensor::from_vec(
+                x.as_slice()[i * image_len..(i + 1) * image_len].to_vec(),
+                &[self.in_c, h, w],
+            )?;
+            let cols = im2col(&img, &geom)?;
+            let dy = Tensor::from_vec(
+                grad_out.as_slice()[i * out_image_len..(i + 1) * out_image_len].to_vec(),
+                &[self.out_c, patches],
+            )?;
+            // dW += dY · colsᵀ  — [out_c, patches]·[patches, fan_in]
+            let dw = dy.matmul_a_bt(&cols)?;
+            self.weight.grad.axpy(1.0, &dw)?;
+            // db += row sums of dY
+            for c in 0..self.out_c {
+                let s: f32 = dy.row(c).iter().sum();
+                self.bias.grad.as_mut_slice()[c] += s;
+            }
+            // dcols = Wᵀ · dY — [fan_in, patches]
+            let dcols = self.weight.value.matmul_at_b(&dy)?;
+            let dimg = col2im(&dcols, &geom)?;
+            dx.as_mut_slice()[i * image_len..(i + 1) * image_len].copy_from_slice(dimg.as_slice());
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::{check_grad, probe_loss, rand_tensor};
+
+    fn tiny() -> Conv2d {
+        Conv2d::new(2, 3, 3, 1, 1, 7)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut c = tiny();
+        let x = rand_tensor(&[2, 2, 5, 5], 1);
+        let y = c.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 5, 5]);
+    }
+
+    #[test]
+    fn forward_stride_two() {
+        let mut c = Conv2d::new(1, 1, 3, 2, 1, 3);
+        let x = rand_tensor(&[1, 1, 8, 8], 2);
+        let y = c.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_wrong_channels() {
+        let mut c = tiny();
+        let x = rand_tensor(&[1, 3, 5, 5], 3);
+        assert!(c.forward(&x, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut c = tiny();
+        assert!(c.backward(&Tensor::zeros(&[1, 3, 5, 5])).is_err());
+    }
+
+    #[test]
+    fn bias_shifts_every_output() {
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, 11);
+        c.weight.value.as_mut_slice()[0] = 0.0;
+        c.bias.value.as_mut_slice()[0] = 2.5;
+        let y = c
+            .forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval)
+            .unwrap();
+        assert!(y.as_slice().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn known_convolution_value() {
+        // 1x1 input channel, 2x2 image, 3x3 kernel of ones, pad 1:
+        // centre output = sum of all inputs under the kernel.
+        let mut c = Conv2d::new(1, 1, 3, 1, 1, 5);
+        c.weight.value.as_mut_slice().fill(1.0);
+        c.bias.value.as_mut_slice().fill(0.0);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = c.forward(&x, Mode::Eval).unwrap();
+        // Output (0,0) covers the 2x2 image entirely minus nothing: taps at
+        // (0,0) position see pixels 1,2,3,4 => 10 (padding contributes 0).
+        assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn weight_gradient_matches_numeric() {
+        let mut layer = tiny();
+        let x = rand_tensor(&[1, 2, 4, 4], 21);
+        let probe = rand_tensor(&[1, 3, 4, 4], 22);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&probe).unwrap();
+        let _ = y;
+        let w0 = layer.weight.value.as_slice().to_vec();
+        let analytic = layer.weight.grad.as_slice().to_vec();
+        let mut eval = |vals: &[f32]| {
+            let mut l = tiny();
+            l.weight.value.as_mut_slice().copy_from_slice(vals);
+            let out = l.forward(&x, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval, &w0, &analytic, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric() {
+        let mut layer = tiny();
+        let x = rand_tensor(&[1, 2, 4, 4], 31);
+        let probe = rand_tensor(&[1, 3, 4, 4], 32);
+        layer.forward(&x, Mode::Train).unwrap();
+        let dx = layer.backward(&probe).unwrap();
+        let x0 = x.as_slice().to_vec();
+        let mut eval = |vals: &[f32]| {
+            let mut l = tiny();
+            let xi = Tensor::from_vec(vals.to_vec(), &[1, 2, 4, 4]).unwrap();
+            let out = l.forward(&xi, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval, &x0, dx.as_slice(), 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn bias_gradient_matches_numeric() {
+        let mut layer = tiny();
+        let x = rand_tensor(&[2, 2, 4, 4], 41);
+        let probe = rand_tensor(&[2, 3, 4, 4], 42);
+        layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&probe).unwrap();
+        let b0 = layer.bias.value.as_slice().to_vec();
+        let analytic = layer.bias.grad.as_slice().to_vec();
+        let mut eval = |vals: &[f32]| {
+            let mut l = tiny();
+            l.bias.value.as_mut_slice().copy_from_slice(vals);
+            let out = l.forward(&x, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval, &b0, &analytic, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut layer = tiny();
+        let x = rand_tensor(&[1, 2, 4, 4], 51);
+        let probe = rand_tensor(&[1, 3, 4, 4], 52);
+        layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&probe).unwrap();
+        let once = layer.weight.grad.clone();
+        layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&probe).unwrap();
+        let twice = layer.weight.grad.clone();
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+}

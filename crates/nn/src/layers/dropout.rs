@@ -1,0 +1,167 @@
+//! Inverted dropout.
+
+use crate::Mode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use xbar_tensor::{ShapeError, Tensor};
+
+/// Inverted dropout: in training mode each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation mode
+/// is the identity (as in the original VGG classifier head).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dropout {
+    p: f32,
+    seed: u64,
+    #[serde(skip)]
+    calls: u64,
+    #[serde(skip)]
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Self {
+            p,
+            seed,
+            calls: 0,
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// This function currently cannot fail but returns `Result` for layer
+    /// uniformity.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask = None;
+            return Ok(x.clone());
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(self.calls));
+        self.calls += 1;
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let out = Tensor::from_vec(
+            x.as_slice()
+                .iter()
+                .zip(&mask)
+                .map(|(&v, &m)| v * m)
+                .collect(),
+            x.shape(),
+        )?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    /// Backward pass: applies the same mask to the gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the gradient length differs from the cached
+    /// mask (an eval-mode forward leaves no mask and backward is identity).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        match &self.mask {
+            None => Ok(grad_out.clone()),
+            Some(mask) => {
+                if mask.len() != grad_out.len() {
+                    return Err(ShapeError::new(format!(
+                        "dropout backward: mask of {} vs gradient of {}",
+                        mask.len(),
+                        grad_out.len()
+                    )));
+                }
+                Tensor::from_vec(
+                    grad_out
+                        .as_slice()
+                        .iter()
+                        .zip(mask)
+                        .map(|(&g, &m)| g * m)
+                        .collect(),
+                    grad_out.shape(),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_fn(&[20], |i| i as f32);
+        assert_eq!(d.forward(&x, Mode::Eval).unwrap(), x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_and_rescales() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[1000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((zeros as f64 / 1000.0 - 0.5).abs() < 0.07, "{zeros} zeros");
+        // Survivors scaled by 2; expectation preserved.
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[100])).unwrap();
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a, b, "gradient mask must match forward mask");
+        }
+    }
+
+    #[test]
+    fn masks_differ_between_calls() {
+        let mut d = Dropout::new(0.5, 4);
+        let x = Tensor::ones(&[64]);
+        let a = d.forward(&x, Mode::Train).unwrap();
+        let b = d.forward(&x, Mode::Train).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 5);
+        let x = Tensor::from_fn(&[8], |i| i as f32);
+        assert_eq!(d.forward(&x, Mode::Train).unwrap(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn p_of_one_rejected() {
+        Dropout::new(1.0, 6);
+    }
+}

@@ -1,0 +1,78 @@
+//! Flattening between the convolutional trunk and the classifier head.
+
+use crate::Mode;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::{ShapeError, Tensor};
+
+/// Reshapes `[N, C, H, W]` activations to `[N, C·H·W]`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    input_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input has fewer than two dimensions.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, ShapeError> {
+        if x.ndim() < 2 {
+            return Err(ShapeError::new(format!(
+                "flatten expects at least 2-D input, got {:?}",
+                x.shape()
+            )));
+        }
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        self.input_shape = Some(x.shape().to_vec());
+        x.reshape(&[n, rest])
+    }
+
+    /// Backward pass: restores the cached input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if called before `forward` or if element counts
+    /// disagree.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let shape = self
+            .input_shape
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("flatten backward called before forward"))?;
+        grad_out.reshape(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 4, 5], |i| i as f32);
+        let y = f.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 60]);
+        let back = f.backward(&y).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn rejects_scalarish_input() {
+        let mut f = Flatten::new();
+        assert!(f.forward(&Tensor::zeros(&[3]), Mode::Train).is_err());
+    }
+}

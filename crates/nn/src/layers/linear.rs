@@ -1,0 +1,224 @@
+//! Fully-connected layer.
+
+use crate::param::{Param, ParamKind};
+use crate::Mode;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::init::Init;
+use xbar_tensor::{ShapeError, Tensor};
+
+/// A fully-connected layer `y = x·Wᵀ + b` over `[N, in_f]` activations.
+///
+/// The weight is stored `[out_f, in_f]`; its transpose is the
+/// `fan_in × fan_out` matrix mapped onto crossbars.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    in_f: usize,
+    out_f: usize,
+    weight: Param,
+    bias: Param,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights.
+    pub fn new(in_f: usize, out_f: usize, seed: u64) -> Self {
+        let weight = Param::new(
+            Init::KaimingUniform.sample(&[out_f, in_f], in_f, out_f, seed),
+            ParamKind::LinearWeight,
+        );
+        let bias = Param::new(Tensor::zeros(&[out_f]), ParamKind::Bias);
+        Self {
+            in_f,
+            out_f,
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_f
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_f
+    }
+
+    /// The `[out_f, in_f]` weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// The `[out_f]` bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable access to the bias parameter.
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Learnable parameters (weight, bias).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `x` is `[N, in_f]`.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, ShapeError> {
+        if x.ndim() != 2 || x.shape()[1] != self.in_f {
+            return Err(ShapeError::new(format!(
+                "linear expects [N, {}], got {:?}",
+                self.in_f,
+                x.shape()
+            )));
+        }
+        let mut y = x.matmul_a_bt(&self.weight.value)?; // [N, out_f]
+        let b = self.bias.value.as_slice();
+        for r in 0..y.rows() {
+            for (v, &bb) in y.row_mut(r).iter_mut().zip(b) {
+                *v += bb;
+            }
+        }
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Backward pass; accumulates gradients and returns `dL/dx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `forward` was not called first or shapes
+    /// disagree.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("linear backward called before forward"))?;
+        let n = x.shape()[0];
+        if grad_out.shape() != [n, self.out_f] {
+            return Err(ShapeError::mismatch(
+                "linear backward",
+                &[n, self.out_f],
+                grad_out.shape(),
+            ));
+        }
+        // dW = dYᵀ · X  — [out_f, in_f]
+        let dw = grad_out.matmul_at_b(x)?;
+        self.weight.grad.axpy(1.0, &dw)?;
+        // db = column sums of dY
+        for r in 0..n {
+            for (g, &d) in self
+                .bias
+                .grad
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_out.row(r))
+            {
+                *g += d;
+            }
+        }
+        // dX = dY · W — [N, in_f]
+        grad_out.matmul(&self.weight.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck::{check_grad, probe_loss, rand_tensor};
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = Linear::new(4, 3, 1);
+        l.weight.value.as_mut_slice().fill(0.0);
+        l.bias
+            .value
+            .as_mut_slice()
+            .copy_from_slice(&[1.0, 2.0, 3.0]);
+        let y = l.forward(&Tensor::zeros(&[2, 4]), Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(y.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_weight_passes_through() {
+        let mut l = Linear::new(3, 3, 2);
+        l.weight.value = Tensor::eye(3);
+        l.bias.value = Tensor::zeros(&[3]);
+        let x = rand_tensor(&[2, 3], 5);
+        let y = l.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_features() {
+        let mut l = Linear::new(4, 3, 3);
+        assert!(l.forward(&Tensor::zeros(&[2, 5]), Mode::Eval).is_err());
+        assert!(l.forward(&Tensor::zeros(&[2, 4, 1]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn weight_gradient_matches_numeric() {
+        let mut l = Linear::new(4, 3, 9);
+        let x = rand_tensor(&[2, 4], 10);
+        let probe = rand_tensor(&[2, 3], 11);
+        l.forward(&x, Mode::Train).unwrap();
+        l.backward(&probe).unwrap();
+        let w0 = l.weight.value.as_slice().to_vec();
+        let analytic = l.weight.grad.as_slice().to_vec();
+        let mut eval = |vals: &[f32]| {
+            let mut m = Linear::new(4, 3, 9);
+            m.weight.value.as_mut_slice().copy_from_slice(vals);
+            let out = m.forward(&x, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval, &w0, &analytic, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn input_gradient_matches_numeric() {
+        let mut l = Linear::new(4, 3, 13);
+        let x = rand_tensor(&[2, 4], 14);
+        let probe = rand_tensor(&[2, 3], 15);
+        l.forward(&x, Mode::Train).unwrap();
+        let dx = l.backward(&probe).unwrap();
+        let mut eval = |vals: &[f32]| {
+            let mut m = Linear::new(4, 3, 13);
+            let xi = Tensor::from_vec(vals.to_vec(), &[2, 4]).unwrap();
+            let out = m.forward(&xi, Mode::Train).unwrap();
+            probe_loss(&out, &probe)
+        };
+        check_grad(&mut eval, x.as_slice(), dx.as_slice(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut l = Linear::new(2, 2, 17);
+        let x = rand_tensor(&[3, 2], 18);
+        let probe = Tensor::ones(&[3, 2]);
+        l.forward(&x, Mode::Train).unwrap();
+        l.backward(&probe).unwrap();
+        assert!(l
+            .bias
+            .grad
+            .as_slice()
+            .iter()
+            .all(|&g| (g - 3.0).abs() < 1e-6));
+    }
+}

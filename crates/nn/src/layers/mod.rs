@@ -1,0 +1,85 @@
+//! Neural-network layers with hand-derived backward passes.
+//!
+//! Every layer follows the same contract:
+//!
+//! * `forward(&mut self, x, mode)` caches whatever the backward pass needs;
+//! * `backward(&mut self, grad_out)` accumulates parameter gradients and
+//!   returns the gradient with respect to the input;
+//! * `params_mut()` exposes learnable parameters to the optimiser and to the
+//!   constraint hooks (pruning masks, WCT clamp).
+//!
+//! Backward passes are validated against central finite differences in each
+//! module's tests.
+
+mod batchnorm;
+mod conv2d;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+mod relu;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::MaxPool2d;
+pub use relu::ReLU;
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Shared central-difference gradient checking used by layer tests.
+
+    use xbar_tensor::Tensor;
+
+    /// Deterministic pseudo-random tensor for tests.
+    pub fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Tensor::from_fn(shape, |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 2000) as f32 - 1000.0) / 1000.0
+        })
+    }
+
+    /// Scalar loss `L = Σ out·probe` and its gradient w.r.t. `out`.
+    pub fn probe_loss(out: &Tensor, probe: &Tensor) -> f64 {
+        out.as_slice()
+            .iter()
+            .zip(probe.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum()
+    }
+
+    /// Checks an analytic gradient against central differences.
+    ///
+    /// `f(values) -> loss` recomputes the loss after perturbing the flat
+    /// parameter vector; `analytic` is the gradient under test.
+    pub fn check_grad(
+        mut f: impl FnMut(&[f32]) -> f64,
+        values: &[f32],
+        analytic: &[f32],
+        eps: f32,
+        tol: f64,
+    ) {
+        assert_eq!(values.len(), analytic.len());
+        let mut buf = values.to_vec();
+        for i in 0..values.len() {
+            let orig = buf[i];
+            buf[i] = orig + eps;
+            let lp = f(&buf);
+            buf[i] = orig - eps;
+            let lm = f(&buf);
+            buf[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let a = analytic[i] as f64;
+            let denom = numeric.abs().max(a.abs()).max(1.0);
+            assert!(
+                (numeric - a).abs() / denom < tol,
+                "grad mismatch at {i}: numeric {numeric:.6} vs analytic {a:.6}"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Max pooling.
+
+use crate::Mode;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::{ShapeError, Tensor};
+
+/// 2-D max pooling over `[N, C, H, W]` activations with square window and
+/// equal stride (the VGG configuration uses 2×2 / stride 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    #[serde(skip)]
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    input_shape: Vec<usize>,
+    /// For every output element, the linear index of the winning input.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be non-zero"
+        );
+        Self {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+
+    /// Window side length.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `x` is 4-D and at least one window fits.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, ShapeError> {
+        if x.ndim() != 4 {
+            return Err(ShapeError::new(format!(
+                "maxpool2d expects [N, C, H, W], got {:?}",
+                x.shape()
+            )));
+        }
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        if h < self.kernel || w < self.kernel {
+            return Err(ShapeError::new(format!(
+                "pooling window {} does not fit {}x{} input",
+                self.kernel, h, w
+            )));
+        }
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        let src = x.as_slice();
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let dst = out.as_mut_slice();
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = (ni * c + ci) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kernel {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..self.kernel {
+                                let ix = ox * self.stride + kx;
+                                let idx = plane + iy * w + ix;
+                                let v = src[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[oi] = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.cache = Some(PoolCache {
+            input_shape: x.shape().to_vec(),
+            argmax,
+        });
+        Ok(out)
+    }
+
+    /// Backward pass: routes each output gradient to the winning input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if called before `forward` or the gradient has
+    /// the wrong number of elements.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("maxpool2d backward called before forward"))?;
+        if grad_out.len() != cache.argmax.len() {
+            return Err(ShapeError::new(format!(
+                "maxpool2d backward: expected {} gradient elements, got {}",
+                cache.argmax.len(),
+                grad_out.len()
+            )));
+        }
+        let mut dx = Tensor::zeros(&cache.input_shape);
+        let dst = dx.as_mut_slice();
+        for (&g, &idx) in grad_out.as_slice().iter().zip(&cache.argmax) {
+            dst[idx] += g;
+        }
+        Ok(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_maximum() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        p.forward(&x, Mode::Train).unwrap();
+        let dx = p
+            .backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn window_must_fit() {
+        let mut p = MaxPool2d::new(3, 3);
+        assert!(p
+            .forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Train)
+            .is_err());
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut p = MaxPool2d::new(2, 2);
+        assert!(p.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_kernel_panics() {
+        MaxPool2d::new(0, 1);
+    }
+}

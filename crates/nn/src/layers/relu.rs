@@ -1,0 +1,95 @@
+//! Rectified linear unit.
+
+use crate::Mode;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::{ShapeError, Tensor};
+
+/// Element-wise `max(0, x)` with a cached activation mask for the backward
+/// pass.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReLU {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass; works on tensors of any rank.
+    ///
+    /// # Errors
+    ///
+    /// This function currently cannot fail but returns `Result` for layer
+    /// uniformity.
+    pub fn forward(&mut self, x: &Tensor, _mode: Mode) -> Result<Tensor, ShapeError> {
+        self.mask = Some(x.as_slice().iter().map(|&v| v > 0.0).collect());
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    /// Backward pass: zeroes gradient where the input was non-positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if called before `forward` or if the gradient
+    /// length differs from the cached mask.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("relu backward called before forward"))?;
+        if mask.len() != grad_out.len() {
+            return Err(ShapeError::new(format!(
+                "relu backward: mask of {} vs gradient of {}",
+                mask.len(),
+                grad_out.len()
+            )));
+        }
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negative() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = r.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 0.0], &[3]).unwrap();
+        r.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).unwrap();
+        let dx = r.backward(&g).unwrap();
+        // Gradient at exactly zero input is zero (subgradient convention).
+        assert_eq!(dx.as_slice(), &[0.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut r = ReLU::new();
+        assert!(r.backward(&Tensor::ones(&[2])).is_err());
+    }
+
+    #[test]
+    fn backward_checks_length() {
+        let mut r = ReLU::new();
+        r.forward(&Tensor::ones(&[2]), Mode::Train).unwrap();
+        assert!(r.backward(&Tensor::ones(&[3])).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! # xbar-nn
+//!
+//! A from-scratch, CPU-only trainable deep-neural-network library with manual
+//! backpropagation, built as the software-DNN substrate for the `xbar-repro`
+//! workspace (reproduction of the DATE 2022 crossbar non-ideality paper).
+//!
+//! The paper trains VGG11 and VGG16 on CIFAR10/CIFAR100 in PyTorch; this
+//! crate provides the equivalent machinery:
+//!
+//! * [`layers`] — `Conv2d`, `Linear`, `BatchNorm2d`, `ReLU`, `MaxPool2d`,
+//!   `Flatten`, each with a hand-derived backward pass (validated by
+//!   numerical-gradient tests);
+//! * [`Sequential`] — a layer container with typed access to the weighted
+//!   layers, which the pruning and crossbar-mapping crates traverse;
+//! * [`loss`] — softmax cross-entropy;
+//! * [`optim`] — SGD with momentum and weight decay;
+//! * [`vgg`] — VGG11/VGG16 builders with a width multiplier so the full
+//!   pipeline runs on CPU at laptop scale;
+//! * [`train`] — training loops with *constraint hooks*: the mechanism by
+//!   which structured-pruning masks (pruning at initialisation, Section III
+//!   of the paper) and the WCT weight clamp are re-applied after every
+//!   optimiser step.
+//!
+//! # Example
+//!
+//! ```
+//! use xbar_nn::vgg::{VggConfig, VggVariant};
+//! use xbar_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), xbar_tensor::ShapeError> {
+//! let mut model = VggConfig::new(VggVariant::Vgg11, 10)
+//!     .width_multiplier(0.125)
+//!     .build(42);
+//! let x = Tensor::zeros(&[2, 3, 32, 32]);
+//! let logits = model.forward(&x, xbar_nn::Mode::Eval)?;
+//! assert_eq!(logits.shape(), &[2, 10]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod checkpoint;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod param;
+pub mod sequential;
+pub mod train;
+pub mod vgg;
+
+pub use param::{Param, ParamKind};
+pub use sequential::{Layer, Sequential};
+
+/// Forward-pass mode: training (batch statistics) or evaluation (running
+/// statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training mode.
+    Train,
+    /// Inference mode.
+    Eval,
+}

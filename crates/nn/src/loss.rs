@@ -1,0 +1,176 @@
+//! Softmax cross-entropy loss.
+
+use xbar_tensor::{ShapeError, Tensor};
+
+/// Result of a loss evaluation: the scalar loss and the gradient with respect
+/// to the logits, ready to feed into [`crate::Sequential::backward`].
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// `dL/dlogits`, shape `[N, K]`.
+    pub grad: Tensor,
+}
+
+/// Computes mean softmax cross-entropy over a batch.
+///
+/// `logits` is `[N, K]`; `targets` holds `N` class indices.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes disagree or a target index is out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use xbar_nn::loss::softmax_cross_entropy;
+/// use xbar_tensor::Tensor;
+///
+/// # fn main() -> Result<(), xbar_tensor::ShapeError> {
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2])?;
+/// let out = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(out.loss < 1e-6); // confident and correct
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::needless_range_loop)]
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<LossOutput, ShapeError> {
+    if logits.ndim() != 2 {
+        return Err(ShapeError::new(format!(
+            "softmax_cross_entropy expects [N, K] logits, got {:?}",
+            logits.shape()
+        )));
+    }
+    let (n, k) = (logits.rows(), logits.cols());
+    if targets.len() != n {
+        return Err(ShapeError::new(format!(
+            "batch of {n} logits but {} targets",
+            targets.len()
+        )));
+    }
+    let mut grad = Tensor::zeros(&[n, k]);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let t = targets[i];
+        if t >= k {
+            return Err(ShapeError::new(format!(
+                "target {t} out of range for {k} classes"
+            )));
+        }
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+        let exp: Vec<f64> = row.iter().map(|&v| ((v as f64) - max).exp()).collect();
+        let z: f64 = exp.iter().sum();
+        let log_z = z.ln() + max;
+        total += log_z - logits.row(i)[t] as f64;
+        let grow = grad.row_mut(i);
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = exp[j] / z;
+            *g = ((p - if j == t { 1.0 } else { 0.0 }) / n as f64) as f32;
+        }
+    }
+    Ok(LossOutput {
+        loss: total / n as f64,
+        grad,
+    })
+}
+
+/// Softmax probabilities per row of a `[N, K]` logits tensor.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `logits` is not 2-D.
+pub fn softmax(logits: &Tensor) -> Result<Tensor, ShapeError> {
+    if logits.ndim() != 2 {
+        return Err(ShapeError::new("softmax expects [N, K] logits"));
+    }
+    let mut out = logits.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            z += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= z;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = softmax_cross_entropy(&logits, &[1, 3]).unwrap();
+        assert!((out.loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 2]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, 0.0, -0.4], &[2, 3]).unwrap();
+        let targets = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let lm_loss = {
+                let mut lm = logits.clone();
+                lm.as_mut_slice()[idx] -= eps;
+                softmax_cross_entropy(&lm, &targets).unwrap().loss
+            };
+            let lp_loss = softmax_cross_entropy(&lp, &targets).unwrap().loss;
+            let numeric = (lp_loss - lm_loss) / (2.0 * eps as f64);
+            let analytic = out.grad.as_slice()[idx] as f64;
+            assert!(
+                (numeric - analytic).abs() < 1e-4,
+                "idx {idx}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(out.loss.is_finite());
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn errors() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 5]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[3]), &[0]).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0], &[2, 3]).unwrap();
+        let p = softmax(&logits).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(i).iter().all(|&v| v >= 0.0));
+        }
+        assert!((p.get(&[1, 0]).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Classification metrics.
+
+use xbar_tensor::Tensor;
+
+/// Result of comparing predictions against labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccuracyCount {
+    /// Correct predictions.
+    pub correct: usize,
+    /// Total examples.
+    pub total: usize,
+}
+
+impl AccuracyCount {
+    /// Fraction correct; `0.0` when empty.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Counts top-1 correct predictions from `[N, K]` logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or the label count disagrees.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> AccuracyCount {
+    assert_eq!(logits.ndim(), 2, "accuracy expects [N, K] logits");
+    assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(&p, &l)| p == l).count();
+    AccuracyCount {
+        correct,
+        total: labels.len(),
+    }
+}
+
+/// A `K×K` confusion matrix: `matrix[truth][prediction]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix from logits and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or out-of-range labels.
+    pub fn from_logits(logits: &Tensor, labels: &[usize]) -> Self {
+        assert_eq!(logits.ndim(), 2);
+        assert_eq!(logits.rows(), labels.len());
+        let k = logits.cols();
+        let mut counts = vec![0usize; k * k];
+        for (pred, &truth) in logits.argmax_rows().iter().zip(labels) {
+            assert!(truth < k, "label {truth} out of range");
+            counts[truth * k + pred] += 1;
+        }
+        Self { k, counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count at `(truth, prediction)`.
+    pub fn at(&self, truth: usize, prediction: usize) -> usize {
+        self.counts[truth * self.k + prediction]
+    }
+
+    /// Overall accuracy implied by the matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.k).map(|i| self.at(i, i)).sum();
+        diag as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]);
+        assert_eq!(acc.correct, 2);
+        assert_eq!(acc.total, 3);
+        assert!((acc.fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accuracy_is_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]).fraction(), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        let cm = ConfusionMatrix::from_logits(&logits, &[0, 1, 1]);
+        assert_eq!(cm.at(0, 0), 1);
+        assert_eq!(cm.at(1, 1), 1);
+        assert_eq!(cm.at(1, 0), 1);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn accuracy_panics_on_mismatch() {
+        accuracy(&Tensor::zeros(&[2, 2]), &[0]);
+    }
+}

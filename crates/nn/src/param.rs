@@ -1,0 +1,114 @@
+//! Learnable parameters with their gradients and optimiser state.
+
+use serde::{Deserialize, Serialize};
+use xbar_tensor::Tensor;
+
+/// What role a parameter plays; the pruning and crossbar-mapping crates use
+/// this to select the weights that become crossbar conductances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Convolution kernel, stored as `[out_c, in_c·kh·kw]`.
+    ConvWeight,
+    /// Fully-connected weight, stored as `[out_f, in_f]`.
+    LinearWeight,
+    /// Additive bias.
+    Bias,
+    /// BatchNorm scale (γ).
+    BnGamma,
+    /// BatchNorm shift (β).
+    BnBeta,
+}
+
+impl ParamKind {
+    /// Whether weight decay applies (biases and BatchNorm parameters are
+    /// conventionally excluded).
+    pub fn decays(self) -> bool {
+        matches!(self, ParamKind::ConvWeight | ParamKind::LinearWeight)
+    }
+
+    /// Whether this parameter is mapped onto crossbars as synaptic
+    /// conductances.
+    pub fn is_synaptic(self) -> bool {
+        matches!(self, ParamKind::ConvWeight | ParamKind::LinearWeight)
+    }
+}
+
+/// A learnable tensor together with its gradient accumulator and momentum
+/// buffer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass.
+    pub grad: Tensor,
+    /// SGD momentum buffer (lazily initialised by the optimiser).
+    pub momentum: Option<Tensor>,
+    /// Parameter role.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Wraps an initial value.
+    pub fn new(value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self {
+            value,
+            grad,
+            momentum: None,
+            kind,
+        }
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.as_mut_slice().fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[3, 3]), ParamKind::ConvWeight);
+        assert_eq!(p.grad.shape(), &[3, 3]);
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(p.momentum.is_none());
+        assert_eq!(p.len(), 9);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[2]), ParamKind::Bias);
+        p.grad.as_mut_slice().fill(5.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn decay_policy() {
+        assert!(ParamKind::ConvWeight.decays());
+        assert!(ParamKind::LinearWeight.decays());
+        assert!(!ParamKind::Bias.decays());
+        assert!(!ParamKind::BnGamma.decays());
+        assert!(!ParamKind::BnBeta.decays());
+    }
+
+    #[test]
+    fn synaptic_policy() {
+        assert!(ParamKind::ConvWeight.is_synaptic());
+        assert!(ParamKind::LinearWeight.is_synaptic());
+        assert!(!ParamKind::BnGamma.is_synaptic());
+    }
+}

@@ -1,0 +1,315 @@
+//! The [`Sequential`] model container and the [`Layer`] sum type.
+//!
+//! A closed enum (rather than trait objects) lets the pruning and
+//! crossbar-mapping crates pattern-match on the weighted layers without
+//! downcasting — they need typed access to convolution geometry to build the
+//! unrolled `fan_in × fan_out` matrices of the paper's Fig. 2 pipeline.
+
+use crate::layers::{BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU};
+use crate::param::Param;
+use crate::Mode;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::{ShapeError, Tensor};
+
+/// One layer of a [`Sequential`] model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Fully-connected layer.
+    Linear(Linear),
+    /// Batch normalisation.
+    BatchNorm2d(BatchNorm2d),
+    /// Rectified linear unit.
+    ReLU(ReLU),
+    /// Max pooling.
+    MaxPool2d(MaxPool2d),
+    /// Flatten to `[N, features]`.
+    Flatten(Flatten),
+    /// Inverted dropout.
+    Dropout(Dropout),
+}
+
+impl Layer {
+    /// Forward pass, dispatching to the concrete layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the concrete layer's [`ShapeError`].
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        match self {
+            Layer::Conv2d(l) => l.forward(x, mode),
+            Layer::Linear(l) => l.forward(x, mode),
+            Layer::BatchNorm2d(l) => l.forward(x, mode),
+            Layer::ReLU(l) => l.forward(x, mode),
+            Layer::MaxPool2d(l) => l.forward(x, mode),
+            Layer::Flatten(l) => l.forward(x, mode),
+            Layer::Dropout(l) => l.forward(x, mode),
+        }
+    }
+
+    /// Backward pass, dispatching to the concrete layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the concrete layer's [`ShapeError`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        match self {
+            Layer::Conv2d(l) => l.backward(grad_out),
+            Layer::Linear(l) => l.backward(grad_out),
+            Layer::BatchNorm2d(l) => l.backward(grad_out),
+            Layer::ReLU(l) => l.backward(grad_out),
+            Layer::MaxPool2d(l) => l.backward(grad_out),
+            Layer::Flatten(l) => l.backward(grad_out),
+            Layer::Dropout(l) => l.backward(grad_out),
+        }
+    }
+
+    /// Learnable parameters of this layer (empty for activation layers).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            Layer::Conv2d(l) => l.params_mut(),
+            Layer::Linear(l) => l.params_mut(),
+            Layer::BatchNorm2d(l) => l.params_mut(),
+            Layer::ReLU(_) | Layer::MaxPool2d(_) | Layer::Flatten(_) | Layer::Dropout(_) => {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Short layer name for reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::Linear(_) => "linear",
+            Layer::BatchNorm2d(_) => "batchnorm2d",
+            Layer::ReLU(_) => "relu",
+            Layer::MaxPool2d(_) => "maxpool2d",
+            Layer::Flatten(_) => "flatten",
+            Layer::Dropout(_) => "dropout",
+        }
+    }
+
+    /// Returns the convolution if this is a conv layer.
+    pub fn as_conv(&self) -> Option<&Conv2d> {
+        match self {
+            Layer::Conv2d(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`Layer::as_conv`].
+    pub fn as_conv_mut(&mut self) -> Option<&mut Conv2d> {
+        match self {
+            Layer::Conv2d(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the linear layer if this is one.
+    pub fn as_linear(&self) -> Option<&Linear> {
+        match self {
+            Layer::Linear(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`Layer::as_linear`].
+    pub fn as_linear_mut(&mut self) -> Option<&mut Linear> {
+        match self {
+            Layer::Linear(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// A feed-forward stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use xbar_nn::layers::{Linear, ReLU};
+/// use xbar_nn::{Layer, Mode, Sequential};
+/// use xbar_tensor::Tensor;
+///
+/// # fn main() -> Result<(), xbar_tensor::ShapeError> {
+/// let mut model = Sequential::new(vec![
+///     Layer::Linear(Linear::new(4, 8, 0)),
+///     Layer::ReLU(ReLU::new()),
+///     Layer::Linear(Linear::new(8, 2, 1)),
+/// ]);
+/// let y = model.forward(&Tensor::zeros(&[3, 4]), Mode::Eval)?;
+/// assert_eq!(y.shape(), &[3, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Builds a model from layers.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers }
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer [`ShapeError`].
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Result<Tensor, ShapeError> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, mode)?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs the full backward pass from the loss gradient at the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer [`ShapeError`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// All learnable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar learnable parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// Every tensor that defines the model's inference behaviour, in a
+    /// stable order: each layer's learnable parameter values followed by any
+    /// non-learnable state (BatchNorm running statistics). This is the set a
+    /// checkpoint must capture — saving only `params_mut()` would silently
+    /// drop the running statistics.
+    pub fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut out: Vec<&mut Tensor> = Vec::new();
+        for layer in &mut self.layers {
+            match layer {
+                Layer::BatchNorm2d(bn) => out.extend(bn.state_tensors_mut()),
+                other => out.extend(other.params_mut().into_iter().map(|p| &mut p.value)),
+            }
+        }
+        out
+    }
+
+    /// Indices of the layers that carry synaptic weights (conv and linear),
+    /// in network order — the layers that are mapped onto crossbars.
+    pub fn weighted_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Layer::Conv2d(_) | Layer::Linear(_)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+
+    fn tiny_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 2, 3, 1, 1, 0)),
+            Layer::ReLU(ReLU::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(2 * 2 * 2, 3, 1)),
+        ])
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut m = tiny_model();
+        let x = Tensor::ones(&[4, 1, 4, 4]);
+        let y = m.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn backward_runs_through_all_layers() {
+        let mut m = tiny_model();
+        let x = Tensor::ones(&[2, 1, 4, 4]);
+        let y = m.forward(&x, Mode::Train).unwrap();
+        let dx = m.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+    }
+
+    #[test]
+    fn weighted_layer_indices_finds_conv_and_linear() {
+        let m = tiny_model();
+        assert_eq!(m.weighted_layer_indices(), vec![0, 4]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut m = tiny_model();
+        // conv: 2*9 + 2; linear: 3*8 + 3
+        assert_eq!(m.num_params(), 18 + 2 + 24 + 3);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut m = tiny_model();
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = m.forward(&x, Mode::Train).unwrap();
+        m.backward(&Tensor::ones(y.shape())).unwrap();
+        assert!(m.params_mut().iter().any(|p| p.grad.abs_max() > 0.0));
+        m.zero_grad();
+        assert!(m.params_mut().iter().all(|p| p.grad.abs_max() == 0.0));
+    }
+
+    #[test]
+    fn accessors_discriminate() {
+        let m = tiny_model();
+        assert!(m.layers()[0].as_conv().is_some());
+        assert!(m.layers()[0].as_linear().is_none());
+        assert!(m.layers()[4].as_linear().is_some());
+        assert_eq!(m.layers()[1].kind_name(), "relu");
+    }
+}

@@ -1,0 +1,387 @@
+//! Training loops with constraint hooks.
+//!
+//! The paper's workflow is: structure-prune at initialisation, then train the
+//! pruned model (Section III); WCT additionally clamps weights to
+//! `[-W_cut, W_cut]` and retrains for 2 epochs (Section VI-B). Both fit the
+//! same mechanism: a [`WeightConstraint`] re-applied after every optimiser
+//! step, so pruned weights stay exactly zero and clamped weights stay inside
+//! the cut-off throughout training.
+
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::accuracy;
+use crate::optim::{Sgd, SgdConfig};
+use crate::{Mode, Sequential};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+use xbar_tensor::{ShapeError, Tensor};
+
+/// A constraint re-applied to the model after every optimiser step.
+///
+/// Implemented by the pruning masks in `xbar-prune` and by the WCT clamp in
+/// `xbar-core`.
+pub trait WeightConstraint {
+    /// Enforces the constraint on the model in place.
+    fn apply(&self, model: &mut Sequential);
+}
+
+/// A constraint that clamps every synaptic weight to `[-limit, limit]` — the
+/// WCT transformation `W = min{|W|, W_cut}·sign(W)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClampConstraint {
+    /// The cut-off `W_cut`.
+    pub limit: f32,
+}
+
+impl WeightConstraint for ClampConstraint {
+    fn apply(&self, model: &mut Sequential) {
+        for p in model.params_mut() {
+            if p.kind.is_synaptic() {
+                p.value.clamp_symmetric(self.limit);
+            }
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimiser settings at epoch 0.
+    pub sgd: SgdConfig,
+    /// Multiply the learning rate by this factor at each epoch in
+    /// `lr_decay_epochs`.
+    pub lr_decay: f32,
+    /// Epochs at which the learning rate decays.
+    pub lr_decay_epochs: Vec<usize>,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            sgd: SgdConfig::default(),
+            lr_decay: 0.5,
+            lr_decay_epochs: vec![6, 8],
+            seed: 0,
+        }
+    }
+}
+
+/// Progress record for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub loss: f64,
+    /// Training accuracy over the epoch (running, on training batches).
+    pub accuracy: f64,
+    /// Learning rate in effect.
+    pub lr: f32,
+}
+
+/// A labelled dataset view: `[N, C, H, W]` images plus `N` class indices.
+#[derive(Debug, Clone, Copy)]
+pub struct DataRef<'a> {
+    /// Images, `[N, C, H, W]`.
+    pub images: &'a Tensor,
+    /// Class labels, length `N`.
+    pub labels: &'a [usize],
+}
+
+impl<'a> DataRef<'a> {
+    /// Wraps images and labels, validating that counts agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `images` is not 4-D or the label count
+    /// differs from the image count.
+    pub fn new(images: &'a Tensor, labels: &'a [usize]) -> Result<Self, ShapeError> {
+        if images.ndim() != 4 {
+            return Err(ShapeError::new(format!(
+                "expected [N, C, H, W] images, got {:?}",
+                images.shape()
+            )));
+        }
+        if images.shape()[0] != labels.len() {
+            return Err(ShapeError::new(format!(
+                "{} images but {} labels",
+                images.shape()[0],
+                labels.len()
+            )));
+        }
+        Ok(Self { images, labels })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Copies the examples at `indices` into a contiguous batch.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let shape = self.images.shape();
+        let example_len: usize = shape[1..].iter().product();
+        let mut data = Vec::with_capacity(indices.len() * example_len);
+        let src = self.images.as_slice();
+        for &i in indices {
+            data.extend_from_slice(&src[i * example_len..(i + 1) * example_len]);
+        }
+        let mut bshape = shape.to_vec();
+        bshape[0] = indices.len();
+        let images = Tensor::from_vec(data, &bshape).expect("gather shape is consistent");
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        (images, labels)
+    }
+}
+
+/// Trains `model` on `data`, re-applying `constraint` after every step.
+///
+/// Returns per-epoch statistics.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the model and data shapes are inconsistent.
+pub fn train(
+    model: &mut Sequential,
+    data: DataRef<'_>,
+    config: &TrainConfig,
+    constraint: Option<&dyn WeightConstraint>,
+) -> Result<Vec<EpochStats>, ShapeError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut lr = config.sgd.lr;
+    let mut stats = Vec::with_capacity(config.epochs);
+    // Constraints (pruning at initialisation) must hold before training too.
+    if let Some(c) = constraint {
+        c.apply(model);
+    }
+    let n = data.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for epoch in 0..config.epochs {
+        if config.lr_decay_epochs.contains(&epoch) {
+            lr *= config.lr_decay;
+        }
+        let sgd = Sgd::new(SgdConfig { lr, ..config.sgd });
+        order.shuffle(&mut rng);
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let (images, labels) = data.gather(chunk);
+            model.zero_grad();
+            let logits = model.forward(&images, Mode::Train)?;
+            let out = softmax_cross_entropy(&logits, &labels)?;
+            total_loss += out.loss * labels.len() as f64;
+            correct += accuracy(&logits, &labels).correct;
+            seen += labels.len();
+            model.backward(&out.grad)?;
+            sgd.step(model);
+            if let Some(c) = constraint {
+                c.apply(model);
+            }
+        }
+        stats.push(EpochStats {
+            epoch,
+            loss: total_loss / seen.max(1) as f64,
+            accuracy: correct as f64 / seen.max(1) as f64,
+            lr,
+        });
+    }
+    Ok(stats)
+}
+
+/// Evaluates classification accuracy of `model` on `data` in batches.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on shape mismatch.
+pub fn evaluate(
+    model: &mut Sequential,
+    data: DataRef<'_>,
+    batch_size: usize,
+) -> Result<f64, ShapeError> {
+    let n = data.len();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    let indices: Vec<usize> = (0..n).collect();
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let (images, labels) = data.gather(chunk);
+        let logits = model.forward(&images, Mode::Eval)?;
+        correct += accuracy(&logits, &labels).correct;
+    }
+    Ok(correct as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Flatten, Linear};
+    use crate::Layer;
+
+    /// Tiny two-class linearly separable dataset on 1x2x2 "images".
+    fn toy_data() -> (Tensor, Vec<usize>) {
+        let n = 64;
+        let mut data = Vec::with_capacity(n * 4);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let v = if class == 0 { 1.0 } else { -1.0 };
+            let jitter = ((i * 37) % 10) as f32 / 50.0;
+            data.extend_from_slice(&[v + jitter, v, v - jitter, v]);
+            labels.push(class);
+        }
+        (Tensor::from_vec(data, &[n, 1, 2, 2]).unwrap(), labels)
+    }
+
+    fn toy_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(4, 2, 3)),
+        ])
+    }
+
+    #[test]
+    fn training_reduces_loss_and_fits_toy_data() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        let config = TrainConfig {
+            epochs: 20,
+            batch_size: 8,
+            sgd: SgdConfig {
+                lr: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            lr_decay: 1.0,
+            lr_decay_epochs: vec![],
+            seed: 1,
+        };
+        let stats = train(&mut model, data, &config, None).unwrap();
+        assert!(stats.last().unwrap().loss < stats[0].loss);
+        let acc = evaluate(&mut model, data, 16).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn clamp_constraint_holds_throughout_training() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        let limit = 0.05f32;
+        let constraint = ClampConstraint { limit };
+        let config = TrainConfig {
+            epochs: 5,
+            batch_size: 8,
+            sgd: SgdConfig {
+                lr: 0.5,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            lr_decay: 1.0,
+            lr_decay_epochs: vec![],
+            seed: 2,
+        };
+        train(&mut model, data, &config, Some(&constraint)).unwrap();
+        let w = &model.layers()[1].as_linear().unwrap().weight().value;
+        assert!(w.abs_max() <= limit + 1e-6);
+    }
+
+    #[test]
+    fn lr_decay_takes_effect() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            sgd: SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+            lr_decay: 0.1,
+            lr_decay_epochs: vec![2],
+            seed: 3,
+        };
+        let stats = train(&mut model, data, &config, None).unwrap();
+        assert!((stats[1].lr - 0.1).abs() < 1e-7);
+        assert!((stats[2].lr - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let config = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            seed: 9,
+            ..TrainConfig::default()
+        };
+        let mut a = toy_model();
+        let stats_a = train(&mut a, data, &config, None).unwrap();
+        let mut b = toy_model();
+        let stats_b = train(&mut b, data, &config, None).unwrap();
+        for (sa, sb) in stats_a.iter().zip(&stats_b) {
+            assert_eq!(sa.loss, sb.loss);
+            assert_eq!(sa.accuracy, sb.accuracy);
+        }
+        let wa = a.layers()[1].as_linear().unwrap().weight().value.clone();
+        let wb = b.layers()[1].as_linear().unwrap().weight().value.clone();
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn evaluation_is_batch_size_independent() {
+        let (images, labels) = toy_data();
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        let a = evaluate(&mut model, data, 1).unwrap();
+        let b = evaluate(&mut model, data, 7).unwrap();
+        let c = evaluate(&mut model, data, 64).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn data_ref_validates() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(DataRef::new(&images, &[0]).is_err());
+        let flat = Tensor::zeros(&[2, 4]);
+        assert!(DataRef::new(&flat, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn gather_picks_requested_examples() {
+        let images = Tensor::from_fn(&[3, 1, 1, 2], |i| i as f32);
+        let labels = vec![10, 11, 12];
+        let data = DataRef::new(&images, &labels).unwrap();
+        let (b, l) = data.gather(&[2, 0]);
+        assert_eq!(b.shape(), &[2, 1, 1, 2]);
+        assert_eq!(b.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+        assert_eq!(l, vec![12, 10]);
+    }
+
+    #[test]
+    fn evaluate_empty_dataset_is_zero() {
+        let images = Tensor::zeros(&[0, 1, 2, 2]);
+        let labels: Vec<usize> = vec![];
+        let data = DataRef::new(&images, &labels).unwrap();
+        let mut model = toy_model();
+        assert_eq!(evaluate(&mut model, data, 4).unwrap(), 0.0);
+    }
+}

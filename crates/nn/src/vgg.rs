@@ -1,0 +1,312 @@
+//! VGG11 and VGG16 model builders for 32×32 inputs (the CIFAR geometry used
+//! by the paper), with a width multiplier for CPU-scale experiments.
+
+use crate::layers::{BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU};
+use crate::{Layer, Sequential};
+
+/// Which VGG variant to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggVariant {
+    /// VGG11: 8 conv layers.
+    Vgg11,
+    /// VGG16: 13 conv layers.
+    Vgg16,
+}
+
+impl VggVariant {
+    /// The channel plan; `None` denotes a 2×2 max-pool.
+    fn plan(self) -> &'static [Option<usize>] {
+        match self {
+            VggVariant::Vgg11 => &[
+                Some(64),
+                None,
+                Some(128),
+                None,
+                Some(256),
+                Some(256),
+                None,
+                Some(512),
+                Some(512),
+                None,
+                Some(512),
+                Some(512),
+                None,
+            ],
+            VggVariant::Vgg16 => &[
+                Some(64),
+                Some(64),
+                None,
+                Some(128),
+                Some(128),
+                None,
+                Some(256),
+                Some(256),
+                Some(256),
+                None,
+                Some(512),
+                Some(512),
+                Some(512),
+                None,
+                Some(512),
+                Some(512),
+                Some(512),
+                None,
+            ],
+        }
+    }
+
+    /// Number of convolution layers.
+    pub fn conv_count(self) -> usize {
+        self.plan().iter().filter(|p| p.is_some()).count()
+    }
+}
+
+impl std::fmt::Display for VggVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VggVariant::Vgg11 => write!(f, "VGG11"),
+            VggVariant::Vgg16 => write!(f, "VGG16"),
+        }
+    }
+}
+
+/// Builder for VGG models ([C-BUILDER]).
+///
+/// # Example
+///
+/// ```
+/// use xbar_nn::vgg::{VggConfig, VggVariant};
+///
+/// let model = VggConfig::new(VggVariant::Vgg16, 100)
+///     .width_multiplier(0.25)
+///     .build(7);
+/// assert!(!model.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VggConfig {
+    variant: VggVariant,
+    num_classes: usize,
+    width: f64,
+    in_channels: usize,
+    batch_norm: bool,
+    classifier_dropout: f32,
+}
+
+impl VggConfig {
+    /// Starts a config for the given variant and class count.
+    pub fn new(variant: VggVariant, num_classes: usize) -> Self {
+        Self {
+            variant,
+            num_classes,
+            width: 1.0,
+            in_channels: 3,
+            batch_norm: true,
+            classifier_dropout: 0.0,
+        }
+    }
+
+    /// Scales every channel count by `width` (clamped to at least 8
+    /// channels). `1.0` is the paper-scale model; the experiment harness
+    /// defaults to `0.25` so training finishes in CPU minutes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < width <= 1`.
+    pub fn width_multiplier(mut self, width: f64) -> Self {
+        assert!(width > 0.0 && width <= 1.0, "width must be in (0, 1]");
+        self.width = width;
+        self
+    }
+
+    /// Sets the number of input channels (default 3).
+    pub fn in_channels(mut self, in_channels: usize) -> Self {
+        self.in_channels = in_channels;
+        self
+    }
+
+    /// Enables or disables batch normalisation (default on).
+    pub fn batch_norm(mut self, enabled: bool) -> Self {
+        self.batch_norm = enabled;
+        self
+    }
+
+    /// Inserts inverted dropout with probability `p` before the classifier
+    /// (the original VGG head used `p = 0.5`; default off, matching the
+    /// compact CIFAR variant the experiments train).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn classifier_dropout(mut self, p: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        self.classifier_dropout = p;
+        self
+    }
+
+    /// The variant being built.
+    pub fn variant(&self) -> VggVariant {
+        self.variant
+    }
+
+    fn scaled(&self, channels: usize) -> usize {
+        ((channels as f64 * self.width).round() as usize).max(8)
+    }
+
+    /// Builds the model with deterministic per-layer seeds derived from
+    /// `seed`.
+    pub fn build(&self, seed: u64) -> Sequential {
+        let mut layers = Vec::new();
+        let mut in_c = self.in_channels;
+        let mut layer_seed = seed;
+        for step in self.variant.plan() {
+            match step {
+                Some(channels) => {
+                    let out_c = self.scaled(*channels);
+                    layers.push(Layer::Conv2d(Conv2d::new(in_c, out_c, 3, 1, 1, layer_seed)));
+                    layer_seed = layer_seed.wrapping_add(0x9E37_79B9);
+                    if self.batch_norm {
+                        layers.push(Layer::BatchNorm2d(BatchNorm2d::new(out_c)));
+                    }
+                    layers.push(Layer::ReLU(ReLU::new()));
+                    in_c = out_c;
+                }
+                None => layers.push(Layer::MaxPool2d(MaxPool2d::new(2, 2))),
+            }
+        }
+        // After five 2x2 pools a 32x32 input is 1x1, so the classifier input
+        // is exactly the final channel count.
+        layers.push(Layer::Flatten(Flatten::new()));
+        if self.classifier_dropout > 0.0 {
+            layers.push(Layer::Dropout(Dropout::new(
+                self.classifier_dropout,
+                layer_seed ^ 0xD80,
+            )));
+        }
+        layers.push(Layer::Linear(Linear::new(
+            in_c,
+            self.num_classes,
+            layer_seed,
+        )));
+        Sequential::new(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use xbar_tensor::Tensor;
+
+    #[test]
+    fn conv_counts_match_the_architecture() {
+        assert_eq!(VggVariant::Vgg11.conv_count(), 8);
+        assert_eq!(VggVariant::Vgg16.conv_count(), 13);
+    }
+
+    #[test]
+    fn vgg11_forward_shape() {
+        let mut m = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .build(1);
+        let y = m
+            .forward(&Tensor::zeros(&[2, 3, 32, 32]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn vgg16_forward_shape() {
+        let mut m = VggConfig::new(VggVariant::Vgg16, 100)
+            .width_multiplier(0.125)
+            .build(2);
+        let y = m
+            .forward(&Tensor::zeros(&[1, 3, 32, 32]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.shape(), &[1, 100]);
+    }
+
+    #[test]
+    fn weighted_layers_count() {
+        let m = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .build(3);
+        // 8 conv + 1 linear.
+        assert_eq!(m.weighted_layer_indices().len(), 9);
+        let m = VggConfig::new(VggVariant::Vgg16, 10)
+            .width_multiplier(0.125)
+            .build(3);
+        assert_eq!(m.weighted_layer_indices().len(), 14);
+    }
+
+    #[test]
+    fn width_multiplier_shrinks_model() {
+        let mut full = VggConfig::new(VggVariant::Vgg11, 10).build(4);
+        let mut small = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.25)
+            .build(4);
+        assert!(small.num_params() < full.num_params() / 8);
+    }
+
+    #[test]
+    fn full_width_vgg11_has_expected_first_conv() {
+        let m = VggConfig::new(VggVariant::Vgg11, 10).build(5);
+        let conv = m.layers()[0].as_conv().unwrap();
+        assert_eq!(conv.out_channels(), 64);
+        assert_eq!(conv.in_channels(), 3);
+    }
+
+    #[test]
+    fn batch_norm_can_be_disabled() {
+        let m = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .batch_norm(false)
+            .build(6);
+        assert!(!m
+            .layers()
+            .iter()
+            .any(|l| matches!(l, Layer::BatchNorm2d(_))));
+    }
+
+    #[test]
+    fn classifier_dropout_inserts_layer() {
+        let m = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .classifier_dropout(0.5)
+            .build(6);
+        assert!(m.layers().iter().any(|l| matches!(l, Layer::Dropout(_))));
+        // Dropout must not change eval-mode output vs the dropout-free net.
+        let mut with = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .classifier_dropout(0.5)
+            .build(7);
+        let mut without = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .build(7);
+        let x = Tensor::ones(&[1, 3, 32, 32]);
+        let a = with.forward(&x, Mode::Eval).unwrap();
+        let b = without.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_zero_panics() {
+        let _ = VggConfig::new(VggVariant::Vgg11, 10).width_multiplier(0.0);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .build(11);
+        let b = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.125)
+            .build(11);
+        let wa = a.layers()[0].as_conv().unwrap().weight().value.clone();
+        let wb = b.layers()[0].as_conv().unwrap().weight().value.clone();
+        assert_eq!(wa, wb);
+    }
+}

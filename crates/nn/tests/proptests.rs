@@ -1,0 +1,122 @@
+//! Property-based tests for the DNN library's training-critical invariants.
+
+use proptest::prelude::*;
+use xbar_nn::layers::{Flatten, Linear, ReLU};
+use xbar_nn::loss::{softmax, softmax_cross_entropy};
+use xbar_nn::train::{ClampConstraint, WeightConstraint};
+use xbar_nn::{Layer, Mode, Sequential};
+use xbar_tensor::Tensor;
+
+fn logits_batch() -> impl Strategy<Value = (Tensor, Vec<usize>)> {
+    ((1usize..6), (2usize..8)).prop_flat_map(|(n, k)| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, n * k),
+            proptest::collection::vec(0usize..k, n),
+        )
+            .prop_map(move |(data, targets)| {
+                (
+                    Tensor::from_vec(data, &[n, k]).expect("consistent"),
+                    targets,
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn softmax_rows_are_probability_distributions((logits, _) in logits_batch()) {
+        let p = softmax(&logits).unwrap();
+        for r in 0..p.rows() {
+            let row = p.row(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_with_zero_sum_grad_rows((logits, targets) in logits_batch()) {
+        let out = softmax_cross_entropy(&logits, &targets).unwrap();
+        prop_assert!(out.loss >= -1e-9);
+        for r in 0..out.grad.rows() {
+            let sum: f32 = out.grad.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn loss_gradient_matches_numeric_at_random_points((logits, targets) in logits_batch()) {
+        let out = softmax_cross_entropy(&logits, &targets).unwrap();
+        // Check a couple of coordinates by central differences.
+        let eps = 1e-3f32;
+        for idx in [0usize, logits.len() / 2] {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let lp = softmax_cross_entropy(&plus, &targets).unwrap().loss;
+            let lm = softmax_cross_entropy(&minus, &targets).unwrap().loss;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let analytic = out.grad.as_slice()[idx] as f64;
+            prop_assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "idx {}: {} vs {}",
+                idx,
+                numeric,
+                analytic
+            );
+        }
+    }
+
+    #[test]
+    fn relu_backward_never_flips_gradient_sign(
+        xs in proptest::collection::vec(-3.0f32..3.0, 1..30),
+        gs in proptest::collection::vec(-3.0f32..3.0, 1..30),
+    ) {
+        let n = xs.len().min(gs.len());
+        let x = Tensor::from_vec(xs[..n].to_vec(), &[n]).unwrap();
+        let g = Tensor::from_vec(gs[..n].to_vec(), &[n]).unwrap();
+        let mut relu = ReLU::new();
+        relu.forward(&x, Mode::Train).unwrap();
+        let dx = relu.backward(&g).unwrap();
+        for ((&xi, &gi), &di) in x.as_slice().iter().zip(g.as_slice()).zip(dx.as_slice()) {
+            if xi > 0.0 {
+                prop_assert_eq!(di, gi);
+            } else {
+                prop_assert_eq!(di, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_constraint_bounds_all_synaptic_weights(limit in 0.01f32..2.0, seed in 0u64..100) {
+        let mut model = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(6, 4, seed)),
+            Layer::ReLU(ReLU::new()),
+            Layer::Linear(Linear::new(4, 3, seed + 1)),
+        ]);
+        ClampConstraint { limit }.apply(&mut model);
+        for p in model.params_mut() {
+            if p.kind.is_synaptic() {
+                prop_assert!(p.value.abs_max() <= limit + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic(seed in 0u64..500) {
+        let mut model = Sequential::new(vec![
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(8, 4, seed)),
+            Layer::ReLU(ReLU::new()),
+            Layer::Linear(Linear::new(4, 2, seed + 7)),
+        ]);
+        let x = Tensor::from_fn(&[3, 2, 2, 2], |i| ((i * 7 + seed as usize) % 13) as f32 / 6.0);
+        let a = model.forward(&x, Mode::Eval).unwrap();
+        let b = model.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,184 @@
+//! Channel/filter (C/F) structured pruning at initialisation.
+//!
+//! For every convolution, the fraction `s` of filters with the smallest
+//! L2 norm at initialisation is pruned (columns of the unrolled weight
+//! matrix). The weights of the *next* weighted layer that consume the pruned
+//! feature maps are pruned too — the rows eliminated by the paper's `T`
+//! transformation (Fig. 1(b), top).
+
+use crate::mask::{LayerMask, MaskSet};
+use crate::score::{row_l2_norms, smallest_k, victim_count};
+use xbar_nn::{Layer, Sequential};
+use xbar_tensor::Tensor;
+
+/// Prunes fraction `s` of the filters of every convolution (by init-time
+/// filter norm) and the corresponding input rows of each following weighted
+/// layer. The classifier output is never pruned.
+///
+/// Returns the masks; apply them with [`MaskSet::apply_to`] and keep them as
+/// the training constraint.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ s < 1`.
+pub fn prune_cf(model: &Sequential, s: f64) -> MaskSet {
+    let weighted = model.weighted_layer_indices();
+    // Masks in stored orientation, keyed by position in `weighted`.
+    let mut masks: Vec<Option<Tensor>> = vec![None; weighted.len()];
+    for (pos, &li) in weighted.iter().enumerate() {
+        let Layer::Conv2d(conv) = &model.layers()[li] else {
+            continue; // linear layers are only pruned via their inputs
+        };
+        let w = &conv.weight().value; // [out_c, fan_in]
+        let victims = smallest_k(&row_l2_norms(w), victim_count(conv.out_channels(), s));
+        if victims.is_empty() {
+            continue;
+        }
+        // Own filters: zero rows of the stored weight.
+        let own = masks[pos].get_or_insert_with(|| Tensor::ones(w.shape()));
+        for &f in &victims {
+            own.row_mut(f).fill(0.0);
+        }
+        // Next weighted layer: zero the weights consuming the pruned
+        // channels.
+        if pos + 1 < weighted.len() {
+            let next_li = weighted[pos + 1];
+            match &model.layers()[next_li] {
+                Layer::Conv2d(next) => {
+                    let k2 = next.kernel_size() * next.kernel_size();
+                    let shape = next.weight().value.shape().to_vec();
+                    let nm = masks[pos + 1].get_or_insert_with(|| Tensor::ones(&shape));
+                    for r in 0..nm.rows() {
+                        let row = nm.row_mut(r);
+                        for &c in &victims {
+                            row[c * k2..(c + 1) * k2].fill(0.0);
+                        }
+                    }
+                }
+                Layer::Linear(next) => {
+                    // The VGG trunk ends at 1×1 spatial, so linear input
+                    // features correspond one-to-one with channels.
+                    let per_channel = next.in_features() / conv.out_channels();
+                    let shape = next.weight().value.shape().to_vec();
+                    let nm = masks[pos + 1].get_or_insert_with(|| Tensor::ones(&shape));
+                    for r in 0..nm.rows() {
+                        let row = nm.row_mut(r);
+                        for &c in &victims {
+                            row[c * per_channel..(c + 1) * per_channel].fill(0.0);
+                        }
+                    }
+                }
+                other => unreachable!("weighted index points at {}", other.kind_name()),
+            }
+        }
+    }
+    let mut set = MaskSet::new();
+    for (pos, mask) in masks.into_iter().enumerate() {
+        if let Some(mask) = mask {
+            set.push(LayerMask {
+                layer_index: weighted[pos],
+                mask,
+            });
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+
+    fn model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(3, 8, 3, 1, 1, 1)),
+            Layer::ReLU(ReLU::new()),
+            Layer::Conv2d(Conv2d::new(8, 8, 3, 1, 1, 2)),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(8, 4, 3)),
+        ])
+    }
+
+    #[test]
+    fn prunes_half_the_filters() {
+        let mut m = model();
+        let set = prune_cf(&m, 0.5);
+        set.apply_to(&mut m);
+        // First conv: 4 of 8 filter rows zero.
+        let w0 = &m.layers()[0].as_conv().unwrap().weight().value;
+        let zero_rows = (0..8)
+            .filter(|&r| w0.row(r).iter().all(|&x| x == 0.0))
+            .count();
+        assert_eq!(zero_rows, 4);
+    }
+
+    #[test]
+    fn next_layer_rows_are_pruned_consistently() {
+        let mut m = model();
+        let set = prune_cf(&m, 0.5);
+        set.apply_to(&mut m);
+        let w0 = &m.layers()[0].as_conv().unwrap().weight().value;
+        let pruned: Vec<usize> = (0..8)
+            .filter(|&r| w0.row(r).iter().all(|&x| x == 0.0))
+            .collect();
+        let w1 = &m.layers()[2].as_conv().unwrap().weight().value;
+        // For each pruned channel c, columns c*9..(c+1)*9 of every row of the
+        // next conv are zero.
+        for r in 0..w1.rows() {
+            for &c in &pruned {
+                assert!(w1.row(r)[c * 9..(c + 1) * 9].iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_inputs_pruned_for_final_conv() {
+        let mut m = model();
+        let set = prune_cf(&m, 0.5);
+        set.apply_to(&mut m);
+        let w1 = &m.layers()[2].as_conv().unwrap().weight().value;
+        let pruned: Vec<usize> = (0..8)
+            .filter(|&r| w1.row(r).iter().all(|&x| x == 0.0))
+            .collect();
+        assert_eq!(pruned.len(), 4);
+        let wl = &m.layers()[5].as_linear().unwrap().weight().value;
+        for r in 0..wl.rows() {
+            for &c in &pruned {
+                assert_eq!(wl.row(r)[c], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn weakest_filters_are_chosen() {
+        let mut m = model();
+        // Make filter 0 tiny and filter 7 huge in the first conv.
+        {
+            let w = &mut m.layers_mut()[0].as_conv_mut().unwrap().weight_mut().value;
+            w.row_mut(0).fill(1e-6);
+            w.row_mut(7).fill(10.0);
+        }
+        let set = prune_cf(&m, 0.5);
+        let mask0 = &set.for_layer(0).unwrap().mask;
+        assert!(mask0.row(0).iter().all(|&x| x == 0.0), "weak filter pruned");
+        assert!(mask0.row(7).iter().all(|&x| x == 1.0), "strong filter kept");
+    }
+
+    #[test]
+    fn zero_sparsity_yields_no_masks() {
+        let m = model();
+        let set = prune_cf(&m, 0.0);
+        assert!(set.masks().is_empty());
+    }
+
+    #[test]
+    fn nominal_sparsity_close_to_requested() {
+        let m = model();
+        let set = prune_cf(&m, 0.5);
+        // Layer 0 loses 1/2 of rows; layer 2 loses 1/2 rows and 1/2 of
+        // columns (≈0.75 zero); linear loses 1/2 columns.
+        let sp = set.nominal_sparsity();
+        assert!(sp > 0.5 && sp < 0.8, "sparsity {sp}");
+    }
+}

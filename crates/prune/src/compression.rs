@@ -1,0 +1,154 @@
+//! Crossbar-compression-rate accounting (Table I of the paper).
+//!
+//! After `T`, each panel of each layer is partitioned into `rows × cols`
+//! crossbar tiles; the compression rate is the ratio of crossbars needed by
+//! the unpruned model to crossbars needed by the pruned model.
+
+use crate::transform::{transform, TransformedLayer};
+use crate::unroll::unrolled_matrices;
+use crate::PruneMethod;
+use xbar_nn::Sequential;
+
+/// Number of `rows × cols` crossbar tiles needed to map one transformed
+/// layer.
+pub fn layer_crossbar_count(t: &TransformedLayer, rows: usize, cols: usize) -> usize {
+    assert!(rows > 0 && cols > 0, "crossbar dims must be non-zero");
+    t.panels
+        .iter()
+        .map(|p| p.matrix.rows().div_ceil(rows) * p.matrix.cols().div_ceil(cols))
+        .sum()
+}
+
+/// Number of crossbars needed to map the whole model under `method`.
+///
+/// The model's weights must already carry the pruning pattern (masks
+/// applied); `PruneMethod::None` counts the dense mapping regardless of
+/// weight values.
+pub fn model_crossbar_count(
+    model: &Sequential,
+    method: PruneMethod,
+    rows: usize,
+    cols: usize,
+) -> usize {
+    unrolled_matrices(model)
+        .iter()
+        .map(|ul| {
+            let t = transform(&ul.matrix, method, rows, cols);
+            layer_crossbar_count(&t, rows, cols)
+        })
+        .sum()
+}
+
+/// Crossbar-compression-rate: crossbars for the dense (unpruned) mapping
+/// divided by crossbars for the pruned mapping.
+///
+/// Returns `f64::INFINITY` if the pruned model needs zero crossbars (fully
+/// pruned — degenerate but well-defined).
+pub fn compression_rate(model: &Sequential, method: PruneMethod, rows: usize, cols: usize) -> f64 {
+    let dense = model_crossbar_count(model, PruneMethod::None, rows, cols);
+    let pruned = model_crossbar_count(model, method, rows, cols);
+    if pruned == 0 {
+        f64::INFINITY
+    } else {
+        dense as f64 / pruned as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cf::prune_cf;
+    use crate::xcs::prune_xcs;
+    use crate::xrs::prune_xrs;
+    use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+    use xbar_nn::Layer;
+
+    fn model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(3, 16, 3, 1, 1, 1)),
+            Layer::ReLU(ReLU::new()),
+            Layer::Conv2d(Conv2d::new(16, 16, 3, 1, 1, 2)),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(16, 4, 3)),
+        ])
+    }
+
+    #[test]
+    fn dense_count_matches_hand_calculation() {
+        let m = model();
+        // Layer 0: 27x16 → ceil(27/16)*ceil(16/16) = 2 tiles of 16x16.
+        // Layer 2: 144x16 → 9*1 = 9. Linear: 16x4 → 1*1. Total 12.
+        assert_eq!(
+            model_crossbar_count(&m, PruneMethod::None, 16, 16),
+            2 + 9 + 1
+        );
+    }
+
+    #[test]
+    fn cf_pruning_compresses() {
+        let mut m = model();
+        let masks = prune_cf(&m, 0.5);
+        masks.apply_to(&mut m);
+        let rate = compression_rate(&m, PruneMethod::ChannelFilter, 16, 16);
+        assert!(rate >= 1.5, "rate {rate}");
+    }
+
+    #[test]
+    fn higher_sparsity_compresses_more() {
+        let mut m1 = model();
+        prune_cf(&m1, 0.25).apply_to(&mut m1);
+        let r1 = compression_rate(&m1, PruneMethod::ChannelFilter, 16, 16);
+        let mut m2 = model();
+        prune_cf(&m2, 0.75).apply_to(&mut m2);
+        let r2 = compression_rate(&m2, PruneMethod::ChannelFilter, 16, 16);
+        assert!(r2 > r1, "{r2} vs {r1}");
+    }
+
+    #[test]
+    fn xcs_compression_tracks_sparsity() {
+        // XCS repacking only saves crossbars when a layer's fan_out spans
+        // several tile widths, so use a wide model (plus an exempt stem).
+        let mut m = Sequential::new(vec![
+            Layer::Linear(Linear::new(16, 64, 0)),
+            Layer::Linear(Linear::new(64, 128, 1)),
+        ]);
+        prune_xcs(&m, 0.5, 16).apply_to(&mut m);
+        let rate = compression_rate(&m, PruneMethod::XbarColumn, 16, 16);
+        // Second layer compresses ~2x; the exempt stem dilutes the total.
+        assert!(rate > 1.3 && rate < 2.5, "rate {rate}");
+    }
+
+    #[test]
+    fn xcs_cannot_compress_single_tile_width() {
+        // With fan_out ≤ tile columns every surviving block still needs one
+        // tile — the fine-grained sparsity brings no crossbar savings here.
+        let mut m = model();
+        prune_xcs(&m, 0.5, 16).apply_to(&mut m);
+        let rate = compression_rate(&m, PruneMethod::XbarColumn, 16, 16);
+        assert!((rate - 1.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn xrs_compression_tracks_sparsity() {
+        let mut m = model();
+        prune_xrs(&m, 0.5, 16).apply_to(&mut m);
+        let rate = compression_rate(&m, PruneMethod::XbarRow, 16, 16);
+        assert!(rate > 1.2 && rate < 2.5, "rate {rate}");
+    }
+
+    #[test]
+    fn unpruned_rate_is_one() {
+        let m = model();
+        let rate = compression_rate(&m, PruneMethod::None, 32, 32);
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn larger_crossbars_need_fewer_tiles() {
+        let m = model();
+        let small = model_crossbar_count(&m, PruneMethod::None, 16, 16);
+        let large = model_crossbar_count(&m, PruneMethod::None, 64, 64);
+        assert!(large < small);
+    }
+}

@@ -1,0 +1,74 @@
+//! # xbar-prune
+//!
+//! Crossbar-aware structured pruning for the `xbar-repro` workspace,
+//! implementing the three techniques studied by the paper:
+//!
+//! * **C/F pruning** ([`cf`]) — channel/filter pruning: whole filters
+//!   (columns of the unrolled weight matrix) are removed, along with the rows
+//!   of the *next* layer that consumed the pruned feature maps;
+//! * **XCS** ([`xcs`]) — crossbar-column sparsity: within the unrolled
+//!   matrix, column segments of crossbar-row length are pruned;
+//! * **XRS** ([`xrs`]) — crossbar-row sparsity: row segments of
+//!   crossbar-column length are pruned.
+//!
+//! All three prune *at initialisation* with a per-layer sparsity ratio `s`,
+//! following the paper's Section III (one round of training instead of
+//! train–prune–finetune). The resulting [`MaskSet`] implements
+//! [`xbar_nn::train::WeightConstraint`], so the masks are re-applied after
+//! every optimiser step and the pruned weights remain exactly zero.
+//!
+//! The [`transform`] module implements the paper's `T` transformation (and
+//! its inverse `T⁻¹`): eliminating all-zero columns/rows (C/F) or all-zero
+//! segments (XCS/XRS) before the weight matrix is partitioned into crossbar
+//! tiles. [`compression`] computes the crossbar-compression-rates reported in
+//! Table I.
+//!
+//! # Example
+//!
+//! ```
+//! use xbar_nn::vgg::{VggConfig, VggVariant};
+//! use xbar_prune::{cf::prune_cf, MaskSet};
+//!
+//! let mut model = VggConfig::new(VggVariant::Vgg11, 10)
+//!     .width_multiplier(0.125)
+//!     .build(0);
+//! let masks = prune_cf(&mut model, 0.5);
+//! masks.apply_to(&mut model);
+//! assert!(masks.observed_sparsity(&mut model) > 0.4);
+//! ```
+
+pub mod cf;
+pub mod compression;
+pub mod mask;
+pub mod score;
+pub mod transform;
+pub mod unroll;
+pub mod xcs;
+pub mod xrs;
+
+pub use mask::{LayerMask, MaskSet};
+
+/// The structured-pruning methods studied by the paper, as a tag for
+/// reporting and dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneMethod {
+    /// No pruning (the unpruned baseline).
+    None,
+    /// Channel/filter pruning.
+    ChannelFilter,
+    /// Crossbar-column sparsity.
+    XbarColumn,
+    /// Crossbar-row sparsity.
+    XbarRow,
+}
+
+impl std::fmt::Display for PruneMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruneMethod::None => write!(f, "unpruned"),
+            PruneMethod::ChannelFilter => write!(f, "C/F"),
+            PruneMethod::XbarColumn => write!(f, "XCS"),
+            PruneMethod::XbarRow => write!(f, "XRS"),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Binary pruning masks over the weighted layers of a model.
+
+use xbar_nn::train::WeightConstraint;
+use xbar_nn::{Layer, Sequential};
+use xbar_tensor::Tensor;
+
+/// A 0/1 mask over one layer's stored weight tensor.
+#[derive(Debug, Clone)]
+pub struct LayerMask {
+    /// Index of the layer within the model.
+    pub layer_index: usize,
+    /// Mask with the same shape as the stored weight (`[out, fan_in]`).
+    pub mask: Tensor,
+}
+
+impl LayerMask {
+    /// Fraction of zeros in the mask.
+    pub fn sparsity(&self) -> f64 {
+        self.mask.sparsity(0.5)
+    }
+}
+
+/// The set of masks produced by a structured-pruning pass.
+///
+/// Implements [`WeightConstraint`] so the trainer re-applies the masks after
+/// every optimiser step, keeping pruned weights at exactly zero throughout
+/// training (pruning at initialisation, paper Section III).
+#[derive(Debug, Clone, Default)]
+pub struct MaskSet {
+    masks: Vec<LayerMask>,
+}
+
+impl MaskSet {
+    /// Creates an empty mask set (no constraint).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a layer mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask for the same layer already exists.
+    pub fn push(&mut self, mask: LayerMask) {
+        assert!(
+            self.masks.iter().all(|m| m.layer_index != mask.layer_index),
+            "duplicate mask for layer {}",
+            mask.layer_index
+        );
+        self.masks.push(mask);
+    }
+
+    /// The masks, in insertion order.
+    pub fn masks(&self) -> &[LayerMask] {
+        &self.masks
+    }
+
+    /// Looks up the mask for a layer.
+    pub fn for_layer(&self, layer_index: usize) -> Option<&LayerMask> {
+        self.masks.iter().find(|m| m.layer_index == layer_index)
+    }
+
+    /// Multiplies every masked layer's weights by its mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask's shape disagrees with its layer's weights.
+    pub fn apply_to(&self, model: &mut Sequential) {
+        for lm in &self.masks {
+            let weight = match &mut model.layers_mut()[lm.layer_index] {
+                Layer::Conv2d(c) => &mut c.weight_mut().value,
+                Layer::Linear(l) => &mut l.weight_mut().value,
+                other => panic!(
+                    "mask targets layer {} ({}) without weights",
+                    lm.layer_index,
+                    other.kind_name()
+                ),
+            };
+            assert_eq!(weight.shape(), lm.mask.shape(), "mask shape mismatch");
+            for (w, &m) in weight.as_mut_slice().iter_mut().zip(lm.mask.as_slice()) {
+                *w *= m;
+            }
+        }
+    }
+
+    /// Overall mask sparsity weighted by parameter count.
+    pub fn nominal_sparsity(&self) -> f64 {
+        let total: usize = self.masks.iter().map(|m| m.mask.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let zeros: usize = self.masks.iter().map(|m| m.mask.count_near_zero(0.5)).sum();
+        zeros as f64 / total as f64
+    }
+
+    /// Observed sparsity of the model's masked weights (should match
+    /// [`MaskSet::nominal_sparsity`] after [`MaskSet::apply_to`]).
+    pub fn observed_sparsity(&self, model: &mut Sequential) -> f64 {
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for lm in &self.masks {
+            let weight = match &model.layers()[lm.layer_index] {
+                Layer::Conv2d(c) => &c.weight().value,
+                Layer::Linear(l) => &l.weight().value,
+                _ => continue,
+            };
+            zeros += weight.count_near_zero(0.0);
+            total += weight.len();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
+}
+
+impl WeightConstraint for MaskSet {
+    fn apply(&self, model: &mut Sequential) {
+        self.apply_to(model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::Linear;
+
+    fn model() -> Sequential {
+        Sequential::new(vec![Layer::Linear(Linear::new(4, 2, 0))])
+    }
+
+    fn half_mask() -> MaskSet {
+        let mut mask = Tensor::ones(&[2, 4]);
+        for i in 0..4 {
+            mask.as_mut_slice()[i] = 0.0; // first output row fully pruned
+        }
+        let mut set = MaskSet::new();
+        set.push(LayerMask {
+            layer_index: 0,
+            mask,
+        });
+        set
+    }
+
+    #[test]
+    fn apply_zeroes_masked_weights() {
+        let mut m = model();
+        let set = half_mask();
+        set.apply_to(&mut m);
+        let w = &m.layers()[0].as_linear().unwrap().weight().value;
+        assert!(w.row(0).iter().all(|&x| x == 0.0));
+        assert!(w.row(1).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn sparsities_agree() {
+        let mut m = model();
+        let set = half_mask();
+        assert!((set.nominal_sparsity() - 0.5).abs() < 1e-12);
+        set.apply_to(&mut m);
+        assert!((set.observed_sparsity(&mut m) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_layer_lookup() {
+        let set = half_mask();
+        assert!(set.for_layer(0).is_some());
+        assert!(set.for_layer(1).is_none());
+        assert!((set.for_layer(0).unwrap().sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate mask")]
+    fn duplicate_layer_rejected() {
+        let mut set = half_mask();
+        set.push(LayerMask {
+            layer_index: 0,
+            mask: Tensor::ones(&[2, 4]),
+        });
+    }
+
+    #[test]
+    fn constraint_trait_applies() {
+        let mut m = model();
+        let set = half_mask();
+        let c: &dyn WeightConstraint = &set;
+        c.apply(&mut m);
+        let w = &m.layers()[0].as_linear().unwrap().weight().value;
+        assert!(w.row(0).iter().all(|&x| x == 0.0));
+    }
+}

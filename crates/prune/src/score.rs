@@ -1,0 +1,99 @@
+//! Importance scores used to select pruning victims at initialisation.
+
+use xbar_tensor::Tensor;
+
+/// L2 norm of each row of a 2-D tensor (filter norms for a stored
+/// `[out, fan_in]` conv weight).
+///
+/// # Panics
+///
+/// Panics if `w` is not 2-D.
+pub fn row_l2_norms(w: &Tensor) -> Vec<f64> {
+    (0..w.rows())
+        .map(|r| {
+            w.row(r)
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect()
+}
+
+/// L2 norm of each column of a 2-D tensor.
+///
+/// # Panics
+///
+/// Panics if `w` is not 2-D.
+pub fn col_l2_norms(w: &Tensor) -> Vec<f64> {
+    let mut norms = vec![0.0f64; w.cols()];
+    for r in 0..w.rows() {
+        for (c, &x) in w.row(r).iter().enumerate() {
+            norms[c] += (x as f64) * (x as f64);
+        }
+    }
+    norms.iter().map(|n| n.sqrt()).collect()
+}
+
+/// Indices of the `k` smallest scores (the pruning victims), in ascending
+/// score order. Ties break by index for determinism.
+pub fn smallest_k(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("NaN score")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k.min(scores.len()));
+    order
+}
+
+/// Number of victims for `n` units at sparsity `s`, never pruning everything:
+/// at least one unit always survives.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ s < 1`.
+pub fn victim_count(n: usize, s: f64) -> usize {
+    assert!((0.0..1.0).contains(&s), "sparsity must be in [0, 1)");
+    if n == 0 {
+        return 0;
+    }
+    (((n as f64) * s).round() as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_col_norms() {
+        let w = Tensor::from_vec(vec![3.0, 0.0, 0.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(row_l2_norms(&w), vec![3.0, 4.0]);
+        assert_eq!(col_l2_norms(&w), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn smallest_k_orders_ascending() {
+        let scores = [5.0, 1.0, 3.0, 1.0];
+        assert_eq!(smallest_k(&scores, 2), vec![1, 3]);
+        assert_eq!(smallest_k(&scores, 10), vec![1, 3, 2, 0]);
+        assert!(smallest_k(&scores, 0).is_empty());
+    }
+
+    #[test]
+    fn victim_count_rounds_and_caps() {
+        assert_eq!(victim_count(10, 0.8), 8);
+        assert_eq!(victim_count(10, 0.0), 0);
+        assert_eq!(victim_count(4, 0.9), 3); // never all pruned
+        assert_eq!(victim_count(1, 0.9), 0);
+        assert_eq!(victim_count(0, 0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn sparsity_one_rejected() {
+        victim_count(4, 1.0);
+    }
+}

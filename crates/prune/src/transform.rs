@@ -1,0 +1,272 @@
+//! The paper's `T` transformation and its inverse `T⁻¹`.
+//!
+//! Before a (possibly sparse) unrolled weight matrix is partitioned into
+//! crossbar tiles, `T` eliminates the structure the pruning created:
+//!
+//! * **C/F**: all-zero columns (pruned filters) and all-zero rows (inputs
+//!   from pruned channels of the previous layer) are dropped, leaving one
+//!   dense compacted panel;
+//! * **XCS**: within each block of `xbar_rows` matrix rows, columns whose
+//!   segment is all zero are dropped; each row block becomes a panel whose
+//!   surviving segments repack into crossbars;
+//! * **XRS**: dual — within each block of `xbar_cols` matrix columns,
+//!   all-zero row segments are dropped.
+//!
+//! After the crossbar simulation perturbs the panel weights, `T⁻¹`
+//! ([`TransformedLayer::invert`]) scatters them back to their original matrix
+//! positions (pruned positions stay zero) so inference can run on the
+//! reassembled model.
+
+use crate::PruneMethod;
+use xbar_tensor::Tensor;
+
+/// A dense sub-matrix produced by `T`, ready for tile partitioning, together
+/// with the original coordinates of its rows and columns.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// The dense matrix to partition into crossbar tiles.
+    pub matrix: Tensor,
+    /// Original matrix row index of each panel row.
+    pub row_ids: Vec<usize>,
+    /// Original matrix column index of each panel column.
+    pub col_ids: Vec<usize>,
+}
+
+impl Panel {
+    fn from_indices(matrix: &Tensor, row_ids: Vec<usize>, col_ids: Vec<usize>) -> Self {
+        let mut m = Tensor::zeros(&[row_ids.len(), col_ids.len()]);
+        for (pr, &r) in row_ids.iter().enumerate() {
+            for (pc, &c) in col_ids.iter().enumerate() {
+                m.set2(pr, pc, matrix.at2(r, c));
+            }
+        }
+        Self {
+            matrix: m,
+            row_ids,
+            col_ids,
+        }
+    }
+}
+
+/// Result of applying `T` to one unrolled weight matrix.
+#[derive(Debug, Clone)]
+pub struct TransformedLayer {
+    /// Shape of the original matrix, `[fan_in, fan_out]`.
+    pub original_shape: [usize; 2],
+    /// The dense panels to map onto crossbars.
+    pub panels: Vec<Panel>,
+}
+
+impl TransformedLayer {
+    /// Total number of weights that will be mapped onto crossbar devices.
+    pub fn mapped_elements(&self) -> usize {
+        self.panels.iter().map(|p| p.matrix.len()).sum()
+    }
+
+    /// Applies `T⁻¹`: scatters (possibly perturbed) panel matrices back into
+    /// a full-size matrix. Positions eliminated by `T` are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `panels` does not match the stored panel shapes.
+    pub fn invert(&self, panels: &[Tensor]) -> Tensor {
+        assert_eq!(panels.len(), self.panels.len(), "panel count mismatch");
+        let mut out = Tensor::zeros(&self.original_shape);
+        for (meta, m) in self.panels.iter().zip(panels) {
+            assert_eq!(
+                m.shape(),
+                meta.matrix.shape(),
+                "panel shape mismatch on invert"
+            );
+            for (pr, &r) in meta.row_ids.iter().enumerate() {
+                for (pc, &c) in meta.col_ids.iter().enumerate() {
+                    out.set2(r, c, m.at2(pr, pc));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn is_zero(v: f32) -> bool {
+    v == 0.0
+}
+
+/// Applies `T` for the given pruning method to an unrolled `fan_in × fan_out`
+/// matrix. `xbar_rows`/`xbar_cols` give the crossbar tile size (used by the
+/// XCS/XRS segment granularity; ignored for C/F and unpruned).
+///
+/// # Panics
+///
+/// Panics if `matrix` is not 2-D or the crossbar dimensions are zero.
+pub fn transform(
+    matrix: &Tensor,
+    method: PruneMethod,
+    xbar_rows: usize,
+    xbar_cols: usize,
+) -> TransformedLayer {
+    assert_eq!(matrix.ndim(), 2, "T expects a 2-D weight matrix");
+    assert!(
+        xbar_rows > 0 && xbar_cols > 0,
+        "crossbar dims must be non-zero"
+    );
+    let (fan_in, fan_out) = (matrix.rows(), matrix.cols());
+    let original_shape = [fan_in, fan_out];
+    let panels = match method {
+        PruneMethod::None => {
+            let rows = (0..fan_in).collect();
+            let cols = (0..fan_out).collect();
+            vec![Panel::from_indices(matrix, rows, cols)]
+        }
+        PruneMethod::ChannelFilter => {
+            let rows: Vec<usize> = (0..fan_in)
+                .filter(|&r| matrix.row(r).iter().any(|&v| !is_zero(v)))
+                .collect();
+            let cols: Vec<usize> = (0..fan_out)
+                .filter(|&c| (0..fan_in).any(|r| !is_zero(matrix.at2(r, c))))
+                .collect();
+            vec![Panel::from_indices(matrix, rows, cols)]
+        }
+        PruneMethod::XbarColumn => {
+            let blocks = fan_in.div_ceil(xbar_rows);
+            (0..blocks)
+                .filter_map(|t| {
+                    let r0 = t * xbar_rows;
+                    let r1 = (r0 + xbar_rows).min(fan_in);
+                    let rows: Vec<usize> = (r0..r1).collect();
+                    let cols: Vec<usize> = (0..fan_out)
+                        .filter(|&c| rows.iter().any(|&r| !is_zero(matrix.at2(r, c))))
+                        .collect();
+                    if cols.is_empty() {
+                        None
+                    } else {
+                        Some(Panel::from_indices(matrix, rows, cols))
+                    }
+                })
+                .collect()
+        }
+        PruneMethod::XbarRow => {
+            let blocks = fan_out.div_ceil(xbar_cols);
+            (0..blocks)
+                .filter_map(|t| {
+                    let c0 = t * xbar_cols;
+                    let c1 = (c0 + xbar_cols).min(fan_out);
+                    let cols: Vec<usize> = (c0..c1).collect();
+                    let rows: Vec<usize> = (0..fan_in)
+                        .filter(|&r| cols.iter().any(|&c| !is_zero(matrix.at2(r, c))))
+                        .collect();
+                    if rows.is_empty() {
+                        None
+                    } else {
+                        Some(Panel::from_indices(matrix, rows, cols))
+                    }
+                })
+                .collect()
+        }
+    };
+    TransformedLayer {
+        original_shape,
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_matrix() -> Tensor {
+        // 6x4 with column 1 and rows 2,3 zero.
+        let mut m = Tensor::from_fn(&[6, 4], |i| (i + 1) as f32);
+        for r in 0..6 {
+            m.set2(r, 1, 0.0);
+        }
+        for c in 0..4 {
+            m.set2(2, c, 0.0);
+            m.set2(3, c, 0.0);
+        }
+        m
+    }
+
+    #[test]
+    fn unpruned_is_single_full_panel() {
+        let m = sparse_matrix();
+        let t = transform(&m, PruneMethod::None, 2, 2);
+        assert_eq!(t.panels.len(), 1);
+        assert_eq!(t.panels[0].matrix.shape(), &[6, 4]);
+        assert_eq!(t.mapped_elements(), 24);
+    }
+
+    #[test]
+    fn cf_drops_zero_rows_and_columns() {
+        let m = sparse_matrix();
+        let t = transform(&m, PruneMethod::ChannelFilter, 2, 2);
+        assert_eq!(t.panels.len(), 1);
+        assert_eq!(t.panels[0].matrix.shape(), &[4, 3]);
+        assert_eq!(t.panels[0].row_ids, vec![0, 1, 4, 5]);
+        assert_eq!(t.panels[0].col_ids, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn cf_invert_restores_original() {
+        let m = sparse_matrix();
+        let t = transform(&m, PruneMethod::ChannelFilter, 2, 2);
+        let panels: Vec<Tensor> = t.panels.iter().map(|p| p.matrix.clone()).collect();
+        assert_eq!(t.invert(&panels), m);
+    }
+
+    #[test]
+    fn xcs_drops_zero_segments_per_block() {
+        // 4x2 matrix, xbar_rows = 2: block 0 has col 0 zero; block 1 dense.
+        let mut m = Tensor::ones(&[4, 2]);
+        m.set2(0, 0, 0.0);
+        m.set2(1, 0, 0.0);
+        let t = transform(&m, PruneMethod::XbarColumn, 2, 2);
+        assert_eq!(t.panels.len(), 2);
+        assert_eq!(t.panels[0].col_ids, vec![1]);
+        assert_eq!(t.panels[1].col_ids, vec![0, 1]);
+        let panels: Vec<Tensor> = t.panels.iter().map(|p| p.matrix.clone()).collect();
+        assert_eq!(t.invert(&panels), m);
+    }
+
+    #[test]
+    fn xcs_fully_zero_block_is_skipped() {
+        let m = Tensor::zeros(&[4, 2]);
+        let t = transform(&m, PruneMethod::XbarColumn, 2, 2);
+        assert!(t.panels.is_empty());
+        assert_eq!(t.invert(&[]), m);
+    }
+
+    #[test]
+    fn xrs_drops_zero_row_segments_per_block() {
+        // 3x4, xbar_cols = 2: block 0 has row 1 zero; block 1 dense.
+        let mut m = Tensor::ones(&[3, 4]);
+        m.set2(1, 0, 0.0);
+        m.set2(1, 1, 0.0);
+        let t = transform(&m, PruneMethod::XbarRow, 2, 2);
+        assert_eq!(t.panels.len(), 2);
+        assert_eq!(t.panels[0].row_ids, vec![0, 2]);
+        assert_eq!(t.panels[1].row_ids, vec![0, 1, 2]);
+        let panels: Vec<Tensor> = t.panels.iter().map(|p| p.matrix.clone()).collect();
+        assert_eq!(t.invert(&panels), m);
+    }
+
+    #[test]
+    fn invert_applies_perturbations_in_place() {
+        let m = sparse_matrix();
+        let t = transform(&m, PruneMethod::ChannelFilter, 2, 2);
+        let perturbed: Vec<Tensor> = t.panels.iter().map(|p| p.matrix.scale(0.5)).collect();
+        let back = t.invert(&perturbed);
+        // Surviving entries halved, pruned entries still zero.
+        assert_eq!(back.at2(0, 0), m.at2(0, 0) * 0.5);
+        assert_eq!(back.at2(2, 0), 0.0);
+        assert_eq!(back.at2(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "panel count")]
+    fn invert_checks_panel_count() {
+        let m = sparse_matrix();
+        let t = transform(&m, PruneMethod::ChannelFilter, 2, 2);
+        let _ = t.invert(&[]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Unrolled weight-matrix views of a model's weighted layers.
+//!
+//! The paper's framework unrolls every convolution into MAC operations,
+//! yielding a 2-D `fan_in × fan_out` weight matrix per layer: rows correspond
+//! to crossbar rows (inputs/voltages) and columns to crossbar columns
+//! (filters/output currents), matching `I_j = Σ_i G_ij·V_i` in Fig. 1(a).
+//!
+//! `xbar-nn` stores conv weights `[out_c, in_c·kh·kw]` and linear weights
+//! `[out_f, in_f]`; the unrolled matrix is the transpose of either.
+
+use xbar_nn::{Layer, Sequential};
+use xbar_tensor::Tensor;
+
+/// The unrolled weight matrix of one weighted layer.
+#[derive(Debug, Clone)]
+pub struct UnrolledLayer {
+    /// Index of the layer within the model.
+    pub layer_index: usize,
+    /// `fan_in × fan_out` weight matrix.
+    pub matrix: Tensor,
+    /// Kernel area (`kh·kw`) for conv layers, `1` for linear layers; the
+    /// number of unrolled rows contributed by each input channel.
+    pub rows_per_channel: usize,
+}
+
+/// Extracts the unrolled `fan_in × fan_out` matrices of every conv/linear
+/// layer, in network order.
+pub fn unrolled_matrices(model: &Sequential) -> Vec<UnrolledLayer> {
+    model
+        .layers()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, layer)| match layer {
+            Layer::Conv2d(conv) => Some(UnrolledLayer {
+                layer_index: i,
+                matrix: conv.weight().value.transpose(),
+                rows_per_channel: conv.kernel_size() * conv.kernel_size(),
+            }),
+            Layer::Linear(lin) => Some(UnrolledLayer {
+                layer_index: i,
+                matrix: lin.weight().value.transpose(),
+                rows_per_channel: 1,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Writes an unrolled `fan_in × fan_out` matrix back into the layer at
+/// `layer_index` (transposing to the stored orientation).
+///
+/// # Panics
+///
+/// Panics if the layer is not conv/linear or the shape disagrees.
+pub fn write_back(model: &mut Sequential, layer_index: usize, matrix: &Tensor) {
+    let stored = matrix.transpose();
+    match &mut model.layers_mut()[layer_index] {
+        Layer::Conv2d(conv) => {
+            assert_eq!(
+                conv.weight().value.shape(),
+                stored.shape(),
+                "conv weight shape mismatch on write_back"
+            );
+            conv.weight_mut().value = stored;
+        }
+        Layer::Linear(lin) => {
+            assert_eq!(
+                lin.weight().value.shape(),
+                stored.shape(),
+                "linear weight shape mismatch on write_back"
+            );
+            lin.weight_mut().value = stored;
+        }
+        other => panic!("layer {layer_index} ({}) has no weights", other.kind_name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::{Conv2d, Flatten, Linear, ReLU};
+    use xbar_nn::Layer;
+
+    fn model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(3, 4, 3, 1, 1, 1)),
+            Layer::ReLU(ReLU::new()),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(4, 2, 2)),
+        ])
+    }
+
+    #[test]
+    fn unroll_orientation_is_fanin_by_fanout() {
+        let m = model();
+        let u = unrolled_matrices(&m);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0].matrix.shape(), &[27, 4]); // 3·3·3 rows, 4 filters
+        assert_eq!(u[0].rows_per_channel, 9);
+        assert_eq!(u[1].matrix.shape(), &[4, 2]);
+        assert_eq!(u[1].rows_per_channel, 1);
+    }
+
+    #[test]
+    fn write_back_round_trips() {
+        let mut m = model();
+        let u = unrolled_matrices(&m);
+        let doubled = u[0].matrix.scale(2.0);
+        write_back(&mut m, u[0].layer_index, &doubled);
+        let u2 = unrolled_matrices(&m);
+        for (a, b) in u[0].matrix.as_slice().iter().zip(u2[0].matrix.as_slice()) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no weights")]
+    fn write_back_rejects_activation_layers() {
+        let mut m = model();
+        let mat = Tensor::zeros(&[1, 1]);
+        write_back(&mut m, 1, &mat);
+    }
+}

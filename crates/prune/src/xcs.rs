@@ -1,0 +1,179 @@
+//! Crossbar-column sparsity (XCS) pruning at initialisation.
+//!
+//! In the unrolled `fan_in × fan_out` weight matrix, a *crossbar column
+//! segment* is the run of `xbar_rows` consecutive weights that one crossbar
+//! column holds for one matrix column (Fig. 1(b), bottom). XCS prunes the
+//! fraction `s` of segments with the smallest L2 norm, per layer; pruned
+//! segments are eliminated at mapping time by the `T` transformation and the
+//! surviving segments repack into fewer crossbars.
+
+use crate::mask::{LayerMask, MaskSet};
+use crate::score::{smallest_k, victim_count};
+use crate::unroll::unrolled_matrices;
+use xbar_nn::Sequential;
+use xbar_tensor::Tensor;
+
+/// One crossbar-column segment: rows `row_block·xbar_rows ..` of one matrix
+/// column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnSegment {
+    /// Index of the block of `xbar_rows` matrix rows.
+    pub row_block: usize,
+    /// Matrix column (filter) index.
+    pub col: usize,
+}
+
+/// Enumerates the segments of a `fan_in × fan_out` matrix for a given
+/// crossbar row count, with their L2 norms.
+pub fn segment_norms(matrix: &Tensor, xbar_rows: usize) -> Vec<(ColumnSegment, f64)> {
+    assert!(xbar_rows > 0, "crossbar must have rows");
+    let (fan_in, fan_out) = (matrix.rows(), matrix.cols());
+    let blocks = fan_in.div_ceil(xbar_rows);
+    let mut out = Vec::with_capacity(blocks * fan_out);
+    for t in 0..blocks {
+        let r0 = t * xbar_rows;
+        let r1 = (r0 + xbar_rows).min(fan_in);
+        for c in 0..fan_out {
+            let norm: f64 = (r0..r1)
+                .map(|r| {
+                    let v = matrix.at2(r, c) as f64;
+                    v * v
+                })
+                .sum::<f64>()
+                .sqrt();
+            out.push((
+                ColumnSegment {
+                    row_block: t,
+                    col: c,
+                },
+                norm,
+            ));
+        }
+    }
+    out
+}
+
+/// Prunes fraction `s` of crossbar-column segments in every weighted layer
+/// except the input convolution, scored by init-time segment norm.
+///
+/// The input layer is exempt because its fan-in (`3·k·k = 27`) is smaller
+/// than a crossbar column, so a "segment" there is an entire input-facing
+/// filter and segment pruning degenerates into crippling filter pruning of
+/// the stem — the standard exemption in the crossbar-aware pruning
+/// literature.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ s < 1` and `xbar_rows > 0`.
+pub fn prune_xcs(model: &Sequential, s: f64, xbar_rows: usize) -> MaskSet {
+    let mut set = MaskSet::new();
+    for ul in unrolled_matrices(model).into_iter().skip(1) {
+        let segs = segment_norms(&ul.matrix, xbar_rows);
+        let scores: Vec<f64> = segs.iter().map(|(_, n)| *n).collect();
+        let victims = smallest_k(&scores, victim_count(segs.len(), s));
+        if victims.is_empty() {
+            continue;
+        }
+        let (fan_in, _) = (ul.matrix.rows(), ul.matrix.cols());
+        // Mask in stored orientation [fan_out, fan_in].
+        let mut mask = Tensor::ones(&[ul.matrix.cols(), fan_in]);
+        for &v in &victims {
+            let (seg, _) = segs[v];
+            let r0 = seg.row_block * xbar_rows;
+            let r1 = (r0 + xbar_rows).min(fan_in);
+            mask.row_mut(seg.col)[r0..r1].fill(0.0);
+        }
+        set.push(LayerMask {
+            layer_index: ul.layer_index,
+            mask,
+        });
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::{Conv2d, Linear};
+    use xbar_nn::Layer;
+
+    fn model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(2, 4, 3, 1, 1, 1)), // fan_in 18, 4 filters
+            Layer::Linear(Linear::new(16, 4, 2)),
+        ])
+    }
+
+    #[test]
+    fn segment_enumeration_counts() {
+        let m = Tensor::ones(&[18, 4]);
+        let segs = segment_norms(&m, 8); // blocks: ceil(18/8)=3
+        assert_eq!(segs.len(), 12);
+        // Last block covers rows 16..18 → norm sqrt(2).
+        let last = segs
+            .iter()
+            .find(|(s, _)| s.row_block == 2 && s.col == 0)
+            .unwrap();
+        assert!((last.1 - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masks_zero_whole_segments_and_exempt_first_layer() {
+        let m = model();
+        let set = prune_xcs(&m, 0.5, 8);
+        // The input conv (layer 0) is exempt; only the linear is masked.
+        assert_eq!(set.masks().len(), 1);
+        assert!(set.for_layer(0).is_none());
+        let mask = &set.for_layer(1).unwrap().mask; // stored [4, 16]
+                                                    // Each row's zero-runs must be unions of segment spans {0..8, 8..16}.
+        for r in 0..4 {
+            let row = mask.row(r);
+            for (start, end) in [(0usize, 8usize), (8, 16)] {
+                let seg = &row[start..end];
+                assert!(
+                    seg.iter().all(|&x| x == 0.0) || seg.iter().all(|&x| x == 1.0),
+                    "segment partially pruned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_matches_requested_fraction_on_masked_layers() {
+        let m = model();
+        let set = prune_xcs(&m, 0.5, 8);
+        // Only the non-exempt layer carries a mask; its sparsity tracks s.
+        let sp = set.nominal_sparsity();
+        assert!((sp - 0.5).abs() < 0.15, "sparsity {sp}");
+    }
+
+    #[test]
+    fn weakest_segments_pruned_first() {
+        let mut m = model();
+        {
+            let w = &mut m.layers_mut()[1]
+                .as_linear_mut()
+                .unwrap()
+                .weight_mut()
+                .value;
+            // Stored [4, 16]: make filter 0's first segment (rows 0..8 of
+            // unrolled column 0) tiny.
+            w.row_mut(0)[0..8].fill(1e-9);
+        }
+        let set = prune_xcs(&m, 0.25, 8);
+        let mask = &set.for_layer(1).unwrap().mask;
+        assert!(mask.row(0)[0..8].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn zero_sparsity_no_masks() {
+        let set = prune_xcs(&model(), 0.0, 8);
+        assert!(set.masks().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn zero_xbar_rows_panics() {
+        segment_norms(&Tensor::ones(&[4, 4]), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Crossbar-row sparsity (XRS) pruning at initialisation.
+//!
+//! Dual of XCS: in the unrolled `fan_in × fan_out` matrix, a *crossbar row
+//! segment* is the run of `xbar_cols` consecutive weights that one crossbar
+//! row holds for one matrix row. XRS prunes the fraction `s` of row segments
+//! with the smallest L2 norm per layer.
+
+use crate::mask::{LayerMask, MaskSet};
+use crate::score::{smallest_k, victim_count};
+use crate::unroll::unrolled_matrices;
+use xbar_nn::Sequential;
+use xbar_tensor::Tensor;
+
+/// One crossbar-row segment: columns `col_block·xbar_cols ..` of one matrix
+/// row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowSegment {
+    /// Matrix row (input) index.
+    pub row: usize,
+    /// Index of the block of `xbar_cols` matrix columns.
+    pub col_block: usize,
+}
+
+/// Enumerates the row segments of a `fan_in × fan_out` matrix with their L2
+/// norms.
+pub fn row_segment_norms(matrix: &Tensor, xbar_cols: usize) -> Vec<(RowSegment, f64)> {
+    assert!(xbar_cols > 0, "crossbar must have columns");
+    let (fan_in, fan_out) = (matrix.rows(), matrix.cols());
+    let blocks = fan_out.div_ceil(xbar_cols);
+    let mut out = Vec::with_capacity(blocks * fan_in);
+    for r in 0..fan_in {
+        let row = matrix.row(r);
+        for t in 0..blocks {
+            let c0 = t * xbar_cols;
+            let c1 = (c0 + xbar_cols).min(fan_out);
+            let norm: f64 = row[c0..c1]
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                .sqrt();
+            out.push((
+                RowSegment {
+                    row: r,
+                    col_block: t,
+                },
+                norm,
+            ));
+        }
+    }
+    out
+}
+
+/// Prunes fraction `s` of crossbar-row segments in every weighted layer
+/// except the input convolution (exempt for the same reason as
+/// [`crate::xcs::prune_xcs`]: at segment granularity the tiny input stem
+/// would be destroyed), scored by init-time segment norm.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ s < 1` and `xbar_cols > 0`.
+pub fn prune_xrs(model: &Sequential, s: f64, xbar_cols: usize) -> MaskSet {
+    let mut set = MaskSet::new();
+    for ul in unrolled_matrices(model).into_iter().skip(1) {
+        let segs = row_segment_norms(&ul.matrix, xbar_cols);
+        let scores: Vec<f64> = segs.iter().map(|(_, n)| *n).collect();
+        let victims = smallest_k(&scores, victim_count(segs.len(), s));
+        if victims.is_empty() {
+            continue;
+        }
+        let (fan_in, fan_out) = (ul.matrix.rows(), ul.matrix.cols());
+        // Mask in stored orientation [fan_out, fan_in]: unrolled (r, c) is
+        // stored (c, r).
+        let mut mask = Tensor::ones(&[fan_out, fan_in]);
+        for &v in &victims {
+            let (seg, _) = segs[v];
+            let c0 = seg.col_block * xbar_cols;
+            let c1 = (c0 + xbar_cols).min(fan_out);
+            for c in c0..c1 {
+                mask.set2(c, seg.row, 0.0);
+            }
+        }
+        set.push(LayerMask {
+            layer_index: ul.layer_index,
+            mask,
+        });
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::Linear;
+    use xbar_nn::Layer;
+
+    fn model() -> Sequential {
+        // A stem layer (exempt) followed by the layer under test.
+        Sequential::new(vec![
+            Layer::Linear(Linear::new(4, 6, 0)),
+            Layer::Linear(Linear::new(6, 10, 1)),
+        ])
+    }
+
+    #[test]
+    fn segment_enumeration_counts() {
+        let m = Tensor::ones(&[6, 10]);
+        let segs = row_segment_norms(&m, 4); // blocks: ceil(10/4)=3
+        assert_eq!(segs.len(), 18);
+        let last = segs
+            .iter()
+            .find(|(s, _)| s.row == 0 && s.col_block == 2)
+            .unwrap();
+        assert!((last.1 - 2f64.sqrt()).abs() < 1e-12); // cols 8..10
+    }
+
+    #[test]
+    fn masks_zero_whole_row_segments() {
+        let m = model();
+        let set = prune_xrs(&m, 0.5, 4);
+        assert!(set.for_layer(0).is_none(), "stem layer is exempt");
+        let mask = &set.for_layer(1).unwrap().mask; // stored [10, 6]
+                                                    // In unrolled orientation [6, 10], each row's spans {0..4, 4..8,
+                                                    // 8..10} must be all-or-nothing.
+        let unrolled = mask.transpose();
+        for r in 0..6 {
+            let row = unrolled.row(r);
+            for (c0, c1) in [(0usize, 4usize), (4, 8), (8, 10)] {
+                let seg = &row[c0..c1];
+                assert!(
+                    seg.iter().all(|&x| x == 0.0) || seg.iter().all(|&x| x == 1.0),
+                    "row segment partially pruned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparsity_matches_requested_fraction() {
+        let set = prune_xrs(&model(), 0.5, 4);
+        let sp = set.nominal_sparsity();
+        assert!((sp - 0.5).abs() < 0.15, "sparsity {sp}");
+    }
+
+    #[test]
+    fn weakest_row_segments_pruned() {
+        let mut m = model();
+        {
+            let w = &mut m.layers_mut()[1]
+                .as_linear_mut()
+                .unwrap()
+                .weight_mut()
+                .value;
+            // Stored [10, 6]; unrolled row 2, col block 0 = stored rows 0..4,
+            // column 2.
+            for c in 0..4 {
+                w.set2(c, 2, 1e-9);
+            }
+        }
+        let set = prune_xrs(&m, 0.2, 4);
+        let mask = &set.for_layer(1).unwrap().mask;
+        for c in 0..4 {
+            assert_eq!(mask.at2(c, 2), 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_sparsity_no_masks() {
+        assert!(prune_xrs(&model(), 0.0, 4).masks().is_empty());
+    }
+}

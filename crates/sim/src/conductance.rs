@@ -1,0 +1,275 @@
+//! Weight ↔ conductance mapping.
+//!
+//! Signed weights map to a *differential pair* of crossbars: `w > 0`
+//! programs the positive array to `Gmin + |w|/w_ref·(Gmax−Gmin)` and the
+//! negative array to `Gmin` (and vice versa); the analog output is the
+//! difference of the two column currents. Zero (pruned) weights sit at
+//! `Gmin` on both arrays — the "low conductance synapses" whose proportion
+//! the paper's mitigations try to maximise.
+//!
+//! The reference scale `w_ref` is the crux of the WCT mitigation (see
+//! `DESIGN.md`): [`MappingScale::Fixed`] keeps the baseline model's scale so
+//! a weight-clamped network genuinely occupies lower conductances, while
+//! [`MappingScale::PerTileMax`]/[`MappingScale::PerLayerMax`] renormalise.
+
+use crate::params::CrossbarParams;
+use serde::{Deserialize, Serialize};
+use xbar_tensor::Tensor;
+
+/// How the weight→conductance reference scale `w_ref` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MappingScale {
+    /// `w_ref` = max |w| of the tile being mapped.
+    PerTileMax,
+    /// `w_ref` = max |w| of the whole layer (passed per layer).
+    PerLayerMax,
+    /// Fixed `w_ref` (e.g. the unclamped baseline's max |w|); weights above
+    /// it saturate at `Gmax`.
+    Fixed(f32),
+}
+
+impl MappingScale {
+    /// Resolves the scale for a tile, given the layer-level maximum.
+    ///
+    /// Falls back to `1.0` if the resolved scale would be zero (an all-zero
+    /// tile), so mapping stays well-defined.
+    pub fn resolve(&self, tile_abs_max: f32, layer_abs_max: f32) -> f32 {
+        let w = match self {
+            MappingScale::PerTileMax => tile_abs_max,
+            MappingScale::PerLayerMax => layer_abs_max,
+            MappingScale::Fixed(w) => *w,
+        };
+        if w > 0.0 {
+            w
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A dense matrix of synaptic conductances (Siemens), row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConductanceMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl ConductanceMatrix {
+    /// All-`value` matrix.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Wraps a buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows·cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "conductance buffer length");
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Raw buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Mean conductance.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Fraction of devices within `tol` of `g_min` — the paper's "proportion
+    /// of low conductance synapses".
+    pub fn low_conductance_fraction(&self, g_min: f64, tol: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let n = self.data.iter().filter(|&&g| g <= g_min + tol).count();
+        n as f64 / self.data.len() as f64
+    }
+}
+
+/// A differential pair of conductance arrays encoding signed weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialPair {
+    /// Array carrying positive weights.
+    pub pos: ConductanceMatrix,
+    /// Array carrying negative weights.
+    pub neg: ConductanceMatrix,
+    /// The reference scale used, needed to invert the mapping.
+    pub w_ref: f32,
+}
+
+/// Maps a weight tile to a differential conductance pair.
+///
+/// Weights with `|w| > w_ref` saturate at `Gmax`.
+///
+/// # Panics
+///
+/// Panics if `tile` is not 2-D.
+pub fn weights_to_conductances(
+    tile: &Tensor,
+    scale: MappingScale,
+    layer_abs_max: f32,
+    params: &CrossbarParams,
+) -> DifferentialPair {
+    assert_eq!(tile.ndim(), 2, "weight tile must be 2-D");
+    let (rows, cols) = (tile.rows(), tile.cols());
+    let w_ref = scale.resolve(tile.abs_max(), layer_abs_max);
+    let (g_min, g_max) = (params.g_min(), params.g_max());
+    let span = g_max - g_min;
+    let mut pos = ConductanceMatrix::filled(rows, cols, g_min);
+    let mut neg = ConductanceMatrix::filled(rows, cols, g_min);
+    for r in 0..rows {
+        for (c, &w) in tile.row(r).iter().enumerate() {
+            let mag = (w.abs() / w_ref).min(1.0) as f64;
+            let g = g_min + mag * span;
+            if w > 0.0 {
+                pos.set(r, c, g);
+            } else if w < 0.0 {
+                neg.set(r, c, g);
+            }
+        }
+    }
+    DifferentialPair { pos, neg, w_ref }
+}
+
+/// Inverts the mapping: converts a (possibly non-ideal) differential pair
+/// back into signed weights.
+///
+/// # Panics
+///
+/// Panics if the pair's arrays have different shapes.
+pub fn conductances_to_weights(pair: &DifferentialPair, params: &CrossbarParams) -> Tensor {
+    assert_eq!(
+        (pair.pos.rows(), pair.pos.cols()),
+        (pair.neg.rows(), pair.neg.cols()),
+        "differential pair shape mismatch"
+    );
+    let (rows, cols) = (pair.pos.rows(), pair.pos.cols());
+    let (g_min, g_max) = (params.g_min(), params.g_max());
+    let span = g_max - g_min;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        for c in 0..cols {
+            let diff = pair.pos.at(r, c) - pair.neg.at(r, c);
+            // Effective conductances can dip below Gmin from IR drop; the
+            // difference maps linearly back to a weight.
+            let w = (diff / span) as f32 * pair.w_ref;
+            out.set2(r, c, w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CrossbarParams {
+        CrossbarParams::with_size(4)
+    }
+
+    #[test]
+    fn zero_weights_sit_at_gmin_on_both_arrays() {
+        let tile = Tensor::zeros(&[2, 2]);
+        let pair = weights_to_conductances(&tile, MappingScale::PerTileMax, 1.0, &params());
+        let g_min = params().g_min();
+        assert!(pair.pos.as_slice().iter().all(|&g| g == g_min));
+        assert!(pair.neg.as_slice().iter().all(|&g| g == g_min));
+        assert_eq!(pair.pos.low_conductance_fraction(g_min, 1e-12), 1.0);
+    }
+
+    #[test]
+    fn max_weight_hits_gmax() {
+        let tile = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
+        let pair = weights_to_conductances(&tile, MappingScale::PerTileMax, 1.0, &params());
+        assert!((pair.pos.at(0, 0) - params().g_max()).abs() < 1e-12);
+        assert!((pair.neg.at(0, 0) - params().g_min()).abs() < 1e-12);
+        assert!((pair.neg.at(0, 1) - params().g_max()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let tile = Tensor::from_vec(vec![0.5, -0.25, 0.0, 1.0, -1.0, 0.125], &[2, 3]).unwrap();
+        let pair = weights_to_conductances(&tile, MappingScale::PerTileMax, 1.0, &params());
+        let back = conductances_to_weights(&pair, &params());
+        for (a, b) in tile.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fixed_scale_saturates_large_weights() {
+        let tile = Tensor::from_vec(vec![2.0], &[1, 1]).unwrap();
+        let pair = weights_to_conductances(&tile, MappingScale::Fixed(1.0), 99.0, &params());
+        assert!((pair.pos.at(0, 0) - params().g_max()).abs() < 1e-12);
+        // Round trip clamps to w_ref.
+        let back = conductances_to_weights(&pair, &params());
+        assert!((back.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_scale_lowers_conductances_of_small_weights() {
+        // The WCT effect: same weight, smaller relative to a fixed w_ref →
+        // lower conductance than per-tile normalisation would give.
+        let tile = Tensor::from_vec(vec![0.1], &[1, 1]).unwrap();
+        let per_tile = weights_to_conductances(&tile, MappingScale::PerTileMax, 1.0, &params());
+        let fixed = weights_to_conductances(&tile, MappingScale::Fixed(1.0), 1.0, &params());
+        assert!(fixed.pos.at(0, 0) < per_tile.pos.at(0, 0));
+    }
+
+    #[test]
+    fn scale_resolution() {
+        assert_eq!(MappingScale::PerTileMax.resolve(0.5, 2.0), 0.5);
+        assert_eq!(MappingScale::PerLayerMax.resolve(0.5, 2.0), 2.0);
+        assert_eq!(MappingScale::Fixed(3.0).resolve(0.5, 2.0), 3.0);
+        // Degenerate all-zero tile falls back to 1.0.
+        assert_eq!(MappingScale::PerTileMax.resolve(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn conductance_matrix_stats() {
+        let m = ConductanceMatrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.low_conductance_fraction(1.0, 0.5), 0.25);
+    }
+}

@@ -1,0 +1,143 @@
+//! Stuck-at device faults.
+//!
+//! Fabricated crossbars contain a fraction of devices stuck at low
+//! conductance (stuck-at-`Gmin`, e.g. broken filament) or high conductance
+//! (stuck-at-`Gmax`, e.g. shorted cell). Fault injection is applied after
+//! programming (mapping + quantization) and before read-out, and is the
+//! failure-injection hook used by the robustness tests: a pruned model's
+//! few surviving weights make it disproportionately fragile to faults, the
+//! same mechanism the paper identifies for parasitic non-idealities.
+
+use crate::conductance::ConductanceMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Rates of stuck-at faults, as independent per-device probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Probability a device is stuck at `Gmin`.
+    pub stuck_at_gmin: f64,
+    /// Probability a device is stuck at `Gmax`.
+    pub stuck_at_gmax: f64,
+}
+
+impl FaultModel {
+    /// A fault-free model.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault can occur.
+    pub fn is_active(&self) -> bool {
+        self.stuck_at_gmin > 0.0 || self.stuck_at_gmax > 0.0
+    }
+
+    /// Validates the rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]` or they sum above 1.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.stuck_at_gmin) && (0.0..=1.0).contains(&self.stuck_at_gmax),
+            "fault rates must be probabilities"
+        );
+        assert!(
+            self.stuck_at_gmin + self.stuck_at_gmax <= 1.0,
+            "fault rates sum above one"
+        );
+    }
+
+    /// Injects faults into a conductance array in place, deterministically
+    /// from `seed`. Returns the number of faulted devices.
+    pub fn inject(&self, g: &mut ConductanceMatrix, g_min: f64, g_max: f64, seed: u64) -> usize {
+        self.validate();
+        if !self.is_active() {
+            return 0;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faulted = 0usize;
+        for v in g.as_mut_slice() {
+            let roll: f64 = rng.gen();
+            if roll < self.stuck_at_gmin {
+                *v = g_min;
+                faulted += 1;
+            } else if roll < self.stuck_at_gmin + self.stuck_at_gmax {
+                *v = g_max;
+                faulted += 1;
+            }
+        }
+        faulted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_noop() {
+        let fm = FaultModel::none();
+        assert!(!fm.is_active());
+        let mut g = ConductanceMatrix::filled(4, 4, 5e-6);
+        let orig = g.clone();
+        assert_eq!(fm.inject(&mut g, 1e-6, 1e-5, 1), 0);
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn rates_produce_expected_fault_counts() {
+        let fm = FaultModel {
+            stuck_at_gmin: 0.1,
+            stuck_at_gmax: 0.05,
+        };
+        let mut g = ConductanceMatrix::filled(100, 100, 5e-6);
+        let n = fm.inject(&mut g, 1e-6, 1e-5, 42);
+        let frac = n as f64 / 10_000.0;
+        assert!((frac - 0.15).abs() < 0.02, "fault fraction {frac}");
+        // Faulted values are exactly at the rails.
+        let rails = g
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == 1e-6 || v == 1e-5)
+            .count();
+        assert_eq!(rails, n);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fm = FaultModel {
+            stuck_at_gmin: 0.2,
+            stuck_at_gmax: 0.0,
+        };
+        let mut a = ConductanceMatrix::filled(10, 10, 5e-6);
+        let mut b = ConductanceMatrix::filled(10, 10, 5e-6);
+        fm.inject(&mut a, 1e-6, 1e-5, 9);
+        fm.inject(&mut b, 1e-6, 1e-5, 9);
+        assert_eq!(a, b);
+        let mut c = ConductanceMatrix::filled(10, 10, 5e-6);
+        fm.inject(&mut c, 1e-6, 1e-5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn negative_rate_panics() {
+        let fm = FaultModel {
+            stuck_at_gmin: -0.1,
+            stuck_at_gmax: 0.0,
+        };
+        fm.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum above one")]
+    fn rates_summing_above_one_panic() {
+        let fm = FaultModel {
+            stuck_at_gmin: 0.7,
+            stuck_at_gmax: 0.7,
+        };
+        fm.validate();
+    }
+}

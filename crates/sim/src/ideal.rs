@@ -1,0 +1,37 @@
+//! Ideal (parasitic-free) crossbar MAC, the software reference.
+
+use crate::conductance::ConductanceMatrix;
+
+/// Ideal column currents `I_j = Σ_i G_ij·V_i`.
+///
+/// # Panics
+///
+/// Panics if `v.len() != g.rows()`.
+pub fn ideal_currents(g: &ConductanceMatrix, v: &[f64]) -> Vec<f64> {
+    assert_eq!(v.len(), g.rows(), "voltage count must match rows");
+    (0..g.cols())
+        .map(|j| (0..g.rows()).map(|i| g.at(i, j) * v[i]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_weighted_column_sums() {
+        let mut g = ConductanceMatrix::filled(2, 2, 0.0);
+        g.set(0, 0, 1.0);
+        g.set(1, 0, 2.0);
+        g.set(0, 1, 3.0);
+        g.set(1, 1, 4.0);
+        let i = ideal_currents(&g, &[1.0, 0.5]);
+        assert_eq!(i, vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage count")]
+    fn wrong_voltage_count_panics() {
+        ideal_currents(&ConductanceMatrix::filled(2, 2, 1.0), &[1.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Discrete conductance levels (programming quantization).
+//!
+//! Practical memristive devices are programmed to a finite number of
+//! conductance levels (e.g. 16 or 32 between `Gmin` and `Gmax`) rather than
+//! a continuum. Quantization is applied after the weight→conductance mapping
+//! and before device variation; `CrossbarParams::levels == 0` keeps the
+//! continuous model the paper's framework uses.
+
+use crate::conductance::ConductanceMatrix;
+
+/// Snaps every conductance to the nearest of `levels` equally spaced values
+/// in `[g_min, g_max]`, in place. `levels == 0` or `1` is a no-op (a single
+/// level cannot represent the mapping and is treated as "disabled").
+///
+/// # Panics
+///
+/// Panics if `g_min >= g_max`.
+pub fn quantize_conductances(g: &mut ConductanceMatrix, g_min: f64, g_max: f64, levels: u32) {
+    assert!(g_min < g_max, "conductance window must be non-empty");
+    if levels < 2 {
+        return;
+    }
+    let span = g_max - g_min;
+    let steps = (levels - 1) as f64;
+    for v in g.as_mut_slice() {
+        let x = ((*v - g_min) / span).clamp(0.0, 1.0);
+        *v = g_min + (x * steps).round() / steps * span;
+    }
+}
+
+/// The worst-case conductance error introduced by `levels`-level
+/// quantization: half a step.
+pub fn quantization_error_bound(g_min: f64, g_max: f64, levels: u32) -> f64 {
+    if levels < 2 {
+        0.0
+    } else {
+        (g_max - g_min) / ((levels - 1) as f64) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_levels_snap_to_extremes() {
+        let mut g = ConductanceMatrix::from_vec(1, 4, vec![1.0, 1.4, 1.6, 2.0]);
+        quantize_conductances(&mut g, 1.0, 2.0, 2);
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn levels_zero_and_one_are_noops() {
+        let mut g = ConductanceMatrix::from_vec(1, 2, vec![1.3, 1.7]);
+        let orig = g.clone();
+        quantize_conductances(&mut g, 1.0, 2.0, 0);
+        assert_eq!(g, orig);
+        quantize_conductances(&mut g, 1.0, 2.0, 1);
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let (g_min, g_max, levels) = (1e-6, 1e-5, 16u32);
+        let bound = quantization_error_bound(g_min, g_max, levels);
+        let mut s = 3u64;
+        for _ in 0..100 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let v = g_min + (s % 1000) as f64 / 1000.0 * (g_max - g_min);
+            let mut g = ConductanceMatrix::from_vec(1, 1, vec![v]);
+            quantize_conductances(&mut g, g_min, g_max, levels);
+            assert!((g.as_slice()[0] - v).abs() <= bound + 1e-18);
+        }
+    }
+
+    #[test]
+    fn out_of_window_values_clamp() {
+        let mut g = ConductanceMatrix::from_vec(1, 2, vec![0.5, 3.0]);
+        quantize_conductances(&mut g, 1.0, 2.0, 4);
+        assert_eq!(g.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantized_values_are_on_the_grid() {
+        let (g_min, g_max, levels) = (1.0, 2.0, 5u32);
+        let mut g = ConductanceMatrix::from_vec(1, 3, vec![1.1, 1.55, 1.9]);
+        quantize_conductances(&mut g, g_min, g_max, levels);
+        for &v in g.as_slice() {
+            let step = (v - g_min) / (g_max - g_min) * (levels - 1) as f64;
+            assert!((step - step.round()).abs() < 1e-12, "off-grid value {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn inverted_window_panics() {
+        let mut g = ConductanceMatrix::filled(1, 1, 1.0);
+        quantize_conductances(&mut g, 2.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,483 @@
+//! Non-ideal crossbar circuit solving.
+//!
+//! The equivalent circuit (paper Fig. 1(a)) has two nodes per crosspoint:
+//! a row-wire node `vr(i,j)` and a column-wire node `vc(i,j)`, connected by
+//! the synapse conductance `G_ij`. Row nodes chain through `Rwire_row`
+//! segments back to the driver (`Rdriver`, behind the input voltage `V_i`);
+//! column nodes chain through `Rwire_col` segments down to the sense
+//! resistance `Rsense` at the bottom. Kirchhoff's current law at every node
+//! yields a sparse SPD system.
+//!
+//! Two solvers are provided:
+//!
+//! * [`SolveMethod::DenseExact`] assembles the full nodal matrix and LU-solves
+//!   it — exact, used for small tiles and validation;
+//! * [`SolveMethod::LineRelaxation`] alternates exact tridiagonal solves
+//!   along rows and columns (block Gauss–Seidel with tridiagonal blocks).
+//!   Because wire conductances exceed synaptic ones by ~10³, the inter-line
+//!   coupling is weak and a handful of sweeps reaches circuit accuracy.
+
+use crate::conductance::ConductanceMatrix;
+use crate::params::CrossbarParams;
+use xbar_linalg::dense::LuDecomposition;
+use xbar_linalg::sparse::CooBuilder;
+use xbar_linalg::tridiagonal::solve_tridiagonal;
+use xbar_linalg::{Result, SolveError};
+
+/// Conductance used for a zero-resistance (ideal) parasitic element.
+const IDEAL_CONDUCTANCE: f64 = 1e9;
+
+fn g_of(r: f64) -> f64 {
+    if r <= 0.0 {
+        IDEAL_CONDUCTANCE
+    } else {
+        1.0 / r
+    }
+}
+
+/// Which circuit solver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Exact dense LU over the full nodal system (O(n³); small tiles only).
+    DenseExact,
+    /// Alternating row/column tridiagonal relaxation (fast, validated
+    /// against `DenseExact`).
+    LineRelaxation,
+}
+
+/// Result of a non-ideal solve at a fixed input-voltage vector.
+#[derive(Debug, Clone)]
+pub struct EffectiveSolve {
+    /// Effective per-synapse conductances `G'_ij = I_syn,ij / V_i`.
+    pub g_eff: ConductanceMatrix,
+    /// Non-ideal column currents through the sense resistors, A.
+    pub col_currents: Vec<f64>,
+    /// Ideal column currents `Σ_i G_ij·V_i`, A.
+    pub ideal_currents: Vec<f64>,
+    /// Relaxation sweeps used (1 for the dense solver).
+    pub sweeps: usize,
+}
+
+/// A crossbar circuit solver bound to fixed parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NonIdealSolver {
+    params: CrossbarParams,
+    method: SolveMethod,
+    /// Convergence tolerance of line relaxation (max voltage delta relative
+    /// to read voltage).
+    pub tolerance: f64,
+    /// Sweep cap for line relaxation.
+    pub max_sweeps: usize,
+}
+
+impl NonIdealSolver {
+    /// Creates a solver.
+    pub fn new(params: CrossbarParams, method: SolveMethod) -> Self {
+        params.validate();
+        Self {
+            params,
+            method,
+            tolerance: 1e-9,
+            max_sweeps: 500,
+        }
+    }
+
+    /// The bound parameters.
+    pub fn params(&self) -> &CrossbarParams {
+        &self.params
+    }
+
+    /// Solves the circuit for conductances `g` under input voltages `v` and
+    /// extracts effective conductances and column currents.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Dimension`] if `v.len() != g.rows()` or any voltage is
+    ///   non-positive (effective conductances need `V_i > 0`);
+    /// * solver errors from the underlying factorisation/relaxation.
+    pub fn effective_conductances(
+        &self,
+        g: &ConductanceMatrix,
+        v: &[f64],
+    ) -> Result<EffectiveSolve> {
+        let (rows, cols) = (g.rows(), g.cols());
+        if v.len() != rows {
+            return Err(SolveError::Dimension(format!(
+                "crossbar has {rows} rows but {} input voltages given",
+                v.len()
+            )));
+        }
+        if v.iter().any(|&x| x <= 0.0) {
+            return Err(SolveError::Dimension(
+                "effective-conductance extraction requires positive read voltages".into(),
+            ));
+        }
+        let (vr, vc, sweeps) = match self.method {
+            SolveMethod::DenseExact => {
+                let (vr, vc) = self.solve_dense(g, v)?;
+                (vr, vc, 1)
+            }
+            SolveMethod::LineRelaxation => self.solve_lines(g, v)?,
+        };
+        let mut g_eff = ConductanceMatrix::filled(rows, cols, 0.0);
+        for i in 0..rows {
+            for j in 0..cols {
+                let i_syn = g.at(i, j) * (vr[i * cols + j] - vc[i * cols + j]);
+                g_eff.set(i, j, i_syn / v[i]);
+            }
+        }
+        let g_sense = g_of(self.params.r_sense);
+        let col_currents: Vec<f64> = (0..cols)
+            .map(|j| vc[(rows - 1) * cols + j] * g_sense)
+            .collect();
+        let ideal_currents: Vec<f64> = (0..cols)
+            .map(|j| (0..rows).map(|i| g.at(i, j) * v[i]).sum())
+            .collect();
+        Ok(EffectiveSolve {
+            g_eff,
+            col_currents,
+            ideal_currents,
+            sweeps,
+        })
+    }
+
+    /// Exact non-ideal column currents for an arbitrary non-negative input
+    /// vector (activations after ReLU are non-negative). Unlike
+    /// [`NonIdealSolver::effective_conductances`], no per-synapse division
+    /// by `V_i` is needed, so zero inputs are fine.
+    ///
+    /// This is the ground truth against which the paper's methodology —
+    /// folding non-idealities into effective conductances `G'` extracted at
+    /// the nominal read voltage — is validated (ablation A6 in
+    /// `xbar-bench`).
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Dimension`] if `v.len() != g.rows()` or any voltage
+    ///   is negative;
+    /// * solver errors from the underlying relaxation.
+    pub fn column_currents(&self, g: &ConductanceMatrix, v: &[f64]) -> Result<Vec<f64>> {
+        let (rows, cols) = (g.rows(), g.cols());
+        if v.len() != rows {
+            return Err(SolveError::Dimension(format!(
+                "crossbar has {rows} rows but {} input voltages given",
+                v.len()
+            )));
+        }
+        if v.iter().any(|&x| x < 0.0) {
+            return Err(SolveError::Dimension(
+                "column currents require non-negative input voltages".into(),
+            ));
+        }
+        let (_, vc) = match self.method {
+            SolveMethod::DenseExact => self.solve_dense(g, v)?,
+            SolveMethod::LineRelaxation => {
+                let (vr, vc, _) = self.solve_lines(g, v)?;
+                (vr, vc)
+            }
+        };
+        let g_sense = g_of(self.params.r_sense);
+        Ok((0..cols)
+            .map(|j| vc[(rows - 1) * cols + j] * g_sense)
+            .collect())
+    }
+
+    /// Dense nodal assembly + LU. Node order: all row nodes (`i·cols + j`)
+    /// then all column nodes (`rows·cols + i·cols + j`).
+    fn solve_dense(&self, g: &ConductanceMatrix, v: &[f64]) -> Result<(Vec<f64>, Vec<f64>)> {
+        let p = &self.params;
+        let (rows, cols) = (g.rows(), g.cols());
+        let n = 2 * rows * cols;
+        let (g_drv, g_wr, g_wc, g_sns) = (
+            g_of(p.r_driver),
+            g_of(p.r_wire_row),
+            g_of(p.r_wire_col),
+            g_of(p.r_sense),
+        );
+        let mut builder = CooBuilder::new(n);
+        let mut b = vec![0.0f64; n];
+        let rnode = |i: usize, j: usize| i * cols + j;
+        let cnode = |i: usize, j: usize| rows * cols + i * cols + j;
+        for i in 0..rows {
+            for j in 0..cols {
+                // Synapse between row and column nodes.
+                builder.stamp_conductance(Some(rnode(i, j)), Some(cnode(i, j)), g.at(i, j));
+                // Row wire to the right neighbour.
+                if j + 1 < cols {
+                    builder.stamp_conductance(Some(rnode(i, j)), Some(rnode(i, j + 1)), g_wr);
+                }
+                // Column wire to the node below.
+                if i + 1 < rows {
+                    builder.stamp_conductance(Some(cnode(i, j)), Some(cnode(i + 1, j)), g_wc);
+                }
+            }
+            // Driver at the left end of the row: conductance to the source.
+            builder.stamp_conductance(Some(rnode(i, 0)), None, g_drv);
+            b[rnode(i, 0)] += g_drv * v[i];
+        }
+        for j in 0..cols {
+            // Sense resistor to ground at the bottom of the column.
+            builder.stamp_conductance(Some(cnode(rows - 1, j)), None, g_sns);
+        }
+        let dense = builder.build().to_dense();
+        let x = LuDecomposition::new(&dense)?.solve(&b)?;
+        let (vr, vc) = x.split_at(rows * cols);
+        Ok((vr.to_vec(), vc.to_vec()))
+    }
+
+    /// Alternating tridiagonal line solves.
+    fn solve_lines(&self, g: &ConductanceMatrix, v: &[f64]) -> Result<(Vec<f64>, Vec<f64>, usize)> {
+        let p = &self.params;
+        let (rows, cols) = (g.rows(), g.cols());
+        let (g_drv, g_wr, g_wc, g_sns) = (
+            g_of(p.r_driver),
+            g_of(p.r_wire_row),
+            g_of(p.r_wire_col),
+            g_of(p.r_sense),
+        );
+        // Initial guess: full source voltage on rows, ground on columns.
+        let mut vr: Vec<f64> = (0..rows * cols).map(|k| v[k / cols]).collect();
+        let mut vc = vec![0.0f64; rows * cols];
+        let tol = self.tolerance * p.v_read;
+        let mut sweeps = 0usize;
+        // Band buffers reused across lines.
+        let mut sub = vec![0.0f64; rows.max(cols)];
+        let mut diag = vec![0.0f64; rows.max(cols)];
+        let mut sup = vec![0.0f64; rows.max(cols)];
+        let mut rhs = vec![0.0f64; rows.max(cols)];
+        loop {
+            sweeps += 1;
+            let mut max_delta = 0.0f64;
+            // Row lines: unknowns vr(i, 0..cols), with vc held fixed.
+            for i in 0..rows {
+                for j in 0..cols {
+                    let left = if j == 0 { g_drv } else { g_wr };
+                    let right = if j + 1 < cols { g_wr } else { 0.0 };
+                    diag[j] = left + right + g.at(i, j);
+                    sub[j] = if j == 0 { 0.0 } else { -g_wr };
+                    sup[j] = if j + 1 < cols { -g_wr } else { 0.0 };
+                    rhs[j] =
+                        g.at(i, j) * vc[i * cols + j] + if j == 0 { g_drv * v[i] } else { 0.0 };
+                }
+                let x = solve_tridiagonal(&sub[..cols], &diag[..cols], &sup[..cols], &rhs[..cols])?;
+                for (j, &val) in x.iter().enumerate() {
+                    max_delta = max_delta.max((val - vr[i * cols + j]).abs());
+                    vr[i * cols + j] = val;
+                }
+            }
+            // Column lines: unknowns vc(0..rows, j), with vr held fixed.
+            for j in 0..cols {
+                for i in 0..rows {
+                    let up = if i == 0 { 0.0 } else { g_wc };
+                    let down = if i + 1 < rows { g_wc } else { g_sns };
+                    diag[i] = up + down + g.at(i, j);
+                    sub[i] = if i == 0 { 0.0 } else { -g_wc };
+                    sup[i] = if i + 1 < rows { -g_wc } else { 0.0 };
+                    rhs[i] = g.at(i, j) * vr[i * cols + j];
+                }
+                let x = solve_tridiagonal(&sub[..rows], &diag[..rows], &sup[..rows], &rhs[..rows])?;
+                for (i, &val) in x.iter().enumerate() {
+                    max_delta = max_delta.max((val - vc[i * cols + j]).abs());
+                    vc[i * cols + j] = val;
+                }
+            }
+            if max_delta < tol {
+                return Ok((vr, vc, sweeps));
+            }
+            if sweeps >= self.max_sweeps {
+                return Err(SolveError::NoConvergence {
+                    iterations: sweeps,
+                    residual: max_delta / p.v_read,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_g(rows: usize, cols: usize, params: &CrossbarParams) -> ConductanceMatrix {
+        ConductanceMatrix::filled(rows, cols, params.g_max())
+    }
+
+    #[test]
+    fn ideal_crossbar_reproduces_dot_product() {
+        let params = CrossbarParams::with_size(4).ideal();
+        let g = uniform_g(4, 4, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let v = vec![0.25; 4];
+        let out = solver.effective_conductances(&g, &v).unwrap();
+        for (i_n, i_i) in out.col_currents.iter().zip(&out.ideal_currents) {
+            assert!((i_n - i_i).abs() / i_i < 1e-5, "{i_n} vs {i_i}");
+        }
+        for (e, p) in out.g_eff.as_slice().iter().zip(g.as_slice()) {
+            assert!((e - p).abs() / p < 1e-5);
+        }
+    }
+
+    #[test]
+    fn line_relaxation_matches_dense_exact() {
+        let params = CrossbarParams::with_size(6);
+        let mut g = ConductanceMatrix::filled(6, 6, 0.0);
+        let mut s = 9u64;
+        for i in 0..6 {
+            for j in 0..6 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let frac = (s % 1000) as f64 / 1000.0;
+                g.set(
+                    i,
+                    j,
+                    params.g_min() + frac * (params.g_max() - params.g_min()),
+                );
+            }
+        }
+        let v = vec![params.v_read; 6];
+        let exact = NonIdealSolver::new(params, SolveMethod::DenseExact)
+            .effective_conductances(&g, &v)
+            .unwrap();
+        let lines = NonIdealSolver::new(params, SolveMethod::LineRelaxation)
+            .effective_conductances(&g, &v)
+            .unwrap();
+        for (a, b) in exact.g_eff.as_slice().iter().zip(lines.g_eff.as_slice()) {
+            assert!((a - b).abs() / a.abs().max(1e-12) < 1e-5, "{a} vs {b}");
+        }
+        for (a, b) in exact.col_currents.iter().zip(&lines.col_currents) {
+            assert!((a - b).abs() / a < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parasitics_always_lose_current() {
+        let params = CrossbarParams::with_size(16);
+        let g = uniform_g(16, 16, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let v = vec![params.v_read; 16];
+        let out = solver.effective_conductances(&g, &v).unwrap();
+        for (i_n, i_i) in out.col_currents.iter().zip(&out.ideal_currents) {
+            assert!(i_n < i_i, "non-ideal current must be below ideal");
+            assert!(*i_n > 0.0);
+        }
+    }
+
+    #[test]
+    fn larger_crossbars_have_larger_relative_drop() {
+        let mut drops = Vec::new();
+        for n in [8usize, 16, 32] {
+            let params = CrossbarParams::with_size(n);
+            let g = uniform_g(n, n, &params);
+            let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+            let v = vec![params.v_read; n];
+            let out = solver.effective_conductances(&g, &v).unwrap();
+            let nf: f64 = out
+                .col_currents
+                .iter()
+                .zip(&out.ideal_currents)
+                .map(|(n, i)| (i - n) / i)
+                .sum::<f64>()
+                / n as f64;
+            drops.push(nf);
+        }
+        assert!(drops[0] < drops[1] && drops[1] < drops[2], "{drops:?}");
+    }
+
+    #[test]
+    fn low_conductance_reduces_drop() {
+        let params = CrossbarParams::with_size(16);
+        let dense_g = uniform_g(16, 16, &params);
+        let sparse_g = ConductanceMatrix::filled(16, 16, params.g_min());
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let v = vec![params.v_read; 16];
+        let nf = |g: &ConductanceMatrix| {
+            let out = solver.effective_conductances(g, &v).unwrap();
+            out.col_currents
+                .iter()
+                .zip(&out.ideal_currents)
+                .map(|(n, i)| (i - n) / i)
+                .sum::<f64>()
+                / 16.0
+        };
+        assert!(
+            nf(&sparse_g) < nf(&dense_g),
+            "low-G crossbar must suffer less IR drop"
+        );
+    }
+
+    #[test]
+    fn column_currents_accept_zero_inputs() {
+        let params = CrossbarParams::with_size(6);
+        let g = uniform_g(6, 6, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let v = vec![0.0, 0.25, 0.0, 0.25, 0.0, 0.25];
+        let currents = solver.column_currents(&g, &v).unwrap();
+        assert!(currents.iter().all(|&i| i > 0.0));
+        // Negative inputs rejected.
+        assert!(solver.column_currents(&g, &[-0.1; 6]).is_err());
+    }
+
+    #[test]
+    fn column_currents_match_effective_solve_at_nominal_input() {
+        let params = CrossbarParams::with_size(8);
+        let g = uniform_g(8, 8, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let v = vec![params.v_read; 8];
+        let exact = solver.column_currents(&g, &v).unwrap();
+        let eff = solver.effective_conductances(&g, &v).unwrap();
+        for (a, b) in exact.iter().zip(&eff.col_currents) {
+            assert!((a - b).abs() / a < 1e-9);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn effective_g_approximation_is_close_for_varied_inputs() {
+        // The paper's methodology folds non-idealities into G' extracted at
+        // the nominal read voltage; for a different input pattern the
+        // approximation error should be small but non-zero.
+        let params = CrossbarParams::with_size(8);
+        let g = uniform_g(8, 8, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let nominal = vec![params.v_read; 8];
+        let eff = solver.effective_conductances(&g, &nominal).unwrap();
+        // Half the rows active.
+        let v: Vec<f64> = (0..8)
+            .map(|i| if i % 2 == 0 { params.v_read } else { 0.0 })
+            .collect();
+        let exact = solver.column_currents(&g, &v).unwrap();
+        for j in 0..8 {
+            let approx: f64 = (0..8).map(|i| eff.g_eff.at(i, j) * v[i]).sum();
+            let rel = (approx - exact[j]).abs() / exact[j];
+            assert!(rel < 0.05, "approximation should be within 5%: {rel}");
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let params = CrossbarParams::with_size(4);
+        let g = uniform_g(4, 4, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        assert!(solver.effective_conductances(&g, &[0.25; 3]).is_err());
+        assert!(solver
+            .effective_conductances(&g, &[0.25, 0.25, 0.25, 0.0])
+            .is_err());
+    }
+
+    #[test]
+    fn effective_conductances_follow_ir_drop_gradient() {
+        // Rows farther along the column (higher i) see less degradation at
+        // the sense end... but more wire in between; the clear invariant is
+        // that all effective conductances are below programmed ones.
+        let params = CrossbarParams::with_size(8);
+        let g = uniform_g(8, 8, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let v = vec![params.v_read; 8];
+        let out = solver.effective_conductances(&g, &v).unwrap();
+        for (e, p) in out.g_eff.as_slice().iter().zip(g.as_slice()) {
+            assert!(e < p);
+            assert!(*e > 0.0);
+        }
+    }
+}

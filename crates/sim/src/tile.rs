@@ -1,0 +1,306 @@
+//! End-to-end simulation of one weight tile on a non-ideal crossbar pair.
+//!
+//! This is the per-tile unit of the paper's Fig. 2 pipeline: weights →
+//! conductances (differential pair) → Gaussian variation → non-ideal circuit
+//! solve → effective conductances `G'` → non-ideal weights `W'`, plus NF
+//! statistics for Fig. 3(d).
+
+use crate::conductance::{
+    conductances_to_weights, weights_to_conductances, DifferentialPair, MappingScale,
+};
+use crate::nf::mean_nf;
+use crate::params::CrossbarParams;
+use crate::quantize::quantize_conductances;
+use crate::solve::{NonIdealSolver, SolveMethod};
+use crate::variation::apply_variation;
+use xbar_linalg::Result;
+use xbar_tensor::Tensor;
+
+/// Result of simulating one tile.
+#[derive(Debug, Clone)]
+pub struct TileOutcome {
+    /// The non-ideal weights `W'` read back from the crossbar pair.
+    pub weights: Tensor,
+    /// Mean NF over the positive array's columns.
+    pub nf_pos: f64,
+    /// Mean NF over the negative array's columns.
+    pub nf_neg: f64,
+    /// Fraction of devices (both arrays) within 1 % of `Gmin` — the
+    /// low-conductance-synapse proportion the mitigations maximise.
+    pub low_g_fraction: f64,
+    /// Line-relaxation sweeps used (max of the two arrays).
+    pub sweeps: usize,
+}
+
+impl TileOutcome {
+    /// Mean NF over both arrays.
+    pub fn nf(&self) -> f64 {
+        0.5 * (self.nf_pos + self.nf_neg)
+    }
+}
+
+/// Simulates one weight tile on a non-ideal differential crossbar pair.
+///
+/// * `tile` — `rows × cols` weights (padded with zeros to the full crossbar
+///   size by the caller; zero cells sit at `Gmin` like unused devices);
+/// * `scale`/`layer_abs_max` — weight→conductance reference (see
+///   [`MappingScale`]);
+/// * `seed` — deterministic variation seed (derive per tile).
+///
+/// # Errors
+///
+/// Propagates circuit-solver errors.
+///
+/// # Panics
+///
+/// Panics if `tile` is not 2-D.
+pub fn simulate_tile(
+    tile: &Tensor,
+    scale: MappingScale,
+    layer_abs_max: f32,
+    params: &CrossbarParams,
+    method: SolveMethod,
+    seed: u64,
+) -> Result<TileOutcome> {
+    let mut pair = weights_to_conductances(tile, scale, layer_abs_max, params);
+    let g_min = params.g_min();
+    let low_g = {
+        let tol = 0.01 * g_min;
+        0.5 * (pair.pos.low_conductance_fraction(g_min, tol)
+            + pair.neg.low_conductance_fraction(g_min, tol))
+    };
+    let g_max = params.g_max();
+    quantize_conductances(&mut pair.pos, g_min, g_max, params.levels);
+    quantize_conductances(&mut pair.neg, g_min, g_max, params.levels);
+    apply_variation(&mut pair.pos, params.sigma_variation, g_min, seed);
+    apply_variation(
+        &mut pair.neg,
+        params.sigma_variation,
+        g_min,
+        seed.wrapping_add(0x5DEECE66D),
+    );
+    // Stuck-at faults override whatever was programmed.
+    params
+        .faults
+        .inject(&mut pair.pos, g_min, g_max, seed.wrapping_add(0xFA17_0001));
+    params
+        .faults
+        .inject(&mut pair.neg, g_min, g_max, seed.wrapping_add(0xFA17_0002));
+    let solver = NonIdealSolver::new(*params, method);
+    let v = vec![params.v_read; tile.rows()];
+    let pos_solve = solver.effective_conductances(&pair.pos, &v)?;
+    let neg_solve = solver.effective_conductances(&pair.neg, &v)?;
+    let outcome_pair = DifferentialPair {
+        pos: pos_solve.g_eff.clone(),
+        neg: neg_solve.g_eff.clone(),
+        w_ref: pair.w_ref,
+    };
+    let weights = conductances_to_weights(&outcome_pair, params);
+    Ok(TileOutcome {
+        weights,
+        nf_pos: mean_nf(&pos_solve),
+        nf_neg: mean_nf(&neg_solve),
+        low_g_fraction: low_g,
+        sweeps: pos_solve.sweeps.max(neg_solve.sweeps),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_tile(rows: usize, cols: usize, seed: u64, amp: f32) -> Tensor {
+        let mut s = seed;
+        Tensor::from_fn(&[rows, cols], |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 2000) as f32 - 1000.0) / 1000.0 * amp
+        })
+    }
+
+    #[test]
+    fn ideal_params_round_trip_weights() {
+        let params = CrossbarParams::with_size(8).ideal();
+        let tile = rand_tile(8, 8, 3, 1.0);
+        let out = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            0,
+        )
+        .unwrap();
+        for (a, b) in tile.as_slice().iter().zip(out.weights.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert!(out.nf() < 1e-4);
+    }
+
+    #[test]
+    fn non_ideal_tile_shrinks_weights_and_has_positive_nf() {
+        let mut params = CrossbarParams::with_size(16);
+        params.sigma_variation = 0.0; // isolate IR drop
+        let tile = Tensor::ones(&[16, 16]);
+        let out = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            0,
+        )
+        .unwrap();
+        assert!(out.nf() > 0.0);
+        // All-positive tile: every non-ideal weight below the programmed 1.0.
+        assert!(out.weights.as_slice().iter().all(|&w| w < 1.0 && w > 0.0));
+    }
+
+    #[test]
+    fn bigger_tiles_suffer_more() {
+        let mut nfs = Vec::new();
+        for n in [8usize, 32] {
+            let mut params = CrossbarParams::with_size(n);
+            params.sigma_variation = 0.0;
+            let tile = Tensor::ones(&[n, n]);
+            let out = simulate_tile(
+                &tile,
+                MappingScale::PerTileMax,
+                1.0,
+                &params,
+                SolveMethod::LineRelaxation,
+                0,
+            )
+            .unwrap();
+            nfs.push(out.nf());
+        }
+        assert!(nfs[1] > nfs[0], "{nfs:?}");
+    }
+
+    #[test]
+    fn low_magnitude_tiles_have_lower_nf() {
+        let mut params = CrossbarParams::with_size(16);
+        params.sigma_variation = 0.0;
+        let strong = Tensor::ones(&[16, 16]);
+        let weak = Tensor::filled(&[16, 16], 0.05);
+        // Fixed scale so the weak tile genuinely maps to low conductances.
+        let nf = |t: &Tensor| {
+            simulate_tile(
+                t,
+                MappingScale::Fixed(1.0),
+                1.0,
+                &params,
+                SolveMethod::LineRelaxation,
+                0,
+            )
+            .unwrap()
+            .nf()
+        };
+        assert!(nf(&weak) < nf(&strong));
+    }
+
+    #[test]
+    fn variation_is_deterministic_per_seed() {
+        let params = CrossbarParams::with_size(8);
+        let tile = rand_tile(8, 8, 11, 0.5);
+        let a = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            5,
+        )
+        .unwrap();
+        let b = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            5,
+        )
+        .unwrap();
+        let c = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            6,
+        )
+        .unwrap();
+        assert_eq!(a.weights, b.weights);
+        assert_ne!(a.weights, c.weights);
+    }
+
+    #[test]
+    fn quantization_degrades_round_trip_boundedly() {
+        let mut params = CrossbarParams::with_size(8).ideal();
+        params.levels = 8;
+        let tile = rand_tile(8, 8, 21, 1.0);
+        let out = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            0,
+        )
+        .unwrap();
+        // Max error bounded by half a quantization step per array (two
+        // arrays → one step of the weight range).
+        let step = 1.0 / 7.0;
+        for (a, b) in tile.as_slice().iter().zip(out.weights.as_slice()) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stuck_faults_change_weights() {
+        let mut params = CrossbarParams::with_size(8).ideal();
+        params.faults = crate::faults::FaultModel {
+            stuck_at_gmin: 0.3,
+            stuck_at_gmax: 0.0,
+        };
+        let tile = Tensor::ones(&[8, 8]);
+        let out = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            1,
+        )
+        .unwrap();
+        // Some positive weights got their pos device stuck at Gmin → ~0.
+        let zeroed = out
+            .weights
+            .as_slice()
+            .iter()
+            .filter(|&&w| w.abs() < 1e-3)
+            .count();
+        assert!(
+            zeroed > 5,
+            "expected stuck devices to zero weights, got {zeroed}"
+        );
+    }
+
+    #[test]
+    fn zero_padded_tile_reports_high_low_g_fraction() {
+        let params = CrossbarParams::with_size(8);
+        let mut tile = Tensor::zeros(&[8, 8]);
+        tile.set2(0, 0, 1.0);
+        let out = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            0,
+        )
+        .unwrap();
+        assert!(out.low_g_fraction > 0.95);
+    }
+}

@@ -1,0 +1,86 @@
+//! Gaussian device-variation profiling.
+//!
+//! The paper includes synaptic variations/non-linearities "with Gaussian
+//! profiling": every programmed conductance is perturbed multiplicatively by
+//! `1 + σ·z`, `z ~ N(0, 1)`, modelling cycle-to-cycle and device-to-device
+//! programming error.
+
+use crate::conductance::ConductanceMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lower clamp on a perturbed conductance, as a fraction of `g_min`: a
+/// device cannot become an open circuit from programming noise.
+const FLOOR_FRACTION: f64 = 0.1;
+
+/// Applies multiplicative Gaussian variation to every device in place,
+/// deterministically from `seed`.
+///
+/// `sigma` is the relative standard deviation; values are floored at
+/// `FLOOR_FRACTION·g_min` to stay physical.
+pub fn apply_variation(g: &mut ConductanceMatrix, sigma: f64, g_min: f64, seed: u64) {
+    if sigma <= 0.0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let floor = FLOOR_FRACTION * g_min;
+    for v in g.as_mut_slice() {
+        let z = gaussian(&mut rng);
+        *v = (*v * (1.0 + sigma * z)).max(floor);
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut g = ConductanceMatrix::filled(4, 4, 1e-5);
+        let orig = g.clone();
+        apply_variation(&mut g, 0.0, 5e-6, 1);
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ConductanceMatrix::filled(8, 8, 1e-5);
+        let mut b = ConductanceMatrix::filled(8, 8, 1e-5);
+        apply_variation(&mut a, 0.1, 5e-6, 7);
+        apply_variation(&mut b, 0.1, 5e-6, 7);
+        assert_eq!(a, b);
+        let mut c = ConductanceMatrix::filled(8, 8, 1e-5);
+        apply_variation(&mut c, 0.1, 5e-6, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empirical_sigma_matches() {
+        let mut g = ConductanceMatrix::filled(100, 100, 1e-5);
+        apply_variation(&mut g, 0.1, 5e-6, 42);
+        let mean = g.mean();
+        let var = g
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / g.as_slice().len() as f64;
+        let rel_std = var.sqrt() / 1e-5;
+        assert!((mean - 1e-5).abs() / 1e-5 < 0.01, "mean {mean}");
+        assert!((rel_std - 0.1).abs() < 0.02, "rel std {rel_std}");
+    }
+
+    #[test]
+    fn floor_keeps_devices_conducting() {
+        let mut g = ConductanceMatrix::filled(50, 50, 1e-9);
+        apply_variation(&mut g, 5.0, 1e-9, 3); // absurd sigma
+        let floor = FLOOR_FRACTION * 1e-9;
+        assert!(g.as_slice().iter().all(|&v| v >= floor));
+    }
+}

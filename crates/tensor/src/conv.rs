@@ -1,0 +1,287 @@
+//! Convolution lowering: `im2col` and its adjoint `col2im`.
+//!
+//! The paper's hardware evaluation framework "unrolls each and every
+//! convolution operation in the software DNN into MAC operations" — that is
+//! exactly what `im2col` does. A convolution with weight `(out_c, in_c, kh,
+//! kw)` becomes a matrix product between the `out_c × (in_c·kh·kw)` reshaped
+//! weight and the `(in_c·kh·kw) × (out_h·out_w)` patch matrix produced here.
+
+use crate::shape::ShapeError;
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution over a single `(in_c, h, w)` image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub in_c: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height of the convolution.
+    pub fn out_h(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width of the convolution.
+    pub fn out_w(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix: `in_c * kh * kw` (the fan-in of one output
+    /// pixel, and the row count of the unrolled crossbar weight matrix).
+    pub fn patch_len(&self) -> usize {
+        self.in_c * self.kh * self.kw
+    }
+
+    /// Columns of the patch matrix: `out_h * out_w`.
+    pub fn n_patches(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Validates that the geometry is internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the kernel (plus padding) does not fit the
+    /// image or stride is zero.
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        if self.stride == 0 {
+            return Err(ShapeError::new("convolution stride must be non-zero"));
+        }
+        if self.h + 2 * self.pad < self.kh || self.w + 2 * self.pad < self.kw {
+            return Err(ShapeError::new(format!(
+                "kernel {}x{} does not fit padded image {}x{}",
+                self.kh,
+                self.kw,
+                self.h + 2 * self.pad,
+                self.w + 2 * self.pad
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Lowers one `(in_c, h, w)` image to its `(in_c·kh·kw) × (out_h·out_w)` patch
+/// matrix.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `image` does not have shape `[in_c, h, w]` or the
+/// geometry is invalid.
+pub fn im2col(image: &Tensor, geom: &ConvGeom) -> Result<Tensor, ShapeError> {
+    geom.validate()?;
+    if image.shape() != [geom.in_c, geom.h, geom.w] {
+        return Err(ShapeError::mismatch(
+            "im2col",
+            &[geom.in_c, geom.h, geom.w],
+            image.shape(),
+        ));
+    }
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_patches = oh * ow;
+    let patch_len = geom.patch_len();
+    let src = image.as_slice();
+    let mut out = vec![0.0f32; patch_len * n_patches];
+    let (h, w) = (geom.h as isize, geom.w as isize);
+    for c in 0..geom.in_c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (c * geom.kh + ky) * geom.kw + kx;
+                let out_row = &mut out[row * n_patches..(row + 1) * n_patches];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w {
+                            continue;
+                        }
+                        out_row[oy * ow + ox] =
+                            src[(c * geom.h + iy as usize) * geom.w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[patch_len, n_patches])
+}
+
+/// Adjoint of [`im2col`]: scatters a patch-matrix gradient back onto the image
+/// grid, accumulating overlapping contributions.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `cols` does not have shape
+/// `[patch_len, n_patches]` or the geometry is invalid.
+pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Result<Tensor, ShapeError> {
+    geom.validate()?;
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let n_patches = oh * ow;
+    let patch_len = geom.patch_len();
+    if cols.shape() != [patch_len, n_patches] {
+        return Err(ShapeError::mismatch(
+            "col2im",
+            &[patch_len, n_patches],
+            cols.shape(),
+        ));
+    }
+    let src = cols.as_slice();
+    let mut out = vec![0.0f32; geom.in_c * geom.h * geom.w];
+    let (h, w) = (geom.h as isize, geom.w as isize);
+    for c in 0..geom.in_c {
+        for ky in 0..geom.kh {
+            for kx in 0..geom.kw {
+                let row = (c * geom.kh + ky) * geom.kw + kx;
+                let in_row = &src[row * n_patches..(row + 1) * n_patches];
+                for oy in 0..oh {
+                    let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                    if iy < 0 || iy >= h {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                        if ix < 0 || ix >= w {
+                            continue;
+                        }
+                        out[(c * geom.h + iy as usize) * geom.w + ix as usize] +=
+                            in_row[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[geom.in_c, geom.h, geom.w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(in_c: usize, h: usize, w: usize, k: usize, stride: usize, pad: usize) -> ConvGeom {
+        ConvGeom {
+            in_c,
+            h,
+            w,
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom(3, 32, 32, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (32, 32));
+        let g = geom(1, 5, 5, 3, 2, 0);
+        assert_eq!((g.out_h(), g.out_w()), (2, 2));
+    }
+
+    #[test]
+    fn validate_catches_bad_geometry() {
+        assert!(geom(1, 2, 2, 5, 1, 0).validate().is_err());
+        let mut g = geom(1, 4, 4, 3, 1, 0);
+        g.stride = 0;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: patch matrix equals flattened image.
+        let img = Tensor::from_fn(&[2, 3, 3], |i| i as f32);
+        let g = ConvGeom {
+            in_c: 2,
+            h: 3,
+            w: 3,
+            kh: 1,
+            kw: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.shape(), &[2, 9]);
+        assert_eq!(cols.as_slice(), img.as_slice());
+    }
+
+    #[test]
+    fn im2col_extracts_expected_patch() {
+        let img = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), &[1, 3, 3]).unwrap();
+        let g = geom(1, 3, 3, 2, 1, 0);
+        let cols = im2col(&img, &g).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First patch (top-left): rows are kernel positions, column 0.
+        assert_eq!(cols.col(0), vec![1.0, 2.0, 4.0, 5.0]);
+        // Last patch (bottom-right).
+        assert_eq!(cols.col(3), vec![5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let img = Tensor::ones(&[1, 2, 2]);
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let cols = im2col(&img, &g).unwrap();
+        // Centre kernel tap always hits the image; corner taps hit padding at
+        // corner patches.
+        assert_eq!(cols.shape(), &[9, 4]);
+        assert_eq!(cols.get(&[4, 0]).unwrap(), 1.0);
+        assert_eq!(cols.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    /// `col2im` is the adjoint of `im2col`: for any `x`, `y`,
+    /// `<im2col(x), y> == <x, col2im(y)>`. This is the property the conv
+    /// backward pass relies on.
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        let g = geom(2, 6, 5, 3, 2, 1);
+        let mut s = 12345u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 1000) as f32 - 500.0) / 250.0
+        };
+        let x = Tensor::from_fn(&[g.in_c, g.h, g.w], |_| rnd());
+        let y = Tensor::from_fn(&[g.patch_len(), g.n_patches()], |_| rnd());
+        let ax = im2col(&x, &g).unwrap();
+        let aty = col2im(&y, &g).unwrap();
+        let lhs: f64 = ax
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(aty.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn shape_errors() {
+        let img = Tensor::ones(&[1, 3, 3]);
+        let g = geom(2, 3, 3, 2, 1, 0);
+        assert!(im2col(&img, &g).is_err());
+        let cols = Tensor::ones(&[3, 3]);
+        assert!(col2im(&cols, &g).is_err());
+    }
+}

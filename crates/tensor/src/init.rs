@@ -1,0 +1,107 @@
+//! Weight initialisers.
+//!
+//! The paper prunes DNNs *at initialisation* (following the lottery-ticket
+//! line of work it cites), so the initial weight distribution matters: both
+//! pruning scores and the trained weight statistics that drive crossbar
+//! conductances descend from it. We provide the standard Kaiming/Xavier
+//! schemes used for VGG-style networks.
+
+use crate::Tensor;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Initialisation scheme for a weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Kaiming/He normal: `N(0, sqrt(2 / fan_in))`, the default for layers
+    /// followed by ReLU.
+    KaimingNormal,
+    /// Kaiming/He uniform: `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+    KaimingUniform,
+    /// Xavier/Glorot uniform: `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a tensor of the given shape.
+    ///
+    /// `fan_in` and `fan_out` are supplied by the caller because they depend
+    /// on layer semantics (for a conv layer `fan_in = in_c·kh·kw`), not just
+    /// on the raw shape.
+    pub fn sample(self, shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Init::Zeros => Tensor::zeros(shape),
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                let normal = rand::distributions::Uniform::new(0.0f64, 1.0f64);
+                // Box–Muller from two uniforms keeps us off rand_distr.
+                Tensor::from_fn(shape, |_| {
+                    let u1: f64 = normal.sample(&mut rng).max(f64::MIN_POSITIVE);
+                    let u2: f64 = normal.sample(&mut rng);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (z * std) as f32
+                })
+            }
+            Init::KaimingUniform => {
+                let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+                let dist = rand::distributions::Uniform::new(-bound, bound);
+                Tensor::from_fn(shape, |_| dist.sample(&mut rng) as f32)
+            }
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+                let dist = rand::distributions::Uniform::new(-bound, bound);
+                Tensor::from_fn(shape, |_| dist.sample(&mut rng) as f32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let t = Init::Zeros.sample(&[4, 4], 16, 16, 0);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn kaiming_normal_std_matches_fan_in() {
+        let fan_in = 128;
+        let t = Init::KaimingNormal.sample(&[20_000], fan_in, 1, 42);
+        let mean = t.mean();
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / t.len() as f64;
+        let want = 2.0 / fan_in as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - want).abs() < 0.2 * want, "var {var} want {want}");
+    }
+
+    #[test]
+    fn uniform_inits_respect_bounds() {
+        let fan_in = 50;
+        let bound = (6.0f64 / fan_in as f64).sqrt() as f32;
+        let t = Init::KaimingUniform.sample(&[10_000], fan_in, 10, 7);
+        assert!(t.abs_max() <= bound);
+        // Spread should fill a good part of the interval.
+        assert!(t.abs_max() > 0.8 * bound);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::XavierUniform.sample(&[64], 8, 8, 99);
+        let b = Init::XavierUniform.sample(&[64], 8, 8, 99);
+        let c = Init::XavierUniform.sample(&[64], 8, 8, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,354 @@
+//! Cache-blocked, optionally multi-threaded matrix multiplication.
+//!
+//! Three kernels cover everything the DNN library needs for forward and
+//! backward passes without materialising transposes:
+//!
+//! * [`Tensor::matmul`]      — `C = A · B`
+//! * [`Tensor::matmul_at_b`] — `C = Aᵀ · B`
+//! * [`Tensor::matmul_a_bt`] — `C = A · Bᵀ`
+//!
+//! All kernels use an `i-k-j` loop order so the innermost loop streams
+//! contiguously over rows of `B` (or `Bᵀ`'s logical rows), which LLVM
+//! auto-vectorises. Work is split over row blocks with `crossbeam::scope`
+//! when the problem is large enough to amortise thread startup.
+
+use crate::shape::ShapeError;
+use crate::Tensor;
+
+/// Problems with at least this many multiply-accumulates use threads.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+impl Tensor {
+    /// Matrix product `C = A · B` for 2-D tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `A` is `m×k` and `B` is `k×n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use xbar_tensor::Tensor;
+    /// # fn main() -> Result<(), xbar_tensor::ShapeError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+    /// assert_eq!(a.matmul(&b)?, a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        check_2d("matmul", self, other)?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul: inner dimensions differ ({k} vs {k2})"
+            )));
+        }
+        let mut out = vec![0.0f32; m * n];
+        let a = self.as_slice();
+        let b = other.as_slice();
+        run_rows(m, k, n, &mut out, |row_range, out_chunk| {
+            for (local_i, i) in row_range.enumerate() {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                for (p, &apv) in arow.iter().enumerate() {
+                    if apv == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += apv * bv;
+                    }
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `C = Aᵀ · B` without materialising `Aᵀ`.
+    ///
+    /// For `A` of shape `k×m` and `B` of shape `k×n`, produces `m×n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either operand is not 2-D or the shared
+    /// dimension differs.
+    pub fn matmul_at_b(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        check_2d("matmul_at_b", self, other)?;
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_at_b: leading dimensions differ ({k} vs {k2})"
+            )));
+        }
+        // C[i][j] = sum_p A[p][i] * B[p][j]; accumulate outer products of the
+        // p-th row of A with the p-th row of B, sharded over output rows.
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        run_rows(m, k, n, &mut out, |row_range, out_chunk| {
+            let start = row_range.start;
+            for p in 0..k {
+                let brow = &b[p * n..(p + 1) * n];
+                for (local_i, i) in row_range.clone().enumerate() {
+                    let av = a[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            let _ = start;
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `C = A · Bᵀ` without materialising `Bᵀ`.
+    ///
+    /// For `A` of shape `m×k` and `B` of shape `n×k`, produces `m×n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either operand is not 2-D or the shared
+    /// dimension differs.
+    pub fn matmul_a_bt(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        check_2d("matmul_a_bt", self, other)?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_a_bt: trailing dimensions differ ({k} vs {k2})"
+            )));
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        run_rows(m, k, n, &mut out, |row_range, out_chunk| {
+            for (local_i, i) in row_range.enumerate() {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut out_chunk[local_i * n..(local_i + 1) * n];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *cv += acc;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product `y = A · x` for a 2-D `A` and 1-D `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or dimension mismatch.
+    pub fn matvec(&self, x: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.ndim() != 2 || x.ndim() != 1 {
+            return Err(ShapeError::new(
+                "matvec requires a 2-D matrix and 1-D vector",
+            ));
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        if x.len() != k {
+            return Err(ShapeError::new(format!(
+                "matvec: matrix has {k} columns but vector has {} elements",
+                x.len()
+            )));
+        }
+        let a = self.as_slice();
+        let xv = x.as_slice();
+        let out: Vec<f32> = (0..m)
+            .map(|i| {
+                a[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(xv)
+                    .map(|(&av, &xvv)| av * xvv)
+                    .sum()
+            })
+            .collect();
+        Tensor::from_vec(out, &[m])
+    }
+}
+
+fn check_2d(op: &str, a: &Tensor, b: &Tensor) -> Result<(), ShapeError> {
+    if a.ndim() != 2 || b.ndim() != 2 {
+        return Err(ShapeError::new(format!(
+            "{op} requires 2-D operands, got ranks {} and {}",
+            a.ndim(),
+            b.ndim()
+        )));
+    }
+    Ok(())
+}
+
+/// Runs `body` over disjoint row blocks of the `m×n` output, in parallel when
+/// the problem is big enough. `body(rows, chunk)` must fill `chunk`, the
+/// row-major slice corresponding to `rows`.
+fn run_rows(
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    body: impl Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+) {
+    let flops = m * k * n;
+    let workers = worker_count();
+    if flops < PARALLEL_THRESHOLD || workers <= 1 || m < 2 {
+        body(0..m, out);
+        return;
+    }
+    let rows_per = m.div_ceil(workers);
+    crossbeam::scope(|scope| {
+        let mut rest = out;
+        let mut start = 0usize;
+        let body = &body;
+        while start < m {
+            let end = (start + rows_per).min(m);
+            let (chunk, tail) = rest.split_at_mut((end - start) * n);
+            rest = tail;
+            let range = start..end;
+            scope.spawn(move |_| body(range, chunk));
+            start = end;
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at2(i, p) * b.at2(p, j);
+                }
+                c.set2(i, j, acc);
+            }
+        }
+        c
+    }
+
+    fn rand_tensor(shape: &[usize], seed: u64) -> Tensor {
+        // Simple xorshift so the test has no RNG dependency.
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        Tensor::from_fn(shape, |_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 2000) as f32 - 1000.0) / 500.0
+        })
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_tensor(&[7, 11], 1);
+        let b = rand_tensor(&[11, 5], 2);
+        assert_close(&a.matmul(&b).unwrap(), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_large_parallel_matches_naive() {
+        let a = rand_tensor(&[130, 90], 3);
+        let b = rand_tensor(&[90, 117], 4);
+        assert_close(&a.matmul(&b).unwrap(), &naive(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_tensor(&[6, 6], 5);
+        assert_close(&a.matmul(&Tensor::eye(6)).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let a = rand_tensor(&[9, 4], 6);
+        let b = rand_tensor(&[9, 7], 7);
+        let want = a.transpose().matmul(&b).unwrap();
+        assert_close(&a.matmul_at_b(&b).unwrap(), &want, 1e-4);
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let a = rand_tensor(&[5, 8], 8);
+        let b = rand_tensor(&[6, 8], 9);
+        let want = a.matmul(&b.transpose()).unwrap();
+        assert_close(&a.matmul_a_bt(&b).unwrap(), &want, 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = rand_tensor(&[5, 3], 10);
+        let x = rand_tensor(&[3], 11);
+        let xm = x.reshape(&[3, 1]).unwrap();
+        let want = a.matmul(&xm).unwrap();
+        let got = a.matvec(&x).unwrap();
+        assert_close(&got.reshape(&[5, 1]).unwrap(), &want, 1e-5);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = rand_tensor(&[2, 3], 12);
+        let b = rand_tensor(&[4, 2], 13);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul_at_b(&b).is_err());
+        assert!(a.matmul_a_bt(&b).is_err());
+        let v = rand_tensor(&[5], 14);
+        assert!(a.matvec(&v).is_err());
+    }
+
+    #[test]
+    fn degenerate_shapes_multiply() {
+        let row = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let col = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3, 1]).unwrap();
+        let dot = row.matmul(&col).unwrap();
+        assert_eq!(dot.shape(), &[1, 1]);
+        assert_eq!(dot.as_slice(), &[32.0]);
+        let outer = col.matmul(&row).unwrap();
+        assert_eq!(outer.shape(), &[3, 3]);
+        assert_eq!(outer.at2(2, 0), 6.0);
+    }
+
+    #[test]
+    fn empty_inner_dimension_gives_zeros() {
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn rank_errors() {
+        let a = rand_tensor(&[2, 3, 4], 15);
+        let b = rand_tensor(&[3, 4], 16);
+        assert!(a.matmul(&b).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Element-wise operations and reductions on [`Tensor`].
+
+use crate::shape::ShapeError;
+use crate::Tensor;
+
+impl Tensor {
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor::from_vec(
+            self.as_slice().iter().map(|&x| f(x)).collect(),
+            self.shape(),
+        )
+        .expect("map preserves shape")
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.as_mut_slice() {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two tensors element-wise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::mismatch("zip_map", self.shape(), other.shape()));
+        }
+        Tensor::from_vec(
+            self.as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.shape(),
+        )
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Self, ShapeError> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Self, ShapeError> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Self, ShapeError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `other * alpha` into `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::mismatch("axpy", self.shape(), other.shape()));
+        }
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element, returning a new tensor.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|x| x + s)
+    }
+
+    /// Sum of all elements (f64 accumulator for stability).
+    pub fn sum(&self) -> f64 {
+        self.as_slice().iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements; `0.0` for empty tensors.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f64
+        }
+    }
+
+    /// Maximum element; `None` for empty tensors.
+    pub fn max(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::max)
+    }
+
+    /// Minimum element; `None` for empty tensors.
+    pub fn min(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::min)
+    }
+
+    /// Maximum absolute value; `0.0` for empty tensors.
+    pub fn abs_max(&self) -> f32 {
+        self.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Index of the maximum element of a 1-D slice view of the tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        self.as_slice()
+            .iter()
+            .enumerate()
+            .fold(None, |best, (i, &x)| match best {
+                Some((_, bx)) if bx >= x => best,
+                _ => Some((i, x)),
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Per-row argmax for a 2-D tensor, e.g. picking the predicted class from
+    /// a batch of logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| {
+                let row = self.row(r);
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bx), (i, &x)| {
+                        if x > bx {
+                            (i, x)
+                        } else {
+                            (bi, bx)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.as_slice()
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Number of elements with magnitude at most `eps`.
+    pub fn count_near_zero(&self, eps: f32) -> usize {
+        self.as_slice().iter().filter(|x| x.abs() <= eps).count()
+    }
+
+    /// Fraction of elements with magnitude at most `eps` (the observed
+    /// sparsity of a weight tensor).
+    pub fn sparsity(&self, eps: f32) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.count_near_zero(eps) as f64 / self.len() as f64
+        }
+    }
+
+    /// Clamps every element into `[-limit, limit]`, in place.
+    ///
+    /// This is the WCT transformation `W = min{|W|, W_cut} * sign(W)` of the
+    /// paper, applied with `limit = W_cut`.
+    pub fn clamp_symmetric(&mut self, limit: f32) {
+        assert!(limit >= 0.0, "clamp limit must be non-negative");
+        for x in self.as_mut_slice() {
+            *x = x.clamp(-limit, limit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[v.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_error() {
+        let a = t(&[1.0]);
+        let b = t(&[1.0, 2.0]);
+        assert!(a.add(&b).is_err());
+        assert!(a.clone().axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        a.axpy(2.0, &t(&[3.0, 4.0])).unwrap();
+        assert_eq!(a.as_slice(), &[7.0, 9.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[-3.0, 1.0, 2.0]);
+        assert_eq!(a.sum(), 0.0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.max(), Some(2.0));
+        assert_eq!(a.min(), Some(-3.0));
+        assert_eq!(a.abs_max(), 3.0);
+        assert_eq!(a.argmax(), Some(2));
+        assert!((a.norm() - 14.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_reductions() {
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.argmax(), None);
+    }
+
+    #[test]
+    fn argmax_rows_picks_per_row() {
+        let m = Tensor::from_vec(vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0], &[2, 3]).unwrap();
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn sparsity_counts_near_zero() {
+        let a = t(&[0.0, 1e-9, 0.5, -0.5]);
+        assert_eq!(a.count_near_zero(1e-6), 2);
+        assert_eq!(a.sparsity(1e-6), 0.5);
+    }
+
+    #[test]
+    fn clamp_symmetric_is_wct_transform() {
+        let mut a = t(&[-2.0, -0.3, 0.0, 0.7, 3.0]);
+        a.clamp_symmetric(1.0);
+        assert_eq!(a.as_slice(), &[-1.0, -0.3, 0.0, 0.7, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn clamp_rejects_negative_limit() {
+        t(&[1.0]).clamp_symmetric(-1.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Axis reductions over tensors.
+//!
+//! Used by the reporting layers (per-channel statistics, per-column scores)
+//! and handy for downstream users of the tensor crate.
+
+use crate::shape::ShapeError;
+use crate::Tensor;
+
+impl Tensor {
+    /// Sums over one axis, removing it from the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `axis` is out of range.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use xbar_tensor::Tensor;
+    /// # fn main() -> Result<(), xbar_tensor::ShapeError> {
+    /// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+    /// assert_eq!(t.sum_axis(0)?.as_slice(), &[5.0, 7.0, 9.0]);
+    /// assert_eq!(t.sum_axis(1)?.as_slice(), &[6.0, 15.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor, ShapeError> {
+        if axis >= self.ndim() {
+            return Err(ShapeError::new(format!(
+                "axis {axis} out of range for rank {}",
+                self.ndim()
+            )));
+        }
+        let shape = self.shape();
+        let outer: usize = shape[..axis].iter().product();
+        let axis_len = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+        let mut out_shape: Vec<usize> = shape.to_vec();
+        out_shape.remove(axis);
+        let mut out = vec![0.0f32; outer * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
+                    *d += s;
+                }
+            }
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    /// Means over one axis, removing it from the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `axis` is out of range or has zero length
+    /// (the mean would be undefined).
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor, ShapeError> {
+        let len = *self
+            .shape()
+            .get(axis)
+            .ok_or_else(|| ShapeError::new(format!("axis {axis} out of range")))?;
+        if len == 0 {
+            return Err(ShapeError::new("mean over an empty axis is undefined"));
+        }
+        Ok(self.sum_axis(axis)?.scale(1.0 / len as f32))
+    }
+
+    /// Maximum over one axis, removing it from the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `axis` is out of range or has zero length.
+    pub fn max_axis(&self, axis: usize) -> Result<Tensor, ShapeError> {
+        if axis >= self.ndim() {
+            return Err(ShapeError::new(format!(
+                "axis {axis} out of range for rank {}",
+                self.ndim()
+            )));
+        }
+        let shape = self.shape();
+        let axis_len = shape[axis];
+        if axis_len == 0 {
+            return Err(ShapeError::new("max over an empty axis is undefined"));
+        }
+        let outer: usize = shape[..axis].iter().product();
+        let inner: usize = shape[axis + 1..].iter().product();
+        let mut out_shape: Vec<usize> = shape.to_vec();
+        out_shape.remove(axis);
+        let mut out = vec![f32::NEG_INFINITY; outer * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for a in 0..axis_len {
+                let base = (o * axis_len + a) * inner;
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
+                    if s > *d {
+                        *d = s;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t234() -> Tensor {
+        Tensor::from_fn(&[2, 3, 4], |i| i as f32)
+    }
+
+    #[test]
+    fn sum_axis_matches_manual() {
+        let t = t234();
+        let s0 = t.sum_axis(0).unwrap();
+        assert_eq!(s0.shape(), &[3, 4]);
+        assert_eq!(s0.get(&[0, 0]).unwrap(), 0.0 + 12.0);
+        let s2 = t.sum_axis(2).unwrap();
+        assert_eq!(s2.shape(), &[2, 3]);
+        assert_eq!(s2.get(&[0, 0]).unwrap(), 0.0 + 1.0 + 2.0 + 3.0);
+    }
+
+    #[test]
+    fn sum_all_axes_matches_total() {
+        let t = t234();
+        let total = t.sum();
+        let collapsed = t
+            .sum_axis(0)
+            .unwrap()
+            .sum_axis(0)
+            .unwrap()
+            .sum_axis(0)
+            .unwrap();
+        assert_eq!(collapsed.shape(), &[] as &[usize]);
+        assert!((collapsed.sum() - total).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mean_axis_scales_sum() {
+        let t = t234();
+        let m = t.mean_axis(1).unwrap();
+        let s = t.sum_axis(1).unwrap();
+        for (a, b) in m.as_slice().iter().zip(s.as_slice()) {
+            assert!((a * 3.0 - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_axis_picks_largest() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0, 4.0, 0.0], &[2, 3]).unwrap();
+        assert_eq!(t.max_axis(0).unwrap().as_slice(), &[2.0, 5.0, 3.0]);
+        assert_eq!(t.max_axis(1).unwrap().as_slice(), &[5.0, 4.0]);
+    }
+
+    #[test]
+    fn errors_on_bad_axis() {
+        let t = t234();
+        assert!(t.sum_axis(3).is_err());
+        assert!(t.mean_axis(9).is_err());
+        assert!(t.max_axis(5).is_err());
+        let empty = Tensor::zeros(&[2, 0]);
+        assert!(empty.mean_axis(1).is_err());
+        assert!(empty.max_axis(1).is_err());
+        // Summing an empty axis is fine (zeros).
+        assert_eq!(empty.sum_axis(1).unwrap().as_slice(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Shape bookkeeping and the crate-wide error type.
+
+use std::fmt;
+
+/// Error returned when tensor shapes are inconsistent with an operation.
+///
+/// The error carries a human-readable description of the mismatch; it is the
+/// only error type produced by this crate ([C-GOOD-ERR]).
+///
+/// # Example
+///
+/// ```
+/// use xbar_tensor::Tensor;
+///
+/// let err = Tensor::from_vec(vec![1.0], &[2, 2]).unwrap_err();
+/// assert!(err.to_string().contains("2, 2"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Builds the canonical "mismatch" error between an expected and an
+    /// actual shape.
+    pub fn mismatch(context: &str, expected: &[usize], actual: &[usize]) -> Self {
+        Self::new(format!(
+            "{context}: expected shape [{}], got [{}]",
+            join(expected),
+            join(actual)
+        ))
+    }
+}
+
+fn join(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Returns the number of elements implied by `shape`.
+///
+/// An empty shape denotes a scalar and has one element.
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Computes row-major strides for `shape`.
+///
+/// ```
+/// assert_eq!(xbar_tensor::shape::strides(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Flattens a multi-dimensional index into a linear offset.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `index` has the wrong rank or any coordinate is
+/// out of bounds.
+pub fn flatten_index(shape: &[usize], index: &[usize]) -> Result<usize, ShapeError> {
+    if shape.len() != index.len() {
+        return Err(ShapeError::new(format!(
+            "index rank {} does not match tensor rank {}",
+            index.len(),
+            shape.len()
+        )));
+    }
+    let mut offset = 0usize;
+    let strides = strides(shape);
+    for ((&i, &dim), &stride) in index.iter().zip(shape).zip(&strides) {
+        if i >= dim {
+            return Err(ShapeError::new(format!(
+                "index {i} out of bounds for dimension of size {dim}"
+            )));
+        }
+        offset += i * stride;
+    }
+    Ok(offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_counts_products() {
+        assert_eq!(num_elements(&[2, 3, 4]), 24);
+        assert_eq!(num_elements(&[]), 1);
+        assert_eq!(num_elements(&[0, 5]), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides(&[5]), vec![1]);
+        assert_eq!(strides(&[2, 3]), vec![3, 1]);
+        assert_eq!(strides(&[4, 1, 6]), vec![6, 6, 1]);
+        assert!(strides(&[]).is_empty());
+    }
+
+    #[test]
+    fn flatten_index_round_trips() {
+        let shape = [3, 4, 5];
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    let off = flatten_index(&shape, &[i, j, k]).unwrap();
+                    assert!(off < 60);
+                    assert!(seen.insert(off), "offsets must be unique");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 60);
+    }
+
+    #[test]
+    fn flatten_index_rejects_bad_rank() {
+        assert!(flatten_index(&[2, 2], &[0]).is_err());
+    }
+
+    #[test]
+    fn flatten_index_rejects_out_of_bounds() {
+        assert!(flatten_index(&[2, 2], &[0, 2]).is_err());
+    }
+
+    #[test]
+    fn mismatch_message_lists_both_shapes() {
+        let err = ShapeError::mismatch("matmul", &[2, 3], &[4, 5]);
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2, 3"));
+        assert!(msg.contains("4, 5"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Summary statistics used by the mitigation strategies.
+//!
+//! The R transformation orders weight-matrix columns by `(μ·σ)^½` of their
+//! absolute values, and WCT picks its cut-off `W_cut` from the percentile of
+//! the trained weight distribution — both computed here.
+
+/// Mean of the absolute values of `xs`; `0.0` for an empty slice.
+pub fn abs_mean(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&x| x.abs() as f64).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of the absolute values of `xs`; `0.0` for an
+/// empty slice.
+pub fn abs_std(xs: &[f32]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mean = abs_mean(xs);
+    let var = xs
+        .iter()
+        .map(|&x| {
+            let d = x.abs() as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64;
+    var.sqrt()
+}
+
+/// The column score `(μ·σ)^½` used by the paper's R transformation, where `μ`
+/// and `σ` are the mean and standard deviation of the absolute values.
+///
+/// ```
+/// let score = xbar_tensor::stats::mu_sigma_score(&[1.0, -1.0, 1.0, -1.0]);
+/// assert_eq!(score, 0.0); // σ of |x| is zero
+/// ```
+pub fn mu_sigma_score(xs: &[f32]) -> f64 {
+    (abs_mean(xs) * abs_std(xs)).sqrt()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of the *absolute values* of `xs`, by linear
+/// interpolation on the sorted data. Returns `0.0` for an empty slice.
+///
+/// WCT determines `W_cut` as a high quantile (default 0.9) of `|W|` across
+/// all layers, mirroring the paper's "heuristically determine a cut-off value
+/// based on the weight distributions of all the layers".
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn abs_quantile(xs: &[f32], q: f64) -> f32 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f32> = xs.iter().map(|x| x.abs()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = (pos - lo as f64) as f32;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Histogram of `xs` over `bins` equal-width buckets spanning `[lo, hi)`.
+/// Values outside the range are clamped into the first/last bucket.
+///
+/// Used to export the weight-heatmap data behind the paper's Fig. 3(f).
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `lo >= hi`.
+pub fn histogram(xs: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "histogram needs at least one bin");
+    assert!(lo < hi, "histogram range must be non-empty");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f32;
+    for &x in xs {
+        let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_mean_ignores_sign() {
+        assert_eq!(abs_mean(&[1.0, -1.0, 3.0, -3.0]), 2.0);
+        assert_eq!(abs_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn abs_std_of_constant_is_zero() {
+        assert_eq!(abs_std(&[2.0, -2.0, 2.0]), 0.0);
+        assert_eq!(abs_std(&[]), 0.0);
+    }
+
+    #[test]
+    fn abs_std_known_value() {
+        // |x| = [1, 3] → mean 2, var 1, std 1.
+        assert!((abs_std(&[-1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mu_sigma_score_monotone_in_magnitude() {
+        let small = mu_sigma_score(&[0.1, 0.0, 0.2, 0.0]);
+        let big = mu_sigma_score(&[1.0, 0.0, 2.0, 0.0]);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [3.0, -1.0, 2.0];
+        assert_eq!(abs_quantile(&xs, 0.0), 1.0);
+        assert_eq!(abs_quantile(&xs, 1.0), 3.0);
+        assert_eq!(abs_quantile(&xs, 0.5), 2.0);
+        assert_eq!(abs_quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 1.0];
+        assert!((abs_quantile(&xs, 0.25) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_out_of_range() {
+        abs_quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamps() {
+        let h = histogram(&[-10.0, 0.1, 0.6, 0.9, 10.0], 0.0, 1.0, 2);
+        assert_eq!(h, vec![2, 3]);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+}

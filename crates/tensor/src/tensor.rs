@@ -1,0 +1,433 @@
+//! The owned, contiguous, row-major `f32` tensor type.
+
+use crate::shape::{self, ShapeError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An owned, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the single numerical container used throughout the workspace:
+/// DNN activations and weights, unrolled 2-D weight matrices, crossbar
+/// conductance matrices and report data are all `Tensor`s.
+///
+/// # Example
+///
+/// ```
+/// use xbar_tensor::Tensor;
+///
+/// # fn main() -> Result<(), xbar_tensor::ShapeError> {
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            data: vec![0.0; shape::num_elements(shape)],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::filled(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: &[usize], value: f32) -> Self {
+        Self {
+            data: vec![value; shape::num_elements(shape)],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer as a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not match the number of
+    /// elements implied by `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, ShapeError> {
+        let expected = shape::num_elements(shape);
+        if data.len() != expected {
+            return Err(ShapeError::new(format!(
+                "buffer of {} elements cannot have shape [{}] ({} elements)",
+                data.len(),
+                shape
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                expected
+            )));
+        }
+        Ok(Self {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a tensor by evaluating `f` at every linear index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = shape::num_elements(shape);
+        Self {
+            data: (0..n).map(&mut f).collect(),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Returns the shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Returns the number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Returns the total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the underlying buffer as an immutable slice (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Returns the underlying buffer as a mutable slice (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a copy of this tensor with a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self, ShapeError> {
+        Self::from_vec(self.data.clone(), shape)
+    }
+
+    /// Reshapes in place (no copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element counts differ.
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<(), ShapeError> {
+        if shape::num_elements(shape) != self.data.len() {
+            return Err(ShapeError::mismatch("reshape", shape, &self.shape));
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for rank mismatch or out-of-bounds coordinates.
+    pub fn get(&self, index: &[usize]) -> Result<f32, ShapeError> {
+        Ok(self.data[shape::flatten_index(&self.shape, index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for rank mismatch or out-of-bounds coordinates.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), ShapeError> {
+        let off = shape::flatten_index(&self.shape, index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Number of rows of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.ndim(), 2, "rows() requires a 2-D tensor");
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.ndim(), 2, "cols() requires a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// Unchecked 2-D read; the caller guarantees `self` is 2-D and in bounds.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Unchecked 2-D write; the caller guarantees `self` is 2-D and in bounds.
+    #[inline]
+    pub fn set2(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[r * self.shape[1] + c] = v;
+    }
+
+    /// Returns row `r` of a 2-D tensor as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.cols();
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Returns row `r` of a 2-D tensor as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let c = self.cols();
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// Copies column `c` of a 2-D tensor into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        let (rows, cols) = (self.rows(), self.cols());
+        assert!(c < cols, "column {c} out of bounds for {cols} columns");
+        (0..rows).map(|r| self.data[r * cols + c]).collect()
+    }
+
+    /// Returns the transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Self {
+        let (rows, cols) = (self.rows(), self.cols());
+        let mut out = Self::zeros(&[cols, rows]);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        out
+    }
+
+    /// Extracts the sub-matrix `rows_range` × `cols_range` of a 2-D tensor,
+    /// zero-padding reads past the edge.
+    ///
+    /// This is the primitive used to partition unrolled weight matrices into
+    /// fixed-size crossbar tiles: the final tiles of a layer are padded with
+    /// zeros exactly like unused crossbar cells are left at `Gmin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn submatrix_padded(
+        &self,
+        row_start: usize,
+        col_start: usize,
+        out_rows: usize,
+        out_cols: usize,
+    ) -> Self {
+        let (rows, cols) = (self.rows(), self.cols());
+        let mut out = Self::zeros(&[out_rows, out_cols]);
+        for r in 0..out_rows {
+            let src_r = row_start + r;
+            if src_r >= rows {
+                break;
+            }
+            for c in 0..out_cols {
+                let src_c = col_start + c;
+                if src_c >= cols {
+                    break;
+                }
+                out.data[r * out_cols + c] = self.data[src_r * cols + src_c];
+            }
+        }
+        out
+    }
+
+    /// Writes `block` into this 2-D tensor at (`row_start`, `col_start`),
+    /// silently clipping writes past the edge (the inverse of
+    /// [`Tensor::submatrix_padded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D.
+    pub fn write_submatrix(&mut self, row_start: usize, col_start: usize, block: &Tensor) {
+        let (rows, cols) = (self.rows(), self.cols());
+        let (brows, bcols) = (block.rows(), block.cols());
+        for r in 0..brows {
+            let dst_r = row_start + r;
+            if dst_r >= rows {
+                break;
+            }
+            for c in 0..bcols {
+                let dst_c = col_start + c;
+                if dst_c >= cols {
+                    break;
+                }
+                self.data[dst_r * cols + dst_c] = block.data[r * bcols + c];
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape=[{:?}]", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, ... {} elements])",
+                self.data[0],
+                self.data[1],
+                self.len()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_right_contents() {
+        let z = Tensor::zeros(&[2, 2]);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones(&[3]);
+        assert!(o.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let e = Tensor::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(e.at2(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], 7.5).unwrap();
+        assert_eq!(t.get(&[1, 2, 3]).unwrap(), 7.5);
+        assert!(t.get(&[2, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let t = Tensor::from_fn(&[3, 5], |i| i as f32);
+        let tt = t.transpose().transpose();
+        assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tr = t.transpose();
+        assert_eq!(tr.shape(), &[3, 2]);
+        assert_eq!(tr.at2(0, 1), t.at2(1, 0));
+        assert_eq!(tr.at2(2, 0), t.at2(0, 2));
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(t.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn submatrix_pads_past_edges() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let s = t.submatrix_padded(1, 1, 2, 2);
+        assert_eq!(s.as_slice(), &[4.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn write_submatrix_inverts_submatrix_padded() {
+        let t = Tensor::from_fn(&[5, 7], |i| i as f32);
+        let mut rebuilt = Tensor::zeros(&[5, 7]);
+        let (tr, tc) = (2usize, 3usize);
+        for r0 in (0..5).step_by(tr) {
+            for c0 in (0..7).step_by(tc) {
+                let tile = t.submatrix_padded(r0, c0, tr, tc);
+                rebuilt.write_submatrix(r0, c0, &tile);
+            }
+        }
+        assert_eq!(t, rebuilt);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let t = Tensor::zeros(&[100]);
+        assert!(!format!("{t:?}").is_empty());
+    }
+}

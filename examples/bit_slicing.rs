@@ -1,0 +1,79 @@
+//! Bit-sliced weight mapping: how many conductance levels does a weight
+//! really need, and what does slicing buy under non-idealities?
+//!
+//! Run with: `cargo run --release --example bit_slicing`
+
+use xbar_repro::sim::conductance::MappingScale;
+use xbar_repro::sim::params::CrossbarParams;
+use xbar_repro::sim::slicing::{simulate_tile_sliced, SlicingConfig};
+use xbar_repro::sim::solve::SolveMethod;
+use xbar_repro::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 32;
+    let mut seed = 99u64;
+    let tile = Tensor::from_fn(&[n, n], |_| {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        ((seed % 2000) as f32 - 1000.0) / 1000.0
+    });
+
+    println!("relative weight error of a 32x32 tile (ideal circuit):");
+    let ideal = CrossbarParams::with_size(n).ideal();
+    for (slices, levels) in [(1u32, 4u32), (1, 16), (2, 4), (2, 16), (4, 4)] {
+        let cfg = SlicingConfig {
+            slices,
+            levels_per_slice: levels,
+        };
+        let out = simulate_tile_sliced(
+            &tile,
+            cfg,
+            MappingScale::PerTileMax,
+            1.0,
+            &ideal,
+            SolveMethod::LineRelaxation,
+            1,
+        )?;
+        let err = rel_err(&tile, &out.weights);
+        println!(
+            "  {slices} slice(s) x {levels:>2} levels = {:>5} composite: err {err:.5}",
+            cfg.composite_levels()
+        );
+    }
+
+    println!("\nsame sweep on the non-ideal circuit (IR drop + 10% variation):");
+    let noisy = CrossbarParams::with_size(n);
+    for (slices, levels) in [(1u32, 16u32), (2, 4), (4, 4)] {
+        let cfg = SlicingConfig {
+            slices,
+            levels_per_slice: levels,
+        };
+        let out = simulate_tile_sliced(
+            &tile,
+            cfg,
+            MappingScale::PerTileMax,
+            1.0,
+            &noisy,
+            SolveMethod::LineRelaxation,
+            1,
+        )?;
+        println!(
+            "  {slices} slice(s) x {levels:>2} levels: err {:.5}, MSB-weighted NF {:.4}",
+            rel_err(&tile, &out.weights),
+            out.weighted_nf(levels)
+        );
+    }
+    Ok(())
+}
+
+fn rel_err(a: &Tensor, b: &Tensor) -> f32 {
+    let num: f32 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).powi(2))
+        .sum();
+    let den: f32 = a.as_slice().iter().map(|x| x * x).sum();
+    (num / den).sqrt()
+}

@@ -1,0 +1,89 @@
+//! Both mitigation strategies on one pruned model: crossbar-column
+//! rearrangement (R) applied at mapping time, and Weight-Constrained
+//! Training (WCT) applied before mapping with a fixed conductance scale.
+//!
+//! Run with: `cargo run --release --example mitigation_pipeline`
+
+use xbar_repro::core::pipeline::{map_to_crossbars, MapConfig};
+use xbar_repro::core::wct::{apply_wct, WctConfig};
+use xbar_repro::core::ColumnOrder;
+use xbar_repro::data::{CifarLikeConfig, Split};
+use xbar_repro::nn::train::{evaluate, train, DataRef, TrainConfig, WeightConstraint};
+use xbar_repro::nn::vgg::{VggConfig, VggVariant};
+use xbar_repro::prune::cf::prune_cf;
+use xbar_repro::prune::PruneMethod;
+use xbar_repro::sim::params::CrossbarParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = CifarLikeConfig::cifar10_like()
+        .train_size(600)
+        .test_size(300)
+        .generate(7);
+    let train_ref = DataRef::new(data.images(Split::Train), data.labels(Split::Train))?;
+    let test_ref = DataRef::new(data.images(Split::Test), data.labels(Split::Test))?;
+
+    // Train a C/F-pruned VGG11 (pruning at initialisation, s = 0.8).
+    let mut model = VggConfig::new(VggVariant::Vgg11, 10)
+        .width_multiplier(0.25)
+        .build(3);
+    let masks = prune_cf(&model, 0.8);
+    masks.apply_to(&mut model);
+    let train_cfg = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    };
+    train(&mut model, train_ref, &train_cfg, Some(&masks))?;
+    println!(
+        "software accuracy: {:.1}%",
+        100.0 * evaluate(&mut model, test_ref, 64)?
+    );
+
+    let size = 64usize;
+    let base = MapConfig {
+        params: CrossbarParams::with_size(size),
+        method: PruneMethod::ChannelFilter,
+        ..Default::default()
+    };
+
+    // Baseline mapping, no mitigation.
+    let (mut plain, report) = map_to_crossbars(&model, &base)?;
+    println!(
+        "{size}x{size} no mitigation: {:.1}% (low-G fraction {:.3})",
+        100.0 * evaluate(&mut plain, test_ref, 64)?,
+        report.mean_low_g_fraction()
+    );
+
+    // Mitigation 1: R transformation at mapping time (zero training cost).
+    let mut with_r = base;
+    with_r.rearrange = Some(ColumnOrder::CenterOut);
+    let (mut r_model, report) = map_to_crossbars(&model, &with_r)?;
+    println!(
+        "{size}x{size} with R:        {:.1}% (low-G fraction {:.3})",
+        100.0 * evaluate(&mut r_model, test_ref, 64)?,
+        report.mean_low_g_fraction()
+    );
+
+    // Mitigation 2: WCT — clamp to W_cut, retrain 2 epochs under the clamp
+    // and the pruning masks, then map with the fixed pre-clamp scale.
+    let mut wct_model = model.clone();
+    let outcome = apply_wct(
+        &mut wct_model,
+        train_ref,
+        &WctConfig::default(),
+        Some(&masks as &dyn WeightConstraint),
+    )?;
+    println!(
+        "WCT: W_cut = {:.3}, software after retrain: {:.1}%",
+        outcome.w_cut,
+        100.0 * evaluate(&mut wct_model, test_ref, 64)?
+    );
+    let mut with_wct = base;
+    with_wct.scale = outcome.mapping_scale();
+    let (mut wct_mapped, report) = map_to_crossbars(&wct_model, &with_wct)?;
+    println!(
+        "{size}x{size} with WCT:      {:.1}% (low-G fraction {:.3})",
+        100.0 * evaluate(&mut wct_mapped, test_ref, 64)?,
+        report.mean_low_g_fraction()
+    );
+    Ok(())
+}

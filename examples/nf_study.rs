@@ -1,0 +1,50 @@
+//! A pure circuit-level study (no training): how the non-ideality factor
+//! grows with crossbar size and conductance level, and what the device
+//! ON/OFF ratio buys — the physics behind every accuracy trend in the paper.
+//!
+//! Run with: `cargo run --release --example nf_study`
+
+use xbar_repro::sim::conductance::ConductanceMatrix;
+use xbar_repro::sim::params::CrossbarParams;
+use xbar_repro::sim::solve::{NonIdealSolver, SolveMethod};
+
+fn mean_nf(params: CrossbarParams, level: f64) -> f64 {
+    let n = params.rows;
+    let g_val = params.g_min() + level * (params.g_max() - params.g_min());
+    let g = ConductanceMatrix::filled(n, n, g_val);
+    let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+    let v = vec![params.v_read; n];
+    let out = solver
+        .effective_conductances(&g, &v)
+        .expect("uniform crossbar solves");
+    out.ideal_currents
+        .iter()
+        .zip(&out.col_currents)
+        .map(|(i, a)| (i - a) / i)
+        .sum::<f64>()
+        / n as f64
+}
+
+fn main() {
+    println!("NF vs crossbar size (uniform crossbar at 50% conductance):");
+    for n in [8usize, 16, 32, 64, 128] {
+        let mut p = CrossbarParams::with_size(n);
+        p.sigma_variation = 0.0;
+        println!("  {n:>3}x{n:<3}: NF = {:.4}", mean_nf(p, 0.5));
+    }
+
+    println!("\nNF vs programmed conductance level (32x32):");
+    for level in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut p = CrossbarParams::with_size(32);
+        p.sigma_variation = 0.0;
+        println!("  level {level:.2}: NF = {:.4}", mean_nf(p, level));
+    }
+
+    println!("\nNF at Gmin vs device ON/OFF ratio (32x32):");
+    for ratio in [10.0f64, 30.0, 100.0] {
+        let mut p = CrossbarParams::with_size(32);
+        p.sigma_variation = 0.0;
+        p.r_max = p.r_min * ratio;
+        println!("  ON/OFF {ratio:>5.0}: NF = {:.4}", mean_nf(p, 0.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a small CNN, map it onto non-ideal memristive
+//! crossbars, and see what the non-idealities cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xbar_repro::core::pipeline::{map_to_crossbars, MapConfig};
+use xbar_repro::nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+use xbar_repro::nn::{Layer, Mode, Sequential};
+use xbar_repro::sim::params::CrossbarParams;
+use xbar_repro::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small conv net over 8x8 single-channel inputs.
+    let mut model = Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(1, 8, 3, 1, 1, 7)),
+        Layer::ReLU(ReLU::new()),
+        Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(8 * 4 * 4, 4, 8)),
+    ]);
+    println!("model parameters: {}", model.num_params());
+
+    // Some input batch.
+    let x = Tensor::from_fn(&[4, 1, 8, 8], |i| ((i % 17) as f32 - 8.0) / 8.0);
+    let clean = model.forward(&x, Mode::Eval)?;
+
+    // Map every conv/linear layer onto 32x32 non-ideal crossbars (default
+    // parameters: ReRAM-like synapses, wire/driver/sense parasitics, 10%
+    // device variation) and run the same batch through the mapped model.
+    let cfg = MapConfig {
+        params: CrossbarParams::with_size(32),
+        ..Default::default()
+    };
+    let (mut noisy, report) = map_to_crossbars(&model, &cfg)?;
+    let degraded = noisy.forward(&x, Mode::Eval)?;
+
+    println!("crossbars used:      {}", report.crossbar_count());
+    println!("mean NF:             {:.4}", report.mean_nf());
+    println!("low-G fraction:      {:.3}", report.mean_low_g_fraction());
+    let rel_err: f32 = clean
+        .as_slice()
+        .iter()
+        .zip(degraded.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f32>()
+        / clean.as_slice().iter().map(|a| a.abs()).sum::<f32>();
+    println!("relative logit error: {rel_err:.4}");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The paper's core experiment in miniature: train an unpruned and a
+//! C/F-pruned VGG11 on a synthetic CIFAR10-like task, map both onto
+//! non-ideal crossbars of increasing size, and watch the pruned model — the
+//! hardware-cheaper one — lose more accuracy.
+//!
+//! Run with: `cargo run --release --example sparse_vgg_crossbar`
+//! (takes a couple of CPU minutes; shrink `TRAIN` to go faster).
+
+use xbar_repro::core::pipeline::{map_to_crossbars, MapConfig};
+use xbar_repro::data::{CifarLikeConfig, Split};
+use xbar_repro::nn::train::{evaluate, train, DataRef, TrainConfig, WeightConstraint};
+use xbar_repro::nn::vgg::{VggConfig, VggVariant};
+use xbar_repro::prune::cf::prune_cf;
+use xbar_repro::prune::compression::compression_rate;
+use xbar_repro::prune::PruneMethod;
+use xbar_repro::sim::params::CrossbarParams;
+
+const TRAIN: usize = 600;
+const TEST: usize = 300;
+const SPARSITY: f64 = 0.8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = CifarLikeConfig::cifar10_like()
+        .train_size(TRAIN)
+        .test_size(TEST)
+        .generate(42);
+    let train_ref = DataRef::new(data.images(Split::Train), data.labels(Split::Train))?;
+    let test_ref = DataRef::new(data.images(Split::Test), data.labels(Split::Test))?;
+    let train_cfg = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::default()
+    };
+
+    for pruned in [false, true] {
+        let mut model = VggConfig::new(VggVariant::Vgg11, 10)
+            .width_multiplier(0.25)
+            .build(1);
+        let masks = pruned.then(|| prune_cf(&model, SPARSITY));
+        if let Some(masks) = &masks {
+            masks.apply_to(&mut model);
+        }
+        let constraint: Option<&dyn WeightConstraint> =
+            masks.as_ref().map(|m| m as &dyn WeightConstraint);
+        train(&mut model, train_ref, &train_cfg, constraint)?;
+        let software = evaluate(&mut model, test_ref, 64)?;
+        let label = if pruned { "C/F pruned" } else { "unpruned " };
+        let method = if pruned {
+            PruneMethod::ChannelFilter
+        } else {
+            PruneMethod::None
+        };
+        print!("{label}: software {:.1}%", 100.0 * software);
+        if pruned {
+            print!(
+                " (compression {:.2}x at 32x32)",
+                compression_rate(&model, method, 32, 32)
+            );
+        }
+        println!();
+        for size in [16usize, 32, 64] {
+            let cfg = MapConfig {
+                params: CrossbarParams::with_size(size),
+                method,
+                ..Default::default()
+            };
+            let (mut noisy, report) = map_to_crossbars(&model, &cfg)?;
+            let acc = evaluate(&mut noisy, test_ref, 64)?;
+            println!(
+                "  {size:>2}x{size:<2}: {:.1}% ({} crossbars, NF {:.4})",
+                100.0 * acc,
+                report.crossbar_count(),
+                report.mean_nf()
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! End-to-end integration tests spanning every crate: synthetic dataset →
+//! pruning at initialisation → constrained training → crossbar mapping →
+//! non-ideal inference.
+
+use xbar_repro::core::evaluate::evaluate_on_crossbars;
+use xbar_repro::core::pipeline::{map_to_crossbars, MapConfig};
+use xbar_repro::core::wct::{apply_wct, WctConfig};
+use xbar_repro::core::ColumnOrder;
+use xbar_repro::data::{CifarLikeConfig, Split};
+use xbar_repro::nn::train::{evaluate, train, DataRef, TrainConfig, WeightConstraint};
+use xbar_repro::nn::vgg::{VggConfig, VggVariant};
+use xbar_repro::prune::cf::prune_cf;
+use xbar_repro::prune::compression::compression_rate;
+use xbar_repro::prune::xcs::prune_xcs;
+use xbar_repro::prune::{MaskSet, PruneMethod};
+use xbar_repro::sim::params::CrossbarParams;
+
+/// Small but learnable task + model used by the tests below.
+fn setup() -> (
+    xbar_repro::data::Dataset,
+    xbar_repro::nn::Sequential,
+    MaskSet,
+) {
+    let data = CifarLikeConfig::cifar10_like()
+        .train_size(150)
+        .test_size(80)
+        .generate(11);
+    let mut model = VggConfig::new(VggVariant::Vgg11, 10)
+        .width_multiplier(0.125)
+        .build(5);
+    let masks = prune_cf(&model, 0.5);
+    masks.apply_to(&mut model);
+    (data, model, masks)
+}
+
+fn train_quick(
+    model: &mut xbar_repro::nn::Sequential,
+    data: &xbar_repro::data::Dataset,
+    masks: &MaskSet,
+) {
+    let train_ref = DataRef::new(data.images(Split::Train), data.labels(Split::Train)).unwrap();
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
+    train(model, train_ref, &cfg, Some(masks as &dyn WeightConstraint)).unwrap();
+}
+
+#[test]
+fn full_pipeline_trains_prunes_maps_and_infers() {
+    let (data, mut model, masks) = setup();
+    train_quick(&mut model, &data, &masks);
+    // Masks held through training.
+    assert!(masks.observed_sparsity(&mut model) > 0.4);
+    // Pruning compresses the crossbar mapping.
+    let rate = compression_rate(&model, PruneMethod::ChannelFilter, 32, 32);
+    assert!(rate > 1.0, "compression rate {rate}");
+    // Map and evaluate.
+    let cfg = MapConfig {
+        params: CrossbarParams::with_size(32),
+        method: PruneMethod::ChannelFilter,
+        ..Default::default()
+    };
+    let test_ref = DataRef::new(data.images(Split::Test), data.labels(Split::Test)).unwrap();
+    let eval = evaluate_on_crossbars(&model, &cfg, test_ref, 64).unwrap();
+    assert!(
+        eval.software_accuracy > 0.15,
+        "model should learn something"
+    );
+    assert!(eval.crossbar_accuracy >= 0.0 && eval.crossbar_accuracy <= 1.0);
+    assert!(eval.report.crossbar_count() > 0);
+    assert!(eval.report.mean_nf() > 0.0, "non-idealities must register");
+}
+
+#[test]
+fn pruned_zeros_survive_the_whole_pipeline() {
+    let (data, mut model, masks) = setup();
+    train_quick(&mut model, &data, &masks);
+    let cfg = MapConfig {
+        params: CrossbarParams::with_size(16),
+        method: PruneMethod::ChannelFilter,
+        rearrange: Some(ColumnOrder::CenterOut),
+        ..Default::default()
+    };
+    let (noisy, _) = map_to_crossbars(&model, &cfg).unwrap();
+    for (orig_layer, noisy_layer) in model.layers().iter().zip(noisy.layers()) {
+        let pair = match (orig_layer.as_conv(), noisy_layer.as_conv()) {
+            (Some(a), Some(b)) => (&a.weight().value, &b.weight().value),
+            _ => match (orig_layer.as_linear(), noisy_layer.as_linear()) {
+                (Some(a), Some(b)) => (&a.weight().value, &b.weight().value),
+                _ => continue,
+            },
+        };
+        for (&a, &b) in pair.0.as_slice().iter().zip(pair.1.as_slice()) {
+            if a == 0.0 {
+                assert_eq!(b, 0.0, "pruned weight must stay zero after T/R round trip");
+            }
+        }
+    }
+}
+
+#[test]
+fn mapping_is_deterministic_per_seed_across_the_stack() {
+    let (data, mut model, masks) = setup();
+    train_quick(&mut model, &data, &masks);
+    let cfg = MapConfig {
+        params: CrossbarParams::with_size(16),
+        method: PruneMethod::ChannelFilter,
+        seed: 1234,
+        ..Default::default()
+    };
+    let (a, ra) = map_to_crossbars(&model, &cfg).unwrap();
+    let (b, rb) = map_to_crossbars(&model, &cfg).unwrap();
+    assert_eq!(ra.crossbar_count(), rb.crossbar_count());
+    for (la, lb) in a.layers().iter().zip(b.layers()) {
+        if let (Some(ca), Some(cb)) = (la.as_conv(), lb.as_conv()) {
+            assert_eq!(ca.weight().value, cb.weight().value);
+        }
+    }
+}
+
+#[test]
+fn xcs_pipeline_maps_with_segment_elimination() {
+    let data = CifarLikeConfig::cifar10_like()
+        .train_size(100)
+        .test_size(50)
+        .generate(3);
+    let mut model = VggConfig::new(VggVariant::Vgg11, 10)
+        .width_multiplier(0.125)
+        .build(9);
+    let masks = prune_xcs(&model, 0.6, 16);
+    masks.apply_to(&mut model);
+    train_quick(&mut model, &data, &masks);
+    let cfg = MapConfig {
+        params: CrossbarParams::with_size(16),
+        method: PruneMethod::XbarColumn,
+        ..Default::default()
+    };
+    let (noisy, report) = map_to_crossbars(&model, &cfg).unwrap();
+    // Fewer crossbars than the dense mapping.
+    let dense =
+        xbar_repro::prune::compression::model_crossbar_count(&model, PruneMethod::None, 16, 16);
+    assert!(report.crossbar_count() < dense);
+    // Model still runs.
+    let test_ref = DataRef::new(data.images(Split::Test), data.labels(Split::Test)).unwrap();
+    let mut noisy = noisy;
+    let acc = evaluate(&mut noisy, test_ref, 32).unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+}
+
+#[test]
+fn wct_lowers_conductances_and_nf() {
+    let (data, mut model, masks) = setup();
+    train_quick(&mut model, &data, &masks);
+    let base_cfg = MapConfig {
+        params: CrossbarParams::with_size(64),
+        method: PruneMethod::ChannelFilter,
+        ..Default::default()
+    };
+    let (_, base_report) = map_to_crossbars(&model, &base_cfg).unwrap();
+
+    let train_ref = DataRef::new(data.images(Split::Train), data.labels(Split::Train)).unwrap();
+    let mut wct_model = model.clone();
+    let outcome = apply_wct(
+        &mut wct_model,
+        train_ref,
+        &WctConfig::default(),
+        Some(&masks as &dyn WeightConstraint),
+    )
+    .unwrap();
+    assert!(outcome.w_cut > 0.0);
+    assert!(outcome.w_cut <= outcome.pre_clamp_abs_max);
+
+    let mut wct_cfg = base_cfg;
+    wct_cfg.scale = outcome.mapping_scale();
+    let (_, wct_report) = map_to_crossbars(&wct_model, &wct_cfg).unwrap();
+    // The WCT claim: more low-conductance devices, lower NF.
+    assert!(
+        wct_report.mean_low_g_fraction() >= base_report.mean_low_g_fraction(),
+        "WCT should raise the low-G proportion: {} vs {}",
+        wct_report.mean_low_g_fraction(),
+        base_report.mean_low_g_fraction()
+    );
+    assert!(
+        wct_report.mean_nf() < base_report.mean_nf(),
+        "WCT should reduce NF: {} vs {}",
+        wct_report.mean_nf(),
+        base_report.mean_nf()
+    );
+}
+
+#[test]
+fn larger_crossbars_increase_nf_on_trained_models() {
+    let (data, mut model, masks) = setup();
+    train_quick(&mut model, &data, &masks);
+    let mut nfs = Vec::new();
+    for size in [16usize, 32, 64] {
+        let cfg = MapConfig {
+            params: CrossbarParams::with_size(size),
+            method: PruneMethod::ChannelFilter,
+            ..Default::default()
+        };
+        let (_, report) = map_to_crossbars(&model, &cfg).unwrap();
+        nfs.push(report.mean_nf());
+    }
+    assert!(
+        nfs[0] < nfs[1] && nfs[1] < nfs[2],
+        "NF must grow with size: {nfs:?}"
+    );
+}
