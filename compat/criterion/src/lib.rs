@@ -1,0 +1,251 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! The build environment has no crate registry, so `cargo bench` links this
+//! minimal runner instead: it auto-calibrates an iteration count per
+//! benchmark (targeting ~200 ms of measurement), reports mean wall-clock
+//! time per iteration on stdout, and implements exactly the API surface the
+//! workspace's benches use (`benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros).
+//!
+//! No statistics, plots, or saved baselines — for those, run the real
+//! criterion in an environment with registry access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement time target per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Mirror of `criterion::BatchSize` (only the variants the benches name).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Mirror of `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Identifier accepted by `bench_function`/`bench_with_input`.
+pub trait IntoLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Mirror of `criterion::Bencher`: runs the routine and records timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.elapsed = measured;
+    }
+}
+
+fn run_benchmark(label: &str, mut body: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one batch takes long enough
+    // to time meaningfully, then scale to the measurement target.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break b.elapsed / iters.max(1) as u32;
+        }
+        iters *= 4;
+    };
+    let measure_iters = if per_iter.is_zero() {
+        iters
+    } else {
+        (TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+    let mut b = Bencher {
+        iters: measure_iters,
+        elapsed: Duration::ZERO,
+    };
+    body(&mut b);
+    let mean = b.elapsed / measure_iters.max(1) as u32;
+    println!("bench {label:<40} {mean:>12.3?}/iter ({measure_iters} iters)");
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in auto-calibrates instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoLabel,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into_label()), body);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut body: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into_label()), |b| {
+            body(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoLabel,
+        body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.into_label(), body);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_all_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || std::thread::sleep(Duration::from_millis(2)),
+            |()| (),
+            BatchSize::SmallInput,
+        );
+        assert!(b.elapsed < Duration::from_millis(3), "setup time leaked in");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("solve", 64).to_string(), "solve/64");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+}

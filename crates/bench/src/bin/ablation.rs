@@ -15,8 +15,7 @@
 use std::time::Instant;
 use xbar_bench::report::{pct, Table};
 use xbar_bench::runner::{
-    crossbar_accuracy_avg, map_config, panel_arg, parse_common_args, relative_weight_error,
-    DEFAULT_REPS,
+    crossbar_accuracy_avg, map_config, relative_weight_error, Arity, RunContext, DEFAULT_REPS,
 };
 use xbar_bench::{DatasetKind, Scenario};
 use xbar_core::wct::{apply_wct, WctConfig};
@@ -31,8 +30,9 @@ use xbar_sim::solve::{NonIdealSolver, SolveMethod};
 use xbar_sim::MappingScale;
 
 fn main() {
-    let (scale, seed) = parse_common_args();
-    let which = panel_arg("--which");
+    let ctx = RunContext::init("ablation", &[("--which", Arity::Value)]);
+    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
+    let which = ctx.args.get("--which").map(str::to_string);
     let run = |p: &str| which.as_deref().is_none_or(|sel| sel == p);
 
     if run("mapping-scale") {
@@ -53,6 +53,7 @@ fn main() {
     if run("approximation") {
         approximation_ablation();
     }
+    ctx.finish();
 }
 
 /// A6 (extension): fidelity of the paper's methodology. The framework folds
@@ -125,7 +126,6 @@ fn approximation_ablation() {
 /// A4 (extension): BatchNorm recalibration after mapping.
 fn bn_recalibration_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
     use xbar_core::recalibrate::recalibrate_batchnorm;
-    let start = Instant::now();
     let mut table = Table::new(
         "Ablation A4 (extension): BatchNorm recalibration after mapping (64x64)",
         &["Model", "Mapped acc (%)", "After BN recal (%)", "Gain (pp)"],
@@ -146,11 +146,12 @@ fn bn_recalibration_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
         let mut recal = mapped;
         recalibrate_batchnorm(&mut recal, train_ref, 32, 8).expect("recalibrate");
         let after = xbar_nn::train::evaluate(&mut recal, test_ref, 64).expect("eval");
-        eprintln!(
-            "[{:.0?}] {method}: {} -> {}",
-            start.elapsed(),
-            pct(before),
-            pct(after)
+        xbar_obs::event!(
+            "progress",
+            ablation = "bn-recalibration",
+            method = method.to_string(),
+            before = before,
+            after = after
         );
         table.push_row(vec![
             method.to_string(),
@@ -167,7 +168,6 @@ fn bn_recalibration_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
 /// non-idealities?
 fn robustness_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
     use xbar_sim::faults::FaultModel;
-    let start = Instant::now();
     let mut table = Table::new(
         "Ablation A5 (extension): quantization levels and stuck-at faults (32x32)",
         &["Perturbation", "Unpruned acc (%)", "C/F acc (%)"],
@@ -188,11 +188,12 @@ fn robustness_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
             let mut cfg = map_config(tm, 32, seed);
             edit(&mut cfg.params);
             let (acc, _) = crossbar_accuracy_avg(tm, data, &cfg, DEFAULT_REPS);
-            eprintln!(
-                "[{:.0?}] {label} {}: {}%",
-                start.elapsed(),
-                tm.scenario.method,
-                pct(acc)
+            xbar_obs::event!(
+                "progress",
+                ablation = "robustness",
+                perturbation = label,
+                method = tm.scenario.method.to_string(),
+                accuracy = acc
             );
             cells.push(pct(acc));
         }
@@ -220,7 +221,6 @@ fn robustness_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
 
 /// A1: WCT benefit exists under Fixed scale and inverts under PerLayerMax.
 fn mapping_scale_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
-    let start = Instant::now();
     let sc = Scenario::new(
         VggVariant::Vgg11,
         DatasetKind::Cifar10Like,
@@ -255,7 +255,12 @@ fn mapping_scale_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
         let mut cfg = map_config(&tm, 64, seed);
         cfg.scale = mscale;
         let (acc, report) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-        eprintln!("[{:.0?}] {label}: {}%", start.elapsed(), pct(acc));
+        xbar_obs::event!(
+            "progress",
+            ablation = "mapping-scale",
+            mapping_scale = label,
+            accuracy = acc
+        );
         table.push_row(vec![
             label.to_string(),
             pct(acc),
@@ -321,7 +326,6 @@ fn solver_ablation() {
 
 /// A3: R column-order policies.
 fn rearrange_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
-    let start = Instant::now();
     let sc = Scenario::new(
         VggVariant::Vgg11,
         DatasetKind::Cifar10Like,
@@ -360,10 +364,13 @@ fn rearrange_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
             let (mapped, _) =
                 xbar_core::pipeline::map_to_crossbars(&tm.model, &det_cfg).expect("map");
             let err = relative_weight_error(&tm.model, &mapped);
-            eprintln!(
-                "[{:.0?}] {label} @{size}: acc {}%, rel err {err:.4}",
-                start.elapsed(),
-                pct(acc)
+            xbar_obs::event!(
+                "progress",
+                ablation = "rearrange-policy",
+                policy = label,
+                size = size,
+                accuracy = acc,
+                rel_weight_err = err
             );
             row.push(pct(acc));
             errs.push(format!("{err:.4}"));

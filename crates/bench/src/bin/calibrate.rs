@@ -3,8 +3,8 @@
 //! for the current default circuit parameters. Used to sanity-check that the
 //! paper's qualitative trends hold before running the full figure harnesses.
 
-use xbar_bench::report::pct;
-use xbar_bench::{DatasetKind, ExperimentScale, Scenario};
+use xbar_bench::runner::{Arity, RunContext};
+use xbar_bench::{DatasetKind, Scenario};
 use xbar_core::pipeline::{map_to_crossbars, MapConfig};
 use xbar_data::Split;
 use xbar_nn::train::{evaluate, DataRef};
@@ -13,25 +13,57 @@ use xbar_prune::PruneMethod;
 use xbar_sim::params::CrossbarParams;
 
 fn main() {
-    let mut scale = ExperimentScale::quick();
+    const OVERRIDES: [(&str, Arity); 10] = [
+        ("--train", Arity::Value),
+        ("--epochs", Arity::Value),
+        ("--width", Arity::Value),
+        ("--rmin", Arity::Value),
+        ("--rmax", Arity::Value),
+        ("--sigma", Arity::Value),
+        ("--driver", Arity::Value),
+        ("--sense", Arity::Value),
+        ("--wire-row", Arity::Value),
+        ("--wire-col", Arity::Value),
+    ];
+    let ctx = RunContext::init("calibrate", &OVERRIDES);
+    let mut scale = ctx.args.scale;
     let mut base = CrossbarParams::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--train" => scale.train_size = args.next().unwrap().parse().unwrap(),
-            "--epochs" => scale.epochs = args.next().unwrap().parse().unwrap(),
-            "--width" => scale.width = args.next().unwrap().parse().unwrap(),
-            "--rmin" => base.r_min = args.next().unwrap().parse().unwrap(),
-            "--rmax" => base.r_max = args.next().unwrap().parse().unwrap(),
-            "--sigma" => base.sigma_variation = args.next().unwrap().parse().unwrap(),
-            "--driver" => base.r_driver = args.next().unwrap().parse().unwrap(),
-            "--sense" => base.r_sense = args.next().unwrap().parse().unwrap(),
-            "--wire-row" => base.r_wire_row = args.next().unwrap().parse().unwrap(),
-            "--wire-col" => base.r_wire_col = args.next().unwrap().parse().unwrap(),
-            other => panic!("unknown arg {other}"),
-        }
+    let get = |flag: &str| -> Option<f64> {
+        ctx.args.get(flag).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number, got {v:?}"))
+        })
+    };
+    if let Some(v) = get("--train") {
+        scale.train_size = v as usize;
     }
-    let start = std::time::Instant::now();
+    if let Some(v) = get("--epochs") {
+        scale.epochs = v as usize;
+    }
+    if let Some(v) = get("--width") {
+        scale.width = v;
+    }
+    if let Some(v) = get("--rmin") {
+        base.r_min = v;
+    }
+    if let Some(v) = get("--rmax") {
+        base.r_max = v;
+    }
+    if let Some(v) = get("--sigma") {
+        base.sigma_variation = v;
+    }
+    if let Some(v) = get("--driver") {
+        base.r_driver = v;
+    }
+    if let Some(v) = get("--sense") {
+        base.r_sense = v;
+    }
+    if let Some(v) = get("--wire-row") {
+        base.r_wire_row = v;
+    }
+    if let Some(v) = get("--wire-col") {
+        base.r_wire_col = v;
+    }
     for method in [PruneMethod::None, PruneMethod::ChannelFilter] {
         let mut sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale);
         if let Ok(noise) = std::env::var("XBAR_NOISE") {
@@ -39,11 +71,10 @@ fn main() {
         }
         let data = sc.dataset();
         let tm = sc.train_model_cached(&data);
-        println!(
-            "[{:.0?}] {} software acc = {}%",
-            start.elapsed(),
-            method,
-            pct(tm.software_accuracy)
+        xbar_obs::event!(
+            "calibrate_software",
+            method = method.to_string(),
+            accuracy = tm.software_accuracy
         );
         let test = DataRef::new(data.images(Split::Test), data.labels(Split::Test)).unwrap();
         for size in [16usize, 32, 64] {
@@ -69,18 +100,19 @@ fn main() {
                 };
                 let (mut noisy, report) = map_to_crossbars(&tm.model, &cfg).unwrap();
                 let acc = evaluate(&mut noisy, test, 64).unwrap();
-                println!(
-                    "[{:.0?}]   {}x{} {tag}: acc = {}% (drop {:.1}pp), NF = {:.4}, lowG = {:.2}, xbars = {}",
-                    start.elapsed(),
-                    size,
-                    size,
-                    pct(acc),
-                    100.0 * (tm.software_accuracy - acc),
-                    report.mean_nf(),
-                    report.mean_low_g_fraction(),
-                    report.crossbar_count()
+                xbar_obs::event!(
+                    "calibrate_point",
+                    method = method.to_string(),
+                    size = size,
+                    variant = tag,
+                    accuracy = acc,
+                    drop_pp = 100.0 * (tm.software_accuracy - acc),
+                    nf_mean = report.mean_nf(),
+                    low_g_fraction = report.mean_low_g_fraction(),
+                    crossbars = report.crossbar_count()
                 );
             }
         }
     }
+    ctx.finish();
 }

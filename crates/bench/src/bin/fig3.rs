@@ -11,17 +11,17 @@
 
 use xbar_bench::report::{pct, Table};
 use xbar_bench::runner::{
-    crossbar_accuracy_avg, map_config, panel_arg, parse_common_args, DEFAULT_REPS, SIZES,
+    crossbar_accuracy_avg, map_config, Arity, RunContext, DEFAULT_REPS, SIZES,
 };
 use xbar_bench::{DatasetKind, Scenario};
 use xbar_nn::vgg::VggVariant;
 use xbar_prune::PruneMethod;
 
 fn main() {
-    let (scale, seed) = parse_common_args();
-    let panel = panel_arg("--panel");
+    let ctx = RunContext::init("fig3", &[("--panel", Arity::Value)]);
+    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
+    let panel = ctx.args.get("--panel").map(str::to_string);
     let run = |p: &str| panel.as_deref().is_none_or(|sel| sel == p);
-    let start = std::time::Instant::now();
 
     let methods = [
         PruneMethod::None,
@@ -56,10 +56,12 @@ fn main() {
             for size in SIZES {
                 let cfg = map_config(&tm, size, seed);
                 let (acc, _) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-                eprintln!(
-                    "[{:.0?}] fig3{panel_id} {method} {size}x{size}: {}%",
-                    start.elapsed(),
-                    pct(acc)
+                xbar_obs::event!(
+                    "progress",
+                    panel = format!("fig3{panel_id}"),
+                    method = method.to_string(),
+                    size = size,
+                    accuracy = acc
                 );
                 row.push(pct(acc));
             }
@@ -97,10 +99,12 @@ fn main() {
             for size in SIZES {
                 let cfg = map_config(&tm, size, seed);
                 let (acc, _) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-                eprintln!(
-                    "[{:.0?}] fig3b s={s} {size}x{size}: {}%",
-                    start.elapsed(),
-                    pct(acc)
+                xbar_obs::event!(
+                    "progress",
+                    panel = "fig3b",
+                    sparsity = s,
+                    size = size,
+                    accuracy = acc
                 );
                 row.push(pct(acc));
             }
@@ -126,11 +130,12 @@ fn main() {
                 let (_, report) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
                 nfs.push(report.mean_nf());
             }
-            eprintln!(
-                "[{:.0?}] fig3d {method}: NF 32={:.4} 64={:.4}",
-                start.elapsed(),
-                nfs[0],
-                nfs[1]
+            xbar_obs::event!(
+                "progress",
+                panel = "fig3d",
+                method = method.to_string(),
+                nf_32 = nfs[0],
+                nf_64 = nfs[1]
             );
             table.push_row(vec![
                 method.to_string(),
@@ -141,4 +146,5 @@ fn main() {
         }
         table.emit("fig3d").expect("write results");
     }
+    ctx.finish();
 }

@@ -11,7 +11,7 @@
 
 use xbar_bench::report::{pct, Table};
 use xbar_bench::runner::{
-    crossbar_accuracy_avg, map_config, panel_arg, parse_common_args, DEFAULT_REPS, SIZES,
+    crossbar_accuracy_avg, map_config, Arity, RunContext, DEFAULT_REPS, SIZES,
 };
 use xbar_bench::{DatasetKind, Scenario, TrainedModel};
 use xbar_core::wct::{apply_wct, WctConfig};
@@ -28,7 +28,6 @@ fn accuracy_row(
     seed: u64,
     rearrange: Option<ColumnOrder>,
     scale_override: Option<xbar_sim::MappingScale>,
-    start: &std::time::Instant,
 ) -> Vec<String> {
     let mut row = vec![label.to_string(), pct(tm.software_accuracy)];
     for size in SIZES {
@@ -38,21 +37,17 @@ fn accuracy_row(
             cfg.scale = s;
         }
         let (acc, _) = crossbar_accuracy_avg(tm, data, &cfg, DEFAULT_REPS);
-        eprintln!(
-            "[{:.0?}] {label} {size}x{size}: {}%",
-            start.elapsed(),
-            pct(acc)
-        );
+        xbar_obs::event!("progress", model = label, size = size, accuracy = acc);
         row.push(pct(acc));
     }
     row
 }
 
 fn main() {
-    let (scale, seed) = parse_common_args();
-    let panel = panel_arg("--panel");
+    let ctx = RunContext::init("fig4", &[("--panel", Arity::Value)]);
+    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
+    let panel = ctx.args.get("--panel").map(str::to_string);
     let run = |p: &str| panel.as_deref().is_none_or(|sel| sel == p);
-    let start = std::time::Instant::now();
 
     // Panels (a)-(d): R transformation.
     let r_cases = [
@@ -89,11 +84,10 @@ fn main() {
             seed,
             None,
             None,
-            &start,
         ));
         let cf = Scenario::new(variant, dataset, PruneMethod::ChannelFilter, scale).with_seed(seed);
         let tm_cf = cf.train_model_cached(&data);
-        table.push_row(accuracy_row("C/F", &tm_cf, &data, seed, None, None, &start));
+        table.push_row(accuracy_row("C/F", &tm_cf, &data, seed, None, None));
         table.push_row(accuracy_row(
             "C/F + R",
             &tm_cf,
@@ -103,7 +97,6 @@ fn main() {
             // the peripheries. See ablation A3 for the other orderings.
             Some(ColumnOrder::CenterOut),
             None,
-            &start,
         ));
         table
             .emit(&format!("fig4{panel_id}"))
@@ -144,7 +137,6 @@ fn main() {
             seed,
             None,
             None,
-            &start,
         ));
         let cf = Scenario::new(
             VggVariant::Vgg11,
@@ -154,7 +146,7 @@ fn main() {
         )
         .with_seed(seed);
         let tm_cf = cf.train_model_cached(&data);
-        table.push_row(accuracy_row("C/F", &tm_cf, &data, seed, None, None, &start));
+        table.push_row(accuracy_row("C/F", &tm_cf, &data, seed, None, None));
         // WCT on top of the C/F model: clamp + 2-epoch constrained retrain,
         // then map with the fixed pre-clamp scale.
         let mut tm_wct = tm_cf.clone();
@@ -173,12 +165,11 @@ fn main() {
             .expect("dataset well-formed");
         tm_wct.software_accuracy =
             evaluate(&mut tm_wct.model, test_ref, 64).expect("evaluation shape-safe");
-        eprintln!(
-            "[{:.0?}] WCT: w_cut = {:.4}, pre-clamp max = {:.4}, software {}%",
-            start.elapsed(),
-            outcome.w_cut,
-            outcome.pre_clamp_abs_max,
-            pct(tm_wct.software_accuracy)
+        xbar_obs::event!(
+            "wct_applied",
+            w_cut = outcome.w_cut,
+            pre_clamp_abs_max = outcome.pre_clamp_abs_max,
+            software_acc = tm_wct.software_accuracy
         );
         table.push_row(accuracy_row(
             "WCT + C/F",
@@ -187,10 +178,10 @@ fn main() {
             seed,
             None,
             Some(outcome.mapping_scale()),
-            &start,
         ));
         table
             .emit(&format!("fig4{panel_id}"))
             .expect("write results");
     }
+    ctx.finish();
 }

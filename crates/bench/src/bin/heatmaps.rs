@@ -8,7 +8,7 @@
 //! [--full|--smoke] [--seed N]`
 
 use xbar_bench::report::{results_dir, Table};
-use xbar_bench::runner::parse_common_args;
+use xbar_bench::runner::RunContext;
 use xbar_bench::{DatasetKind, Scenario};
 use xbar_core::heatmap::{column_adjacency_score, Heatmap};
 use xbar_core::rearrange::{ColumnOrder, Rearrangement};
@@ -18,7 +18,8 @@ use xbar_prune::unroll::unrolled_matrices;
 use xbar_prune::PruneMethod;
 
 fn main() {
-    let (scale, seed) = parse_common_args();
+    let ctx = RunContext::init("heatmaps", &[]);
+    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
     let sc = Scenario::new(
         VggVariant::Vgg16,
         DatasetKind::Cifar10Like,
@@ -73,4 +74,5 @@ fn main() {
         ]);
     }
     table.emit("fig3f_scores").expect("write results");
+    ctx.finish();
 }

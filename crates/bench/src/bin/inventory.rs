@@ -7,8 +7,8 @@
 //! Usage: `cargo run --release -p xbar-bench --bin inventory
 //! [--size N] [--method none|cf] [--full|--smoke] [--seed N]`
 
-use xbar_bench::report::{panel_arg_or, pct, Table};
-use xbar_bench::runner::{map_config, parse_common_args};
+use xbar_bench::report::{pct, Table};
+use xbar_bench::runner::{map_config, Arity, RunContext};
 use xbar_bench::{DatasetKind, Scenario};
 use xbar_core::cost::{estimate_cost, CostModel};
 use xbar_core::pipeline::map_to_crossbars;
@@ -16,16 +16,26 @@ use xbar_nn::vgg::VggVariant;
 use xbar_prune::PruneMethod;
 
 fn main() {
-    let (scale, seed) = parse_common_args();
-    let size: usize = panel_arg_or("--size", "32")
+    let ctx = RunContext::init(
+        "inventory",
+        &[("--size", Arity::Value), ("--method", Arity::Value)],
+    );
+    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
+    let size: usize = ctx
+        .args
+        .get("--size")
+        .unwrap_or("32")
         .parse()
         .expect("--size takes an integer");
-    let method = match panel_arg_or("--method", "cf").as_str() {
+    let method = match ctx.args.get("--method").unwrap_or("cf") {
         "none" => PruneMethod::None,
         "cf" => PruneMethod::ChannelFilter,
         "xcs" => PruneMethod::XbarColumn,
         "xrs" => PruneMethod::XbarRow,
-        other => panic!("unknown method {other}"),
+        other => {
+            eprintln!("error: unknown method {other}; supported: none cf xcs xrs");
+            std::process::exit(2);
+        }
     };
     let sc =
         Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale).with_seed(seed);
@@ -45,6 +55,9 @@ fn main() {
             "Mean NF",
             "NF std",
             "Low-G fraction",
+            "Solver iters",
+            "Max residual",
+            "Non-conv",
         ],
     );
     for lr in &report.layers {
@@ -56,6 +69,9 @@ fn main() {
             format!("{:.4}", lr.nf.mean()),
             format!("{:.4}", lr.nf.std()),
             format!("{:.3}", lr.low_g_fraction),
+            lr.solver_iterations.to_string(),
+            format!("{:.2e}", lr.max_residual),
+            lr.non_converged.to_string(),
         ]);
     }
     table.emit("inventory").expect("write results");
@@ -66,4 +82,5 @@ fn main() {
         cost.area_um2 / 1e6,
         cost.energy_uj
     );
+    ctx.finish();
 }

@@ -1,19 +1,25 @@
-//! Regenerates the paper's **Table I**: software accuracies and
-//! crossbar-compression-rates (32×32 crossbars) for the unpruned and
-//! structure-pruned VGG11/VGG16 models on the CIFAR10-like (s = 0.8) and
-//! CIFAR100-like (s = 0.6) datasets.
+//! Regenerates the paper's **Table I**: software accuracies,
+//! crossbar-compression-rates and 32×32 non-ideal crossbar accuracies for
+//! the unpruned and structure-pruned VGG11/VGG16 models on the
+//! CIFAR10-like (s = 0.8) and CIFAR100-like (s = 0.6) datasets.
 //!
-//! Usage: `cargo run --release -p xbar-bench --bin table1 [--full|--smoke] [--seed N]`
+//! Usage: `cargo run --release -p xbar-bench --bin table1 [--full|--smoke]
+//! [--seed N] [--quiet] [--trace-out <path>]`
 
 use xbar_bench::report::{pct, rate, Table};
-use xbar_bench::runner::parse_common_args;
+use xbar_bench::runner::{crossbar_accuracy, map_config, RunContext};
 use xbar_bench::{DatasetKind, Scenario};
 use xbar_nn::vgg::VggVariant;
 use xbar_prune::compression::compression_rate;
 use xbar_prune::PruneMethod;
 
+/// Crossbar size Table I evaluates at.
+const SIZE: usize = 32;
+
 fn main() {
-    let (scale, seed) = parse_common_args();
+    let mut ctx = RunContext::init("table1", &[]);
+    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
+    ctx.config("crossbar_size", SIZE);
     let mut table = Table::new(
         "Table I: software accuracy and crossbar-compression-rate (32x32)",
         &[
@@ -22,7 +28,21 @@ fn main() {
             "Method",
             "Sparsity",
             "Software acc (%)",
+            "Crossbar acc (%)",
             "Compression",
+        ],
+    );
+    let mut solver_table = Table::new(
+        "Table I mapping solver statistics (32x32)",
+        &[
+            "Dataset",
+            "Network",
+            "Method",
+            "Crossbars",
+            "Mean NF",
+            "Solver iters",
+            "Max residual",
+            "Non-conv tiles",
         ],
     );
     let cases: Vec<(DatasetKind, VggVariant, PruneMethod)> = vec![
@@ -87,22 +107,23 @@ fn main() {
             PruneMethod::ChannelFilter,
         ),
     ];
-    let start = std::time::Instant::now();
     for (dataset, variant, method) in cases {
         let sc = Scenario::new(variant, dataset, method, scale).with_seed(seed);
         let data = sc.dataset();
         let tm = sc.train_model_cached(&data);
         let compression = match method {
             PruneMethod::None => "-".to_string(),
-            m => rate(compression_rate(&tm.model, m, 32, 32)),
+            m => rate(compression_rate(&tm.model, m, SIZE, SIZE)),
         };
-        eprintln!(
-            "[{:.0?}] {} {} {}: software {}%",
-            start.elapsed(),
-            dataset.name(),
-            variant,
-            method,
-            pct(tm.software_accuracy)
+        let cfg = map_config(&tm, SIZE, seed);
+        let (xbar_acc, report) = crossbar_accuracy(&tm, &data, &cfg);
+        xbar_obs::event!(
+            "case_done",
+            dataset = dataset.name(),
+            network = variant.to_string(),
+            method = method.to_string(),
+            software_acc = tm.software_accuracy,
+            crossbar_acc = xbar_acc
         );
         table.push_row(vec![
             dataset.name().to_string(),
@@ -114,8 +135,21 @@ fn main() {
                 format!("{:.1}", sc.sparsity)
             },
             pct(tm.software_accuracy),
+            pct(xbar_acc),
             compression,
+        ]);
+        solver_table.push_row(vec![
+            dataset.name().to_string(),
+            variant.to_string(),
+            method.to_string(),
+            report.crossbar_count().to_string(),
+            format!("{:.4}", report.mean_nf()),
+            report.solver_iterations().to_string(),
+            format!("{:.2e}", report.max_residual()),
+            report.non_converged().to_string(),
         ]);
     }
     table.emit("table1").expect("write results");
+    solver_table.emit("table1_solver").expect("write results");
+    ctx.finish();
 }

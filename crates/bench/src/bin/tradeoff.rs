@@ -7,15 +7,15 @@
 //! [--full|--smoke] [--seed N]`
 
 use xbar_bench::report::{pct, rate, Table};
-use xbar_bench::runner::{crossbar_accuracy_avg, map_config, parse_common_args, DEFAULT_REPS};
+use xbar_bench::runner::{crossbar_accuracy_avg, map_config, RunContext, DEFAULT_REPS};
 use xbar_bench::{DatasetKind, Scenario};
 use xbar_core::cost::{estimate_cost, CostModel};
 use xbar_nn::vgg::VggVariant;
 use xbar_prune::PruneMethod;
 
 fn main() {
-    let (scale, seed) = parse_common_args();
-    let start = std::time::Instant::now();
+    let ctx = RunContext::init("tradeoff", &[]);
+    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
     let cost_model = CostModel::default();
     let mut table = Table::new(
         "Trade-off: C/F sparsity vs hardware cost vs crossbar accuracy (VGG11/CIFAR10-like, 32x32)",
@@ -53,11 +53,11 @@ fn main() {
         let (acc, report) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
         let cost = estimate_cost(&tm.model, &cfg, &cost_model);
         let dense = *dense_cost.get_or_insert(cost);
-        eprintln!(
-            "[{:.0?}] s={s}: acc {}%, {} crossbars",
-            start.elapsed(),
-            pct(acc),
-            cost.crossbars
+        xbar_obs::event!(
+            "progress",
+            sparsity = s,
+            accuracy = acc,
+            crossbars = cost.crossbars
         );
         table.push_row(vec![
             if s == 0.0 {
@@ -73,4 +73,5 @@ fn main() {
         ]);
     }
     table.emit("tradeoff").expect("write results");
+    ctx.finish();
 }

@@ -97,16 +97,6 @@ pub fn results_dir() -> PathBuf {
         .join("results")
 }
 
-/// Returns the value following `flag` on the command line, or `default`.
-pub fn panel_arg_or(flag: &str, default: &str) -> String {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| default.to_string())
-}
-
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}", 100.0 * x)

@@ -1,57 +1,206 @@
-//! Shared helpers for the experiment binaries: CLI parsing and
-//! crossbar-accuracy evaluation of trained scenarios.
+//! Shared helpers for the experiment binaries: CLI parsing, run-lifecycle
+//! observability ([`RunContext`]) and crossbar-accuracy evaluation of
+//! trained scenarios.
 
+use crate::report::Table;
 use crate::scenario::{ExperimentScale, TrainedModel};
+use std::path::PathBuf;
 use xbar_core::pipeline::{map_to_crossbars, MapConfig, MapReport};
 use xbar_data::{Dataset, Split};
 use xbar_nn::train::{evaluate, DataRef};
+use xbar_obs::sink::{self, RunInfo};
 use xbar_prune::PruneMethod;
 use xbar_sim::params::CrossbarParams;
 
 /// Crossbar sizes swept by the paper's figures.
 pub const SIZES: [usize; 3] = [16, 32, 64];
 
-/// Parses the common CLI flags shared by every experiment binary:
-/// `--full`, `--smoke`, `--seed <n>`. Returns the scale and seed.
-///
-/// # Panics
-///
-/// Panics (with a usage message) on unknown flags.
-pub fn parse_common_args() -> (ExperimentScale, u64) {
-    let mut scale = ExperimentScale::quick();
-    let mut seed = 42u64;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--full" => scale = ExperimentScale::full(),
-            "--smoke" => scale = ExperimentScale::smoke(),
-            "--seed" => {
-                seed = args
-                    .next()
-                    .expect("--seed needs a value")
-                    .parse()
-                    .expect("seed must be an integer");
-            }
-            // Binary-specific selectors (--panel, --which, --size, --method,
-            // …) are parsed by the individual binaries; skip them and their
-            // value here.
-            other if other.starts_with("--") => {
-                let _ = args.next();
-            }
-            other => panic!("unknown argument {other}; supported: --full --smoke --seed <n> plus binary-specific --flags"),
-        }
-    }
-    (scale, seed)
+/// Whether a binary-specific flag stands alone or consumes the next
+/// argument as its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// A boolean switch (`--verify`).
+    Flag,
+    /// Takes one value (`--panel a`).
+    Value,
 }
 
-/// Returns the value following `--panel`/`--which` on the command line, if
-/// present.
-pub fn panel_arg(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// The CLI flags shared by every experiment binary, plus whatever
+/// binary-specific flags the caller declared.
+///
+/// Common flags: `--full` / `--smoke` / `--quick` (scale preset),
+/// `--seed <n>`, `--quiet`, `--trace-out <path>`.
+#[derive(Debug, Clone)]
+pub struct CommonArgs {
+    /// Experiment scale preset.
+    pub scale: ExperimentScale,
+    /// Name of the chosen preset (`quick`, `full`, `smoke`).
+    pub scale_name: &'static str,
+    /// Master seed.
+    pub seed: u64,
+    /// Suppress live stderr progress.
+    pub quiet: bool,
+    /// Where to write the JSONL trace, if anywhere.
+    pub trace_out: Option<PathBuf>,
+    extras: Vec<(String, Option<String>)>,
+}
+
+impl CommonArgs {
+    /// Parses `args` (without the program name) against the common flags
+    /// plus the caller's `extra` flag declarations. Unknown flags and
+    /// missing values produce an error message instead of being silently
+    /// swallowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the offending argument.
+    pub fn try_parse(
+        args: impl IntoIterator<Item = String>,
+        extra: &[(&str, Arity)],
+    ) -> Result<Self, String> {
+        let mut out = CommonArgs {
+            scale: ExperimentScale::quick(),
+            scale_name: "quick",
+            seed: 42,
+            quiet: false,
+            trace_out: None,
+            extras: Vec::new(),
+        };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => {
+                    out.scale = ExperimentScale::full();
+                    out.scale_name = "full";
+                }
+                "--smoke" => {
+                    out.scale = ExperimentScale::smoke();
+                    out.scale_name = "smoke";
+                }
+                "--quick" => {
+                    out.scale = ExperimentScale::quick();
+                    out.scale_name = "quick";
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    out.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed must be an integer, got {v:?}"))?;
+                }
+                "--quiet" => out.quiet = true,
+                "--trace-out" => {
+                    let v = args.next().ok_or("--trace-out needs a path")?;
+                    out.trace_out = Some(PathBuf::from(v));
+                }
+                other => match extra.iter().find(|(flag, _)| *flag == other) {
+                    Some((flag, Arity::Flag)) => out.extras.push((flag.to_string(), None)),
+                    Some((flag, Arity::Value)) => {
+                        let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                        out.extras.push((flag.to_string(), Some(v)));
+                    }
+                    None => {
+                        let mut supported = String::from(
+                            "--full --smoke --quick --seed <n> --quiet --trace-out <path>",
+                        );
+                        for (flag, arity) in extra {
+                            supported.push(' ');
+                            supported.push_str(flag);
+                            if *arity == Arity::Value {
+                                supported.push_str(" <v>");
+                            }
+                        }
+                        return Err(format!(
+                            "unknown argument {other:?}; supported: {supported}"
+                        ));
+                    }
+                },
+            }
+        }
+        Ok(out)
+    }
+
+    /// The value of a declared `Arity::Value` flag, if given (last wins).
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.extras
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Whether a declared flag appeared at all.
+    pub fn is_set(&self, flag: &str) -> bool {
+        self.extras.iter().any(|(f, _)| f == flag)
+    }
+}
+
+/// Run lifecycle for an experiment binary: parses the CLI, switches the
+/// live stderr reporter on (unless `--quiet`), accumulates manifest config,
+/// and on [`RunContext::finish`] prints the phase-timing table and writes
+/// the JSONL trace (if `--trace-out` was given).
+#[derive(Debug)]
+pub struct RunContext {
+    /// Parsed CLI flags.
+    pub args: CommonArgs,
+    info: RunInfo,
+}
+
+impl RunContext {
+    /// Parses the process arguments; on a CLI error prints the message to
+    /// stderr and exits with status 2.
+    pub fn init(bin: &str, extra: &[(&str, Arity)]) -> Self {
+        match CommonArgs::try_parse(std::env::args().skip(1), extra) {
+            Ok(args) => Self::from_args(bin, args),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Builds a context from already-parsed arguments (testable core of
+    /// [`RunContext::init`]).
+    pub fn from_args(bin: &str, args: CommonArgs) -> Self {
+        sink::stderr_echo(!args.quiet);
+        let mut info = RunInfo::new(bin);
+        info.seed = args.seed;
+        info.scale = args.scale_name.to_string();
+        for (flag, value) in &args.extras {
+            info.config.push((
+                flag.trim_start_matches('-').to_string(),
+                value.clone().unwrap_or_else(|| "true".to_string()),
+            ));
+        }
+        RunContext { args, info }
+    }
+
+    /// Adds a manifest config pair (sparsity, crossbar size, …).
+    pub fn config(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.info.config.push((key.into(), value.to_string()));
+    }
+
+    /// Prints the phase-timing summary table and writes the JSONL trace if
+    /// `--trace-out` was given. Call once, at the end of `main`.
+    pub fn finish(self) {
+        let phases = sink::phase_summaries();
+        if !phases.is_empty() {
+            let mut table = Table::new("Phase timings", &["Phase", "Total (s)", "Count"]);
+            for p in &phases {
+                table.push_row(vec![
+                    p.name.to_string(),
+                    format!("{:.2}", p.total_us as f64 / 1e6),
+                    p.count.to_string(),
+                ]);
+            }
+            println!("{}", table.to_markdown());
+        }
+        if let Some(path) = &self.args.trace_out {
+            match sink::write_jsonl(path, &self.info) {
+                Ok(()) => println!("[trace written to {}]", path.display()),
+                Err(e) => eprintln!("error: failed writing trace {}: {e}", path.display()),
+            }
+        }
+    }
 }
 
 /// Builds the [`MapConfig`] for a trained model at a given crossbar size,
@@ -151,6 +300,80 @@ mod tests {
     use super::*;
     use crate::scenario::{DatasetKind, Scenario};
     use xbar_nn::vgg::VggVariant;
+
+    #[test]
+    fn try_parse_defaults() {
+        let args = CommonArgs::try_parse(Vec::new(), &[]).unwrap();
+        assert_eq!(args.scale_name, "quick");
+        assert_eq!(args.seed, 42);
+        assert!(!args.quiet);
+        assert!(args.trace_out.is_none());
+    }
+
+    #[test]
+    fn try_parse_common_flags() {
+        let argv = [
+            "--smoke",
+            "--seed",
+            "7",
+            "--quiet",
+            "--trace-out",
+            "t.jsonl",
+        ];
+        let args = CommonArgs::try_parse(argv.iter().map(|s| s.to_string()), &[]).unwrap();
+        assert_eq!(args.scale_name, "smoke");
+        assert_eq!(args.seed, 7);
+        assert!(args.quiet);
+        assert_eq!(
+            args.trace_out.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+    }
+
+    #[test]
+    fn try_parse_extras_value_and_flag() {
+        let argv = ["--panel", "b", "--verify"];
+        let extra = [("--panel", Arity::Value), ("--verify", Arity::Flag)];
+        let args = CommonArgs::try_parse(argv.iter().map(|s| s.to_string()), &extra).unwrap();
+        assert_eq!(args.get("--panel"), Some("b"));
+        assert!(args.is_set("--verify"));
+        assert!(!args.is_set("--other"));
+    }
+
+    #[test]
+    fn try_parse_rejects_unknown_flag() {
+        let err = CommonArgs::try_parse(["--bogus".to_string()], &[]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        assert!(
+            err.contains("--trace-out"),
+            "usage should list flags: {err}"
+        );
+    }
+
+    #[test]
+    fn try_parse_rejects_missing_value() {
+        let err = CommonArgs::try_parse(["--seed".to_string()], &[]).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        let extra = [("--panel", Arity::Value)];
+        let err = CommonArgs::try_parse(["--panel".to_string()], &extra).unwrap_err();
+        assert!(err.contains("--panel"), "{err}");
+    }
+
+    #[test]
+    fn try_parse_rejects_bad_seed() {
+        let argv = ["--seed", "abc"];
+        let err = CommonArgs::try_parse(argv.iter().map(|s| s.to_string()), &[]).unwrap_err();
+        assert!(err.contains("integer"), "{err}");
+    }
+
+    #[test]
+    fn try_parse_does_not_swallow_following_flag() {
+        // The old parser silently consumed the argument after any unknown
+        // "--flag"; the rewrite must reject the unknown flag instead.
+        let argv = ["--panle", "a", "--smoke"];
+        let err = CommonArgs::try_parse(argv.iter().map(|s| s.to_string()), &[]).unwrap_err();
+        assert!(err.contains("--panle"), "{err}");
+    }
 
     #[test]
     fn relative_weight_error_is_zero_for_identical_models() {

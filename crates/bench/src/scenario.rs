@@ -284,7 +284,7 @@ impl Scenario {
         let dir = crate::report::results_dir().join("cache");
         let path = dir.join(format!("{}.xbarmodel", self.cache_key()));
         if let Some(tm) = self.try_load(&path, data) {
-            eprintln!("[cache] loaded {}", path.display());
+            xbar_obs::event!("cache_loaded", path = path.display().to_string());
             return tm;
         }
         let tm = self.train_model(data);

@@ -88,6 +88,13 @@ pub struct LayerReport {
     pub nf: NfAccumulator,
     /// Mean low-conductance-device fraction across tiles.
     pub low_g_fraction: f64,
+    /// Total circuit-solver iterations over every tile (both arrays).
+    pub solver_iterations: u64,
+    /// Worst relative residual reported by any tile solve.
+    pub max_residual: f64,
+    /// Tiles whose first solve attempt did not converge (rescued by the
+    /// extended-sweep fallback in `xbar-sim`).
+    pub non_converged: usize,
 }
 
 /// Aggregate mapping statistics.
@@ -110,6 +117,21 @@ impl MapReport {
             acc.merge(&l.nf);
         }
         acc.mean()
+    }
+
+    /// Total circuit-solver iterations across every layer.
+    pub fn solver_iterations(&self) -> u64 {
+        self.layers.iter().map(|l| l.solver_iterations).sum()
+    }
+
+    /// Worst relative solve residual across every layer.
+    pub fn max_residual(&self) -> f64 {
+        self.layers.iter().fold(0.0, |m, l| m.max(l.max_residual))
+    }
+
+    /// Tiles (over all layers) that needed the non-convergence fallback.
+    pub fn non_converged(&self) -> usize {
+        self.layers.iter().map(|l| l.non_converged).sum()
     }
 
     /// Crossbar-count-weighted mean low-conductance fraction.
@@ -140,9 +162,16 @@ pub fn map_to_crossbars(
     cfg: &MapConfig,
 ) -> Result<(Sequential, MapReport), MapError> {
     cfg.params.validate();
+    let _map_span = xbar_obs::span!(
+        "map",
+        rows = cfg.params.rows,
+        cols = cfg.params.cols,
+        seed = cfg.seed
+    );
     let mut noisy = model.clone();
     let mut report = MapReport::default();
     for ul in unrolled_matrices(model) {
+        let _layer_span = xbar_obs::span!("map_layer", layer = ul.layer_index);
         let layer_abs_max = ul.matrix.abs_max();
         let transformed: TransformedLayer =
             transform(&ul.matrix, cfg.method, cfg.params.rows, cfg.params.cols);
@@ -152,6 +181,9 @@ pub fn map_to_crossbars(
             crossbar_count: 0,
             nf: NfAccumulator::new(),
             low_g_fraction: 0.0,
+            solver_iterations: 0,
+            max_residual: 0.0,
+            non_converged: 0,
         };
         let mut low_g_sum = 0.0f64;
         for (panel_idx, panel) in transformed.panels.iter().enumerate() {
@@ -171,6 +203,9 @@ pub fn map_to_crossbars(
                 tile.weights = outcome.weights.clone();
                 layer_report.nf.push(outcome.nf());
                 low_g_sum += outcome.low_g_fraction;
+                layer_report.solver_iterations += outcome.stats.iterations as u64;
+                layer_report.max_residual = layer_report.max_residual.max(outcome.stats.residual);
+                layer_report.non_converged += usize::from(outcome.fallback);
             }
             layer_report.crossbar_count += tiles.len();
             let noisy_arranged = reassemble(&tiles, arranged.rows(), arranged.cols());
@@ -183,6 +218,16 @@ pub fn map_to_crossbars(
         };
         let noisy_matrix = transformed.invert(&noisy_panels);
         write_back(&mut noisy, ul.layer_index, &noisy_matrix);
+        xbar_obs::metrics::counter_add("map/crossbars", layer_report.crossbar_count as u64);
+        xbar_obs::metrics::counter_add("map/solver_iterations", layer_report.solver_iterations);
+        xbar_obs::metrics::gauge_set(
+            &format!("map/layer{}/nf_mean", ul.layer_index),
+            layer_report.nf.mean(),
+        );
+        xbar_obs::metrics::gauge_set(
+            &format!("map/layer{}/low_g_fraction", ul.layer_index),
+            layer_report.low_g_fraction,
+        );
         report.layers.push(layer_report);
     }
     Ok((noisy, report))
@@ -223,11 +268,11 @@ fn simulate_tiles_parallel(
             .collect();
     }
     let chunk = tiles.len().div_ceil(workers);
-    let results = crossbeam::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (w, tile_chunk) in tiles.chunks(chunk).enumerate() {
             let start = w * chunk;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 tile_chunk
                     .iter()
                     .enumerate()
@@ -248,8 +293,7 @@ fn simulate_tiles_parallel(
             .into_iter()
             .map(|h| h.join().expect("tile worker panicked"))
             .collect::<Result<Vec<_>, _>>()
-    })
-    .expect("crossbeam scope failed")?;
+    })?;
     Ok(results.into_iter().flatten().collect())
 }
 
@@ -375,6 +419,26 @@ mod tests {
         let wc = &c.layers()[0].as_conv().unwrap().weight().value;
         assert_eq!(wa, wb);
         assert_ne!(wa, wc);
+    }
+
+    #[test]
+    fn mapping_emits_one_span_per_layer_and_solver_stats() {
+        let model = tiny_model();
+        let watch = xbar_obs::Watch::new();
+        let (_, report) = map_to_crossbars(&model, &small_cfg()).unwrap();
+        let spans = watch.spans();
+        let map_spans: Vec<_> = spans.iter().filter(|s| s.name == "map").collect();
+        let layer_spans: Vec<_> = spans.iter().filter(|s| s.name == "map_layer").collect();
+        assert_eq!(map_spans.len(), 1);
+        assert_eq!(layer_spans.len(), report.layers.len());
+        // Layer spans nest inside the map span.
+        assert!(layer_spans
+            .iter()
+            .all(|s| s.depth == map_spans[0].depth + 1));
+        // The non-ideal solve is iterative, so some work must be reported.
+        assert!(report.solver_iterations() > 0);
+        assert!(report.max_residual() >= 0.0);
+        assert_eq!(report.non_converged(), 0);
     }
 
     #[test]

@@ -239,7 +239,7 @@ fn class_prototype(class: usize, seed: u64) -> Vec<f32> {
         })
         .collect();
     // 3. Oriented sinusoid.
-    let freq = rng.gen_range(0.2..0.9);
+    let freq: f32 = rng.gen_range(0.2..0.9);
     let angle: f32 = rng.gen_range(0.0..std::f32::consts::PI);
     let (sin_a, cos_a) = angle.sin_cos();
     let tex_amp: [f32; CHANNELS] = [

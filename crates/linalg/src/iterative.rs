@@ -7,7 +7,7 @@
 //! workhorse used by `xbar-sim`; CG is provided for cross-checks.
 
 use crate::sparse::CsrMatrix;
-use crate::{Result, SolveError};
+use crate::{Result, SolveError, SolveStats};
 
 /// Stopping criteria for the iterative solvers.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +55,21 @@ fn inf_norm(v: &[f64]) -> f64 {
 /// * [`SolveError::Singular`] if a diagonal entry is zero;
 /// * [`SolveError::NoConvergence`] if the residual target is not met.
 pub fn sor(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, opts: &IterOptions) -> Result<Vec<f64>> {
+    sor_with_stats(a, b, x0, opts).map(|(x, _)| x)
+}
+
+/// [`sor`], additionally reporting how many sweeps ran and the relative
+/// residual at exit in a [`SolveStats`].
+///
+/// # Errors
+///
+/// As for [`sor`].
+pub fn sor_with_stats(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &IterOptions,
+) -> Result<(Vec<f64>, SolveStats)> {
     let n = a.n();
     if b.len() != n {
         return Err(SolveError::dim("sor: rhs length mismatch"));
@@ -91,13 +106,23 @@ pub fn sor(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, opts: &IterOptions) -> 
         if it % CHECK_EVERY == 0 || it == opts.max_iterations {
             let res = a.residual_inf(&x, b)?;
             if res <= opts.tolerance * b_norm {
-                return Ok(x);
+                let stats = SolveStats {
+                    iterations: it,
+                    residual: res / b_norm,
+                    converged: true,
+                };
+                return Ok((x, stats));
             }
         }
     }
     let res = a.residual_inf(&x, b)?;
     if res <= opts.tolerance * b_norm {
-        Ok(x)
+        let stats = SolveStats {
+            iterations: opts.max_iterations,
+            residual: res / b_norm,
+            converged: true,
+        };
+        Ok((x, stats))
     } else {
         Err(SolveError::NoConvergence {
             iterations: opts.max_iterations,
@@ -114,8 +139,22 @@ pub fn sor(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>, opts: &IterOptions) -> 
 /// * [`SolveError::Dimension`] if `b` has the wrong length;
 /// * [`SolveError::Singular`] if a diagonal entry is non-positive;
 /// * [`SolveError::NoConvergence`] if the residual target is not met.
-#[allow(clippy::needless_range_loop)]
 pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], opts: &IterOptions) -> Result<Vec<f64>> {
+    conjugate_gradient_with_stats(a, b, opts).map(|(x, _)| x)
+}
+
+/// [`conjugate_gradient`], additionally reporting iteration count and the
+/// relative residual at exit in a [`SolveStats`].
+///
+/// # Errors
+///
+/// As for [`conjugate_gradient`].
+#[allow(clippy::needless_range_loop)]
+pub fn conjugate_gradient_with_stats(
+    a: &CsrMatrix,
+    b: &[f64],
+    opts: &IterOptions,
+) -> Result<(Vec<f64>, SolveStats)> {
     let n = a.n();
     if b.len() != n {
         return Err(SolveError::dim("cg: rhs length mismatch"));
@@ -146,7 +185,14 @@ pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], opts: &IterOptions) -> Resul
             r[i] -= alpha * ap[i];
         }
         if inf_norm(&r) <= opts.tolerance * b_norm {
-            return Ok(x);
+            // Report the true (recomputed) residual, not the recurrence's.
+            let res = a.residual_inf(&x, b)?;
+            let stats = SolveStats {
+                iterations: it,
+                residual: res / b_norm,
+                converged: true,
+            };
+            return Ok((x, stats));
         }
         for i in 0..n {
             z[i] = r[i] * diag_inv[i];
@@ -163,7 +209,12 @@ pub fn conjugate_gradient(a: &CsrMatrix, b: &[f64], opts: &IterOptions) -> Resul
     }
     let res = a.residual_inf(&x, b)?;
     if res <= opts.tolerance * b_norm {
-        Ok(x)
+        let stats = SolveStats {
+            iterations: opts.max_iterations,
+            residual: res / b_norm,
+            converged: true,
+        };
+        Ok((x, stats))
     } else {
         Err(SolveError::NoConvergence {
             iterations: opts.max_iterations,
@@ -241,6 +292,25 @@ mod tests {
         let x = sor(&m, &b, None, &IterOptions::default()).unwrap();
         let x2 = sor(&m, &b, Some(&x), &IterOptions::default()).unwrap();
         assert!(max_abs_diff(&x, &x2) < 1e-9);
+    }
+
+    #[test]
+    fn stats_report_work_and_residual() {
+        let (m, b) = random_spd(50, 3);
+        let opts = IterOptions::default();
+        let (x, stats) = sor_with_stats(&m, &b, None, &opts).unwrap();
+        assert!(stats.converged);
+        assert!(stats.iterations >= 1 && stats.iterations <= opts.max_iterations);
+        assert!(stats.residual <= opts.tolerance);
+        assert!(m.residual_inf(&x, &b).unwrap() < 1e-8);
+        // Warm start from the solution converges at the first check.
+        let (_, warm) = sor_with_stats(&m, &b, Some(&x), &opts).unwrap();
+        assert!(warm.iterations <= stats.iterations);
+
+        let (_, cg_stats) = conjugate_gradient_with_stats(&m, &b, &opts).unwrap();
+        assert!(cg_stats.converged);
+        assert!(cg_stats.iterations >= 1);
+        assert!(cg_stats.residual <= opts.tolerance);
     }
 
     #[test]

@@ -87,5 +87,46 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Convergence statistics reported by the iterative solvers: how much work
+/// a solve took and how good the answer is, instead of discarding both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Sweeps (SOR) or iterations (CG) performed.
+    pub iterations: usize,
+    /// Relative `‖b − A·x‖∞ / ‖b‖∞` residual at exit.
+    pub residual: f64,
+    /// Whether the tolerance target was met.
+    pub converged: bool,
+}
+
+impl Default for SolveStats {
+    fn default() -> Self {
+        SolveStats {
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        }
+    }
+}
+
+impl SolveStats {
+    /// Stats for a direct (non-iterative) solve: one "iteration", exact.
+    pub fn direct() -> Self {
+        SolveStats {
+            iterations: 1,
+            residual: 0.0,
+            converged: true,
+        }
+    }
+
+    /// Combines stats of independent solves contributing to one result:
+    /// iterations add, the worst residual dominates.
+    pub fn accumulate(&mut self, other: SolveStats) {
+        self.iterations += other.iterations;
+        self.residual = self.residual.max(other.residual);
+        self.converged &= other.converged;
+    }
+}
+
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, SolveError>;

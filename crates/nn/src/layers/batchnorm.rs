@@ -2,7 +2,6 @@
 
 use crate::param::{Param, ParamKind};
 use crate::Mode;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::{ShapeError, Tensor};
 
 /// Batch normalisation over the channel dimension (the standard companion of
@@ -11,7 +10,7 @@ use xbar_tensor::{ShapeError, Tensor};
 /// Training mode normalises with batch statistics and maintains running
 /// estimates; evaluation mode uses the running estimates, which is what the
 /// crossbar-mapped inference uses.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     channels: usize,
     eps: f32,
@@ -20,7 +19,6 @@ pub struct BatchNorm2d {
     beta: Param,
     running_mean: Tensor,
     running_var: Tensor,
-    #[serde(skip)]
     cache: Option<BnCache>,
 }
 

@@ -3,7 +3,6 @@
 
 use crate::param::{Param, ParamKind};
 use crate::Mode;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::conv::{col2im, im2col, ConvGeom};
 use xbar_tensor::init::Init;
 use xbar_tensor::{ShapeError, Tensor};
@@ -14,7 +13,7 @@ use xbar_tensor::{ShapeError, Tensor};
 /// transpose is precisely the `fan_in × fan_out` weight matrix that the
 /// crossbar-mapping pipeline partitions into tiles (columns = filters, as in
 /// the paper's C/F-pruning description).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     in_c: usize,
     out_c: usize,
@@ -23,7 +22,6 @@ pub struct Conv2d {
     pad: usize,
     weight: Param,
     bias: Param,
-    #[serde(skip)]
     cached_input: Option<Tensor>,
 }
 

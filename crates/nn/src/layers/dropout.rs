@@ -3,19 +3,16 @@
 use crate::Mode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use xbar_tensor::{ShapeError, Tensor};
 
 /// Inverted dropout: in training mode each activation is zeroed with
 /// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation mode
 /// is the identity (as in the original VGG classifier head).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     seed: u64,
-    #[serde(skip)]
     calls: u64,
-    #[serde(skip)]
     mask: Option<Vec<f32>>,
 }
 

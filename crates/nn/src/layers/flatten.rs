@@ -1,13 +1,11 @@
 //! Flattening between the convolutional trunk and the classifier head.
 
 use crate::Mode;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::{ShapeError, Tensor};
 
 /// Reshapes `[N, C, H, W]` activations to `[N, C·H·W]`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
-    #[serde(skip)]
     input_shape: Option<Vec<usize>>,
 }
 

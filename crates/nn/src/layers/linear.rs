@@ -2,7 +2,6 @@
 
 use crate::param::{Param, ParamKind};
 use crate::Mode;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::init::Init;
 use xbar_tensor::{ShapeError, Tensor};
 
@@ -10,13 +9,12 @@ use xbar_tensor::{ShapeError, Tensor};
 ///
 /// The weight is stored `[out_f, in_f]`; its transpose is the
 /// `fan_in × fan_out` matrix mapped onto crossbars.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     in_f: usize,
     out_f: usize,
     weight: Param,
     bias: Param,
-    #[serde(skip)]
     cached_input: Option<Tensor>,
 }
 

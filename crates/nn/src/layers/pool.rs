@@ -1,16 +1,14 @@
 //! Max pooling.
 
 use crate::Mode;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::{ShapeError, Tensor};
 
 /// 2-D max pooling over `[N, C, H, W]` activations with square window and
 /// equal stride (the VGG configuration uses 2×2 / stride 2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     kernel: usize,
     stride: usize,
-    #[serde(skip)]
     cache: Option<PoolCache>,
 }
 

@@ -1,14 +1,12 @@
 //! Rectified linear unit.
 
 use crate::Mode;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::{ShapeError, Tensor};
 
 /// Element-wise `max(0, x)` with a cached activation mask for the backward
 /// pass.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ReLU {
-    #[serde(skip)]
     mask: Option<Vec<bool>>,
 }
 

@@ -98,6 +98,15 @@ mod tests {
     }
 
     #[test]
+    fn fraction_with_zero_total_is_zero_not_nan() {
+        let acc = AccuracyCount {
+            correct: 0,
+            total: 0,
+        };
+        assert_eq!(acc.fraction(), 0.0);
+    }
+
+    #[test]
     fn empty_accuracy_is_zero() {
         let logits = Tensor::zeros(&[0, 3]);
         assert_eq!(accuracy(&logits, &[]).fraction(), 0.0);

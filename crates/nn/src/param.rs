@@ -1,11 +1,10 @@
 //! Learnable parameters with their gradients and optimiser state.
 
-use serde::{Deserialize, Serialize};
 use xbar_tensor::Tensor;
 
 /// What role a parameter plays; the pruning and crossbar-mapping crates use
 /// this to select the weights that become crossbar conductances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParamKind {
     /// Convolution kernel, stored as `[out_c, in_c·kh·kw]`.
     ConvWeight,
@@ -35,7 +34,7 @@ impl ParamKind {
 
 /// A learnable tensor together with its gradient accumulator and momentum
 /// buffer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Param {
     /// Current value.
     pub value: Tensor,

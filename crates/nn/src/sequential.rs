@@ -8,11 +8,10 @@
 use crate::layers::{BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU};
 use crate::param::Param;
 use crate::Mode;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::{ShapeError, Tensor};
 
 /// One layer of a [`Sequential`] model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Layer {
     /// 2-D convolution.
     Conv2d(Conv2d),
@@ -143,7 +142,7 @@ impl Layer {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Sequential {
     layers: Vec<Layer>,
 }

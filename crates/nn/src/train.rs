@@ -159,6 +159,12 @@ pub fn train(
     config: &TrainConfig,
     constraint: Option<&dyn WeightConstraint>,
 ) -> Result<Vec<EpochStats>, ShapeError> {
+    let _train_span = xbar_obs::span!(
+        "train",
+        epochs = config.epochs,
+        examples = data.len(),
+        seed = config.seed
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut lr = config.sgd.lr;
     let mut stats = Vec::with_capacity(config.epochs);
@@ -169,6 +175,7 @@ pub fn train(
     let n = data.len();
     let mut order: Vec<usize> = (0..n).collect();
     for epoch in 0..config.epochs {
+        let epoch_start = std::time::Instant::now();
         if config.lr_decay_epochs.contains(&epoch) {
             lr *= config.lr_decay;
         }
@@ -191,12 +198,21 @@ pub fn train(
                 c.apply(model);
             }
         }
-        stats.push(EpochStats {
+        let epoch_stats = EpochStats {
             epoch,
             loss: total_loss / seen.max(1) as f64,
             accuracy: correct as f64 / seen.max(1) as f64,
             lr,
-        });
+        };
+        xbar_obs::event!(
+            "train_epoch",
+            epoch = epoch,
+            loss = epoch_stats.loss,
+            accuracy = epoch_stats.accuracy,
+            lr = epoch_stats.lr,
+            duration_us = epoch_start.elapsed().as_micros() as u64
+        );
+        stats.push(epoch_stats);
     }
     Ok(stats)
 }
@@ -212,6 +228,7 @@ pub fn evaluate(
     batch_size: usize,
 ) -> Result<f64, ShapeError> {
     let n = data.len();
+    let _eval_span = xbar_obs::span!("evaluate", examples = n);
     if n == 0 {
         return Ok(0.0);
     }

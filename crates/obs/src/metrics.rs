@@ -1,0 +1,238 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket histograms
+//! behind a process-global, thread-safe store.
+//!
+//! Names are slash-separated paths (`sim/tile_solve_us`,
+//! `map/layer3/nf_mean`); `BTreeMap` storage keeps snapshots and JSONL
+//! output deterministically ordered. Histograms use caller-supplied bucket
+//! upper bounds plus an implicit overflow bucket, so recording is one
+//! `partition_point` and an increment — cheap enough for per-tile hot
+//! paths.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Fixed-bucket histogram: `counts[i]` tallies values `<= bounds[i]`
+/// (first matching bound), `counts[bounds.len()]` is the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn record(&mut self, value: f64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket upper bounds (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; one longer than [`Self::bounds`] (overflow last).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// Overwrites the contents from serialised form (JSONL parsing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is not one longer than the bounds.
+    pub(crate) fn restore(&mut self, counts: &[u64], sum: f64, min: Option<f64>, max: Option<f64>) {
+        assert_eq!(
+            counts.len(),
+            self.bounds.len() + 1,
+            "counts length mismatch"
+        );
+        self.counts = counts.to_vec();
+        self.sum = sum;
+        self.min = min.unwrap_or(f64::INFINITY);
+        self.max = max.unwrap_or(f64::NEG_INFINITY);
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Adds `delta` to the named counter (creating it at zero).
+pub fn counter_add(name: &str, delta: u64) {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Sets the named gauge to `value` (last write wins).
+pub fn gauge_set(name: &str, value: f64) {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.gauges.insert(name.to_string(), value);
+}
+
+/// Records `value` into the named histogram, creating it with `bounds` on
+/// first use. Later calls ignore `bounds` (first registration wins), so
+/// callers should use a shared `const` for each metric.
+pub fn histogram_record(name: &str, value: f64, bounds: &[f64]) {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.histograms
+        .entry(name.to_string())
+        .or_insert_with(|| Histogram::new(bounds))
+        .record(value);
+}
+
+/// Point-in-time copy of the whole registry, deterministically ordered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    MetricsSnapshot {
+        counters: reg.counters.clone(),
+        gauges: reg.gauges.clone(),
+        histograms: reg.histograms.clone(),
+    }
+}
+
+/// Reads a single counter (0 if absent) — convenience for tests/reports.
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .expect("metrics registry poisoned")
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_values_at_bound_edges() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.5, 10.0, 10.5, 100.0, 1e6] {
+            h.record(v);
+        }
+        // <=1: {0.5, 1.0}; <=10: {1.5, 10.0}; <=100: {10.5, 100.0}; over: {1e6}
+        assert_eq!(h.counts(), &[2, 2, 2, 1]);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 1e6);
+        assert!((h.sum() - (0.5 + 1.0 + 1.5 + 10.0 + 10.5 + 100.0 + 1e6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let mut b = Histogram::new(&[1.0, 2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 5.0);
+        assert_eq!(a.min(), 0.5);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        // Unique names: the registry is process-global and tests run in
+        // parallel.
+        counter_add("test/reg/counter", 2);
+        counter_add("test/reg/counter", 3);
+        gauge_set("test/reg/gauge", 1.5);
+        gauge_set("test/reg/gauge", 2.5);
+        histogram_record("test/reg/hist", 4.0, &[1.0, 10.0]);
+        let snap = snapshot();
+        assert_eq!(snap.counters["test/reg/counter"], 5);
+        assert_eq!(counter_value("test/reg/counter"), 5);
+        assert_eq!(snap.gauges["test/reg/gauge"], 2.5);
+        assert_eq!(snap.histograms["test/reg/hist"].counts(), &[0, 1, 0]);
+    }
+}

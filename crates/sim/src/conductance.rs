@@ -13,11 +13,10 @@
 //! [`MappingScale::PerTileMax`]/[`MappingScale::PerLayerMax`] renormalise.
 
 use crate::params::CrossbarParams;
-use serde::{Deserialize, Serialize};
 use xbar_tensor::Tensor;
 
 /// How the weight→conductance reference scale `w_ref` is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MappingScale {
     /// `w_ref` = max |w| of the tile being mapped.
     PerTileMax,

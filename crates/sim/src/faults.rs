@@ -11,10 +11,9 @@
 use crate::conductance::ConductanceMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Rates of stuck-at faults, as independent per-device probabilities.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultModel {
     /// Probability a device is stuck at `Gmin`.
     pub stuck_at_gmin: f64,

@@ -101,7 +101,7 @@ mod tests {
             g_eff: ConductanceMatrix::filled(1, ideal.len(), 0.0),
             col_currents: actual,
             ideal_currents: ideal,
-            sweeps: 1,
+            stats: xbar_linalg::SolveStats::direct(),
         }
     }
 

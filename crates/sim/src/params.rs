@@ -1,7 +1,6 @@
 //! Crossbar device and circuit parameters.
 
 use crate::faults::FaultModel;
-use serde::{Deserialize, Serialize};
 
 /// Device and circuit parameters of a crossbar tile.
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// reproduce: the unpruned width-scaled VGG11 loses ~26 pp at 64×64
 /// (paper: ~21 %) and the C/F-pruned one ~31 pp (paper: ~39 %), with the
 /// pruned model worse at every crossbar size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossbarParams {
     /// Crossbar rows (word lines).
     pub rows: usize,

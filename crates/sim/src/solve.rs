@@ -22,7 +22,7 @@ use crate::params::CrossbarParams;
 use xbar_linalg::dense::LuDecomposition;
 use xbar_linalg::sparse::CooBuilder;
 use xbar_linalg::tridiagonal::solve_tridiagonal;
-use xbar_linalg::{Result, SolveError};
+use xbar_linalg::{Result, SolveError, SolveStats};
 
 /// Conductance used for a zero-resistance (ideal) parasitic element.
 const IDEAL_CONDUCTANCE: f64 = 1e9;
@@ -54,8 +54,8 @@ pub struct EffectiveSolve {
     pub col_currents: Vec<f64>,
     /// Ideal column currents `Σ_i G_ij·V_i`, A.
     pub ideal_currents: Vec<f64>,
-    /// Relaxation sweeps used (1 for the dense solver).
-    pub sweeps: usize,
+    /// Solver work and quality ([`SolveStats::direct`] for the dense solver).
+    pub stats: SolveStats,
 }
 
 /// A crossbar circuit solver bound to fixed parameters.
@@ -112,10 +112,10 @@ impl NonIdealSolver {
                 "effective-conductance extraction requires positive read voltages".into(),
             ));
         }
-        let (vr, vc, sweeps) = match self.method {
+        let (vr, vc, stats) = match self.method {
             SolveMethod::DenseExact => {
                 let (vr, vc) = self.solve_dense(g, v)?;
-                (vr, vc, 1)
+                (vr, vc, SolveStats::direct())
             }
             SolveMethod::LineRelaxation => self.solve_lines(g, v)?,
         };
@@ -137,7 +137,7 @@ impl NonIdealSolver {
             g_eff,
             col_currents,
             ideal_currents,
-            sweeps,
+            stats,
         })
     }
 
@@ -226,7 +226,11 @@ impl NonIdealSolver {
     }
 
     /// Alternating tridiagonal line solves.
-    fn solve_lines(&self, g: &ConductanceMatrix, v: &[f64]) -> Result<(Vec<f64>, Vec<f64>, usize)> {
+    fn solve_lines(
+        &self,
+        g: &ConductanceMatrix,
+        v: &[f64],
+    ) -> Result<(Vec<f64>, Vec<f64>, SolveStats)> {
         let p = &self.params;
         let (rows, cols) = (g.rows(), g.cols());
         let (g_drv, g_wr, g_wc, g_sns) = (
@@ -282,7 +286,12 @@ impl NonIdealSolver {
                 }
             }
             if max_delta < tol {
-                return Ok((vr, vc, sweeps));
+                let stats = SolveStats {
+                    iterations: sweeps,
+                    residual: max_delta / p.v_read,
+                    converged: true,
+                };
+                return Ok((vr, vc, stats));
             }
             if sweeps >= self.max_sweeps {
                 return Err(SolveError::NoConvergence {

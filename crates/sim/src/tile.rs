@@ -6,15 +6,27 @@
 //! statistics for Fig. 3(d).
 
 use crate::conductance::{
-    conductances_to_weights, weights_to_conductances, DifferentialPair, MappingScale,
+    conductances_to_weights, weights_to_conductances, ConductanceMatrix, DifferentialPair,
+    MappingScale,
 };
-use crate::nf::mean_nf;
+use crate::nf::column_nf;
 use crate::params::CrossbarParams;
 use crate::quantize::quantize_conductances;
-use crate::solve::{NonIdealSolver, SolveMethod};
+use crate::solve::{EffectiveSolve, NonIdealSolver, SolveMethod};
 use crate::variation::apply_variation;
-use xbar_linalg::Result;
+use xbar_linalg::{Result, SolveError, SolveStats};
 use xbar_tensor::Tensor;
+
+/// Bucket bounds (µs) for the per-tile circuit-solve latency histogram.
+const TILE_SOLVE_US_BOUNDS: &[f64] = &[100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6];
+
+/// Bucket bounds for the per-tile relaxation-sweep histogram (both arrays
+/// summed; the default cap is 500 per array).
+const TILE_SWEEP_BOUNDS: &[f64] = &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+
+/// Bucket bounds for the per-column NF histogram (NF is a relative current
+/// loss, almost always well inside `[0, 1]`).
+const NF_BOUNDS: &[f64] = &[0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0];
 
 /// Result of simulating one tile.
 #[derive(Debug, Clone)]
@@ -28,8 +40,11 @@ pub struct TileOutcome {
     /// Fraction of devices (both arrays) within 1 % of `Gmin` — the
     /// low-conductance-synapse proportion the mitigations maximise.
     pub low_g_fraction: f64,
-    /// Line-relaxation sweeps used (max of the two arrays).
-    pub sweeps: usize,
+    /// Combined solver work over both arrays (iterations add, the worst
+    /// residual dominates).
+    pub stats: SolveStats,
+    /// Whether either array needed the extended-sweep fallback retry.
+    pub fallback: bool,
 }
 
 impl TileOutcome {
@@ -88,21 +103,74 @@ pub fn simulate_tile(
         .inject(&mut pair.neg, g_min, g_max, seed.wrapping_add(0xFA17_0002));
     let solver = NonIdealSolver::new(*params, method);
     let v = vec![params.v_read; tile.rows()];
-    let pos_solve = solver.effective_conductances(&pair.pos, &v)?;
-    let neg_solve = solver.effective_conductances(&pair.neg, &v)?;
+    let solve_start = std::time::Instant::now();
+    let (pos_solve, pos_fallback) = solve_with_fallback(&solver, &pair.pos, &v)?;
+    let (neg_solve, neg_fallback) = solve_with_fallback(&solver, &pair.neg, &v)?;
+    let solve_us = solve_start.elapsed().as_secs_f64() * 1e6;
+    let mut stats = pos_solve.stats;
+    stats.accumulate(neg_solve.stats);
+    xbar_obs::metrics::histogram_record("sim/tile_solve_us", solve_us, TILE_SOLVE_US_BOUNDS);
+    xbar_obs::metrics::histogram_record(
+        "sim/tile_sweeps",
+        stats.iterations as f64,
+        TILE_SWEEP_BOUNDS,
+    );
     let outcome_pair = DifferentialPair {
         pos: pos_solve.g_eff.clone(),
         neg: neg_solve.g_eff.clone(),
         w_ref: pair.w_ref,
     };
     let weights = conductances_to_weights(&outcome_pair, params);
+    let nf_pos_cols = column_nf(&pos_solve);
+    let nf_neg_cols = column_nf(&neg_solve);
+    for &nf in nf_pos_cols.iter().chain(&nf_neg_cols) {
+        xbar_obs::metrics::histogram_record("sim/nf_column", nf, NF_BOUNDS);
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
     Ok(TileOutcome {
         weights,
-        nf_pos: mean_nf(&pos_solve),
-        nf_neg: mean_nf(&neg_solve),
+        nf_pos: mean(&nf_pos_cols),
+        nf_neg: mean(&nf_neg_cols),
         low_g_fraction: low_g,
-        sweeps: pos_solve.sweeps.max(neg_solve.sweeps),
+        stats,
+        fallback: pos_fallback || neg_fallback,
     })
+}
+
+/// Solves one array, retrying once with a 4× sweep budget if line relaxation
+/// fails to converge. Fallbacks and terminal failures are counted in the
+/// `sim/tile_fallbacks` / `sim/tile_failures` metrics.
+fn solve_with_fallback(
+    solver: &NonIdealSolver,
+    g: &ConductanceMatrix,
+    v: &[f64],
+) -> Result<(EffectiveSolve, bool)> {
+    match solver.effective_conductances(g, v) {
+        Ok(solve) => Ok((solve, false)),
+        Err(SolveError::NoConvergence { iterations, .. }) => {
+            xbar_obs::metrics::counter_add("sim/tile_fallbacks", 1);
+            let mut retry = *solver;
+            retry.max_sweeps *= 4;
+            match retry.effective_conductances(g, v) {
+                Ok(mut solve) => {
+                    // Report the total work including the abandoned attempt.
+                    solve.stats.iterations += iterations;
+                    Ok((solve, true))
+                }
+                Err(err) => {
+                    xbar_obs::metrics::counter_add("sim/tile_failures", 1);
+                    Err(err)
+                }
+            }
+        }
+        Err(err) => Err(err),
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //!
 //! All kernels use an `i-k-j` loop order so the innermost loop streams
 //! contiguously over rows of `B` (or `Bᵀ`'s logical rows), which LLVM
-//! auto-vectorises. Work is split over row blocks with `crossbeam::scope`
+//! auto-vectorises. Work is split over row blocks with `std::thread::scope`
 //! when the problem is large enough to amortise thread startup.
 
 use crate::shape::ShapeError;
@@ -213,7 +213,7 @@ fn run_rows(
         return;
     }
     let rows_per = m.div_ceil(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out;
         let mut start = 0usize;
         let body = &body;
@@ -222,11 +222,10 @@ fn run_rows(
             let (chunk, tail) = rest.split_at_mut((end - start) * n);
             rest = tail;
             let range = start..end;
-            scope.spawn(move |_| body(range, chunk));
+            scope.spawn(move || body(range, chunk));
             start = end;
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 #[cfg(test)]

@@ -1,7 +1,6 @@
 //! The owned, contiguous, row-major `f32` tensor type.
 
 use crate::shape::{self, ShapeError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An owned, contiguous, row-major tensor of `f32` values.
@@ -22,7 +21,7 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,

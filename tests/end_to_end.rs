@@ -40,7 +40,7 @@ fn train_quick(
 ) {
     let train_ref = DataRef::new(data.images(Split::Train), data.labels(Split::Train)).unwrap();
     let cfg = TrainConfig {
-        epochs: 2,
+        epochs: 5,
         ..TrainConfig::default()
     };
     train(model, train_ref, &cfg, Some(masks as &dyn WeightConstraint)).unwrap();
@@ -65,7 +65,8 @@ fn full_pipeline_trains_prunes_maps_and_infers() {
     let eval = evaluate_on_crossbars(&model, &cfg, test_ref, 64).unwrap();
     assert!(
         eval.software_accuracy > 0.15,
-        "model should learn something"
+        "model should learn something (software accuracy {})",
+        eval.software_accuracy
     );
     assert!(eval.crossbar_accuracy >= 0.0 && eval.crossbar_accuracy <= 1.0);
     assert!(eval.report.crossbar_count() > 0);
