@@ -1,0 +1,214 @@
+//! Load generator for `xbar-serve`: drives N concurrent keep-alive
+//! connections at a running server and reports latency percentiles and
+//! throughput to `results/`.
+//!
+//! Usage: `cargo run --release -p xbar-bench --bin loadgen --
+//! --addr 127.0.0.1:7878 [--connections 32] [--requests 25]
+//! [--input-len 3072] [--json-floats]`
+//!
+//! Exit status is non-zero if any request failed with something other than
+//! explicit backpressure (HTTP 503) — the acceptance bar for the serving
+//! demo is "zero dropped errors".
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use xbar_bench::report::Table;
+use xbar_bench::runner::{Arity, RunContext};
+use xbar_serve::base64::encode_f32;
+use xbar_serve::Client;
+
+/// Per-connection outcome tallies and successful-request latencies.
+#[derive(Default)]
+struct ConnStats {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    backpressure: u64,
+    timeouts: u64,
+    other_status: u64,
+    io_errors: u64,
+}
+
+/// Deterministic pseudo-image: contents do not matter for load, but
+/// varying them defeats any accidental caching.
+fn image(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed);
+            (x >> 33) as f32 / u32::MAX as f32 - 0.25
+        })
+        .collect()
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+fn parse_count(ctx: &RunContext, flag: &str, default: usize) -> usize {
+    match ctx.args.get(flag) {
+        None => default,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: {flag} must be a positive integer, got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let mut ctx = RunContext::init(
+        "loadgen",
+        &[
+            ("--addr", Arity::Value),
+            ("--connections", Arity::Value),
+            ("--requests", Arity::Value),
+            ("--input-len", Arity::Value),
+            ("--json-floats", Arity::Flag),
+        ],
+    );
+    let Some(addr) = ctx.args.get("--addr").map(str::to_string) else {
+        eprintln!("error: --addr <host:port> is required (start a server with the serve binary)");
+        return ExitCode::from(2);
+    };
+    let connections = parse_count(&ctx, "--connections", 32);
+    let requests = parse_count(&ctx, "--requests", 25);
+    let input_len = parse_count(&ctx, "--input-len", 3 * 32 * 32);
+    let as_json_floats = ctx.args.is_set("--json-floats");
+    let seed = ctx.args.seed;
+    ctx.config("addr", &addr);
+    ctx.config("connections", connections);
+    ctx.config("requests_per_connection", requests);
+
+    eprintln!(
+        "driving {connections} connections x {requests} requests at http://{addr} \
+         ({} bodies)",
+        if as_json_floats {
+            "JSON float"
+        } else {
+            "base64"
+        }
+    );
+    let addr = Arc::new(addr);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|conn| {
+            let addr = Arc::clone(&addr);
+            thread::spawn(move || {
+                let mut stats = ConnStats::default();
+                let mut client = match Client::connect(addr.as_str(), Duration::from_secs(30)) {
+                    Ok(client) => client,
+                    Err(e) => {
+                        eprintln!("connection {conn}: connect failed: {e}");
+                        stats.io_errors += 1;
+                        return stats;
+                    }
+                };
+                for req in 0..requests {
+                    let img = image(input_len, seed ^ ((conn * 1_000_003 + req) as u64));
+                    let body = if as_json_floats {
+                        let values: Vec<String> = img.iter().map(|v| format!("{v}")).collect();
+                        format!("{{\"image\":[{}]}}", values.join(","))
+                    } else {
+                        format!("{{\"image_b64\":\"{}\"}}", encode_f32(&img))
+                    };
+                    let begin = Instant::now();
+                    match client.post_json("/v1/classify", &body) {
+                        Ok(response) => match response.status {
+                            200 => {
+                                stats.ok += 1;
+                                stats.latencies_us.push(begin.elapsed().as_micros() as u64);
+                            }
+                            503 => stats.backpressure += 1,
+                            504 => stats.timeouts += 1,
+                            status => {
+                                eprintln!(
+                                    "connection {conn}: unexpected HTTP {status}: {}",
+                                    response.text()
+                                );
+                                stats.other_status += 1;
+                            }
+                        },
+                        Err(e) => {
+                            eprintln!("connection {conn}: request failed: {e}");
+                            stats.io_errors += 1;
+                            // The connection is likely dead; try a fresh one.
+                            match Client::connect(addr.as_str(), Duration::from_secs(30)) {
+                                Ok(fresh) => client = fresh,
+                                Err(_) => return stats,
+                            }
+                        }
+                    }
+                }
+                stats
+            })
+        })
+        .collect();
+
+    let mut all = ConnStats::default();
+    for worker in workers {
+        let stats = worker.join().expect("load thread panicked");
+        all.latencies_us.extend(stats.latencies_us);
+        all.ok += stats.ok;
+        all.backpressure += stats.backpressure;
+        all.timeouts += stats.timeouts;
+        all.other_status += stats.other_status;
+        all.io_errors += stats.io_errors;
+    }
+    let wall = started.elapsed().as_secs_f64();
+    all.latencies_us.sort_unstable();
+    let throughput = all.ok as f64 / wall.max(f64::MIN_POSITIVE);
+    let mean_ms = if all.latencies_us.is_empty() {
+        0.0
+    } else {
+        all.latencies_us.iter().sum::<u64>() as f64 / all.latencies_us.len() as f64 / 1e3
+    };
+
+    let mut table = Table::new(
+        "Serving load test",
+        &[
+            "Connections",
+            "Requests",
+            "OK",
+            "503",
+            "504",
+            "Errors",
+            "Throughput (req/s)",
+            "Mean (ms)",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+        ],
+    );
+    table.push_row(vec![
+        connections.to_string(),
+        (connections * requests).to_string(),
+        all.ok.to_string(),
+        all.backpressure.to_string(),
+        all.timeouts.to_string(),
+        (all.other_status + all.io_errors).to_string(),
+        format!("{throughput:.1}"),
+        format!("{mean_ms:.2}"),
+        format!("{:.2}", percentile(&all.latencies_us, 0.50)),
+        format!("{:.2}", percentile(&all.latencies_us, 0.95)),
+        format!("{:.2}", percentile(&all.latencies_us, 0.99)),
+    ]);
+    println!("{}", table.to_markdown());
+    table.emit("loadgen").expect("write results");
+    ctx.finish();
+
+    let dropped = all.timeouts + all.other_status + all.io_errors;
+    if dropped > 0 || all.ok == 0 {
+        eprintln!("FAILED: {dropped} non-backpressure errors, {} ok", all.ok);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,511 @@
+//! Persisted mapped-model artifacts (`XBARMDL1`).
+//!
+//! The paper's Fig. 2 pipeline is expensive: every tile of every layer is a
+//! circuit solve. [`save_artifact`] persists the *result* — the non-ideal
+//! `W'` network produced by [`crate::pipeline::map_to_crossbars`] together
+//! with the mapping configuration and statistics — so inference serving
+//! (`xbar-serve`) can amortise the mapping across millions of requests, the
+//! way RxNN/GENIEx-style flows evaluate circuits once and reuse them.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic   b"XBARMDL1"                     (8 bytes)
+//! meta    u64 length + UTF-8 JSON object  (architecture spec, mapping
+//!                                          summary, stats, accuracies)
+//! tensors u64 count + per tensor          (u64 element count + LE f32 data;
+//!                                          the model's full inference state
+//!                                          incl. BatchNorm statistics, see
+//!                                          xbar_nn::serialize)
+//! ```
+//!
+//! Unlike a training checkpoint the artifact is self-contained: the JSON
+//! meta embeds the layer-by-layer [`LayerSpec`] so a server can rebuild the
+//! architecture without knowing the training scenario.
+
+use crate::pipeline::{MapConfig, MapReport};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use xbar_nn::arch::{build_from_spec, spec_from_json, spec_of, spec_to_json, LayerSpec};
+use xbar_nn::serialize::{
+    read_exact_or_truncated, read_tensor_block_into, write_tensor_block, TensorBlockError,
+};
+use xbar_nn::Sequential;
+use xbar_obs::json::Json;
+
+const MAGIC: &[u8; 8] = b"XBARMDL1";
+/// Refuse absurd meta blobs (corrupt length prefix) before allocating.
+const MAX_META_BYTES: u64 = 64 << 20;
+
+/// Error from artifact save/load.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an artifact, truncated, or unparsable metadata.
+    Malformed(String),
+    /// The stored tensors do not fit the architecture the artifact itself
+    /// declares (a corrupt or internally inconsistent file), or the model
+    /// does not match a caller-supplied expectation.
+    Mismatch(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact i/o error: {e}"),
+            ArtifactError::Malformed(what) => write!(f, "malformed artifact: {what}"),
+            ArtifactError::Mismatch(detail) => {
+                write!(f, "artifact does not fit its declared model: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ArtifactError {
+    fn from(e: io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<TensorBlockError> for ArtifactError {
+    fn from(e: TensorBlockError) -> Self {
+        match e {
+            TensorBlockError::Io(e) => ArtifactError::Io(e),
+            TensorBlockError::Truncated(what) => ArtifactError::Malformed(what),
+            TensorBlockError::Mismatch(detail) => ArtifactError::Mismatch(detail),
+        }
+    }
+}
+
+/// Descriptive metadata persisted with (and restored from) an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactMeta {
+    /// Free-form model label (e.g. `"VGG11 CIFAR10-like C/F s=0.8"`).
+    pub label: String,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Expected input shape per example, `[C, H, W]`.
+    pub input_shape: Vec<usize>,
+    /// Crossbar rows of the mapping run.
+    pub rows: usize,
+    /// Crossbar columns of the mapping run.
+    pub cols: usize,
+    /// Pruning/`T`-transformation method (display form, e.g. `"C/F"`).
+    pub method: String,
+    /// `R` column rearrangement, if any (debug form).
+    pub rearrange: Option<String>,
+    /// Weight→conductance scale (debug form).
+    pub scale: String,
+    /// Circuit solver (debug form).
+    pub solve: String,
+    /// Device-variation seed of the mapping run.
+    pub seed: u64,
+    /// Total crossbar tiles the model occupied.
+    pub crossbar_count: usize,
+    /// Mean non-ideality factor over all mapped tiles.
+    pub mean_nf: f64,
+    /// Total circuit-solver iterations spent producing `W'`.
+    pub solver_iterations: u64,
+    /// Tiles that needed the non-convergence fallback.
+    pub non_converged: usize,
+    /// Software (pre-mapping) test accuracy, if measured.
+    pub software_accuracy: Option<f64>,
+    /// Non-ideal (mapped) test accuracy, if measured.
+    pub crossbar_accuracy: Option<f64>,
+}
+
+impl ArtifactMeta {
+    /// Builds metadata from a mapping run's configuration and report.
+    pub fn from_mapping(label: impl Into<String>, cfg: &MapConfig, report: &MapReport) -> Self {
+        Self {
+            label: label.into(),
+            num_classes: 0,
+            input_shape: vec![3, 32, 32],
+            rows: cfg.params.rows,
+            cols: cfg.params.cols,
+            method: cfg.method.to_string(),
+            rearrange: cfg.rearrange.map(|r| format!("{r:?}")),
+            scale: format!("{:?}", cfg.scale),
+            solve: format!("{:?}", cfg.solve),
+            seed: cfg.seed,
+            crossbar_count: report.crossbar_count(),
+            mean_nf: report.mean_nf(),
+            solver_iterations: report.solver_iterations(),
+            non_converged: report.non_converged(),
+            software_accuracy: None,
+            crossbar_accuracy: None,
+        }
+    }
+
+    /// Elements of one input example (`C·H·W`).
+    pub fn input_len(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+
+    /// JSON object used by the server's classify responses (a compact echo
+    /// of the mapping provenance).
+    pub fn summary_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("rows".into(), Json::Num(self.rows as f64)),
+            ("cols".into(), Json::Num(self.cols as f64)),
+            ("method".into(), Json::Str(self.method.clone())),
+            ("mean_nf".into(), Json::Num(self.mean_nf)),
+            (
+                "crossbar_count".into(),
+                Json::Num(self.crossbar_count as f64),
+            ),
+            (
+                "crossbar_accuracy".into(),
+                self.crossbar_accuracy.map_or(Json::Null, Json::Num),
+            ),
+        ])
+    }
+
+    fn to_json(&self, spec: &[LayerSpec]) -> Json {
+        let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+        Json::Obj(vec![
+            ("format".into(), Json::Str("XBARMDL1".into())),
+            ("label".into(), Json::Str(self.label.clone())),
+            ("num_classes".into(), Json::Num(self.num_classes as f64)),
+            (
+                "input_shape".into(),
+                Json::Arr(
+                    self.input_shape
+                        .iter()
+                        .map(|&d| Json::Num(d as f64))
+                        .collect(),
+                ),
+            ),
+            ("arch".into(), spec_to_json(spec)),
+            ("rows".into(), Json::Num(self.rows as f64)),
+            ("cols".into(), Json::Num(self.cols as f64)),
+            ("method".into(), Json::Str(self.method.clone())),
+            (
+                "rearrange".into(),
+                self.rearrange
+                    .as_ref()
+                    .map_or(Json::Null, |r| Json::Str(r.clone())),
+            ),
+            ("scale".into(), Json::Str(self.scale.clone())),
+            ("solve".into(), Json::Str(self.solve.clone())),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            (
+                "crossbar_count".into(),
+                Json::Num(self.crossbar_count as f64),
+            ),
+            ("mean_nf".into(), Json::Num(self.mean_nf)),
+            (
+                "solver_iterations".into(),
+                Json::Num(self.solver_iterations as f64),
+            ),
+            ("non_converged".into(), Json::Num(self.non_converged as f64)),
+            ("software_accuracy".into(), opt_num(self.software_accuracy)),
+            ("crossbar_accuracy".into(), opt_num(self.crossbar_accuracy)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<(Self, Vec<LayerSpec>), String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            j.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("meta missing string field {name:?}"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("meta missing integer field {name:?}"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            j.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("meta missing number field {name:?}"))
+        };
+        let opt_f64 = |name: &str| j.get(name).and_then(Json::as_f64);
+        let spec = spec_from_json(j.get("arch").ok_or("meta missing \"arch\"")?)?;
+        let input_shape = j
+            .get("input_shape")
+            .and_then(Json::as_arr)
+            .ok_or("meta missing \"input_shape\"")?
+            .iter()
+            .map(|d| d.as_u64().map(|v| v as usize))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or("\"input_shape\" must be non-negative integers")?;
+        let meta = ArtifactMeta {
+            label: str_field("label")?,
+            num_classes: u64_field("num_classes")? as usize,
+            input_shape,
+            rows: u64_field("rows")? as usize,
+            cols: u64_field("cols")? as usize,
+            method: str_field("method")?,
+            rearrange: j
+                .get("rearrange")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            scale: str_field("scale")?,
+            solve: str_field("solve")?,
+            seed: u64_field("seed")?,
+            crossbar_count: u64_field("crossbar_count")? as usize,
+            mean_nf: f64_field("mean_nf")?,
+            solver_iterations: u64_field("solver_iterations")?,
+            non_converged: u64_field("non_converged")? as usize,
+            software_accuracy: opt_f64("software_accuracy"),
+            crossbar_accuracy: opt_f64("crossbar_accuracy"),
+        };
+        Ok((meta, spec))
+    }
+}
+
+/// Writes the mapped model (`W'` network) and its metadata to `writer`.
+///
+/// The architecture spec is derived from the model itself; `meta.num_classes`
+/// is derived from the final linear layer if left at zero.
+///
+/// # Errors
+///
+/// Returns [`ArtifactError::Io`] on write failure.
+pub fn save_artifact<W: Write>(
+    model: &mut Sequential,
+    meta: &ArtifactMeta,
+    mut writer: W,
+) -> Result<(), ArtifactError> {
+    let spec = spec_of(model);
+    let mut meta = meta.clone();
+    if meta.num_classes == 0 {
+        meta.num_classes = model
+            .layers()
+            .iter()
+            .rev()
+            .find_map(|l| l.as_linear())
+            .map(|l| l.out_features())
+            .unwrap_or(0);
+    }
+    let meta_bytes = meta.to_json(&spec).to_json().into_bytes();
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(meta_bytes.len() as u64).to_le_bytes())?;
+    writer.write_all(&meta_bytes)?;
+    let tensors = model.state_tensors_mut();
+    write_tensor_block(writer, tensors.iter().map(|t| &**t))?;
+    Ok(())
+}
+
+/// Reads an artifact, rebuilding the model from the embedded architecture
+/// spec and restoring its full inference state.
+///
+/// # Errors
+///
+/// * [`ArtifactError::Io`] on read failure;
+/// * [`ArtifactError::Malformed`] for bad magic, truncation, or unparsable
+///   metadata;
+/// * [`ArtifactError::Mismatch`] when the tensor block does not fit the
+///   declared architecture (names the offending tensor and sizes).
+pub fn load_artifact<R: Read>(mut reader: R) -> Result<(Sequential, ArtifactMeta), ArtifactError> {
+    let mut magic = [0u8; 8];
+    read_exact_or_truncated(&mut reader, &mut magic, || "reading magic".into())?;
+    if &magic != MAGIC {
+        return Err(ArtifactError::Malformed(format!(
+            "bad magic {:?} (not an XBARMDL1 artifact)",
+            String::from_utf8_lossy(&magic)
+        )));
+    }
+    let mut len8 = [0u8; 8];
+    read_exact_or_truncated(&mut reader, &mut len8, || "reading metadata length".into())?;
+    let meta_len = u64::from_le_bytes(len8);
+    if meta_len > MAX_META_BYTES {
+        return Err(ArtifactError::Malformed(format!(
+            "metadata length {meta_len} exceeds the {MAX_META_BYTES}-byte limit"
+        )));
+    }
+    let mut meta_bytes = vec![0u8; meta_len as usize];
+    read_exact_or_truncated(&mut reader, &mut meta_bytes, || "reading metadata".into())?;
+    let meta_text = String::from_utf8(meta_bytes)
+        .map_err(|_| ArtifactError::Malformed("metadata is not UTF-8".into()))?;
+    let json = Json::parse(&meta_text)
+        .map_err(|e| ArtifactError::Malformed(format!("metadata JSON: {e}")))?;
+    let (meta, spec) = ArtifactMeta::from_json(&json).map_err(ArtifactError::Malformed)?;
+    let mut model = build_from_spec(&spec);
+    let mut slots = model.state_tensors_mut();
+    read_tensor_block_into(reader, &mut slots).map_err(|e| match e {
+        TensorBlockError::Mismatch(detail) => ArtifactError::Mismatch(format!(
+            "{detail} — the tensor block disagrees with the architecture the \
+             artifact declares; the file is corrupt or was produced by an \
+             incompatible writer"
+        )),
+        other => other.into(),
+    })?;
+    Ok((model, meta))
+}
+
+/// Saves an artifact to a file (see [`save_artifact`]).
+///
+/// # Errors
+///
+/// Propagates [`save_artifact`] errors.
+pub fn save_artifact_to_file(
+    model: &mut Sequential,
+    meta: &ArtifactMeta,
+    path: impl AsRef<Path>,
+) -> Result<(), ArtifactError> {
+    let file = std::fs::File::create(path)?;
+    save_artifact(model, meta, io::BufWriter::new(file))
+}
+
+/// Loads an artifact from a file (see [`load_artifact`]).
+///
+/// # Errors
+///
+/// Propagates [`load_artifact`] errors.
+pub fn load_artifact_from_file(
+    path: impl AsRef<Path>,
+) -> Result<(Sequential, ArtifactMeta), ArtifactError> {
+    let file = std::fs::File::open(path)?;
+    load_artifact(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::map_to_crossbars;
+    use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+    use xbar_nn::train::{evaluate, DataRef};
+    use xbar_nn::{Layer, Mode};
+    use xbar_sim::params::CrossbarParams;
+    use xbar_tensor::Tensor;
+
+    fn tiny_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 8, 3, 1, 1, 1)),
+            Layer::ReLU(ReLU::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(8 * 4 * 4, 4, 2)),
+        ])
+    }
+
+    fn mapped() -> (Sequential, ArtifactMeta) {
+        let model = tiny_model();
+        let mut params = CrossbarParams::with_size(16);
+        params.sigma_variation = 0.0;
+        let cfg = MapConfig {
+            params,
+            ..Default::default()
+        };
+        let (noisy, report) = map_to_crossbars(&model, &cfg).unwrap();
+        let mut meta = ArtifactMeta::from_mapping("tiny test model", &cfg, &report);
+        meta.input_shape = vec![1, 8, 8];
+        (noisy, meta)
+    }
+
+    fn save_to_vec(model: &mut Sequential, meta: &ArtifactMeta) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_artifact(model, meta, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical_and_metadata_survives() {
+        let (mut noisy, meta) = mapped();
+        let buf = save_to_vec(&mut noisy, &meta);
+        let (mut loaded, loaded_meta) = load_artifact(buf.as_slice()).unwrap();
+        let a: Vec<Tensor> = noisy
+            .state_tensors_mut()
+            .into_iter()
+            .map(|t| t.clone())
+            .collect();
+        let b: Vec<Tensor> = loaded
+            .state_tensors_mut()
+            .into_iter()
+            .map(|t| t.clone())
+            .collect();
+        assert_eq!(a, b, "W' tensors must round-trip bit-identically");
+        assert_eq!(loaded_meta.label, "tiny test model");
+        assert_eq!(loaded_meta.rows, 16);
+        assert_eq!(loaded_meta.num_classes, 4, "derived from the final linear");
+        assert_eq!(loaded_meta.input_len(), 64);
+        assert!(loaded_meta.crossbar_count > 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_eval_outputs_exactly() {
+        let (mut noisy, meta) = mapped();
+        let x = Tensor::from_fn(&[6, 1, 8, 8], |i| ((i * 37) % 11) as f32 / 11.0 - 0.5);
+        let before = noisy.forward(&x, Mode::Eval).unwrap();
+        let buf = save_to_vec(&mut noisy, &meta);
+        let (mut loaded, _) = load_artifact(buf.as_slice()).unwrap();
+        let after = loaded.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(before, after, "identical logits ⇒ identical accuracy");
+        // And identical accuracy on a labelled set, the acceptance check.
+        let labels: Vec<usize> = (0..6).map(|i| i % 4).collect();
+        let data = DataRef::new(&x, &labels).unwrap();
+        let acc_before = evaluate(&mut noisy, data, 3).unwrap();
+        let data = DataRef::new(&x, &labels).unwrap();
+        let acc_after = evaluate(&mut loaded, data, 3).unwrap();
+        assert_eq!(acc_before, acc_after);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load_artifact(&b"NOTMODEL........."[..]).unwrap_err();
+        assert!(matches!(err, ArtifactError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_artifact_rejected_with_description() {
+        let (mut noisy, meta) = mapped();
+        let mut buf = save_to_vec(&mut noisy, &meta);
+        buf.truncate(buf.len() - 9);
+        let err = load_artifact(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, ArtifactError::Malformed(_)), "{msg}");
+        assert!(msg.contains("tensor"), "{msg}");
+    }
+
+    #[test]
+    fn shape_mismatched_tensor_block_rejected_clearly() {
+        let (mut noisy, meta) = mapped();
+        let buf = save_to_vec(&mut noisy, &meta);
+        // Corrupt the declared architecture: claim the final linear is
+        // wider than the stored tensors.
+        let text = String::from_utf8_lossy(&buf).into_owned();
+        let patched = text.replacen("\"out\":4", "\"out\":5", 1);
+        assert_ne!(text, patched, "meta should contain the linear spec");
+        // Rebuild the byte stream with the patched meta (length changed).
+        let meta_start = 16;
+        let old_meta_len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+        let new_meta = &patched.as_bytes()[meta_start..meta_start + old_meta_len];
+        let mut out = Vec::new();
+        out.extend_from_slice(&buf[..8]);
+        out.extend_from_slice(&(new_meta.len() as u64).to_le_bytes());
+        out.extend_from_slice(new_meta);
+        out.extend_from_slice(&buf[meta_start + old_meta_len..]);
+        let err = load_artifact(out.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, ArtifactError::Mismatch(_)), "{msg}");
+        assert!(msg.contains("saved values"), "{msg}");
+    }
+
+    #[test]
+    fn file_helpers_round_trip() {
+        let dir = std::env::temp_dir().join(format!("xbar_artifact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.xbarmdl");
+        let (mut noisy, meta) = mapped();
+        save_artifact_to_file(&mut noisy, &meta, &path).unwrap();
+        let (_, loaded_meta) = load_artifact_from_file(&path).unwrap();
+        assert_eq!(loaded_meta.label, meta.label);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+pub mod artifact;
 pub mod cost;
 pub mod evaluate;
 pub mod exact_inference;
@@ -52,5 +53,6 @@ pub mod rearrange;
 pub mod recalibrate;
 pub mod wct;
 
+pub use artifact::{load_artifact_from_file, save_artifact_to_file, ArtifactMeta};
 pub use pipeline::{map_to_crossbars, MapConfig, MapReport};
 pub use rearrange::{ColumnOrder, Rearrangement};

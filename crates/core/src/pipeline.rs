@@ -245,11 +245,7 @@ fn simulate_tiles_parallel(
     layer_abs_max: f32,
     seed_base: u64,
 ) -> Result<Vec<xbar_sim::tile::TileOutcome>, MapError> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-        .min(tiles.len().max(1));
+    let workers = xbar_tensor::threads::max_threads().min(tiles.len().max(1));
     if workers <= 1 || tiles.len() < 4 {
         return tiles
             .iter()

@@ -11,6 +11,9 @@
 //! The generic functions take `R: Read` / `W: Write` by value; pass `&mut
 //! reader` / `&mut writer` to keep using them afterwards.
 
+use crate::serialize::{
+    read_exact_or_truncated, read_tensor_block_into, write_tensor_block, TensorBlockError,
+};
 use crate::Sequential;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -35,8 +38,9 @@ pub enum LoadedState {
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The data is not a checkpoint or is truncated.
-    Malformed(&'static str),
+    /// The data is not a checkpoint or is truncated; the message says what
+    /// was wrong or what was being read when the data ran out.
+    Malformed(String),
     /// Parameter counts or shapes disagree with the target model.
     Mismatch {
         /// What disagreed.
@@ -71,6 +75,18 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+impl From<TensorBlockError> for CheckpointError {
+    fn from(e: TensorBlockError) -> Self {
+        match e {
+            TensorBlockError::Io(e) => CheckpointError::Io(e),
+            TensorBlockError::Truncated(what) => {
+                CheckpointError::Malformed(format!("truncated checkpoint: {what}"))
+            }
+            TensorBlockError::Mismatch(detail) => CheckpointError::Mismatch { detail },
+        }
+    }
+}
+
 /// Writes the model's full inference state (parameters and BatchNorm
 /// running statistics) to `writer`.
 ///
@@ -80,15 +96,7 @@ impl From<io::Error> for CheckpointError {
 pub fn save_params<W: Write>(model: &mut Sequential, mut writer: W) -> Result<(), CheckpointError> {
     let tensors = model.state_tensors_mut();
     writer.write_all(MAGIC_V2)?;
-    writer.write_all(&(tensors.len() as u64).to_le_bytes())?;
-    for t in &tensors {
-        writer.write_all(&(t.len() as u64).to_le_bytes())?;
-        let mut bytes = Vec::with_capacity(4 * t.len());
-        for &v in t.as_slice() {
-            bytes.extend_from_slice(&v.to_le_bytes());
-        }
-        writer.write_all(&bytes)?;
-    }
+    write_tensor_block(writer, tensors.iter().map(|t| &**t))?;
     Ok(())
 }
 
@@ -108,17 +116,17 @@ pub fn load_params<R: Read>(
     mut reader: R,
 ) -> Result<LoadedState, CheckpointError> {
     let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
+    read_exact_or_truncated(&mut reader, &mut magic, || "reading magic".into())?;
     let state = if &magic == MAGIC_V2 {
         LoadedState::Full
     } else if &magic == MAGIC_V1 {
         LoadedState::ParamsOnly
     } else {
-        return Err(CheckpointError::Malformed("bad magic"));
+        return Err(CheckpointError::Malformed(format!(
+            "bad magic {:?} (not an XBARCKP checkpoint)",
+            String::from_utf8_lossy(&magic)
+        )));
     };
-    let mut len8 = [0u8; 8];
-    reader.read_exact(&mut len8)?;
-    let count = u64::from_le_bytes(len8) as usize;
     let mut slots: Vec<&mut xbar_tensor::Tensor> = match state {
         LoadedState::Full => model.state_tensors_mut(),
         LoadedState::ParamsOnly => model
@@ -127,25 +135,7 @@ pub fn load_params<R: Read>(
             .map(|p| &mut p.value)
             .collect(),
     };
-    if slots.len() != count {
-        return Err(CheckpointError::Mismatch {
-            detail: format!("{count} saved tensors vs {} in model", slots.len()),
-        });
-    }
-    for (idx, slot) in slots.iter_mut().enumerate() {
-        reader.read_exact(&mut len8)?;
-        let len = u64::from_le_bytes(len8) as usize;
-        if len != slot.len() {
-            return Err(CheckpointError::Mismatch {
-                detail: format!("tensor {idx}: {len} saved values vs {}", slot.len()),
-            });
-        }
-        let mut bytes = vec![0u8; 4 * len];
-        reader.read_exact(&mut bytes)?;
-        for (dst, chunk) in slot.as_mut_slice().iter_mut().zip(bytes.chunks_exact(4)) {
-            *dst = f32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
-        }
-    }
+    read_tensor_block_into(reader, &mut slots)?;
     Ok(state)
 }
 
@@ -238,16 +228,17 @@ mod tests {
     }
 
     #[test]
-    fn truncated_data_is_io_error() {
+    fn truncated_data_is_descriptive_malformed_error() {
         let mut src = model(4);
         let mut buf = Vec::new();
         save_params(&mut src, &mut buf).unwrap();
         buf.truncate(buf.len() - 10);
         let mut dst = model(4);
-        assert!(matches!(
-            load_params(&mut dst, buf.as_slice()),
-            Err(CheckpointError::Io(_))
-        ));
+        let err = load_params(&mut dst, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed(_)), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+        assert!(msg.contains("tensor"), "{msg}");
     }
 
     #[test]

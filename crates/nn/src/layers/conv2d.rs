@@ -63,6 +63,16 @@ impl Conv2d {
         self.out_c
     }
 
+    /// Stride in both spatial dimensions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero-padding in both spatial dimensions.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+
     /// Kernel side length.
     pub fn kernel_size(&self) -> usize {
         self.kernel

@@ -42,6 +42,11 @@ impl MaxPool2d {
         self.kernel
     }
 
+    /// Window stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
     /// Forward pass.
     ///
     /// # Errors

@@ -38,6 +38,7 @@
 //! # }
 //! ```
 
+pub mod arch;
 pub mod checkpoint;
 pub mod layers;
 pub mod loss;
@@ -45,6 +46,7 @@ pub mod metrics;
 pub mod optim;
 pub mod param;
 pub mod sequential;
+pub mod serialize;
 pub mod train;
 pub mod vgg;
 

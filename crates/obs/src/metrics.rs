@@ -164,6 +164,50 @@ pub fn snapshot() -> MetricsSnapshot {
     }
 }
 
+impl MetricsSnapshot {
+    /// Renders the snapshot in a Prometheus-style text exposition format:
+    /// one `name value` line per counter and gauge, and for each histogram
+    /// cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`.
+    /// Slashes in metric names are rewritten to underscores so the output
+    /// is scrapable by standard tooling.
+    pub fn to_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds().iter().zip(hist.counts()) {
+                cumulative += count;
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            cumulative += hist.counts().last().copied().unwrap_or(0);
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            out.push_str(&format!("{name}_sum {}\n", hist.sum()));
+            out.push_str(&format!("{name}_count {}\n", hist.count()));
+        }
+        out
+    }
+}
+
+/// Renders the current process-global registry as text (see
+/// [`MetricsSnapshot::to_text`]) — the body of an HTTP `/metrics` endpoint.
+pub fn to_text() -> String {
+    snapshot().to_text()
+}
+
 /// Reads a single counter (0 if absent) — convenience for tests/reports.
 pub fn counter_value(name: &str) -> u64 {
     registry()
@@ -218,6 +262,35 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 5.0);
         assert_eq!(a.min(), 0.5);
+    }
+
+    #[test]
+    fn text_exposition_renders_all_metric_kinds() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("serve/requests".into(), 7);
+        snap.gauges.insert("serve/up".into(), 1.0);
+        let mut h = Histogram::new(&[1.0, 4.0]);
+        h.record(0.5);
+        h.record(2.0);
+        h.record(9.0);
+        snap.histograms.insert("serve/batch_size".into(), h);
+        let text = snap.to_text();
+        assert!(text.contains("serve_requests 7"), "{text}");
+        assert!(text.contains("serve_up 1"), "{text}");
+        assert!(
+            text.contains("serve_batch_size_bucket{le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_batch_size_bucket{le=\"4\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_batch_size_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("serve_batch_size_count 3"), "{text}");
+        assert!(text.contains("# TYPE serve_batch_size histogram"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Micro-batching request queue.
+//!
+//! Classify requests land in a bounded [`BatchQueue`]; an inference worker
+//! pulls a batch — flushing as soon as either `max_batch` requests are
+//! waiting or `batch_deadline` has passed since it started collecting — and
+//! runs ONE [`Sequential::forward`] over the stacked `[n, C, H, W]` input.
+//! Each request's [`ResponseSlot`] is then filled with its row of the
+//! softmaxed logits.
+//!
+//! Batching is exact, not approximate: every layer in the workspace
+//! processes batch rows independently (BatchNorm runs in `Eval` mode on its
+//! running statistics, and the row-parallel matmul keeps per-row summation
+//! order), so the logits for a request are bit-identical whether it rode in
+//! a batch of 1 or 64. `micro_batching_matches_single_request_forward`
+//! below pins this down.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use xbar_core::ArtifactMeta;
+use xbar_nn::{Mode, Sequential};
+use xbar_obs::metrics;
+use xbar_tensor::Tensor;
+
+/// Bucket bounds for the `serve/batch_size` histogram.
+const BATCH_SIZE_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+/// Bucket bounds for the `serve/infer_ms` histogram.
+const INFER_MS_BOUNDS: &[f64] = &[1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0];
+
+/// Result of classifying one image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifyOutcome {
+    /// Argmax class index.
+    pub class: usize,
+    /// Softmax probabilities, one per class.
+    pub scores: Vec<f32>,
+    /// How many requests shared the forward pass that produced this.
+    pub batch_size: usize,
+}
+
+type SlotState = Option<Result<ClassifyOutcome, String>>;
+
+/// One-shot rendezvous the HTTP worker blocks on while the inference
+/// worker computes.
+#[derive(Default)]
+pub struct ResponseSlot {
+    state: Mutex<SlotState>,
+    cond: Condvar,
+}
+
+impl ResponseSlot {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Fills the slot and wakes the waiter. Second fills are ignored.
+    pub fn fill(&self, value: Result<ClassifyOutcome, String>) {
+        let mut state = self.state.lock().expect("slot lock poisoned");
+        if state.is_none() {
+            *state = Some(value);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocks until the slot is filled or `timeout` elapses; `None` means
+    /// the request timed out (the caller answers 504).
+    pub fn wait(&self, timeout: Duration) -> Option<Result<ClassifyOutcome, String>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("slot lock poisoned");
+        while state.is_none() {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .expect("slot lock poisoned");
+            state = next;
+        }
+        state.take()
+    }
+}
+
+/// A queued classify request: flattened `C·H·W` input plus where to
+/// deliver the answer.
+pub struct Pending {
+    pub input: Vec<f32>,
+    pub slot: Arc<ResponseSlot>,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — backpressure, answer 503.
+    QueueFull { cap: usize },
+    /// The server is shutting down — answer 503.
+    Closed,
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue of pending classify requests.
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+    cap: usize,
+}
+
+impl BatchQueue {
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(BatchQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            cap: cap.max(1),
+        })
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] at capacity, [`SubmitError::Closed`]
+    /// after [`BatchQueue::close`].
+    pub fn submit(&self, pending: Pending) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.items.len() >= self.cap {
+            metrics::counter_add("serve/queue_rejections", 1);
+            return Err(SubmitError::QueueFull { cap: self.cap });
+        }
+        state.items.push_back(pending);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Number of requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("batch queue poisoned").items.len()
+    }
+
+    /// Marks the queue closed and wakes all workers. Already-queued
+    /// requests are still drained by `next_batch`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        state.closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Collects the next micro-batch: blocks for the first request, then
+    /// keeps collecting until `max_batch` requests are in hand or
+    /// `deadline` has passed since the first arrived. Returns `None` once
+    /// the queue is closed *and* drained — the worker's exit signal.
+    pub fn next_batch(&self, max_batch: usize, deadline: Duration) -> Option<Vec<Pending>> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        while state.items.is_empty() {
+            if state.closed {
+                return None;
+            }
+            state = self.cond.wait(state).expect("batch queue poisoned");
+        }
+        let flush_at = Instant::now() + deadline;
+        loop {
+            if state.items.len() >= max_batch || state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= flush_at {
+                break;
+            }
+            let (next, wait) = self
+                .cond
+                .wait_timeout(state, flush_at - now)
+                .expect("batch queue poisoned");
+            state = next;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        let n = state.items.len().min(max_batch);
+        Some(state.items.drain(..n).collect())
+    }
+}
+
+/// Numerically stable softmax over one logit row.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let total: f32 = exps.iter().sum();
+    if total > 0.0 {
+        exps.iter().map(|&e| e / total).collect()
+    } else {
+        vec![1.0 / logits.len().max(1) as f32; logits.len()]
+    }
+}
+
+/// Runs one batch through the model and fills every slot.
+///
+/// Exposed (not just used by the worker loop) so tests can compare batched
+/// against single-request execution on the same model instance.
+pub fn classify_batch(model: &mut Sequential, input_shape: &[usize], batch: Vec<Pending>) {
+    let n = batch.len();
+    let per_example: usize = input_shape.iter().product();
+    let mut stacked = Vec::with_capacity(n * per_example);
+    for pending in &batch {
+        stacked.extend_from_slice(&pending.input);
+    }
+    let mut shape = Vec::with_capacity(1 + input_shape.len());
+    shape.push(n);
+    shape.extend_from_slice(input_shape);
+    let start = Instant::now();
+    let result = Tensor::from_vec(stacked, &shape)
+        .and_then(|x| model.forward(&x, Mode::Eval))
+        .map_err(|e| format!("forward failed: {e}"));
+    metrics::histogram_record(
+        "serve/infer_ms",
+        start.elapsed().as_secs_f64() * 1e3,
+        INFER_MS_BOUNDS,
+    );
+    metrics::histogram_record("serve/batch_size", n as f64, BATCH_SIZE_BOUNDS);
+    metrics::counter_add("serve/batches", 1);
+    match result {
+        Ok(logits) => {
+            let classes = logits.shape().last().copied().unwrap_or(0).max(1);
+            let rows = logits.as_slice().chunks_exact(classes);
+            for (pending, row) in batch.iter().zip(rows) {
+                let scores = softmax(row);
+                let class = scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map_or(0, |(i, _)| i);
+                pending.slot.fill(Ok(ClassifyOutcome {
+                    class,
+                    scores,
+                    batch_size: n,
+                }));
+            }
+        }
+        Err(msg) => {
+            for pending in &batch {
+                pending.slot.fill(Err(msg.clone()));
+            }
+        }
+    }
+}
+
+/// Inference worker loop: pulls micro-batches until the queue closes.
+/// Each worker owns its own `model` clone, so multiple loops can run
+/// concurrently without locking the network.
+pub fn inference_loop(
+    mut model: Sequential,
+    meta: &ArtifactMeta,
+    queue: &BatchQueue,
+    max_batch: usize,
+    deadline: Duration,
+) {
+    while let Some(batch) = queue.next_batch(max_batch, deadline) {
+        classify_batch(&mut model, &meta.input_shape, batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+    use xbar_nn::Layer;
+
+    fn tiny_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 4, 3, 1, 1, 7)),
+            Layer::ReLU(ReLU::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(4 * 4 * 4, 3, 9)),
+        ])
+    }
+
+    fn image(seed: usize) -> Vec<f32> {
+        (0..64)
+            .map(|i| ((i * 31 + seed * 7) % 13) as f32 / 13.0 - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn micro_batching_matches_single_request_forward() {
+        let shape = [1usize, 8, 8];
+        // Batched: five requests through one forward pass.
+        let mut model = tiny_model();
+        let slots: Vec<Arc<ResponseSlot>> = (0..5).map(|_| ResponseSlot::new()).collect();
+        let batch: Vec<Pending> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| Pending {
+                input: image(i),
+                slot: Arc::clone(slot),
+            })
+            .collect();
+        classify_batch(&mut model, &shape, batch);
+        // Singles: each request through its own forward pass.
+        for (i, slot) in slots.iter().enumerate() {
+            let batched = slot
+                .wait(Duration::from_secs(1))
+                .expect("slot filled")
+                .expect("classify ok");
+            assert_eq!(batched.batch_size, 5);
+            let single_slot = ResponseSlot::new();
+            classify_batch(
+                &mut tiny_model(),
+                &shape,
+                vec![Pending {
+                    input: image(i),
+                    slot: Arc::clone(&single_slot),
+                }],
+            );
+            let single = single_slot
+                .wait(Duration::from_secs(1))
+                .expect("slot filled")
+                .expect("classify ok");
+            assert_eq!(
+                batched.scores, single.scores,
+                "request {i}: micro-batched scores must be bit-identical"
+            );
+            assert_eq!(batched.class, single.class);
+        }
+    }
+
+    #[test]
+    fn queue_flushes_on_batch_size() {
+        let queue = BatchQueue::new(16);
+        for i in 0..4 {
+            queue
+                .submit(Pending {
+                    input: image(i),
+                    slot: ResponseSlot::new(),
+                })
+                .unwrap();
+        }
+        // Deadline far away: the size trigger must flush immediately.
+        let batch = queue.next_batch(4, Duration::from_secs(60)).unwrap();
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn queue_flushes_on_deadline_with_partial_batch() {
+        let queue = BatchQueue::new(16);
+        queue
+            .submit(Pending {
+                input: image(0),
+                slot: ResponseSlot::new(),
+            })
+            .unwrap();
+        let start = Instant::now();
+        let batch = queue.next_batch(64, Duration::from_millis(30)).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline flush must not hang"
+        );
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let queue = BatchQueue::new(2);
+        for i in 0..2 {
+            queue
+                .submit(Pending {
+                    input: image(i),
+                    slot: ResponseSlot::new(),
+                })
+                .unwrap();
+        }
+        let err = queue
+            .submit(Pending {
+                input: image(2),
+                slot: ResponseSlot::new(),
+            })
+            .unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { cap: 2 });
+    }
+
+    #[test]
+    fn closed_queue_drains_then_stops() {
+        let queue = BatchQueue::new(4);
+        queue
+            .submit(Pending {
+                input: image(0),
+                slot: ResponseSlot::new(),
+            })
+            .unwrap();
+        queue.close();
+        assert!(matches!(
+            queue.submit(Pending {
+                input: image(1),
+                slot: ResponseSlot::new(),
+            }),
+            Err(SubmitError::Closed)
+        ));
+        let drained = queue.next_batch(8, Duration::from_millis(1)).unwrap();
+        assert_eq!(drained.len(), 1);
+        assert!(queue.next_batch(8, Duration::from_millis(1)).is_none());
+    }
+
+    #[test]
+    fn slot_times_out_when_never_filled() {
+        let slot = ResponseSlot::new();
+        assert!(slot.wait(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn worker_thread_serves_submissions_until_close() {
+        let queue = BatchQueue::new(8);
+        let meta_shape = [1usize, 8, 8];
+        let worker = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || {
+                let mut model = tiny_model();
+                while let Some(batch) = queue.next_batch(4, Duration::from_millis(5)) {
+                    classify_batch(&mut model, &meta_shape, batch);
+                }
+            })
+        };
+        let slot = ResponseSlot::new();
+        queue
+            .submit(Pending {
+                input: image(3),
+                slot: Arc::clone(&slot),
+            })
+            .unwrap();
+        let outcome = slot
+            .wait(Duration::from_secs(5))
+            .expect("filled")
+            .expect("ok");
+        assert_eq!(outcome.scores.len(), 3);
+        let total: f32 = outcome.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "softmax sums to 1, got {total}");
+        queue.close();
+        worker.join().unwrap();
+    }
+}

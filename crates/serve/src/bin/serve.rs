@@ -1,0 +1,132 @@
+//! `serve` — host a mapped-model artifact over HTTP.
+//!
+//! ```text
+//! serve --artifact results/vgg11.xbarmdl [--addr 127.0.0.1:7878]
+//!       [--threads N] [--http-workers N] [--infer-workers N]
+//!       [--batch-size N] [--batch-deadline-ms N] [--queue-cap N]
+//!       [--timeout-ms N]
+//! ```
+//!
+//! `--threads` (or the `XBAR_THREADS` environment variable) bounds the
+//! compute worker pool used by the tensor kernels — the same knob the
+//! offline pipeline uses. Exits gracefully on SIGTERM/SIGINT or
+//! `POST /admin/shutdown`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use xbar_serve::{signals, ServeConfig, Server};
+
+struct Args {
+    artifact: String,
+    cfg: ServeConfig,
+    threads: Option<usize>,
+}
+
+fn usage() -> &'static str {
+    "usage: serve --artifact <path.xbarmdl> [--addr HOST:PORT] [--threads N]\n\
+     \x20             [--http-workers N] [--infer-workers N] [--batch-size N]\n\
+     \x20             [--batch-deadline-ms N] [--queue-cap N] [--timeout-ms N]"
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a str, String> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| format!("{name} needs a value"))
+}
+
+fn next_usize(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize, String> {
+    let raw = next_value(it, name)?;
+    raw.parse::<usize>()
+        .map_err(|_| format!("{name}: {raw:?} is not a non-negative integer"))
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut artifact = None;
+    let mut threads = None;
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServeConfig::default()
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--artifact" => artifact = Some(next_value(&mut it, "--artifact")?.to_string()),
+            "--addr" => cfg.addr = next_value(&mut it, "--addr")?.to_string(),
+            "--threads" => threads = Some(next_usize(&mut it, "--threads")?.max(1)),
+            "--http-workers" => {
+                cfg.http_workers = next_usize(&mut it, "--http-workers")?.max(1);
+            }
+            "--infer-workers" => {
+                cfg.infer_workers = next_usize(&mut it, "--infer-workers")?.max(1);
+            }
+            "--batch-size" => {
+                cfg.max_batch = next_usize(&mut it, "--batch-size")?.max(1);
+            }
+            "--batch-deadline-ms" => {
+                cfg.batch_deadline =
+                    Duration::from_millis(next_usize(&mut it, "--batch-deadline-ms")? as u64);
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = next_usize(&mut it, "--queue-cap")?.max(1);
+            }
+            "--timeout-ms" => {
+                cfg.request_timeout =
+                    Duration::from_millis(next_usize(&mut it, "--timeout-ms")?.max(1) as u64);
+            }
+            "--help" | "-h" => return Err(usage().into()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let artifact = artifact.ok_or_else(|| format!("--artifact is required\n{}", usage()))?;
+    Ok(Args {
+        artifact,
+        cfg,
+        threads,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(n) = args.threads {
+        xbar_tensor::threads::set_max_threads(n);
+    }
+    let (model, meta) = match xbar_core::load_artifact_from_file(&args.artifact) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            eprintln!("cannot load artifact {:?}: {e}", args.artifact);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loaded {:?}: {} ({} classes, input {:?}, {} crossbars of {}x{}, method {}, mean NF {:.4})",
+        args.artifact,
+        meta.label,
+        meta.num_classes,
+        meta.input_shape,
+        meta.crossbar_count,
+        meta.rows,
+        meta.cols,
+        meta.method,
+        meta.mean_nf,
+    );
+    signals::install();
+    let server = match Server::start(model, meta, args.cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // CI and scripts parse this line for the resolved port.
+    println!("listening on http://{}", server.local_addr());
+    server.run_until_shutdown();
+    eprintln!("shutdown complete");
+    ExitCode::SUCCESS
+}

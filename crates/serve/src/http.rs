@@ -1,0 +1,270 @@
+//! Minimal HTTP/1.1 message framing over any `BufRead`/`Write` pair.
+//!
+//! Supports exactly what the inference endpoints need: request-line +
+//! headers + `Content-Length` bodies, keep-alive, and fixed-length
+//! responses. Chunked transfer encoding is rejected with `411 Length
+//! Required` semantics (the caller maps [`HttpError::NeedsLength`]).
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a single header line (and the request line).
+const MAX_LINE: usize = 8 * 1024;
+/// Upper bound on the number of headers.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query string retained, fragment-free).
+    pub path: String,
+    /// Header name/value pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default unless `Connection: close`).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Error while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket failure or timeout — close the connection silently.
+    Io(io::Error),
+    /// The bytes are not valid HTTP — answer 400 and close.
+    Bad(String),
+    /// A body was sent without `Content-Length` — answer 411 and close.
+    NeedsLength,
+    /// The declared body exceeds the server's limit — answer 413 and close.
+    BodyTooLarge { limit: usize },
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Bad("connection closed mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(
+                        String::from_utf8(line)
+                            .map_err(|_| HttpError::Bad("non-UTF-8 header data".into()))?,
+                    ));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::Bad(format!(
+                        "header line exceeds {MAX_LINE} bytes"
+                    )));
+                }
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads one request. `Ok(None)` means the client closed the connection
+/// cleanly before sending another request (normal keep-alive end).
+///
+/// # Errors
+///
+/// See [`HttpError`] for the caller's response obligations.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let request_line = match read_line(reader)? {
+        None => return Ok(None),
+        Some(line) if line.is_empty() => {
+            // Tolerate a stray CRLF between pipelined requests.
+            match read_line(reader)? {
+                None => return Ok(None),
+                Some(line) => line,
+            }
+        }
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::Bad(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| HttpError::Bad("connection closed inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::NeedsLength);
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Bad(format!("bad content-length {len:?}")))?;
+        if len > max_body {
+            return Err(HttpError::BodyTooLarge { limit: max_body });
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+        request.body = body;
+    }
+    Ok(Some(request))
+}
+
+/// Writes a fixed-length response.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1 << 20)
+    }
+
+    #[test]
+    fn parses_get_and_keep_alive_default() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.keep_alive());
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn parses_post_body_and_connection_close() {
+        let req = parse(
+            "POST /v1/classify HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.body, b"hello");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_is_bad_request() {
+        assert!(matches!(parse("NOT HTTP\r\n\r\n"), Err(HttpError::Bad(_))));
+    }
+
+    #[test]
+    fn chunked_needs_length() {
+        let raw = "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::NeedsLength)));
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        let err = read_request(&mut BufReader::new(raw.as_bytes()), 10).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 10 }));
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_in_sequence() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let a = read_request(&mut reader, 1024).unwrap().unwrap();
+        let b = read_request(&mut reader, 1024).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
+        assert!(read_request(&mut reader, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "application/json", b"{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # xbar-serve
+//!
+//! Batched non-ideal inference serving over persisted mapped-model
+//! artifacts (`XBARMDL1`, see `xbar_core::artifact`).
+//!
+//! The paper's Fig. 2 pipeline prices every mapped layer in circuit
+//! solves; serving amortises that one-off cost across requests. This crate
+//! loads a mapped `W'` network once and exposes it over HTTP/1.1 built
+//! directly on `std::net` (the workspace builds hermetically — no external
+//! dependencies):
+//!
+//! * `POST /v1/classify` — one image (JSON float array or base64 LE f32),
+//!   answered with the argmax class, softmax scores, the micro-batch size
+//!   the request rode in, and the mapping provenance;
+//! * `GET /healthz` — liveness plus queue depth;
+//! * `GET /metrics` — the process-wide `xbar_obs` metrics registry in
+//!   Prometheus text format;
+//! * `GET /v1/model` — the artifact's mapping summary;
+//! * `POST /admin/shutdown` — CI-friendly graceful stop (SIGTERM and
+//!   SIGINT do the same).
+//!
+//! Concurrent classify requests are micro-batched ([`batcher`]): they
+//! share one `Sequential::forward` whenever they arrive within the flush
+//! window, and batching is bit-exact with respect to single-request
+//! execution. Both the connection queue and the batch queue are bounded;
+//! overflow is answered `503` (backpressure), never silently dropped.
+//!
+//! Start a server with [`server::Server::start`]; drive one with
+//! [`client::Client`] or the `loadgen` binary in `crates/bench`.
+
+pub mod base64;
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use batcher::{BatchQueue, ClassifyOutcome, Pending, ResponseSlot, SubmitError};
+pub use client::Client;
+pub use server::{signals, ServeConfig, Server};

@@ -1,0 +1,556 @@
+//! The HTTP inference server.
+//!
+//! Thread layout:
+//!
+//! ```text
+//! accept thread ──► bounded ConnQueue ──► fixed pool of HTTP workers
+//!                                              │ (parse, route)
+//!                                              ▼
+//!                                        bounded BatchQueue ──► inference
+//!                                              ▲   workers (micro-batching,
+//!                                              │   own model clone each)
+//!                                        ResponseSlot per request
+//! ```
+//!
+//! Backpressure is explicit at both queues: a full connection queue is
+//! answered `503` before the socket joins the pool, and a full batch queue
+//! is answered `503` by the HTTP worker. Shutdown (SIGTERM/SIGINT via
+//! [`signals`], or `POST /admin/shutdown`) stops the accept loop, lets
+//! in-flight requests finish, drains the batch queue, and joins every
+//! thread.
+
+use std::io::{self, BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::base64;
+use crate::batcher::{inference_loop, BatchQueue, Pending, ResponseSlot, SubmitError};
+use crate::http::{read_request, write_response, HttpError, Request};
+use xbar_core::ArtifactMeta;
+use xbar_nn::Sequential;
+use xbar_obs::json::Json;
+use xbar_obs::metrics;
+
+/// POSIX signal handling without a libc crate: `std` already links libc on
+/// unix, so declaring `signal(2)` ourselves is enough for a flag-setting
+/// handler.
+pub mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    /// Whether SIGTERM/SIGINT has been received since [`install`].
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::SeqCst)
+    }
+
+    /// Test hook: simulate a received signal.
+    pub fn raise() {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" fn on_signal(_signum: i32) {
+            // Async-signal-safe: a single atomic store.
+            SIGNALLED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+/// Server tunables. `Default` suits tests and the demo; the `serve` binary
+/// maps its flags onto these fields.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Fixed HTTP worker pool size — also the keep-alive connection limit.
+    pub http_workers: usize,
+    /// Inference workers, each with its own model clone.
+    pub infer_workers: usize,
+    /// Micro-batch flush threshold.
+    pub max_batch: usize,
+    /// Micro-batch flush deadline (from first queued request).
+    pub batch_deadline: Duration,
+    /// Bounded batch-queue capacity (overflow ⇒ 503).
+    pub queue_cap: usize,
+    /// Per-request wait budget before the client gets a 504.
+    pub request_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            http_workers: 64,
+            infer_workers: 1,
+            max_batch: 32,
+            batch_deadline: Duration::from_millis(2),
+            queue_cap: 256,
+            request_timeout: Duration::from_secs(10),
+            max_body: 32 << 20,
+        }
+    }
+}
+
+struct ConnState {
+    conns: Vec<TcpStream>,
+    closed: bool,
+}
+
+/// Bounded queue of accepted sockets feeding the HTTP worker pool.
+struct ConnQueue {
+    state: Mutex<ConnState>,
+    cond: Condvar,
+    cap: usize,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Arc<Self> {
+        Arc::new(ConnQueue {
+            state: Mutex::new(ConnState {
+                conns: Vec::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            cap: cap.max(1),
+        })
+    }
+
+    /// Hands the socket back on failure (queue full or closed) so the
+    /// caller can turn it away with a 503.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        if state.closed || state.conns.len() >= self.cap {
+            return Err(stream);
+        }
+        state.conns.push(stream);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next socket; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(stream) = state.conns.pop() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cond.wait(state).expect("conn queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("conn queue poisoned");
+        state.closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Shared request-handling context for HTTP workers.
+struct Ctx {
+    meta: ArtifactMeta,
+    batch_queue: Arc<BatchQueue>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ServeConfig,
+}
+
+/// A running server; drop-in handle for tests, the binary, and CI smoke.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    http_handles: Vec<JoinHandle<()>>,
+    infer_handles: Vec<JoinHandle<()>>,
+    batch_queue: Arc<BatchQueue>,
+}
+
+impl Server {
+    /// Binds, spawns the thread pools, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn start(model: Sequential, meta: ArtifactMeta, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let batch_queue = BatchQueue::new(cfg.queue_cap);
+        let conn_queue = ConnQueue::new(cfg.http_workers.max(1) * 2);
+
+        let infer_handles: Vec<JoinHandle<()>> = (0..cfg.infer_workers.max(1))
+            .map(|i| {
+                let worker_model = model.clone();
+                let worker_meta = meta.clone();
+                let queue = Arc::clone(&batch_queue);
+                let max_batch = cfg.max_batch;
+                let deadline = cfg.batch_deadline;
+                thread::Builder::new()
+                    .name(format!("xbar-infer-{i}"))
+                    .spawn(move || {
+                        inference_loop(worker_model, &worker_meta, &queue, max_batch, deadline);
+                    })
+                    .expect("spawn inference worker")
+            })
+            .collect();
+
+        let ctx = Arc::new(Ctx {
+            meta,
+            batch_queue: Arc::clone(&batch_queue),
+            shutdown: Arc::clone(&shutdown),
+            cfg: cfg.clone(),
+        });
+        let http_handles: Vec<JoinHandle<()>> = (0..cfg.http_workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&conn_queue);
+                let ctx = Arc::clone(&ctx);
+                thread::Builder::new()
+                    .name(format!("xbar-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            handle_connection(stream, &ctx);
+                        }
+                    })
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let conn_queue = Arc::clone(&conn_queue);
+            thread::Builder::new()
+                .name("xbar-accept".into())
+                .spawn(move || {
+                    accept_loop(&listener, &conn_queue, &shutdown);
+                    conn_queue.close();
+                })
+                .expect("spawn accept thread")
+        };
+
+        metrics::gauge_set("serve/up", 1.0);
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            http_handles,
+            infer_handles,
+            batch_queue,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A flag other threads (or the admin endpoint) can set to stop the
+    /// server; [`Server::run_until_shutdown`] also watches process signals.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Blocks until a shutdown is requested (signal, admin endpoint, or
+    /// [`Server::shutdown_handle`]), then drains gracefully.
+    pub fn run_until_shutdown(self) {
+        while !self.shutdown.load(Ordering::SeqCst) && !signals::signalled() {
+            thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight requests, flush the
+    /// batch queue, join every thread.
+    pub fn join(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            handle.join().expect("accept thread panicked");
+        }
+        // The accept thread closed the connection queue; HTTP workers exit
+        // after finishing their current connection.
+        for handle in self.http_handles.drain(..) {
+            handle.join().expect("http worker panicked");
+        }
+        // No producers remain: close the batch queue so inference workers
+        // drain what is left and exit.
+        self.batch_queue.close();
+        for handle in self.infer_handles.drain(..) {
+            handle.join().expect("inference worker panicked");
+        }
+        metrics::gauge_set("serve/up", 0.0);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, conn_queue: &ConnQueue, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) && !signals::signalled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                metrics::counter_add("serve/connections", 1);
+                if let Err(mut rejected) = conn_queue.push(stream) {
+                    metrics::counter_add("serve/connections_rejected", 1);
+                    respond_error(
+                        &mut rejected,
+                        503,
+                        "Service Unavailable",
+                        "connection queue full, retry later",
+                    );
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Waits for the next request on a keep-alive connection, polling the
+/// shutdown flag between short peeks so idle connections release their
+/// worker promptly at shutdown.
+fn next_request(
+    reader: &mut BufReader<TcpStream>,
+    stream: &TcpStream,
+    ctx: &Ctx,
+) -> Result<Option<Request>, HttpError> {
+    loop {
+        if !reader.buffer().is_empty() {
+            break;
+        }
+        if ctx.shutdown.load(Ordering::SeqCst) || signals::signalled() {
+            return Ok(None);
+        }
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // A request has begun: allow the client a generous window to finish it.
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let request = read_request(reader, ctx.cfg.max_body);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    request
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let request = match next_request(&mut reader, &writer, ctx) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Bad(msg)) => {
+                metrics::counter_add("serve/bad_requests", 1);
+                respond_error(&mut writer, 400, "Bad Request", &msg);
+                return;
+            }
+            Err(HttpError::NeedsLength) => {
+                respond_error(&mut writer, 411, "Length Required", "send Content-Length");
+                return;
+            }
+            Err(HttpError::BodyTooLarge { limit }) => {
+                respond_error(
+                    &mut writer,
+                    413,
+                    "Payload Too Large",
+                    &format!("body exceeds {limit} bytes"),
+                );
+                return;
+            }
+        };
+        metrics::counter_add("serve/http_requests", 1);
+        let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
+        let ok = route(&mut writer, &request, keep_alive, ctx);
+        if !ok || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn respond_json(
+    writer: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &Json,
+    keep_alive: bool,
+) -> bool {
+    write_response(
+        writer,
+        status,
+        reason,
+        "application/json",
+        body.to_json().as_bytes(),
+        keep_alive,
+    )
+    .is_ok()
+}
+
+fn respond_error(writer: &mut TcpStream, status: u16, reason: &str, detail: &str) {
+    let body = Json::Obj(vec![("error".into(), Json::Str(detail.into()))]);
+    respond_json(writer, status, reason, &body, false);
+}
+
+/// Dispatches one request; returns `false` if the connection died.
+fn route(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = Json::Obj(vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("model".into(), Json::Str(ctx.meta.label.clone())),
+                (
+                    "queue_depth".into(),
+                    Json::Num(ctx.batch_queue.depth() as f64),
+                ),
+            ]);
+            respond_json(writer, 200, "OK", &body, keep_alive)
+        }
+        ("GET", "/metrics") => write_response(
+            writer,
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            metrics::to_text().as_bytes(),
+            keep_alive,
+        )
+        .is_ok(),
+        ("GET", "/v1/model") => {
+            respond_json(writer, 200, "OK", &ctx.meta.summary_json(), keep_alive)
+        }
+        ("POST", "/v1/classify") => classify(writer, request, keep_alive, ctx),
+        ("POST", "/admin/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            let body = Json::Obj(vec![("status".into(), Json::Str("shutting down".into()))]);
+            respond_json(writer, 200, "OK", &body, false)
+        }
+        _ => {
+            let body = Json::Obj(vec![(
+                "error".into(),
+                Json::Str(format!("no route {} {}", request.method, request.path)),
+            )]);
+            respond_json(writer, 404, "Not Found", &body, keep_alive)
+        }
+    }
+}
+
+/// Extracts the image from a classify body: `image` (JSON array of floats)
+/// or `image_b64` (base64 little-endian f32 bytes).
+fn parse_image(body: &[u8], expected_len: usize) -> Result<Vec<f32>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let json = Json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let image = if let Some(b64) = json.get("image_b64").and_then(Json::as_str) {
+        base64::decode_f32(b64).map_err(|e| format!("image_b64: {e}"))?
+    } else if let Some(values) = json.get("image").and_then(Json::as_arr) {
+        values
+            .iter()
+            .map(|v| v.as_f64().map(|f| f as f32))
+            .collect::<Option<Vec<f32>>>()
+            .ok_or("\"image\" must be an array of numbers")?
+    } else {
+        return Err("body needs \"image\" (float array) or \"image_b64\" (LE f32 base64)".into());
+    };
+    if image.len() != expected_len {
+        return Err(format!(
+            "image has {} values, model expects {expected_len}",
+            image.len()
+        ));
+    }
+    if let Some(bad) = image.iter().find(|v| !v.is_finite()) {
+        return Err(format!("image contains non-finite value {bad}"));
+    }
+    Ok(image)
+}
+
+fn classify(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
+    metrics::counter_add("serve/classify_requests", 1);
+    let input = match parse_image(&request.body, ctx.meta.input_len()) {
+        Ok(input) => input,
+        Err(msg) => {
+            metrics::counter_add("serve/classify_bad_input", 1);
+            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
+            return respond_json(writer, 400, "Bad Request", &body, keep_alive);
+        }
+    };
+    let slot = ResponseSlot::new();
+    let pending = Pending {
+        input,
+        slot: Arc::clone(&slot),
+    };
+    if let Err(e) = ctx.batch_queue.submit(pending) {
+        metrics::counter_add("serve/classify_rejected", 1);
+        let detail = match e {
+            SubmitError::QueueFull { cap } => format!("queue full ({cap} waiting), retry later"),
+            SubmitError::Closed => "server is shutting down".into(),
+        };
+        let body = Json::Obj(vec![("error".into(), Json::Str(detail))]);
+        return respond_json(writer, 503, "Service Unavailable", &body, keep_alive);
+    }
+    match slot.wait(ctx.cfg.request_timeout) {
+        None => {
+            metrics::counter_add("serve/classify_timeout", 1);
+            let body = Json::Obj(vec![(
+                "error".into(),
+                Json::Str(format!(
+                    "no result within {:?} — inference backlog",
+                    ctx.cfg.request_timeout
+                )),
+            )]);
+            respond_json(writer, 504, "Gateway Timeout", &body, keep_alive)
+        }
+        Some(Err(msg)) => {
+            metrics::counter_add("serve/classify_failed", 1);
+            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
+            respond_json(writer, 500, "Internal Server Error", &body, keep_alive)
+        }
+        Some(Ok(outcome)) => {
+            metrics::counter_add("serve/classify_ok", 1);
+            let body = Json::Obj(vec![
+                ("class".into(), Json::Num(outcome.class as f64)),
+                (
+                    "scores".into(),
+                    Json::Arr(
+                        outcome
+                            .scores
+                            .iter()
+                            .map(|&s| Json::Num(f64::from(s)))
+                            .collect(),
+                    ),
+                ),
+                ("batch_size".into(), Json::Num(outcome.batch_size as f64)),
+                ("model".into(), ctx.meta.summary_json()),
+            ]);
+            respond_json(writer, 200, "OK", &body, keep_alive)
+        }
+    }
+}

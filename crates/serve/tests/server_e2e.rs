@@ -1,0 +1,256 @@
+//! End-to-end server tests: map a tiny model to crossbars, persist it as
+//! an `XBARMDL1` artifact, serve it, and drive it over real sockets.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use xbar_core::pipeline::{map_to_crossbars, MapConfig};
+use xbar_core::{load_artifact_from_file, save_artifact_to_file, ArtifactMeta};
+use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+use xbar_nn::{Layer, Mode, Sequential};
+use xbar_obs::json::Json;
+use xbar_serve::{Client, ServeConfig, Server};
+use xbar_sim::params::CrossbarParams;
+use xbar_tensor::Tensor;
+
+const INPUT_SHAPE: [usize; 3] = [1, 8, 8];
+const CLASSES: usize = 4;
+
+fn tiny_model() -> Sequential {
+    Sequential::new(vec![
+        Layer::Conv2d(Conv2d::new(1, 8, 3, 1, 1, 1)),
+        Layer::ReLU(ReLU::new()),
+        Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+        Layer::Flatten(Flatten::new()),
+        Layer::Linear(Linear::new(8 * 4 * 4, CLASSES, 2)),
+    ])
+}
+
+/// Maps the tiny model and returns (mapped model, meta) via a real
+/// artifact file round-trip, exactly like production serving.
+fn mapped_via_artifact(tag: &str) -> (Sequential, ArtifactMeta) {
+    let model = tiny_model();
+    let mut params = CrossbarParams::with_size(16);
+    params.sigma_variation = 0.0;
+    let cfg = MapConfig {
+        params,
+        ..Default::default()
+    };
+    let (mut noisy, report) = map_to_crossbars(&model, &cfg).expect("mapping succeeds");
+    let mut meta = ArtifactMeta::from_mapping("e2e tiny model", &cfg, &report);
+    meta.input_shape = INPUT_SHAPE.to_vec();
+    let dir = std::env::temp_dir().join(format!("xbar_serve_e2e_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.xbarmdl");
+    save_artifact_to_file(&mut noisy, &meta, &path).expect("save artifact");
+    let loaded = load_artifact_from_file(&path).expect("load artifact");
+    std::fs::remove_dir_all(&dir).ok();
+    loaded
+}
+
+fn image(seed: usize) -> Vec<f32> {
+    (0..INPUT_SHAPE.iter().product::<usize>())
+        .map(|i| ((i * 31 + seed * 7) % 13) as f32 / 13.0 - 0.5)
+        .collect()
+}
+
+fn image_json(seed: usize) -> String {
+    let values: Vec<String> = image(seed).iter().map(|v| format!("{v}")).collect();
+    format!("{{\"image\":[{}]}}", values.join(","))
+}
+
+fn start_server(cfg: ServeConfig) -> (Server, String) {
+    let (model, meta) = mapped_via_artifact("shared");
+    let server = Server::start(model, meta, cfg).expect("server starts");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr, Duration::from_secs(20)).expect("client connects")
+}
+
+#[test]
+fn classify_healthz_metrics_and_graceful_shutdown() {
+    let (server, addr) = start_server(ServeConfig {
+        http_workers: 8,
+        ..ServeConfig::default()
+    });
+    let mut client = connect(&addr);
+
+    // healthz
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200, "{}", health.text());
+    let health_json = Json::parse(&health.text()).expect("healthz is JSON");
+    assert_eq!(health_json.get("status").and_then(Json::as_str), Some("ok"));
+
+    // model summary
+    let model_info = client.get("/v1/model").expect("model");
+    assert_eq!(model_info.status, 200);
+    let info = Json::parse(&model_info.text()).expect("model JSON");
+    assert_eq!(
+        info.get("label").and_then(Json::as_str),
+        Some("e2e tiny model")
+    );
+
+    // classify (JSON array form) matches a local forward pass.
+    let response = client
+        .post_json("/v1/classify", &image_json(3))
+        .expect("classify");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let body = Json::parse(&response.text()).expect("classify JSON");
+    let served_class = body.get("class").and_then(Json::as_u64).expect("class");
+    let scores = body.get("scores").and_then(Json::as_arr).expect("scores");
+    assert_eq!(scores.len(), CLASSES);
+    let (mut local_model, _) = mapped_via_artifact("local");
+    let x = Tensor::from_vec(image(3), &[1, 1, 8, 8]).unwrap();
+    let logits = local_model.forward(&x, Mode::Eval).unwrap();
+    let expected_class = logits
+        .as_slice()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i as u64)
+        .unwrap();
+    assert_eq!(served_class, expected_class);
+    assert!(body.get("model").and_then(|m| m.get("mean_nf")).is_some());
+
+    // classify (base64 form) gives the same class.
+    let b64_body = format!(
+        "{{\"image_b64\":\"{}\"}}",
+        xbar_serve::base64::encode_f32(&image(3))
+    );
+    let b64_response = client.post_json("/v1/classify", &b64_body).expect("b64");
+    assert_eq!(b64_response.status, 200, "{}", b64_response.text());
+    let b64_json = Json::parse(&b64_response.text()).unwrap();
+    assert_eq!(
+        b64_json.get("class").and_then(Json::as_u64),
+        Some(expected_class)
+    );
+
+    // bad input: wrong length
+    let bad = client
+        .post_json("/v1/classify", "{\"image\":[1,2,3]}")
+        .expect("bad classify");
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("expects"), "{}", bad.text());
+
+    // unknown route
+    let missing = client.get("/nope").expect("404");
+    assert_eq!(missing.status, 404);
+
+    // metrics expose the request counters and the batch-size histogram.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    assert!(text.contains("serve_classify_ok"), "{text}");
+    assert!(text.contains("serve_http_requests"), "{text}");
+    assert!(text.contains("serve_batch_size_bucket"), "{text}");
+
+    // graceful shutdown via the admin endpoint.
+    let stop = client.post_json("/admin/shutdown", "{}").expect("shutdown");
+    assert_eq!(stop.status, 200);
+    server.run_until_shutdown();
+}
+
+#[test]
+fn concurrent_clients_share_batches_and_agree_with_serial_answers() {
+    let (server, addr) = start_server(ServeConfig {
+        http_workers: 16,
+        max_batch: 8,
+        batch_deadline: Duration::from_millis(20),
+        ..ServeConfig::default()
+    });
+
+    // Serial ground truth over one connection.
+    let mut serial = connect(&addr);
+    let mut expected = Vec::new();
+    for seed in 0..12 {
+        let response = serial
+            .post_json("/v1/classify", &image_json(seed))
+            .expect("serial classify");
+        assert_eq!(response.status, 200);
+        let json = Json::parse(&response.text()).unwrap();
+        expected.push(json.get("class").and_then(Json::as_u64).unwrap());
+    }
+
+    // 12 concurrent clients, one request each, all in the same flush window.
+    let addr = Arc::new(addr);
+    let handles: Vec<_> = (0..12)
+        .map(|seed| {
+            let addr = Arc::clone(&addr);
+            thread::spawn(move || {
+                let mut client = connect(&addr);
+                let response = client
+                    .post_json("/v1/classify", &image_json(seed))
+                    .expect("concurrent classify");
+                assert_eq!(response.status, 200, "{}", response.text());
+                let json = Json::parse(&response.text()).unwrap();
+                (
+                    json.get("class").and_then(Json::as_u64).unwrap(),
+                    json.get("batch_size").and_then(Json::as_u64).unwrap(),
+                )
+            })
+        })
+        .collect();
+    let mut saw_shared_batch = false;
+    for (seed, handle) in handles.into_iter().enumerate() {
+        let (class, batch_size) = handle.join().expect("client thread");
+        assert_eq!(
+            class, expected[seed],
+            "request {seed}: batched answer must match serial answer"
+        );
+        saw_shared_batch |= batch_size > 1;
+    }
+    // With a 20ms flush window and 12 simultaneous clients, at least one
+    // batch must have carried more than one request.
+    assert!(saw_shared_batch, "micro-batching never aggregated requests");
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+#[test]
+fn full_batch_queue_is_backpressure_not_an_error() {
+    // One inference worker, tiny queue, long deadline: the queue fills.
+    let (server, addr) = start_server(ServeConfig {
+        http_workers: 8,
+        infer_workers: 1,
+        max_batch: 1,
+        batch_deadline: Duration::from_millis(200),
+        queue_cap: 1,
+        request_timeout: Duration::from_secs(20),
+        ..ServeConfig::default()
+    });
+    let addr = Arc::new(addr);
+    let handles: Vec<_> = (0..8)
+        .map(|seed| {
+            let addr = Arc::clone(&addr);
+            thread::spawn(move || {
+                let mut client = connect(&addr);
+                client
+                    .post_json("/v1/classify", &image_json(seed))
+                    .expect("classify under pressure")
+                    .status
+            })
+        })
+        .collect();
+    let statuses: Vec<u16> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    assert!(
+        statuses.iter().all(|s| *s == 200 || *s == 503),
+        "only success or explicit backpressure allowed, got {statuses:?}"
+    );
+    assert!(
+        statuses.contains(&200),
+        "some requests must still get through: {statuses:?}"
+    );
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}

@@ -40,6 +40,7 @@ pub mod reduce;
 pub mod shape;
 pub mod stats;
 mod tensor;
+pub mod threads;
 
 pub use shape::ShapeError;
 pub use tensor::Tensor;

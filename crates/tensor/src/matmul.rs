@@ -19,10 +19,7 @@ use crate::Tensor;
 const PARALLEL_THRESHOLD: usize = 1 << 20;
 
 fn worker_count() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    crate::threads::max_threads()
 }
 
 impl Tensor {
