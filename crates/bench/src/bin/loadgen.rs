@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use xbar_bench::report::Table;
 use xbar_bench::runner::{Arity, RunContext};
 use xbar_serve::base64::encode_f32;
-use xbar_serve::Client;
+use xbar_serve::{RetryPolicy, RetryingClient};
 
 /// Per-connection outcome tallies and successful-request latencies.
 #[derive(Default)]
@@ -28,6 +28,7 @@ struct ConnStats {
     timeouts: u64,
     other_status: u64,
     io_errors: u64,
+    retries: u64,
 }
 
 /// Deterministic pseudo-image: contents do not matter for load, but
@@ -104,14 +105,17 @@ fn main() -> ExitCode {
             let addr = Arc::clone(&addr);
             thread::spawn(move || {
                 let mut stats = ConnStats::default();
-                let mut client = match Client::connect(addr.as_str(), Duration::from_secs(30)) {
-                    Ok(client) => client,
-                    Err(e) => {
-                        eprintln!("connection {conn}: connect failed: {e}");
-                        stats.io_errors += 1;
-                        return stats;
-                    }
-                };
+                // Retrying client: transient resets and 503 backpressure are
+                // absorbed by capped exponential backoff (per-connection
+                // jitter seed desynchronises the retry storms).
+                let mut client = RetryingClient::new(
+                    addr.as_str(),
+                    Duration::from_secs(30),
+                    RetryPolicy {
+                        seed: seed ^ conn as u64,
+                        ..RetryPolicy::default()
+                    },
+                );
                 for req in 0..requests {
                     let img = image(input_len, seed ^ ((conn * 1_000_003 + req) as u64));
                     let body = if as_json_floats {
@@ -138,16 +142,14 @@ fn main() -> ExitCode {
                             }
                         },
                         Err(e) => {
+                            // Already retried with backoff inside the client;
+                            // a surfaced error is a real failure.
                             eprintln!("connection {conn}: request failed: {e}");
                             stats.io_errors += 1;
-                            // The connection is likely dead; try a fresh one.
-                            match Client::connect(addr.as_str(), Duration::from_secs(30)) {
-                                Ok(fresh) => client = fresh,
-                                Err(_) => return stats,
-                            }
                         }
                     }
                 }
+                stats.retries = client.retries();
                 stats
             })
         })
@@ -162,6 +164,7 @@ fn main() -> ExitCode {
         all.timeouts += stats.timeouts;
         all.other_status += stats.other_status;
         all.io_errors += stats.io_errors;
+        all.retries += stats.retries;
     }
     let wall = started.elapsed().as_secs_f64();
     all.latencies_us.sort_unstable();
@@ -181,6 +184,7 @@ fn main() -> ExitCode {
             "503",
             "504",
             "Errors",
+            "Retries",
             "Throughput (req/s)",
             "Mean (ms)",
             "p50 (ms)",
@@ -195,6 +199,7 @@ fn main() -> ExitCode {
         all.backpressure.to_string(),
         all.timeouts.to_string(),
         (all.other_status + all.io_errors).to_string(),
+        all.retries.to_string(),
         format!("{throughput:.1}"),
         format!("{mean_ms:.2}"),
         format!("{:.2}", percentile(&all.latencies_us, 0.50)),

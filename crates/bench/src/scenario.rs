@@ -334,8 +334,9 @@ mod cache_io {
         let mut buf: Vec<u8> = Vec::new();
         save_params(model, &mut buf).map_err(std::io::Error::other)?;
         buf.extend_from_slice(&acc.to_le_bytes());
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(&buf)
+        // Atomic rename so a killed run cannot leave a truncated cache
+        // entry that poisons every later run of the scenario.
+        xbar_nn::serialize::write_file_atomic(path, |f| f.write_all(&buf))
     }
 
     /// Loads the cached state into `model`; returns the cached software

@@ -123,6 +123,17 @@ pub struct ArtifactMeta {
     pub software_accuracy: Option<f64>,
     /// Non-ideal (mapped) test accuracy, if measured.
     pub crossbar_accuracy: Option<f64>,
+    /// Stuck devices found by the read-verify pass.
+    pub stuck_cells: usize,
+    /// Faulty columns remapped onto spare columns.
+    pub repaired_columns: usize,
+    /// Stuck cells digitally corrected in the periphery.
+    pub corrected_cells: usize,
+    /// Tiles still above the fault threshold after repair — non-zero means
+    /// the server reports degraded health while continuing to serve.
+    pub degraded_tiles: usize,
+    /// Worst post-repair tile fault score.
+    pub max_fault_score: f64,
 }
 
 impl ArtifactMeta {
@@ -145,7 +156,18 @@ impl ArtifactMeta {
             non_converged: report.non_converged(),
             software_accuracy: None,
             crossbar_accuracy: None,
+            stuck_cells: report.stuck_cells(),
+            repaired_columns: report.repaired_columns(),
+            corrected_cells: report.corrected_cells(),
+            degraded_tiles: report.degraded_tiles(),
+            max_fault_score: report.max_fault_score(),
         }
+    }
+
+    /// Whether the mapped model carries tiles that stayed faulty past the
+    /// repair threshold.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_tiles > 0
     }
 
     /// Elements of one input example (`C·H·W`).
@@ -169,6 +191,15 @@ impl ArtifactMeta {
             (
                 "crossbar_accuracy".into(),
                 self.crossbar_accuracy.map_or(Json::Null, Json::Num),
+            ),
+            ("stuck_cells".into(), Json::Num(self.stuck_cells as f64)),
+            (
+                "repaired_columns".into(),
+                Json::Num(self.repaired_columns as f64),
+            ),
+            (
+                "degraded_tiles".into(),
+                Json::Num(self.degraded_tiles as f64),
             ),
         ])
     }
@@ -213,6 +244,20 @@ impl ArtifactMeta {
             ("non_converged".into(), Json::Num(self.non_converged as f64)),
             ("software_accuracy".into(), opt_num(self.software_accuracy)),
             ("crossbar_accuracy".into(), opt_num(self.crossbar_accuracy)),
+            ("stuck_cells".into(), Json::Num(self.stuck_cells as f64)),
+            (
+                "repaired_columns".into(),
+                Json::Num(self.repaired_columns as f64),
+            ),
+            (
+                "corrected_cells".into(),
+                Json::Num(self.corrected_cells as f64),
+            ),
+            (
+                "degraded_tiles".into(),
+                Json::Num(self.degraded_tiles as f64),
+            ),
+            ("max_fault_score".into(), Json::Num(self.max_fault_score)),
         ])
     }
 
@@ -234,6 +279,7 @@ impl ArtifactMeta {
                 .ok_or_else(|| format!("meta missing number field {name:?}"))
         };
         let opt_f64 = |name: &str| j.get(name).and_then(Json::as_f64);
+        let opt_usize = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0) as usize;
         let spec = spec_from_json(j.get("arch").ok_or("meta missing \"arch\"")?)?;
         let input_shape = j
             .get("input_shape")
@@ -263,6 +309,13 @@ impl ArtifactMeta {
             non_converged: u64_field("non_converged")? as usize,
             software_accuracy: opt_f64("software_accuracy"),
             crossbar_accuracy: opt_f64("crossbar_accuracy"),
+            // Fault-tolerance fields are absent in artifacts written before
+            // repair existed; default them to "no faults seen".
+            stuck_cells: opt_usize("stuck_cells"),
+            repaired_columns: opt_usize("repaired_columns"),
+            corrected_cells: opt_usize("corrected_cells"),
+            degraded_tiles: opt_usize("degraded_tiles"),
+            max_fault_score: opt_f64("max_fault_score").unwrap_or(0.0),
         };
         Ok((meta, spec))
     }
@@ -358,8 +411,9 @@ pub fn save_artifact_to_file(
     meta: &ArtifactMeta,
     path: impl AsRef<Path>,
 ) -> Result<(), ArtifactError> {
-    let file = std::fs::File::create(path)?;
-    save_artifact(model, meta, io::BufWriter::new(file))
+    // Crash-safe: temp file + atomic rename, so an interrupted save never
+    // leaves a truncated artifact for a server to trip over.
+    xbar_nn::serialize::write_file_atomic(path, |writer| save_artifact(model, meta, writer))
 }
 
 /// Loads an artifact from a file (see [`load_artifact`]).
@@ -495,6 +549,35 @@ mod tests {
         let msg = err.to_string();
         assert!(matches!(err, ArtifactError::Mismatch(_)), "{msg}");
         assert!(msg.contains("saved values"), "{msg}");
+    }
+
+    #[test]
+    fn pre_fault_tolerance_artifacts_still_load() {
+        // Artifacts written before the fault-tolerance fields existed carry
+        // no stuck_cells/…/max_fault_score keys; they must load with the
+        // fields defaulted, not be rejected.
+        let (mut noisy, meta) = mapped();
+        let mut buf = save_to_vec(&mut noisy, &meta);
+        let old_meta_len = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+        let text = String::from_utf8(buf[16..16 + old_meta_len].to_vec()).unwrap();
+        let stripped = text
+            .replacen(",\"stuck_cells\":0", "", 1)
+            .replacen(",\"repaired_columns\":0", "", 1)
+            .replacen(",\"corrected_cells\":0", "", 1)
+            .replacen(",\"degraded_tiles\":0", "", 1)
+            .replacen(",\"max_fault_score\":0", "", 1);
+        assert_ne!(stripped, text, "fields should have been present to strip");
+        let mut out = Vec::new();
+        out.extend_from_slice(&buf[..8]);
+        out.extend_from_slice(&(stripped.len() as u64).to_le_bytes());
+        out.extend_from_slice(stripped.as_bytes());
+        out.extend_from_slice(&buf[16 + old_meta_len..]);
+        buf = out;
+        let (_, loaded) = load_artifact(buf.as_slice()).unwrap();
+        assert_eq!(loaded.stuck_cells, 0);
+        assert_eq!(loaded.degraded_tiles, 0);
+        assert!(!loaded.is_degraded());
+        assert_eq!(loaded.max_fault_score, 0.0);
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub fn exact_matmul(weights: &Tensor, x: &Tensor, cfg: &MapConfig) -> Result<Ten
             x.shape(),
         )));
     }
-    cfg.params.validate();
+    cfg.params
+        .validate()
+        .map_err(|e| MapError::InvalidConfig(e.to_string()))?;
     let params = cfg.params;
     let solver = NonIdealSolver::new(params, cfg.solve);
     let x_abs_max = x.abs_max().max(f32::MIN_POSITIVE);

@@ -51,8 +51,10 @@ pub mod partition;
 pub mod pipeline;
 pub mod rearrange;
 pub mod recalibrate;
+pub mod repair;
 pub mod wct;
 
 pub use artifact::{load_artifact_from_file, save_artifact_to_file, ArtifactMeta};
-pub use pipeline::{map_to_crossbars, MapConfig, MapReport};
+pub use pipeline::{map_to_crossbars, MapConfig, MapError, MapReport};
 pub use rearrange::{ColumnOrder, Rearrangement};
+pub use repair::RepairConfig;

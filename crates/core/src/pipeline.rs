@@ -2,6 +2,7 @@
 
 use crate::partition::{partition, reassemble, Tile};
 use crate::rearrange::{ColumnOrder, Rearrangement};
+use crate::repair::{map_tile_plain, map_tile_with_repair, MappedTile, RepairConfig};
 use std::fmt;
 use xbar_nn::Sequential;
 use xbar_prune::transform::{transform, TransformedLayer};
@@ -10,7 +11,6 @@ use xbar_prune::PruneMethod;
 use xbar_sim::nf::NfAccumulator;
 use xbar_sim::params::CrossbarParams;
 use xbar_sim::solve::SolveMethod;
-use xbar_sim::tile::simulate_tile;
 use xbar_sim::MappingScale;
 use xbar_tensor::{ShapeError, Tensor};
 
@@ -21,6 +21,33 @@ pub enum MapError {
     Shape(ShapeError),
     /// Circuit solver failure.
     Solve(xbar_linalg::SolveError),
+    /// The mapping configuration itself is unusable.
+    InvalidConfig(String),
+    /// A pipeline stage failed; wraps the underlying error with which
+    /// stage/layer/tile died.
+    Stage {
+        /// Human-readable stage description, e.g.
+        /// `"simulate layer 3 panel 0 tile 7"`.
+        stage: String,
+        /// The underlying failure.
+        source: Box<MapError>,
+    },
+    /// A tile worker thread panicked; the pipeline reports it instead of
+    /// unwinding through the caller.
+    WorkerPanic {
+        /// Which stage the worker was running.
+        stage: String,
+    },
+}
+
+impl MapError {
+    /// Wraps this error with the pipeline stage it occurred in.
+    pub fn in_stage(self, stage: impl Into<String>) -> Self {
+        MapError::Stage {
+            stage: stage.into(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for MapError {
@@ -28,11 +55,23 @@ impl fmt::Display for MapError {
         match self {
             MapError::Shape(e) => write!(f, "shape error: {e}"),
             MapError::Solve(e) => write!(f, "circuit solve error: {e}"),
+            MapError::InvalidConfig(msg) => write!(f, "invalid mapping configuration: {msg}"),
+            MapError::Stage { stage, source } => write!(f, "{stage}: {source}"),
+            MapError::WorkerPanic { stage } => {
+                write!(f, "{stage}: tile worker thread panicked")
+            }
         }
     }
 }
 
-impl std::error::Error for MapError {}
+impl std::error::Error for MapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MapError::Stage { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<ShapeError> for MapError {
     fn from(e: ShapeError) -> Self {
@@ -62,6 +101,9 @@ pub struct MapConfig {
     pub solve: SolveMethod,
     /// Seed for device variation (deterministic per tile).
     pub seed: u64,
+    /// Fault-tolerant mapping: spare-column remap and digital correction
+    /// (`None` maps without repair, the historical behaviour).
+    pub repair: Option<RepairConfig>,
 }
 
 impl Default for MapConfig {
@@ -73,7 +115,35 @@ impl Default for MapConfig {
             scale: MappingScale::PerLayerMax,
             solve: SolveMethod::LineRelaxation,
             seed: 0,
+            repair: None,
         }
+    }
+}
+
+impl MapConfig {
+    /// Usable tile width: the crossbar's columns minus any reserved spares.
+    pub fn active_cols(&self) -> usize {
+        match &self.repair {
+            Some(r) => r.active_cols(&self.params),
+            None => self.params.cols,
+        }
+    }
+
+    /// Validates the full mapping configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`] with a descriptive message.
+    pub fn validate(&self) -> Result<(), MapError> {
+        self.params
+            .validate()
+            .map_err(|e| MapError::InvalidConfig(e.to_string()))?;
+        if let Some(repair) = &self.repair {
+            repair
+                .validate(&self.params)
+                .map_err(MapError::InvalidConfig)?;
+        }
+        Ok(())
     }
 }
 
@@ -95,6 +165,19 @@ pub struct LayerReport {
     /// Tiles whose first solve attempt did not converge (rescued by the
     /// extended-sweep fallback in `xbar-sim`).
     pub non_converged: usize,
+    /// Stuck devices reported by read-verify across this layer's tiles.
+    pub stuck_cells: usize,
+    /// Cell re-writes issued by the program-and-verify retry loop.
+    pub reprogrammed_cells: usize,
+    /// Faulty columns remapped onto spares.
+    pub repaired_columns: usize,
+    /// Stuck cells whose contribution was digitally corrected.
+    pub corrected_cells: usize,
+    /// Tiles whose post-repair fault score exceeded the degradation
+    /// threshold.
+    pub degraded_tiles: usize,
+    /// Worst post-repair tile fault score in this layer.
+    pub max_fault_score: f64,
 }
 
 /// Aggregate mapping statistics.
@@ -134,6 +217,38 @@ impl MapReport {
         self.layers.iter().map(|l| l.non_converged).sum()
     }
 
+    /// Total stuck devices found by read-verify.
+    pub fn stuck_cells(&self) -> usize {
+        self.layers.iter().map(|l| l.stuck_cells).sum()
+    }
+
+    /// Total cell re-writes issued by program-and-verify retries.
+    pub fn reprogrammed_cells(&self) -> usize {
+        self.layers.iter().map(|l| l.reprogrammed_cells).sum()
+    }
+
+    /// Total faulty columns remapped onto spares.
+    pub fn repaired_columns(&self) -> usize {
+        self.layers.iter().map(|l| l.repaired_columns).sum()
+    }
+
+    /// Total stuck cells digitally corrected in the periphery.
+    pub fn corrected_cells(&self) -> usize {
+        self.layers.iter().map(|l| l.corrected_cells).sum()
+    }
+
+    /// Tiles still degraded after repair, over all layers.
+    pub fn degraded_tiles(&self) -> usize {
+        self.layers.iter().map(|l| l.degraded_tiles).sum()
+    }
+
+    /// Worst post-repair tile fault score across the model.
+    pub fn max_fault_score(&self) -> f64 {
+        self.layers
+            .iter()
+            .fold(0.0, |m, l| m.max(l.max_fault_score))
+    }
+
     /// Crossbar-count-weighted mean low-conductance fraction.
     pub fn mean_low_g_fraction(&self) -> f64 {
         let total: usize = self.layers.iter().map(|l| l.crossbar_count).sum();
@@ -161,20 +276,23 @@ pub fn map_to_crossbars(
     model: &Sequential,
     cfg: &MapConfig,
 ) -> Result<(Sequential, MapReport), MapError> {
-    cfg.params.validate();
+    cfg.validate()?;
     let _map_span = xbar_obs::span!(
         "map",
         rows = cfg.params.rows,
         cols = cfg.params.cols,
         seed = cfg.seed
     );
+    // Spare columns shrink the usable tile width: the panel is cut into
+    // narrower tiles and the spares live past the active region.
+    let active_cols = cfg.active_cols();
     let mut noisy = model.clone();
     let mut report = MapReport::default();
     for ul in unrolled_matrices(model) {
         let _layer_span = xbar_obs::span!("map_layer", layer = ul.layer_index);
         let layer_abs_max = ul.matrix.abs_max();
         let transformed: TransformedLayer =
-            transform(&ul.matrix, cfg.method, cfg.params.rows, cfg.params.cols);
+            transform(&ul.matrix, cfg.method, cfg.params.rows, active_cols);
         let mut noisy_panels: Vec<Tensor> = Vec::with_capacity(transformed.panels.len());
         let mut layer_report = LayerReport {
             layer_index: ul.layer_index,
@@ -184,28 +302,54 @@ pub fn map_to_crossbars(
             solver_iterations: 0,
             max_residual: 0.0,
             non_converged: 0,
+            stuck_cells: 0,
+            reprogrammed_cells: 0,
+            repaired_columns: 0,
+            corrected_cells: 0,
+            degraded_tiles: 0,
+            max_fault_score: 0.0,
         };
         let mut low_g_sum = 0.0f64;
         for (panel_idx, panel) in transformed.panels.iter().enumerate() {
             let rearrangement = match cfg.rearrange {
-                Some(order) => Rearrangement::compute(&panel.matrix, order, cfg.params.cols),
+                Some(order) => Rearrangement::compute(&panel.matrix, order, active_cols),
                 None => Rearrangement::identity(panel.matrix.cols()),
             };
             let arranged = rearrangement.apply(&panel.matrix);
-            let mut tiles = partition(&arranged, cfg.params.rows, cfg.params.cols);
-            let outcomes = simulate_tiles_parallel(
+            let mut tiles = partition(&arranged, cfg.params.rows, active_cols);
+            let mapped = simulate_tiles_parallel(
                 &tiles,
                 cfg,
                 layer_abs_max,
                 tile_seed_base(cfg.seed, ul.layer_index, panel_idx),
-            )?;
-            for (tile, outcome) in tiles.iter_mut().zip(&outcomes) {
-                tile.weights = outcome.weights.clone();
+            )
+            .map_err(|e| {
+                e.in_stage(format!(
+                    "simulate layer {} panel {panel_idx}",
+                    ul.layer_index
+                ))
+            })?;
+            for (tile, mapped_tile) in tiles.iter_mut().zip(&mapped) {
+                let outcome = &mapped_tile.outcome;
+                tile.weights = mapped_tile.weights.clone();
                 layer_report.nf.push(outcome.nf());
                 low_g_sum += outcome.low_g_fraction;
                 layer_report.solver_iterations += outcome.stats.iterations as u64;
                 layer_report.max_residual = layer_report.max_residual.max(outcome.stats.residual);
                 layer_report.non_converged += usize::from(outcome.fallback);
+                layer_report.stuck_cells += outcome.fault_report.stuck_count();
+                layer_report.reprogrammed_cells += outcome.fault_report.reprogrammed;
+                if let Some(repair) = &mapped_tile.repair {
+                    layer_report.repaired_columns += repair.remapped.len();
+                    layer_report.corrected_cells += repair.corrected_cells;
+                    layer_report.degraded_tiles += usize::from(repair.degraded);
+                    layer_report.max_fault_score =
+                        layer_report.max_fault_score.max(repair.fault_score);
+                } else {
+                    layer_report.max_fault_score = layer_report
+                        .max_fault_score
+                        .max(outcome.fault_report.fault_score());
+                }
             }
             layer_report.crossbar_count += tiles.len();
             let noisy_arranged = reassemble(&tiles, arranged.rows(), arranged.cols());
@@ -228,6 +372,25 @@ pub fn map_to_crossbars(
             &format!("map/layer{}/low_g_fraction", ul.layer_index),
             layer_report.low_g_fraction,
         );
+        if layer_report.stuck_cells > 0 || layer_report.repaired_columns > 0 {
+            xbar_obs::metrics::counter_add("map/stuck_cells", layer_report.stuck_cells as u64);
+            xbar_obs::metrics::counter_add(
+                "map/repaired_columns",
+                layer_report.repaired_columns as u64,
+            );
+            xbar_obs::metrics::counter_add(
+                "map/corrected_cells",
+                layer_report.corrected_cells as u64,
+            );
+            xbar_obs::metrics::counter_add(
+                "map/degraded_tiles",
+                layer_report.degraded_tiles as u64,
+            );
+            xbar_obs::metrics::gauge_set(
+                &format!("map/layer{}/fault_score", ul.layer_index),
+                layer_report.max_fault_score,
+            );
+        }
         report.layers.push(layer_report);
     }
     Ok((noisy, report))
@@ -238,29 +401,50 @@ fn tile_seed_base(seed: u64, layer_index: usize, panel_idx: usize) -> u64 {
         ^ (panel_idx as u64).wrapping_mul(0xD1B54A32D192ED03)
 }
 
+/// Maps one tile, with or without fault-tolerant repair, labelling failures
+/// with the tile index.
+fn map_one_tile(
+    tile: &Tile,
+    cfg: &MapConfig,
+    layer_abs_max: f32,
+    seed: u64,
+    tile_idx: usize,
+) -> Result<MappedTile, MapError> {
+    let result = match &cfg.repair {
+        Some(repair) => map_tile_with_repair(
+            &tile.weights,
+            cfg.scale,
+            layer_abs_max,
+            &cfg.params,
+            cfg.solve,
+            seed,
+            repair,
+        ),
+        None => map_tile_plain(
+            &tile.weights,
+            cfg.scale,
+            layer_abs_max,
+            &cfg.params,
+            cfg.solve,
+            seed,
+        ),
+    };
+    result.map_err(|e| e.in_stage(format!("tile {tile_idx}")))
+}
+
 /// Simulates tiles across worker threads (tiles are independent crossbars).
 fn simulate_tiles_parallel(
     tiles: &[Tile],
     cfg: &MapConfig,
     layer_abs_max: f32,
     seed_base: u64,
-) -> Result<Vec<xbar_sim::tile::TileOutcome>, MapError> {
+) -> Result<Vec<MappedTile>, MapError> {
     let workers = xbar_tensor::threads::max_threads().min(tiles.len().max(1));
     if workers <= 1 || tiles.len() < 4 {
         return tiles
             .iter()
             .enumerate()
-            .map(|(i, t)| {
-                simulate_tile(
-                    &t.weights,
-                    cfg.scale,
-                    layer_abs_max,
-                    &cfg.params,
-                    cfg.solve,
-                    seed_base.wrapping_add(i as u64),
-                )
-                .map_err(MapError::from)
-            })
+            .map(|(i, t)| map_one_tile(t, cfg, layer_abs_max, seed_base.wrapping_add(i as u64), i))
             .collect();
     }
     let chunk = tiles.len().div_ceil(workers);
@@ -273,13 +457,12 @@ fn simulate_tiles_parallel(
                     .iter()
                     .enumerate()
                     .map(|(i, t)| {
-                        simulate_tile(
-                            &t.weights,
-                            cfg.scale,
+                        map_one_tile(
+                            t,
+                            cfg,
                             layer_abs_max,
-                            &cfg.params,
-                            cfg.solve,
                             seed_base.wrapping_add((start + i) as u64),
+                            start + i,
                         )
                     })
                     .collect::<Result<Vec<_>, _>>()
@@ -287,7 +470,13 @@ fn simulate_tiles_parallel(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("tile worker panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    Err(MapError::WorkerPanic {
+                        stage: "simulate tiles".into(),
+                    })
+                })
+            })
             .collect::<Result<Vec<_>, _>>()
     })?;
     Ok(results.into_iter().flatten().collect())
@@ -435,6 +624,92 @@ mod tests {
         assert!(report.solver_iterations() > 0);
         assert!(report.max_residual() >= 0.0);
         assert_eq!(report.non_converged(), 0);
+    }
+
+    #[test]
+    fn invalid_config_surfaces_a_descriptive_error() {
+        let model = tiny_model();
+        let mut cfg = small_cfg();
+        cfg.params.faults.stuck_at_gmin = 2.0;
+        let err = map_to_crossbars(&model, &cfg).unwrap_err();
+        assert!(
+            matches!(&err, MapError::InvalidConfig(msg) if msg.contains("fault rates")),
+            "{err}"
+        );
+        let mut cfg = small_cfg();
+        cfg.repair = Some(crate::repair::RepairConfig {
+            spare_cols: 16,
+            ..Default::default()
+        });
+        let err = map_to_crossbars(&model, &cfg).unwrap_err();
+        assert!(
+            matches!(&err, MapError::InvalidConfig(msg) if msg.contains("usable")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fault_tolerant_mapping_repairs_and_reports() {
+        let model = tiny_model();
+        let mut cfg = small_cfg();
+        cfg.params.faults = xbar_sim::faults::FaultModel {
+            stuck_at_gmin: 0.02,
+            stuck_at_gmax: 0.01,
+        };
+        let plain_report = map_to_crossbars(&model, &cfg).unwrap().1;
+        assert!(plain_report.stuck_cells() > 0);
+        assert_eq!(plain_report.repaired_columns(), 0);
+
+        cfg.repair = Some(crate::repair::RepairConfig {
+            column_threshold: 0.01,
+            ..Default::default()
+        });
+        let (noisy, report) = map_to_crossbars(&model, &cfg).unwrap();
+        assert_eq!(noisy.len(), model.len());
+        assert!(report.stuck_cells() > 0);
+        assert!(
+            report.repaired_columns() + report.corrected_cells() > 0,
+            "repair must act at 3% fault rate"
+        );
+        // Spare columns shrink usable width, so more tiles are needed.
+        assert!(report.crossbar_count() >= plain_report.crossbar_count());
+        assert!(report.max_fault_score() >= 0.0);
+
+        // Repair reduces the model-level weight damage vs no repair.
+        let damage = |mapped: &Sequential| -> f64 {
+            let orig = &model.layers()[0].as_conv().unwrap().weight().value;
+            let pert = &mapped.layers()[0].as_conv().unwrap().weight().value;
+            orig.as_slice()
+                .iter()
+                .zip(pert.as_slice())
+                .map(|(a, b)| f64::from((a - b).abs()))
+                .sum()
+        };
+        let plain_model = {
+            let mut c = cfg;
+            c.repair = None;
+            map_to_crossbars(&model, &c).unwrap().0
+        };
+        assert!(
+            damage(&noisy) <= damage(&plain_model) * 1.05,
+            "repair must not materially worsen weight damage: {} vs {}",
+            damage(&noisy),
+            damage(&plain_model)
+        );
+    }
+
+    #[test]
+    fn program_and_verify_counts_flow_into_the_report() {
+        let model = tiny_model();
+        let mut cfg = small_cfg();
+        cfg.params.sigma_variation = 0.2;
+        cfg.params.program.max_retries = 3;
+        let (_, report) = map_to_crossbars(&model, &cfg).unwrap();
+        assert!(
+            report.reprogrammed_cells() > 0,
+            "0.2 sigma must trip the verify loop somewhere"
+        );
+        assert_eq!(report.stuck_cells(), 0);
     }
 
     #[test]

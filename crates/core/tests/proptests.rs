@@ -1,0 +1,120 @@
+//! Property-based tests for fault-tolerant tile mapping.
+//!
+//! The repair path promises monotonicity by construction: a spare-column
+//! remap is only accepted when it reduces the tile's total weight error,
+//! and digital correction is applied per cell only where the read-back
+//! actually improves. These properties pin that down across random tiles,
+//! fault rates, and seeds — repair must never leave a tile *less* accurate
+//! than not repairing it.
+
+use proptest::prelude::*;
+use xbar_core::repair::{map_tile_with_repair, RepairConfig};
+use xbar_sim::faults::FaultModel;
+use xbar_sim::params::CrossbarParams;
+use xbar_sim::solve::SolveMethod;
+use xbar_sim::MappingScale;
+use xbar_tensor::Tensor;
+
+fn weight_tile() -> impl Strategy<Value = Tensor> {
+    (3usize..9, 3usize..7).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-1.2f32..1.2, rows * cols)
+            .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]).expect("consistent"))
+    })
+}
+
+fn params_with_faults(rate: f64) -> CrossbarParams {
+    let mut p = CrossbarParams::with_size(8).ideal();
+    p.faults = FaultModel {
+        stuck_at_gmin: rate * 0.6,
+        stuck_at_gmax: rate * 0.4,
+    };
+    p
+}
+
+/// Per-column absolute weight error of `mapped` vs the ideal `tile`.
+fn column_errors(tile: &Tensor, mapped: &Tensor) -> Vec<f64> {
+    (0..tile.cols())
+        .map(|c| {
+            (0..tile.rows())
+                .map(|r| f64::from((tile.at2(r, c) - mapped.at2(r, c)).abs()))
+                .sum()
+        })
+        .collect()
+}
+
+/// The same physical layout as repaired mapping but with every repair
+/// mechanism disabled: spares exist (so the geometry matches) yet no column
+/// ever qualifies for one and no correction runs.
+fn no_repair_cfg(cfg: &RepairConfig) -> RepairConfig {
+    RepairConfig {
+        column_threshold: f64::INFINITY,
+        digital_correction: false,
+        ..*cfg
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Repair never decreases accuracy versus no-repair, at any fault rate
+    /// (including zero): the summed column-level weight error of the
+    /// repaired tile is bounded by the unrepaired one, and the reported
+    /// fault score never rises.
+    #[test]
+    fn repair_is_never_worse_than_no_repair(
+        tile in weight_tile(),
+        // 0 covers the fault-free edge; 6% is past the paper's 5% sweep.
+        rate in 0.0f64..0.06,
+        seed in 0u64..500,
+    ) {
+        let params = params_with_faults(rate);
+        let cfg = RepairConfig {
+            column_threshold: 0.01,
+            ..RepairConfig::default()
+        };
+        let plain = map_tile_with_repair(
+            &tile, MappingScale::PerTileMax, 1.0, &params,
+            SolveMethod::LineRelaxation, seed, &no_repair_cfg(&cfg),
+        ).unwrap();
+        let repaired = map_tile_with_repair(
+            &tile, MappingScale::PerTileMax, 1.0, &params,
+            SolveMethod::LineRelaxation, seed, &cfg,
+        ).unwrap();
+
+        let e_plain: f64 = column_errors(&tile, &plain.weights).iter().sum();
+        let e_rep: f64 = column_errors(&tile, &repaired.weights).iter().sum();
+        prop_assert!(
+            e_rep <= e_plain + 1e-9,
+            "rate {rate}, seed {seed}: repair worsened weight error {e_rep} vs {e_plain}"
+        );
+
+        let r = repaired.repair.as_ref().expect("repair verdict present");
+        prop_assert!(
+            r.fault_score <= r.pre_fault_score + 1e-12,
+            "fault score rose from {} to {}", r.pre_fault_score, r.fault_score
+        );
+        // With no faults, repair must be a no-op.
+        if rate == 0.0 {
+            prop_assert!(r.remapped.is_empty());
+            prop_assert_eq!(r.corrected_cells, 0);
+            prop_assert_eq!(r.fault_score, 0.0);
+        }
+    }
+
+    /// The repaired tile keeps the logical shape the pipeline reassembles:
+    /// repair works in physical (padded) space but must hand back exactly
+    /// `rows × active` weights.
+    #[test]
+    fn repair_preserves_logical_tile_shape(
+        tile in weight_tile(),
+        rate in 0.0f64..0.06,
+        seed in 0u64..500,
+    ) {
+        let params = params_with_faults(rate);
+        let mapped = map_tile_with_repair(
+            &tile, MappingScale::PerTileMax, 1.0, &params,
+            SolveMethod::LineRelaxation, seed, &RepairConfig::default(),
+        ).unwrap();
+        prop_assert_eq!(mapped.weights.shape(), tile.shape());
+    }
+}

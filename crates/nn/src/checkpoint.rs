@@ -148,8 +148,9 @@ pub fn save_params_to_file(
     model: &mut Sequential,
     path: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
-    let file = std::fs::File::create(path)?;
-    save_params(model, io::BufWriter::new(file))
+    // Crash-safe: temp file + atomic rename, so an interrupted save never
+    // leaves a truncated checkpoint behind.
+    crate::serialize::write_file_atomic(path, |writer| save_params(model, writer))
 }
 
 /// Loads the model's parameters from a file.

@@ -9,7 +9,54 @@
 
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::path::Path;
 use xbar_tensor::Tensor;
+
+/// Writes a file crash-safely: the payload goes to a temporary file in the
+/// same directory, is flushed and synced, then atomically renamed over
+/// `path`. A crash mid-write leaves the previous file (or nothing) in
+/// place — never a truncated artifact that a later load would have to
+/// reject.
+///
+/// # Errors
+///
+/// Propagates I/O errors and whatever the `write` closure returns; the
+/// temporary file is removed on failure.
+pub fn write_file_atomic<E, F>(path: impl AsRef<Path>, write: F) -> Result<(), E>
+where
+    E: From<io::Error>,
+    F: FnOnce(&mut io::BufWriter<std::fs::File>) -> Result<(), E>,
+{
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{} has no file name to write to", path.display()),
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{file_name}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut writer = io::BufWriter::new(file);
+        write(&mut writer)?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
 
 /// Error from reading a tensor block.
 #[derive(Debug)]
@@ -171,5 +218,51 @@ mod tests {
         let mut slots: Vec<&mut Tensor> = dst.iter_mut().collect();
         let err = read_tensor_block_into(buf.as_slice(), &mut slots).unwrap_err();
         assert!(matches!(err, TensorBlockError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("xbar_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.bin");
+        write_file_atomic::<io::Error, _>(&path, |w| w.write_all(b"first")).unwrap();
+        write_file_atomic::<io::Error, _>(&path, |w| w.write_all(b"second")).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_atomic_write_preserves_the_old_file() {
+        let dir = std::env::temp_dir().join(format!("xbar_atomic_fail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.bin");
+        write_file_atomic::<io::Error, _>(&path, |w| w.write_all(b"good")).unwrap();
+        let err = write_file_atomic::<io::Error, _>(&path, |w| {
+            w.write_all(b"partial garbage")?;
+            Err(io::Error::other("simulated crash mid-write"))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("simulated crash"));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"good",
+            "interrupted write must not clobber the previous file"
+        );
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(leftovers, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

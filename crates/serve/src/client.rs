@@ -2,7 +2,10 @@
 //!
 //! Exists so the `loadgen` bench binary, the e2e tests, and the CI smoke
 //! job all exercise the server the same way without an external HTTP
-//! library.
+//! library. [`RetryingClient`] layers capped exponential-backoff retries
+//! (connection resets, refused connects, and `503` backpressure) on top of
+//! the bare [`Client`], so callers survive server restarts and transient
+//! queue overflow without hand-rolled reconnect loops.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -127,5 +130,338 @@ impl Client {
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         Ok(Response { status, body })
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Attempt `n` (0-based) sleeps `base_delay · 2ⁿ` (capped at `max_delay`)
+/// scaled by a jitter factor in `[1 − jitter, 1 + jitter]` drawn from a
+/// seeded xorshift stream — runs are reproducible, yet concurrent clients
+/// with different seeds desynchronise instead of retrying in lockstep.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retries).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single sleep.
+    pub max_delay: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is scaled by a factor in
+    /// `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter: 0.2,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), advancing the
+    /// caller-held jitter state.
+    pub fn backoff(&self, attempt: u32, jitter_state: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return exp;
+        }
+        // xorshift64* — deterministic, no external RNG needed.
+        let mut x = (*jitter_state).max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *jitter_state = x;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let factor = 1.0 + jitter * (2.0 * unit - 1.0);
+        exp.mul_f64(factor)
+    }
+}
+
+/// Whether an I/O failure is worth a reconnect-and-retry: the connection
+/// died underneath us or the server was not there yet — as opposed to a
+/// protocol error or local misconfiguration, which retries cannot fix.
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// A [`Client`] that reconnects and retries on connection failures and
+/// `503 Service Unavailable` (the server's explicit backpressure answer),
+/// with capped exponential backoff between attempts.
+///
+/// Connects lazily: construction never touches the network, so a client
+/// can be created before its server is up.
+pub struct RetryingClient {
+    addr: String,
+    timeout: Duration,
+    policy: RetryPolicy,
+    jitter_state: u64,
+    conn: Option<Client>,
+    /// Sleeps actually taken, for tests and loadgen reporting.
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Creates a client for `addr` (e.g. `"127.0.0.1:7878"`).
+    pub fn new(addr: impl Into<String>, timeout: Duration, policy: RetryPolicy) -> RetryingClient {
+        let jitter_state = policy.seed ^ 0x9E37_79B9_7F4A_7C15;
+        RetryingClient {
+            addr: addr.into(),
+            timeout,
+            policy,
+            jitter_state,
+            conn: None,
+            retries: 0,
+        }
+    }
+
+    /// Retries performed so far (sleep-then-reattempt cycles).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Sends a request, reconnecting and retrying per the policy. Returns
+    /// the final response — which may still be a `503` if the server stayed
+    /// saturated through every attempt — or the last connection error once
+    /// attempts are exhausted.
+    ///
+    /// Requests are assumed idempotent from the server's point of view
+    /// (true of every endpoint here: classify is pure inference).
+    ///
+    /// # Errors
+    ///
+    /// The last I/O error when all attempts fail to produce a response;
+    /// non-retryable errors (bad address, unparsable response) immediately.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err: Option<io::Error> = None;
+        let mut last_503: Option<Response> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let sleep = self.policy.backoff(attempt - 1, &mut self.jitter_state);
+                std::thread::sleep(sleep);
+                self.retries += 1;
+            }
+            let conn = match self.conn.as_mut() {
+                Some(conn) => conn,
+                None => match Client::connect(&*self.addr, self.timeout) {
+                    Ok(conn) => self.conn.insert(conn),
+                    Err(e) if retryable(&e) => {
+                        last_err = Some(e);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+            };
+            match conn.request(method, path, body) {
+                Ok(resp) if resp.status == 503 => {
+                    // Backpressure: the server often closes the connection
+                    // with it, so start the next attempt on a fresh socket.
+                    self.conn = None;
+                    last_503 = Some(resp);
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if retryable(&e) => {
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+        if let Some(resp) = last_503 {
+            return Ok(resp);
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::other("retry budget exhausted without a response")))
+    }
+
+    /// `GET` with retries (see [`RetryingClient::request`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::request`].
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST` JSON with retries (see [`RetryingClient::request`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::request`].
+    pub fn post_json(&mut self, path: &str, json: &str) -> io::Result<Response> {
+        self.request("POST", path, json.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn fast_policy(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            jitter: 0.5,
+            seed: 42,
+        }
+    }
+
+    /// Reads one request's header block (ignoring any body — the tests only
+    /// send bodyless GETs) so the response does not race the request.
+    fn read_headers(stream: &mut TcpStream) {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            line.clear();
+        }
+    }
+
+    /// A listener that sabotages the first `failures` connections — odd
+    /// ones dropped before responding (reset/EOF at the client), even ones
+    /// answered `503` — then serves `200 ok` forever.
+    fn flaky_server(failures: usize) -> (String, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let served = Arc::new(AtomicUsize::new(0));
+        let served_clone = Arc::clone(&served);
+        std::thread::spawn(move || {
+            let mut seen = 0usize;
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                seen += 1;
+                if seen <= failures {
+                    if seen % 2 == 1 {
+                        drop(stream); // connection reset / EOF
+                    } else {
+                        read_headers(&mut stream);
+                        stream
+                            .write_all(
+                                b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+                            )
+                            .ok();
+                    }
+                    continue;
+                }
+                read_headers(&mut stream);
+                stream
+                    .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                    .ok();
+                served_clone.fetch_add(1, Ordering::SeqCst);
+                return; // one success is all the tests need
+            }
+        });
+        (addr, served)
+    }
+
+    #[test]
+    fn retries_through_resets_and_503s_to_success() {
+        let (addr, served) = flaky_server(3); // drop, 503, drop, then 200
+        let mut client = RetryingClient::new(addr, Duration::from_secs(2), fast_policy(6));
+        let resp = client
+            .get("/healthz")
+            .expect("should succeed after retries");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "ok");
+        assert_eq!(served.load(Ordering::SeqCst), 1);
+        assert!(
+            client.retries() >= 3,
+            "three sabotaged connections need three retries, saw {}",
+            client.retries()
+        );
+    }
+
+    #[test]
+    fn gives_up_after_capped_attempts() {
+        // Nothing listens here: bind a port, then drop the listener.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let mut client = RetryingClient::new(addr, Duration::from_millis(200), fast_policy(3));
+        let err = client.get("/healthz").expect_err("no server to talk to");
+        assert!(retryable(&err), "should surface the connect failure: {err}");
+        assert_eq!(client.retries(), 2, "3 attempts = 2 retries");
+    }
+
+    #[test]
+    fn persistent_503_is_returned_not_swallowed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                read_headers(&mut stream);
+                stream
+                    .write_all(
+                        b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+                    )
+                    .ok();
+            }
+        });
+        let mut client = RetryingClient::new(addr, Duration::from_secs(2), fast_policy(3));
+        let resp = client.get("/healthz").expect("a 503 is a response");
+        assert_eq!(resp.status, 503, "caller sees the backpressure answer");
+    }
+
+    #[test]
+    fn backoff_grows_is_capped_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            jitter: 0.0,
+            seed: 7,
+        };
+        let mut state = 1;
+        assert_eq!(policy.backoff(0, &mut state), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1, &mut state), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2, &mut state), Duration::from_millis(40));
+        assert_eq!(policy.backoff(5, &mut state), Duration::from_millis(100));
+        assert_eq!(policy.backoff(31, &mut state), Duration::from_millis(100));
+        // With jitter, same seed ⇒ same sleeps; sleeps stay within bounds.
+        let jittered = RetryPolicy {
+            jitter: 0.5,
+            ..policy
+        };
+        let (mut s1, mut s2) = (99u64, 99u64);
+        for attempt in 0..6 {
+            let a = jittered.backoff(attempt, &mut s1);
+            let b = jittered.backoff(attempt, &mut s2);
+            assert_eq!(a, b, "same state must give the same jitter");
+            let exp = Duration::from_millis(10)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(100));
+            assert!(a >= exp.mul_f64(0.5) && a <= exp.mul_f64(1.5), "{a:?}");
+        }
     }
 }

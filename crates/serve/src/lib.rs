@@ -35,5 +35,5 @@ pub mod http;
 pub mod server;
 
 pub use batcher::{BatchQueue, ClassifyOutcome, Pending, ResponseSlot, SubmitError};
-pub use client::Client;
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use server::{signals, ServeConfig, Server};

@@ -249,6 +249,12 @@ impl Server {
         };
 
         metrics::gauge_set("serve/up", 1.0);
+        let meta = &ctx.meta;
+        metrics::gauge_set("serve/degraded", if meta.is_degraded() { 1.0 } else { 0.0 });
+        metrics::gauge_set("serve/degraded_tiles", meta.degraded_tiles as f64);
+        metrics::gauge_set("serve/stuck_cells", meta.stuck_cells as f64);
+        metrics::gauge_set("serve/repaired_columns", meta.repaired_columns as f64);
+        metrics::gauge_set("serve/max_fault_score", meta.max_fault_score);
         Ok(Server {
             addr,
             shutdown,
@@ -426,13 +432,31 @@ fn respond_error(writer: &mut TcpStream, status: u16, reason: &str, detail: &str
 fn route(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
+            // Degraded ≠ dead: tiles past the repair threshold lower the
+            // reported health but the server keeps classifying, so probes
+            // still get HTTP 200 and orchestrators can alert without
+            // restarting a model that is merely less accurate.
+            let status = if ctx.meta.is_degraded() {
+                "degraded"
+            } else {
+                "ok"
+            };
             let body = Json::Obj(vec![
-                ("status".into(), Json::Str("ok".into())),
+                ("status".into(), Json::Str(status.into())),
                 ("model".into(), Json::Str(ctx.meta.label.clone())),
                 (
                     "queue_depth".into(),
                     Json::Num(ctx.batch_queue.depth() as f64),
                 ),
+                (
+                    "degraded_tiles".into(),
+                    Json::Num(ctx.meta.degraded_tiles as f64),
+                ),
+                (
+                    "repaired_columns".into(),
+                    Json::Num(ctx.meta.repaired_columns as f64),
+                ),
+                ("stuck_cells".into(), Json::Num(ctx.meta.stuck_cells as f64)),
             ]);
             respond_json(writer, 200, "OK", &body, keep_alive)
         }

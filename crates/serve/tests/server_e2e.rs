@@ -213,6 +213,105 @@ fn concurrent_clients_share_batches_and_agree_with_serial_answers() {
 }
 
 #[test]
+fn faulted_repaired_model_serves_degraded_but_alive() {
+    // Map with stuck-device faults and repair enabled, with a fault
+    // threshold so strict that some tiles stay flagged after repair: the
+    // server must report degraded health (HTTP 200, not an error) while
+    // continuing to answer classify requests.
+    let model = tiny_model();
+    let mut params = CrossbarParams::with_size(16);
+    params.sigma_variation = 0.0;
+    params.faults = xbar_sim::FaultModel {
+        stuck_at_gmin: 0.02,
+        stuck_at_gmax: 0.01,
+    };
+    let cfg = MapConfig {
+        params,
+        // No digital correction and a near-zero threshold: residual faults
+        // the spares cannot cover must flag tiles as degraded.
+        repair: Some(xbar_core::RepairConfig {
+            tile_fault_threshold: 1e-9,
+            digital_correction: false,
+            ..xbar_core::RepairConfig::default()
+        }),
+        ..Default::default()
+    };
+    let (mut noisy, report) = map_to_crossbars(&model, &cfg).expect("faulted mapping succeeds");
+    assert!(report.stuck_cells() > 0, "3% faults must hit some devices");
+    let mut meta = ArtifactMeta::from_mapping("e2e faulted model", &cfg, &report);
+    meta.input_shape = INPUT_SHAPE.to_vec();
+    assert!(meta.is_degraded(), "threshold 1e-9 must flag tiles");
+
+    // Full artifact round-trip, like production.
+    let dir = std::env::temp_dir().join(format!("xbar_serve_e2e_{}_faulted", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.xbarmdl");
+    save_artifact_to_file(&mut noisy, &meta, &path).expect("save artifact");
+    let (model, meta) = load_artifact_from_file(&path).expect("load artifact");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(meta.is_degraded(), "degradation must survive the artifact");
+
+    let server = Server::start(model, meta, ServeConfig::default()).expect("server starts");
+    let addr = server.local_addr().to_string();
+    let mut client = connect(&addr);
+
+    // Degraded, not dead: 200 with status "degraded" and fault counts.
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200, "{}", health.text());
+    let health_json = Json::parse(&health.text()).expect("healthz is JSON");
+    assert_eq!(
+        health_json.get("status").and_then(Json::as_str),
+        Some("degraded"),
+        "{}",
+        health.text()
+    );
+    assert!(
+        health_json
+            .get("degraded_tiles")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "{}",
+        health.text()
+    );
+    assert!(
+        health_json
+            .get("stuck_cells")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "{}",
+        health.text()
+    );
+
+    // The model summary exposes the fault/repair provenance.
+    let info = client.get("/v1/model").expect("model");
+    let info_json = Json::parse(&info.text()).expect("model JSON");
+    assert!(
+        info_json
+            .get("degraded_tiles")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "{}",
+        info.text()
+    );
+
+    // Classification still works.
+    let response = client
+        .post_json("/v1/classify", &image_json(5))
+        .expect("classify on degraded server");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let body = Json::parse(&response.text()).expect("classify JSON");
+    assert!(body.get("class").and_then(Json::as_u64).is_some());
+
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+#[test]
 fn full_batch_queue_is_backpressure_not_an_error() {
     // One inference worker, tiny queue, long deadline: the queue fills.
     let (server, addr) = start_server(ServeConfig {

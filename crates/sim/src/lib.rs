@@ -54,6 +54,7 @@ pub mod faults;
 pub mod ideal;
 pub mod nf;
 pub mod params;
+pub mod program;
 pub mod quantize;
 pub mod slicing;
 pub mod solve;
@@ -61,6 +62,8 @@ pub mod tile;
 pub mod variation;
 
 pub use conductance::{ConductanceMatrix, MappingScale};
-pub use params::CrossbarParams;
+pub use faults::{FaultKind, FaultModel};
+pub use params::{CrossbarParams, InvalidParams};
+pub use program::{FaultReport, ProgramConfig, StuckCell};
 pub use solve::{NonIdealSolver, SolveMethod};
 pub use tile::{simulate_tile, TileOutcome};

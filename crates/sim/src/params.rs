@@ -1,6 +1,19 @@
 //! Crossbar device and circuit parameters.
 
 use crate::faults::FaultModel;
+use crate::program::ProgramConfig;
+
+/// A descriptive error for a physically inconsistent [`CrossbarParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidParams(pub String);
+
+impl std::fmt::Display for InvalidParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid crossbar parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParams {}
 
 /// Device and circuit parameters of a crossbar tile.
 ///
@@ -44,6 +57,9 @@ pub struct CrossbarParams {
     pub levels: u32,
     /// Stuck-at device fault rates (defaults to fault-free).
     pub faults: FaultModel,
+    /// Closed-loop program-and-verify write settings (defaults to open-loop
+    /// programming: zero retries).
+    pub program: ProgramConfig,
 }
 
 impl Default for CrossbarParams {
@@ -61,6 +77,7 @@ impl Default for CrossbarParams {
             v_read: 0.25,
             levels: 0,
             faults: FaultModel::none(),
+            program: ProgramConfig::default(),
         }
     }
 }
@@ -103,30 +120,59 @@ impl CrossbarParams {
 
     /// Validates physical consistency.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any resistance is negative, `r_min >= r_max`, dimensions are
-    /// zero, or `v_read` is non-positive.
-    pub fn validate(&self) {
-        assert!(self.rows > 0 && self.cols > 0, "crossbar must be non-empty");
-        assert!(
-            self.r_min > 0.0 && self.r_max > 0.0,
-            "synapse resistances must be positive"
-        );
-        assert!(self.r_min < self.r_max, "r_min must be below r_max");
-        assert!(
-            self.r_driver >= 0.0
-                && self.r_wire_row >= 0.0
-                && self.r_wire_col >= 0.0
-                && self.r_sense >= 0.0,
-            "parasitic resistances must be non-negative"
-        );
-        assert!(
-            self.sigma_variation >= 0.0,
-            "variation must be non-negative"
-        );
-        assert!(self.v_read > 0.0, "read voltage must be positive");
-        self.faults.validate();
+    /// Returns a descriptive [`InvalidParams`] if any resistance is
+    /// negative, `r_min >= r_max`, dimensions are zero, `v_read` is
+    /// non-positive, or the fault / program-and-verify sub-configs are
+    /// invalid.
+    pub fn validate(&self) -> std::result::Result<(), InvalidParams> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(InvalidParams(format!(
+                "crossbar must be non-empty, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        if !(self.r_min > 0.0 && self.r_max > 0.0) {
+            return Err(InvalidParams(format!(
+                "synapse resistances must be positive, got r_min = {}, r_max = {}",
+                self.r_min, self.r_max
+            )));
+        }
+        if self.r_min >= self.r_max {
+            return Err(InvalidParams(format!(
+                "r_min must be below r_max, got r_min = {} >= r_max = {}",
+                self.r_min, self.r_max
+            )));
+        }
+        if self.r_driver < 0.0
+            || self.r_wire_row < 0.0
+            || self.r_wire_col < 0.0
+            || self.r_sense < 0.0
+        {
+            return Err(InvalidParams(format!(
+                "parasitic resistances must be non-negative, got driver = {}, \
+                 wire_row = {}, wire_col = {}, sense = {}",
+                self.r_driver, self.r_wire_row, self.r_wire_col, self.r_sense
+            )));
+        }
+        if self.sigma_variation < 0.0 {
+            return Err(InvalidParams(format!(
+                "variation must be non-negative, got {}",
+                self.sigma_variation
+            )));
+        }
+        if self.v_read <= 0.0 {
+            return Err(InvalidParams(format!(
+                "read voltage must be positive, got {}",
+                self.v_read
+            )));
+        }
+        self.faults
+            .validate()
+            .map_err(|e| InvalidParams(e.to_string()))?;
+        self.program.validate().map_err(InvalidParams)?;
+        Ok(())
     }
 }
 
@@ -137,7 +183,7 @@ mod tests {
     #[test]
     fn default_is_consistent() {
         let p = CrossbarParams::default();
-        p.validate();
+        p.validate().expect("defaults are valid");
         assert_eq!(p.on_off_ratio(), 10.0);
         assert!((p.g_max() - 1e-5).abs() < 1e-12);
         assert!((p.g_min() - 1e-6).abs() < 1e-12);
@@ -158,20 +204,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "r_min must be below r_max")]
     #[allow(clippy::field_reassign_with_default)]
-    fn inverted_resistances_panic() {
+    fn inverted_resistances_are_rejected() {
         let mut p = CrossbarParams::default();
         p.r_min = p.r_max + 1.0;
-        p.validate();
+        let err = p.validate().unwrap_err();
+        assert!(
+            err.to_string().contains("r_min must be below r_max"),
+            "{err}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
     #[allow(clippy::field_reassign_with_default)]
-    fn zero_rows_panics() {
+    fn zero_rows_are_rejected() {
         let mut p = CrossbarParams::default();
         p.rows = 0;
-        p.validate();
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("non-empty"), "{err}");
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn invalid_fault_rates_are_rejected_through_params() {
+        let mut p = CrossbarParams::default();
+        p.faults.stuck_at_gmin = 1.5;
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("fault rates"), "{err}");
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn invalid_program_config_is_rejected_through_params() {
+        let mut p = CrossbarParams::default();
+        p.program.sigma_backoff = 0.0;
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("backoff"), "{err}");
     }
 }

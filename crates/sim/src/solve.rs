@@ -72,8 +72,16 @@ pub struct NonIdealSolver {
 
 impl NonIdealSolver {
     /// Creates a solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is physically inconsistent; callers that accept
+    /// untrusted configuration should run [`CrossbarParams::validate`]
+    /// first and surface the error.
     pub fn new(params: CrossbarParams, method: SolveMethod) -> Self {
-        params.validate();
+        if let Err(e) = params.validate() {
+            panic!("{e}");
+        }
         Self {
             params,
             method,

@@ -11,9 +11,9 @@ use crate::conductance::{
 };
 use crate::nf::column_nf;
 use crate::params::CrossbarParams;
+use crate::program::{program_array, ArrayKind, FaultReport};
 use crate::quantize::quantize_conductances;
 use crate::solve::{EffectiveSolve, NonIdealSolver, SolveMethod};
-use crate::variation::apply_variation;
 use xbar_linalg::{Result, SolveError, SolveStats};
 use xbar_tensor::Tensor;
 
@@ -45,6 +45,13 @@ pub struct TileOutcome {
     pub stats: SolveStats,
     /// Whether either array needed the extended-sweep fallback retry.
     pub fallback: bool,
+    /// Read-verify verdict: stuck devices, per-column fault error, and
+    /// program-and-verify retry counts over both arrays.
+    pub fault_report: FaultReport,
+    /// The weight reference `w_ref` the tile was mapped with — needed to
+    /// translate stuck-cell conductance errors back into weight space for
+    /// digital correction.
+    pub w_ref: f32,
 }
 
 impl TileOutcome {
@@ -87,20 +94,39 @@ pub fn simulate_tile(
     let g_max = params.g_max();
     quantize_conductances(&mut pair.pos, g_min, g_max, params.levels);
     quantize_conductances(&mut pair.neg, g_min, g_max, params.levels);
-    apply_variation(&mut pair.pos, params.sigma_variation, g_min, seed);
-    apply_variation(
-        &mut pair.neg,
+    // Closed-loop programming: Gaussian write noise, stuck-at overrides, and
+    // the bounded read-verify retry loop; reports every device that can
+    // never verify.
+    let pos_programmed = program_array(
+        &pair.pos,
+        &params.faults,
         params.sigma_variation,
         g_min,
-        seed.wrapping_add(0x5DEECE66D),
+        g_max,
+        &params.program,
+        seed,
+        seed.wrapping_add(0xFA17_0001),
+        ArrayKind::Pos,
     );
-    // Stuck-at faults override whatever was programmed.
-    params
-        .faults
-        .inject(&mut pair.pos, g_min, g_max, seed.wrapping_add(0xFA17_0001));
-    params
-        .faults
-        .inject(&mut pair.neg, g_min, g_max, seed.wrapping_add(0xFA17_0002));
+    let neg_programmed = program_array(
+        &pair.neg,
+        &params.faults,
+        params.sigma_variation,
+        g_min,
+        g_max,
+        &params.program,
+        seed.wrapping_add(0x5DEECE66D),
+        seed.wrapping_add(0xFA17_0002),
+        ArrayKind::Neg,
+    );
+    pair.pos = pos_programmed.g.clone();
+    pair.neg = neg_programmed.g.clone();
+    let fault_report = FaultReport::from_arrays(tile.cols(), pos_programmed, neg_programmed);
+    if !fault_report.is_clean() || fault_report.reprogrammed > 0 {
+        xbar_obs::metrics::counter_add("sim/stuck_cells", fault_report.stuck_count() as u64);
+        xbar_obs::metrics::counter_add("sim/reprogrammed_cells", fault_report.reprogrammed as u64);
+        xbar_obs::metrics::counter_add("sim/program_retries", fault_report.retry_rounds as u64);
+    }
     let solver = NonIdealSolver::new(*params, method);
     let v = vec![params.v_read; tile.rows()];
     let solve_start = std::time::Instant::now();
@@ -140,6 +166,8 @@ pub fn simulate_tile(
         low_g_fraction: low_g,
         stats,
         fallback: pos_fallback || neg_fallback,
+        fault_report,
+        w_ref: pair.w_ref,
     })
 }
 
@@ -352,6 +380,82 @@ mod tests {
         assert!(
             zeroed > 5,
             "expected stuck devices to zero weights, got {zeroed}"
+        );
+    }
+
+    #[test]
+    fn fault_report_localises_stuck_devices() {
+        let mut params = CrossbarParams::with_size(8).ideal();
+        params.faults = crate::faults::FaultModel {
+            stuck_at_gmin: 0.1,
+            stuck_at_gmax: 0.05,
+        };
+        let tile = Tensor::ones(&[8, 8]);
+        let out = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            3,
+        )
+        .unwrap();
+        let report = &out.fault_report;
+        assert!(report.stuck_count() > 0);
+        assert_eq!(report.column_error.len(), 8);
+        assert!(report.fault_score() > 0.0);
+        assert!(report.affected_columns().iter().all(|&c| c < 8));
+        // Every stuck cell lands inside the tile and at a rail.
+        for cell in &report.stuck_cells {
+            assert!(cell.row < 8 && cell.col < 8);
+            assert!(cell.actual == params.g_min() || cell.actual == params.g_max());
+        }
+        // A fault-free tile has a clean report.
+        let clean = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &CrossbarParams::with_size(8).ideal(),
+            SolveMethod::LineRelaxation,
+            3,
+        )
+        .unwrap();
+        assert!(clean.fault_report.is_clean());
+        assert_eq!(clean.fault_report.fault_score(), 0.0);
+    }
+
+    #[test]
+    fn program_and_verify_tightens_round_trip() {
+        let tile = rand_tile(16, 16, 8, 1.0);
+        let mut open = CrossbarParams::with_size(16).ideal();
+        open.sigma_variation = 0.2;
+        let mut closed = open;
+        closed.program.max_retries = 4;
+        let mean_err = |params: &CrossbarParams| {
+            let out = simulate_tile(
+                &tile,
+                MappingScale::PerTileMax,
+                1.0,
+                params,
+                SolveMethod::LineRelaxation,
+                5,
+            )
+            .unwrap();
+            let err: f32 = tile
+                .as_slice()
+                .iter()
+                .zip(out.weights.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            (err / tile.as_slice().len() as f32, out)
+        };
+        let (open_err, open_out) = mean_err(&open);
+        let (closed_err, closed_out) = mean_err(&closed);
+        assert_eq!(open_out.fault_report.reprogrammed, 0);
+        assert!(closed_out.fault_report.reprogrammed > 0);
+        assert!(
+            closed_err < open_err,
+            "verify retries must tighten programming: {closed_err} vs {open_err}"
         );
     }
 
