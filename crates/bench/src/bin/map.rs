@@ -5,6 +5,8 @@
 //! Usage: `cargo run --release -p xbar-bench --bin map -- [--smoke|--full]
 //! [--seed N] [--network vgg11|vgg16] [--dataset cifar10|cifar100]
 //! [--method none|cf|xcs|xrs] [--size N] [--threads N] [--out <path>]`
+//!
+//! `--threads 0` resets the compute-thread budget to auto-detection.
 
 use xbar_bench::report::{pct, results_dir, Table};
 use xbar_bench::runner::{map_config, Arity, RunContext};
@@ -30,9 +32,12 @@ fn main() {
     );
     if let Some(raw) = ctx.args.get("--threads") {
         match raw.parse::<usize>() {
-            Ok(n) if n > 0 => xbar_tensor::threads::set_max_threads(n),
+            // 0 resets any prior override back to auto-detection.
+            Ok(n) => xbar_tensor::threads::set_max_threads(n),
             _ => {
-                eprintln!("error: --threads must be a positive integer, got {raw:?}");
+                eprintln!(
+                    "error: --threads must be a non-negative integer (0 = auto), got {raw:?}"
+                );
                 std::process::exit(2);
             }
         }

@@ -81,7 +81,13 @@ impl From<ShapeError> for MapError {
 
 impl From<xbar_linalg::SolveError> for MapError {
     fn from(e: xbar_linalg::SolveError) -> Self {
-        MapError::Solve(e)
+        match e {
+            // A config error from deep inside a tile solve is the same
+            // class of failure `MapConfig::validate` reports up front —
+            // surface it as such instead of as an opaque solver error.
+            xbar_linalg::SolveError::Config(msg) => MapError::InvalidConfig(msg),
+            other => MapError::Solve(other),
+        }
     }
 }
 

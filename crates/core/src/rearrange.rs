@@ -83,23 +83,10 @@ impl Rearrangement {
                 grouped
             }
             ColumnOrder::CenterOut => {
-                // Place ascending scores from the centre outward: smallest in
-                // the middle, alternating right/left.
-                let mut slots = vec![0usize; cols];
-                let centre = cols / 2;
-                for (k, &old) in ascending.iter().enumerate() {
-                    let offset = k.div_ceil(2);
-                    let pos = if k % 2 == 0 {
-                        centre.saturating_add(offset).min(cols.saturating_sub(1))
-                    } else {
-                        centre.saturating_sub(offset)
-                    };
-                    slots[k] = pos;
-                    let _ = old;
-                }
-                // The alternating walk can collide at the edges for even
-                // sizes; fall back to a deterministic exact placement:
+                // Place ascending scores from the centre outward: smallest
+                // in the middle, growing toward both edges. Exact placement:
                 // positions sorted by distance from centre.
+                let centre = cols / 2;
                 let mut by_distance: Vec<usize> = (0..cols).collect();
                 by_distance.sort_by_key(|&p| {
                     let d = p as isize - centre as isize;

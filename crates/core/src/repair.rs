@@ -28,7 +28,7 @@ use crate::pipeline::MapError;
 use xbar_sim::params::CrossbarParams;
 use xbar_sim::program::FaultReport;
 use xbar_sim::solve::SolveMethod;
-use xbar_sim::tile::{simulate_tile, TileOutcome};
+use xbar_sim::tile::{simulate_tile, simulate_tile_seeded, TileOutcome};
 use xbar_sim::MappingScale;
 use xbar_tensor::Tensor;
 
@@ -156,7 +156,8 @@ pub fn map_tile_with_repair(
     debug_assert!(active <= phys_cols);
     // Zero-pad the spare columns: unused devices sit at Gmin.
     let padded = tile.submatrix_padded(0, 0, tile.rows(), phys_cols);
-    let base = simulate_tile(&padded, scale, layer_abs_max, params, method, seed)?;
+    let (base, base_state) =
+        simulate_tile_seeded(&padded, scale, layer_abs_max, params, method, seed, None)?;
     let pre_fault_score = active_fault_score(&base.fault_report, active);
 
     let mut repair = TileRepair {
@@ -189,7 +190,19 @@ pub fn map_tile_with_repair(
     let mut chosen = base.clone();
     if !swaps.is_empty() {
         let permuted = swap_columns(&padded, &swaps);
-        let mut remapped = simulate_tile(&permuted, scale, layer_abs_max, params, method, seed)?;
+        // Re-simulate warm-started from the base solve with its node
+        // voltages permuted the same way — the circuit is nearly the same,
+        // so relaxation settles in a few sweeps instead of from cold.
+        let seed_state = base_state.swap_columns(phys_cols, &swaps);
+        let (mut remapped, _) = simulate_tile_seeded(
+            &permuted,
+            scale,
+            layer_abs_max,
+            params,
+            method,
+            seed,
+            Some(&seed_state),
+        )?;
         // Undo the swap so weights and the fault report are in logical
         // column order again (a swap is its own inverse).
         remapped.weights = swap_columns(&remapped.weights, &swaps);

@@ -59,6 +59,11 @@ pub enum SolveError {
         /// Final relative residual.
         residual: f64,
     },
+    /// The solver was configured with invalid parameters (e.g. physically
+    /// inconsistent crossbar settings). Callers that validate configuration
+    /// up front never see this; it exists so deep call paths can surface a
+    /// descriptive error instead of panicking inside worker threads.
+    Config(String),
 }
 
 impl SolveError {
@@ -81,6 +86,7 @@ impl fmt::Display for SolveError {
                 f,
                 "no convergence after {iterations} iterations (residual {residual:.3e})"
             ),
+            SolveError::Config(msg) => write!(f, "invalid solver configuration: {msg}"),
         }
     }
 }

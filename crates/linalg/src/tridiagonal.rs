@@ -8,10 +8,15 @@
 
 use crate::{Result, SolveError};
 
-/// Solves a tridiagonal system in place.
+/// Solves a tridiagonal system, allocating the solution vector.
 ///
 /// The system is `sub[i]·x[i-1] + diag[i]·x[i] + sup[i]·x[i+1] = rhs[i]`,
 /// where `sub[0]` and `sup[n-1]` are ignored.
+///
+/// Hot loops that solve many lines of the same length should use
+/// [`solve_tridiagonal_into`] with reused buffers instead — the crossbar
+/// line-relaxation solver performs `rows + cols` of these per sweep, and a
+/// fresh `Vec` per line dominated its allocation profile.
 ///
 /// # Errors
 ///
@@ -19,35 +24,66 @@ use crate::{Result, SolveError};
 /// * [`SolveError::Singular`] if elimination hits a zero pivot.
 pub fn solve_tridiagonal(sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) -> Result<Vec<f64>> {
     let n = diag.len();
+    let mut x = vec![0.0f64; n];
+    let mut scratch = vec![0.0f64; n];
+    solve_tridiagonal_into(sub, diag, sup, rhs, &mut x, &mut scratch)?;
+    Ok(x)
+}
+
+/// Allocation-free Thomas solve: writes the solution into `x`, using
+/// `scratch` for the forward-elimination coefficients.
+///
+/// Semantics are identical to [`solve_tridiagonal`] (bit-for-bit: the same
+/// operations in the same order). `x` and `scratch` must each have length
+/// `n = diag.len()`; their prior contents are ignored and overwritten.
+///
+/// # Errors
+///
+/// * [`SolveError::Dimension`] if any slice (including `x`/`scratch`) has a
+///   length other than `n`;
+/// * [`SolveError::Singular`] if elimination hits a zero pivot (in which
+///   case `x` and `scratch` hold partial garbage).
+pub fn solve_tridiagonal_into(
+    sub: &[f64],
+    diag: &[f64],
+    sup: &[f64],
+    rhs: &[f64],
+    x: &mut [f64],
+    scratch: &mut [f64],
+) -> Result<()> {
+    let n = diag.len();
     if sub.len() != n || sup.len() != n || rhs.len() != n {
         return Err(SolveError::dim(
             "tridiagonal bands and rhs must all have length n",
         ));
     }
-    if n == 0 {
-        return Ok(Vec::new());
+    if x.len() != n || scratch.len() != n {
+        return Err(SolveError::dim(
+            "tridiagonal output and scratch buffers must have length n",
+        ));
     }
-    let mut c_prime = vec![0.0f64; n];
-    let mut d_prime = vec![0.0f64; n];
+    if n == 0 {
+        return Ok(());
+    }
     if diag[0] == 0.0 {
         return Err(SolveError::Singular { pivot: 0 });
     }
+    let c_prime = scratch;
     c_prime[0] = sup[0] / diag[0];
-    d_prime[0] = rhs[0] / diag[0];
+    x[0] = rhs[0] / diag[0];
     for i in 1..n {
         let denom = diag[i] - sub[i] * c_prime[i - 1];
         if denom == 0.0 {
             return Err(SolveError::Singular { pivot: i });
         }
         c_prime[i] = sup[i] / denom;
-        d_prime[i] = (rhs[i] - sub[i] * d_prime[i - 1]) / denom;
+        x[i] = (rhs[i] - sub[i] * x[i - 1]) / denom;
     }
-    let mut x = d_prime;
     for i in (0..n - 1).rev() {
         let next = x[i + 1];
         x[i] -= c_prime[i] * next;
     }
-    Ok(x)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -105,6 +141,47 @@ mod tests {
     #[test]
     fn empty_system() {
         assert!(solve_tridiagonal(&[], &[], &[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn in_place_variant_matches_allocating_one_bitwise() {
+        let n = 16;
+        let mut s = 77u64;
+        let mut rnd = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 1000) as f64) / 1000.0 + 0.1
+        };
+        let sub: Vec<f64> = (0..n).map(|i| if i == 0 { 0.0 } else { -rnd() }).collect();
+        let sup: Vec<f64> = (0..n)
+            .map(|i| if i == n - 1 { 0.0 } else { -rnd() })
+            .collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| sub[i].abs() + sup[i].abs() + 0.5 + rnd())
+            .collect();
+        let rhs: Vec<f64> = (0..n).map(|_| rnd() - 0.5).collect();
+        let alloc = solve_tridiagonal(&sub, &diag, &sup, &rhs).unwrap();
+        // Dirty buffers: prior contents must not leak into the solution.
+        let mut x = vec![f64::NAN; n];
+        let mut scratch = vec![f64::NAN; n];
+        solve_tridiagonal_into(&sub, &diag, &sup, &rhs, &mut x, &mut scratch).unwrap();
+        assert_eq!(alloc, x);
+    }
+
+    #[test]
+    fn in_place_variant_rejects_bad_buffer_lengths() {
+        let band = [1.0f64, 1.0];
+        let mut short = [0.0f64; 1];
+        let mut scratch = [0.0f64; 2];
+        assert!(
+            solve_tridiagonal_into(&band, &band, &band, &band, &mut short, &mut scratch).is_err()
+        );
+        let mut x = [0.0f64; 2];
+        let mut short_scratch = [0.0f64; 1];
+        assert!(
+            solve_tridiagonal_into(&band, &band, &band, &band, &mut x, &mut short_scratch).is_err()
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //!
 //! `--threads` (or the `XBAR_THREADS` environment variable) bounds the
 //! compute worker pool used by the tensor kernels — the same knob the
-//! offline pipeline uses. Exits gracefully on SIGTERM/SIGINT or
-//! `POST /admin/shutdown`.
+//! offline pipeline uses; `--threads 0` resets to auto-detection. Exits
+//! gracefully on SIGTERM/SIGINT or `POST /admin/shutdown`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -25,7 +25,8 @@ struct Args {
 fn usage() -> &'static str {
     "usage: serve --artifact <path.xbarmdl> [--addr HOST:PORT] [--threads N]\n\
      \x20             [--http-workers N] [--infer-workers N] [--batch-size N]\n\
-     \x20             [--batch-deadline-ms N] [--queue-cap N] [--timeout-ms N]"
+     \x20             [--batch-deadline-ms N] [--queue-cap N] [--timeout-ms N]\n\
+     \x20 --threads 0 resets the compute-thread budget to auto-detection"
 }
 
 fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a str, String> {
@@ -52,7 +53,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--artifact" => artifact = Some(next_value(&mut it, "--artifact")?.to_string()),
             "--addr" => cfg.addr = next_value(&mut it, "--addr")?.to_string(),
-            "--threads" => threads = Some(next_usize(&mut it, "--threads")?.max(1)),
+            "--threads" => threads = Some(next_usize(&mut it, "--threads")?),
             "--http-workers" => {
                 cfg.http_workers = next_usize(&mut it, "--http-workers")?.max(1);
             }

@@ -373,10 +373,13 @@ mod tests {
                     continue;
                 }
                 read_headers(&mut stream);
+                // Count before responding: the client observes the response
+                // and asserts on `served` immediately, so incrementing after
+                // the write races the assertion.
+                served_clone.fetch_add(1, Ordering::SeqCst);
                 stream
                     .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
                     .ok();
-                served_clone.fetch_add(1, Ordering::SeqCst);
                 return; // one success is all the tests need
             }
         });

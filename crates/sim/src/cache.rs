@@ -1,0 +1,269 @@
+//! Content-addressed cache of tile circuit solves.
+//!
+//! Benchmark sweeps re-map near-identical models over and over — the faults
+//! bench re-simulates the rate-0 baseline per scenario, rearrange A/B maps
+//! the same weights twice, WCT re-maps between epochs. Each of those pays
+//! the full line-relaxation cost for crossbar arrays whose *programmed
+//! conductances are byte-for-byte identical*. This module memoises solved
+//! node voltages keyed by everything that determines the solve:
+//!
+//! * the programmed conductance matrix (all `f64` bit patterns),
+//! * the input voltage vector,
+//! * the circuit parameters that enter the nodal equations (`Rdriver`,
+//!   `Rwire_row`, `Rwire_col`, `Rsense`),
+//! * the solve method, tolerance and sweep cap.
+//!
+//! Two keys being equal therefore implies the solves are identical, so a
+//! hit can never change results — only skip work. Keys are 128-bit FNV-1a
+//! hashes; at that width accidental collisions are out of reach of any
+//! realistic workload.
+//!
+//! Reuse comes in two flavours ([`CacheMode`]):
+//!
+//! * [`CacheMode::Full`] (the default) replays the stored node voltages
+//!   through the pure extraction step — **bit-identical** to the cold solve
+//!   that populated the entry, including its [`SolveStats`].
+//! * [`CacheMode::Seed`] warm-starts a fresh solve from the stored voltages
+//!   with verify semantics (see [`crate::solve::Warm`]): the weights are
+//!   bit-identical whenever the verifying sweep confirms the seed, while
+//!   the stats honestly report the ~1 sweep of work actually done. This
+//!   mode exists to exercise and validate the warm-start path; `Full` is
+//!   strictly cheaper.
+//!
+//! Hits and misses are counted in the `sim/solve_cache_hits` /
+//! `sim/solve_cache_misses` metrics (`xbar-obs`).
+//!
+//! The store is process-global and bounded by stored voltage volume
+//! (FIFO eviction), so long sweeps cannot grow it without limit.
+//!
+//! [`SolveStats`]: xbar_linalg::SolveStats
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+use crate::conductance::ConductanceMatrix;
+use crate::solve::{NodeVoltages, NonIdealSolver, SolveMethod};
+
+/// How [`crate::tile::simulate_tile`] uses the solve cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No caching: every array is solved cold.
+    Off,
+    /// Hits replay the stored cold solve — bit-identical results and stats.
+    Full,
+    /// Hits warm-start a verifying solve from the stored voltages
+    /// (bit-identical weights, honest ~1-sweep stats).
+    Seed,
+}
+
+const MODE_UNSET: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_FULL: u8 = 2;
+const MODE_SEED: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// Total `f64`s of node voltages the cache may hold before FIFO eviction
+/// kicks in (~64 MiB of voltages).
+const MAX_CACHED_F64S: usize = 8_000_000;
+
+struct Store {
+    entries: HashMap<u128, CachedSolve>,
+    order: VecDeque<u128>,
+    held_f64s: usize,
+}
+
+/// A memoised array solve: the node voltages of the cold solve that
+/// populated the entry, and whether that solve needed the extended-sweep
+/// fallback (so a replay reports the same outcome).
+#[derive(Clone)]
+pub(crate) struct CachedSolve {
+    pub nodes: NodeVoltages,
+    pub fallback: bool,
+}
+
+static STORE: Mutex<Option<Store>> = Mutex::new(None);
+
+/// The active cache mode. Defaults to [`CacheMode::Full`]; the
+/// `XBAR_SOLVE_CACHE` environment variable (`off` / `full` / `seed`)
+/// overrides the default until [`set_solve_cache_mode`] is called.
+pub fn solve_cache_mode() -> CacheMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_OFF => CacheMode::Off,
+        MODE_FULL => CacheMode::Full,
+        MODE_SEED => CacheMode::Seed,
+        _ => {
+            let mode = match std::env::var("XBAR_SOLVE_CACHE").as_deref() {
+                Ok("off") | Ok("0") => CacheMode::Off,
+                Ok("seed") => CacheMode::Seed,
+                _ => CacheMode::Full,
+            };
+            MODE.store(encode(mode), Ordering::Relaxed);
+            mode
+        }
+    }
+}
+
+/// Sets the cache mode for the whole process. Switching modes does not
+/// drop stored entries; use [`clear_solve_cache`] for that.
+pub fn set_solve_cache_mode(mode: CacheMode) {
+    MODE.store(encode(mode), Ordering::Relaxed);
+}
+
+fn encode(mode: CacheMode) -> u8 {
+    match mode {
+        CacheMode::Off => MODE_OFF,
+        CacheMode::Full => MODE_FULL,
+        CacheMode::Seed => MODE_SEED,
+    }
+}
+
+/// Drops every cached solve (hit/miss counters in `xbar-obs` are
+/// cumulative and unaffected).
+pub fn clear_solve_cache() {
+    let mut guard = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+}
+
+/// Number of array solves currently cached.
+pub fn solve_cache_len() -> usize {
+    let guard = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().map_or(0, |s| s.entries.len())
+}
+
+/// 128-bit FNV-1a over everything that determines an array solve.
+pub(crate) fn solve_key(solver: &NonIdealSolver, g: &ConductanceMatrix, v: &[f64]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let tag: u8 = match solver.method() {
+        SolveMethod::DenseExact => 1,
+        SolveMethod::LineRelaxation => 2,
+    };
+    eat(&[tag]);
+    let p = solver.params();
+    eat(&(g.rows() as u64).to_le_bytes());
+    eat(&(g.cols() as u64).to_le_bytes());
+    for r in [p.r_driver, p.r_wire_row, p.r_wire_col, p.r_sense] {
+        eat(&r.to_bits().to_le_bytes());
+    }
+    eat(&solver.tolerance.to_bits().to_le_bytes());
+    eat(&(solver.max_sweeps as u64).to_le_bytes());
+    for &x in v {
+        eat(&x.to_bits().to_le_bytes());
+    }
+    for &x in g.as_slice() {
+        eat(&x.to_bits().to_le_bytes());
+    }
+    h
+}
+
+pub(crate) fn lookup(key: u128) -> Option<CachedSolve> {
+    let guard = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref()?.entries.get(&key).cloned()
+}
+
+pub(crate) fn insert(key: u128, nodes: NodeVoltages, fallback: bool) {
+    let size = nodes.vr.len() + nodes.vc.len();
+    if size > MAX_CACHED_F64S {
+        return;
+    }
+    let mut guard = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    let store = guard.get_or_insert_with(|| Store {
+        entries: HashMap::new(),
+        order: VecDeque::new(),
+        held_f64s: 0,
+    });
+    if store.entries.contains_key(&key) {
+        return;
+    }
+    while store.held_f64s + size > MAX_CACHED_F64S {
+        let Some(oldest) = store.order.pop_front() else {
+            break;
+        };
+        if let Some(evicted) = store.entries.remove(&oldest) {
+            store.held_f64s -= evicted.nodes.vr.len() + evicted.nodes.vc.len();
+        }
+    }
+    store.held_f64s += size;
+    store.order.push_back(key);
+    store.entries.insert(key, CachedSolve { nodes, fallback });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CrossbarParams;
+
+    fn solver(n: usize) -> NonIdealSolver {
+        NonIdealSolver::new(CrossbarParams::with_size(n), SolveMethod::LineRelaxation)
+    }
+
+    #[test]
+    fn key_is_content_addressed() {
+        let s = solver(4);
+        let g = ConductanceMatrix::filled(4, 4, 1e-5);
+        let v = vec![0.25; 4];
+        assert_eq!(solve_key(&s, &g, &v), solve_key(&s, &g, &v));
+        // Any perturbation of the conductances changes the key.
+        let mut g2 = g.clone();
+        g2.set(2, 3, 1.0000001e-5);
+        assert_ne!(solve_key(&s, &g, &v), solve_key(&s, &g2, &v));
+        // ... as does the voltage vector ...
+        let v2 = vec![0.3; 4];
+        assert_ne!(solve_key(&s, &g, &v), solve_key(&s, &g, &v2));
+        // ... the circuit parameters ...
+        let mut p = CrossbarParams::with_size(4);
+        p.r_wire_row *= 2.0;
+        let s2 = NonIdealSolver::new(p, SolveMethod::LineRelaxation);
+        assert_ne!(solve_key(&s, &g, &v), solve_key(&s2, &g, &v));
+        // ... and the method.
+        let sd = NonIdealSolver::new(CrossbarParams::with_size(4), SolveMethod::DenseExact);
+        assert_ne!(solve_key(&s, &g, &v), solve_key(&sd, &g, &v));
+    }
+
+    #[test]
+    fn shape_enters_the_key() {
+        // A 2×8 and an 8×2 array can share the same flat data; their solves
+        // differ, so their keys must too.
+        let p = {
+            let mut p = CrossbarParams::with_size(8);
+            p.rows = 8;
+            p.cols = 8;
+            p
+        };
+        let s = NonIdealSolver::new(p, SolveMethod::LineRelaxation);
+        let wide = ConductanceMatrix::filled(2, 8, 1e-5);
+        let tall = ConductanceMatrix::filled(8, 2, 1e-5);
+        assert_ne!(
+            solve_key(&s, &wide, &[0.25; 2]),
+            solve_key(&s, &tall, &[0.25; 8])
+        );
+    }
+
+    #[test]
+    fn eviction_keeps_volume_bounded() {
+        clear_solve_cache();
+        let nodes = |k: u64| NodeVoltages {
+            vr: vec![k as f64; MAX_CACHED_F64S / 4],
+            vc: vec![k as f64; MAX_CACHED_F64S / 4],
+            stats: Default::default(),
+        };
+        for k in 0..5u64 {
+            insert(u128::from(k), nodes(k), false);
+        }
+        // Half-budget entries: only two fit at a time.
+        assert_eq!(solve_cache_len(), 2);
+        assert!(lookup(0).is_none(), "oldest entries must be evicted");
+        assert!(lookup(4).is_some());
+        clear_solve_cache();
+        assert_eq!(solve_cache_len(), 0);
+    }
+}

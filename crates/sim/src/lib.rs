@@ -49,6 +49,7 @@
 //! ```
 
 pub mod analytic;
+pub mod cache;
 pub mod conductance;
 pub mod faults;
 pub mod ideal;
@@ -61,9 +62,10 @@ pub mod solve;
 pub mod tile;
 pub mod variation;
 
+pub use cache::{clear_solve_cache, set_solve_cache_mode, solve_cache_mode, CacheMode};
 pub use conductance::{ConductanceMatrix, MappingScale};
 pub use faults::{FaultKind, FaultModel};
 pub use params::{CrossbarParams, InvalidParams};
 pub use program::{FaultReport, ProgramConfig, StuckCell};
-pub use solve::{NonIdealSolver, SolveMethod};
-pub use tile::{simulate_tile, TileOutcome};
+pub use solve::{NodeVoltages, NonIdealSolver, SolveMethod, Warm};
+pub use tile::{simulate_tile, simulate_tile_seeded, TileOutcome, TileSolveState};

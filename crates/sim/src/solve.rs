@@ -18,10 +18,10 @@
 //!   coupling is weak and a handful of sweeps reaches circuit accuracy.
 
 use crate::conductance::ConductanceMatrix;
-use crate::params::CrossbarParams;
+use crate::params::{CrossbarParams, InvalidParams};
 use xbar_linalg::dense::LuDecomposition;
 use xbar_linalg::sparse::CooBuilder;
-use xbar_linalg::tridiagonal::solve_tridiagonal;
+use xbar_linalg::tridiagonal::solve_tridiagonal_into;
 use xbar_linalg::{Result, SolveError, SolveStats};
 
 /// Conductance used for a zero-resistance (ideal) parasitic element.
@@ -43,6 +43,65 @@ pub enum SolveMethod {
     /// Alternating row/column tridiagonal relaxation (fast, validated
     /// against `DenseExact`).
     LineRelaxation,
+}
+
+/// The crosspoint node voltages produced by a circuit solve, plus the work
+/// it took. Node order is row-major: `vr[i·cols + j]` / `vc[i·cols + j]`.
+///
+/// Voltages are the solver's *state*: handing them back to a later solve as
+/// a [`Warm`] start lets that solve resume where this one left off (the 4×
+/// fallback retry) or verify-and-reuse a converged solution (cached
+/// re-solves, repair re-simulation) instead of rediscovering everything
+/// from the cold initial guess.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeVoltages {
+    /// Row-wire node voltages.
+    pub vr: Vec<f64>,
+    /// Column-wire node voltages.
+    pub vc: Vec<f64>,
+    /// Work and quality of the solve that produced these voltages;
+    /// `converged == false` means the sweep cap was hit and the voltages
+    /// are a partial (but deterministic) state, usable as a resume seed.
+    pub stats: SolveStats,
+}
+
+impl NodeVoltages {
+    /// Borrows these voltages as a warm start. `converged_seed` follows the
+    /// stats: a converged solution is offered for verified reuse, a partial
+    /// one for plain resumption.
+    pub fn warm(&self) -> Warm<'_> {
+        Warm {
+            vr: &self.vr,
+            vc: &self.vc,
+            converged_seed: self.stats.converged,
+        }
+    }
+}
+
+/// A warm start for [`SolveMethod::LineRelaxation`]: initial node voltages
+/// taken from a prior solve.
+///
+/// Two seed kinds, distinguished by `converged_seed`:
+///
+/// * `false` — *resume*: relaxation starts from the seed state and runs the
+///   normal sweep loop. Because line relaxation is deterministic, resuming
+///   from the state of an abandoned attempt reproduces **bit-for-bit** the
+///   trajectory a cold solve with a larger sweep budget would have taken.
+/// * `true` — *verify*: the seed claims to be a converged solution. One
+///   trial sweep is run; if it moves no node by more than the tolerance,
+///   the seed itself is returned unchanged (bit-identical reuse, 1 sweep of
+///   work). Otherwise relaxation simply continues from the swept state.
+///
+/// [`SolveMethod::DenseExact`] ignores warm starts (it is direct).
+#[derive(Debug, Clone, Copy)]
+pub struct Warm<'a> {
+    /// Seed row-wire node voltages (`rows·cols` entries).
+    pub vr: &'a [f64],
+    /// Seed column-wire node voltages (`rows·cols` entries).
+    pub vc: &'a [f64],
+    /// Whether the seed is a previously converged solution (verify-and-reuse
+    /// semantics) rather than a partial state (resume semantics).
+    pub converged_seed: bool,
 }
 
 /// Result of a non-ideal solve at a fixed input-voltage vector.
@@ -71,28 +130,48 @@ pub struct NonIdealSolver {
 }
 
 impl NonIdealSolver {
+    /// Creates a solver, validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`InvalidParams`] message if `params` is physically
+    /// inconsistent — worker threads deep in the mapping pipeline surface
+    /// this as a descriptive error instead of panicking.
+    pub fn try_new(
+        params: CrossbarParams,
+        method: SolveMethod,
+    ) -> std::result::Result<Self, InvalidParams> {
+        params.validate()?;
+        Ok(Self {
+            params,
+            method,
+            tolerance: 1e-9,
+            max_sweeps: 500,
+        })
+    }
+
     /// Creates a solver.
     ///
     /// # Panics
     ///
     /// Panics if `params` is physically inconsistent; callers that accept
-    /// untrusted configuration should run [`CrossbarParams::validate`]
-    /// first and surface the error.
+    /// untrusted configuration should use [`NonIdealSolver::try_new`] (or
+    /// run [`CrossbarParams::validate`] first) and surface the error.
     pub fn new(params: CrossbarParams, method: SolveMethod) -> Self {
-        if let Err(e) = params.validate() {
-            panic!("{e}");
-        }
-        Self {
-            params,
-            method,
-            tolerance: 1e-9,
-            max_sweeps: 500,
+        match Self::try_new(params, method) {
+            Ok(solver) => solver,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// The bound parameters.
     pub fn params(&self) -> &CrossbarParams {
         &self.params
+    }
+
+    /// The bound solve method.
+    pub fn method(&self) -> SolveMethod {
+        self.method
     }
 
     /// Solves the circuit for conductances `g` under input voltages `v` and
@@ -108,7 +187,7 @@ impl NonIdealSolver {
         g: &ConductanceMatrix,
         v: &[f64],
     ) -> Result<EffectiveSolve> {
-        let (rows, cols) = (g.rows(), g.cols());
+        let rows = g.rows();
         if v.len() != rows {
             return Err(SolveError::Dimension(format!(
                 "crossbar has {rows} rows but {} input voltages given",
@@ -120,13 +199,83 @@ impl NonIdealSolver {
                 "effective-conductance extraction requires positive read voltages".into(),
             ));
         }
-        let (vr, vc, stats) = match self.method {
+        let nodes = self.solve_nodes(g, v, None)?;
+        if !nodes.stats.converged {
+            return Err(SolveError::NoConvergence {
+                iterations: nodes.stats.iterations,
+                residual: nodes.stats.residual,
+            });
+        }
+        self.extract(g, v, &nodes)
+    }
+
+    /// Solves the circuit's node voltages, optionally warm-started.
+    ///
+    /// Unlike [`NonIdealSolver::effective_conductances`], hitting the sweep
+    /// cap is *not* an error here: the partial state comes back with
+    /// `stats.converged == false` so callers can resume it (the fallback
+    /// retry path) instead of throwing the work away.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::Dimension`] if `v.len() != g.rows()` or a warm
+    ///   start's vectors do not have `rows·cols` entries;
+    /// * factorisation errors from the dense solver.
+    pub fn solve_nodes(
+        &self,
+        g: &ConductanceMatrix,
+        v: &[f64],
+        warm: Option<Warm<'_>>,
+    ) -> Result<NodeVoltages> {
+        let rows = g.rows();
+        if v.len() != rows {
+            return Err(SolveError::Dimension(format!(
+                "crossbar has {rows} rows but {} input voltages given",
+                v.len()
+            )));
+        }
+        match self.method {
             SolveMethod::DenseExact => {
                 let (vr, vc) = self.solve_dense(g, v)?;
-                (vr, vc, SolveStats::direct())
+                Ok(NodeVoltages {
+                    vr,
+                    vc,
+                    stats: SolveStats::direct(),
+                })
             }
-            SolveMethod::LineRelaxation => self.solve_lines(g, v)?,
-        };
+            SolveMethod::LineRelaxation => {
+                let (vr, vc, stats) = self.solve_lines(g, v, warm)?;
+                Ok(NodeVoltages { vr, vc, stats })
+            }
+        }
+    }
+
+    /// Extracts effective conductances and column currents from solved node
+    /// voltages (the pure read-out step of
+    /// [`NonIdealSolver::effective_conductances`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Dimension`] on shape mismatch or non-positive read
+    /// voltages (the per-synapse division needs `V_i > 0`).
+    pub fn extract(
+        &self,
+        g: &ConductanceMatrix,
+        v: &[f64],
+        nodes: &NodeVoltages,
+    ) -> Result<EffectiveSolve> {
+        let (rows, cols) = (g.rows(), g.cols());
+        if v.len() != rows || nodes.vr.len() != rows * cols || nodes.vc.len() != rows * cols {
+            return Err(SolveError::Dimension(
+                "node voltages do not match the crossbar shape".into(),
+            ));
+        }
+        if v.iter().any(|&x| x <= 0.0) {
+            return Err(SolveError::Dimension(
+                "effective-conductance extraction requires positive read voltages".into(),
+            ));
+        }
+        let (vr, vc) = (&nodes.vr, &nodes.vc);
         let mut g_eff = ConductanceMatrix::filled(rows, cols, 0.0);
         for i in 0..rows {
             for j in 0..cols {
@@ -145,7 +294,7 @@ impl NonIdealSolver {
             g_eff,
             col_currents,
             ideal_currents,
-            stats,
+            stats: nodes.stats,
         })
     }
 
@@ -177,16 +326,16 @@ impl NonIdealSolver {
                 "column currents require non-negative input voltages".into(),
             ));
         }
-        let (_, vc) = match self.method {
-            SolveMethod::DenseExact => self.solve_dense(g, v)?,
-            SolveMethod::LineRelaxation => {
-                let (vr, vc, _) = self.solve_lines(g, v)?;
-                (vr, vc)
-            }
-        };
+        let nodes = self.solve_nodes(g, v, None)?;
+        if !nodes.stats.converged {
+            return Err(SolveError::NoConvergence {
+                iterations: nodes.stats.iterations,
+                residual: nodes.stats.residual,
+            });
+        }
         let g_sense = g_of(self.params.r_sense);
         Ok((0..cols)
-            .map(|j| vc[(rows - 1) * cols + j] * g_sense)
+            .map(|j| nodes.vc[(rows - 1) * cols + j] * g_sense)
             .collect())
     }
 
@@ -233,11 +382,15 @@ impl NonIdealSolver {
         Ok((vr.to_vec(), vc.to_vec()))
     }
 
-    /// Alternating tridiagonal line solves.
+    /// Alternating tridiagonal line solves, optionally warm-started.
+    ///
+    /// Never errors on hitting the sweep cap: the partial state is returned
+    /// with `converged == false` so the caller can resume it.
     fn solve_lines(
         &self,
         g: &ConductanceMatrix,
         v: &[f64],
+        warm: Option<Warm<'_>>,
     ) -> Result<(Vec<f64>, Vec<f64>, SolveStats)> {
         let p = &self.params;
         let (rows, cols) = (g.rows(), g.cols());
@@ -247,16 +400,44 @@ impl NonIdealSolver {
             g_of(p.r_wire_col),
             g_of(p.r_sense),
         );
-        // Initial guess: full source voltage on rows, ground on columns.
-        let mut vr: Vec<f64> = (0..rows * cols).map(|k| v[k / cols]).collect();
-        let mut vc = vec![0.0f64; rows * cols];
+        let (mut vr, mut vc, verify_seed): (Vec<f64>, Vec<f64>, bool) = match warm {
+            Some(w) => {
+                if w.vr.len() != rows * cols || w.vc.len() != rows * cols {
+                    return Err(SolveError::Dimension(format!(
+                        "warm start has {}+{} node voltages but the crossbar needs {} each",
+                        w.vr.len(),
+                        w.vc.len(),
+                        rows * cols
+                    )));
+                }
+                (w.vr.to_vec(), w.vc.to_vec(), w.converged_seed)
+            }
+            // Cold initial guess: full source voltage on rows, ground on
+            // columns.
+            None => (
+                (0..rows * cols).map(|k| v[k / cols]).collect(),
+                vec![0.0f64; rows * cols],
+                false,
+            ),
+        };
+        // Kept so a verified seed can be returned unchanged (bit-identical
+        // reuse) when the trial sweep confirms it still meets tolerance.
+        let seed = if verify_seed {
+            Some((vr.clone(), vc.clone()))
+        } else {
+            None
+        };
         let tol = self.tolerance * p.v_read;
         let mut sweeps = 0usize;
-        // Band buffers reused across lines.
-        let mut sub = vec![0.0f64; rows.max(cols)];
-        let mut diag = vec![0.0f64; rows.max(cols)];
-        let mut sup = vec![0.0f64; rows.max(cols)];
-        let mut rhs = vec![0.0f64; rows.max(cols)];
+        // Line buffers reused across every line of every sweep: bands, the
+        // tridiagonal solution, and its elimination scratch.
+        let n = rows.max(cols);
+        let mut sub = vec![0.0f64; n];
+        let mut diag = vec![0.0f64; n];
+        let mut sup = vec![0.0f64; n];
+        let mut rhs = vec![0.0f64; n];
+        let mut x = vec![0.0f64; n];
+        let mut scratch = vec![0.0f64; n];
         loop {
             sweeps += 1;
             let mut max_delta = 0.0f64;
@@ -271,8 +452,15 @@ impl NonIdealSolver {
                     rhs[j] =
                         g.at(i, j) * vc[i * cols + j] + if j == 0 { g_drv * v[i] } else { 0.0 };
                 }
-                let x = solve_tridiagonal(&sub[..cols], &diag[..cols], &sup[..cols], &rhs[..cols])?;
-                for (j, &val) in x.iter().enumerate() {
+                solve_tridiagonal_into(
+                    &sub[..cols],
+                    &diag[..cols],
+                    &sup[..cols],
+                    &rhs[..cols],
+                    &mut x[..cols],
+                    &mut scratch[..cols],
+                )?;
+                for (j, &val) in x[..cols].iter().enumerate() {
                     max_delta = max_delta.max((val - vr[i * cols + j]).abs());
                     vr[i * cols + j] = val;
                 }
@@ -287,8 +475,15 @@ impl NonIdealSolver {
                     sup[i] = if i + 1 < rows { -g_wc } else { 0.0 };
                     rhs[i] = g.at(i, j) * vr[i * cols + j];
                 }
-                let x = solve_tridiagonal(&sub[..rows], &diag[..rows], &sup[..rows], &rhs[..rows])?;
-                for (i, &val) in x.iter().enumerate() {
+                solve_tridiagonal_into(
+                    &sub[..rows],
+                    &diag[..rows],
+                    &sup[..rows],
+                    &rhs[..rows],
+                    &mut x[..rows],
+                    &mut scratch[..rows],
+                )?;
+                for (i, &val) in x[..rows].iter().enumerate() {
                     max_delta = max_delta.max((val - vc[i * cols + j]).abs());
                     vc[i * cols + j] = val;
                 }
@@ -299,13 +494,24 @@ impl NonIdealSolver {
                     residual: max_delta / p.v_read,
                     converged: true,
                 };
+                if sweeps == 1 {
+                    if let Some((seed_vr, seed_vc)) = seed {
+                        // The verified seed moved less than the tolerance
+                        // under a full sweep — it is still a fixed point by
+                        // the same criterion a cold solve uses, so hand it
+                        // back unchanged.
+                        return Ok((seed_vr, seed_vc, stats));
+                    }
+                }
                 return Ok((vr, vc, stats));
             }
             if sweeps >= self.max_sweeps {
-                return Err(SolveError::NoConvergence {
+                let stats = SolveStats {
                     iterations: sweeps,
                     residual: max_delta / p.v_read,
-                });
+                    converged: false,
+                };
+                return Ok((vr, vc, stats));
             }
         }
     }
@@ -469,6 +675,94 @@ mod tests {
             let rel = (approx - exact[j]).abs() / exact[j];
             assert!(rel < 0.05, "approximation should be within 5%: {rel}");
         }
+    }
+
+    fn random_g(n: usize, params: &CrossbarParams, mut s: u64) -> ConductanceMatrix {
+        let mut g = ConductanceMatrix::filled(n, n, 0.0);
+        for i in 0..n {
+            for j in 0..n {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let frac = (s % 1000) as f64 / 1000.0;
+                g.set(
+                    i,
+                    j,
+                    params.g_min() + frac * (params.g_max() - params.g_min()),
+                );
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn warm_resume_reproduces_cold_trajectory_bitwise() {
+        let params = CrossbarParams::with_size(12);
+        let g = random_g(12, &params, 21);
+        let v = vec![params.v_read; 12];
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let cold = solver.solve_nodes(&g, &v, None).unwrap();
+        assert!(cold.stats.converged);
+        let total = cold.stats.iterations;
+        assert!(total >= 2);
+        // Stop partway, then resume: line relaxation is deterministic, so
+        // the resumed trajectory must land on the cold answer bit-for-bit.
+        let mut partial_solver = solver;
+        partial_solver.max_sweeps = total - 1;
+        let partial = partial_solver.solve_nodes(&g, &v, None).unwrap();
+        assert!(!partial.stats.converged);
+        let resumed = solver.solve_nodes(&g, &v, Some(partial.warm())).unwrap();
+        assert!(resumed.stats.converged);
+        assert_eq!(resumed.vr, cold.vr);
+        assert_eq!(resumed.vc, cold.vc);
+        assert_eq!(
+            partial.stats.iterations + resumed.stats.iterations,
+            total,
+            "split trajectory must cover the cold sweep count exactly"
+        );
+    }
+
+    #[test]
+    fn verified_seed_is_returned_unchanged() {
+        let params = CrossbarParams::with_size(10);
+        let g = random_g(10, &params, 33);
+        let v = vec![params.v_read; 10];
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let cold = solver.solve_nodes(&g, &v, None).unwrap();
+        assert!(cold.stats.converged);
+        let reused = solver.solve_nodes(&g, &v, Some(cold.warm())).unwrap();
+        // One verifying sweep, then the seed handed back bit-identical.
+        assert_eq!(reused.stats.iterations, 1);
+        assert_eq!(reused.vr, cold.vr);
+        assert_eq!(reused.vc, cold.vc);
+    }
+
+    #[test]
+    fn warm_start_with_wrong_shape_is_rejected() {
+        let params = CrossbarParams::with_size(4);
+        let g = uniform_g(4, 4, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let short = vec![0.0; 7];
+        let warm = Warm {
+            vr: &short,
+            vc: &short,
+            converged_seed: false,
+        };
+        assert!(matches!(
+            solver.solve_nodes(&g, &[0.25; 4], Some(warm)),
+            Err(SolveError::Dimension(_))
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_params() {
+        let mut params = CrossbarParams::with_size(4);
+        params.r_driver = -1.0;
+        assert!(NonIdealSolver::try_new(params, SolveMethod::LineRelaxation).is_err());
+        assert!(
+            NonIdealSolver::try_new(CrossbarParams::with_size(4), SolveMethod::LineRelaxation)
+                .is_ok()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! solve → effective conductances `G'` → non-ideal weights `W'`, plus NF
 //! statistics for Fig. 3(d).
 
+use crate::cache::{self, CacheMode};
 use crate::conductance::{
     conductances_to_weights, weights_to_conductances, ConductanceMatrix, DifferentialPair,
     MappingScale,
@@ -13,7 +14,7 @@ use crate::nf::column_nf;
 use crate::params::CrossbarParams;
 use crate::program::{program_array, ArrayKind, FaultReport};
 use crate::quantize::quantize_conductances;
-use crate::solve::{EffectiveSolve, NonIdealSolver, SolveMethod};
+use crate::solve::{EffectiveSolve, NodeVoltages, NonIdealSolver, SolveMethod, Warm};
 use xbar_linalg::{Result, SolveError, SolveStats};
 use xbar_tensor::Tensor;
 
@@ -61,6 +62,46 @@ impl TileOutcome {
     }
 }
 
+/// The solved node voltages of both crossbar arrays of a tile — the state a
+/// later solve of a related tile can warm-start from (see
+/// [`simulate_tile_seeded`]).
+#[derive(Debug, Clone)]
+pub struct TileSolveState {
+    /// Positive-array node voltages.
+    pub pos: NodeVoltages,
+    /// Negative-array node voltages.
+    pub neg: NodeVoltages,
+}
+
+impl TileSolveState {
+    /// Returns a copy with each `(a, b)` physical column pair swapped in
+    /// both arrays — the right seed for re-simulating a column-permuted
+    /// tile (spare-column repair). Column position affects the row-wire
+    /// path, so the permuted voltages are a near-solution, not an exact
+    /// one; the warm-start's verifying sweep settles the difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a swap index is out of range for the array geometry.
+    pub fn swap_columns(&self, cols: usize, swaps: &[(usize, usize)]) -> TileSolveState {
+        let mut out = self.clone();
+        for nodes in [&mut out.pos, &mut out.neg] {
+            let rows = nodes.vr.len() / cols;
+            for &(a, b) in swaps {
+                assert!(
+                    a < cols && b < cols,
+                    "swap ({a}, {b}) outside {cols} columns"
+                );
+                for i in 0..rows {
+                    nodes.vr.swap(i * cols + a, i * cols + b);
+                    nodes.vc.swap(i * cols + a, i * cols + b);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Simulates one weight tile on a non-ideal differential crossbar pair.
 ///
 /// * `tile` — `rows × cols` weights (padded with zeros to the full crossbar
@@ -84,6 +125,41 @@ pub fn simulate_tile(
     method: SolveMethod,
     seed: u64,
 ) -> Result<TileOutcome> {
+    simulate_tile_seeded(tile, scale, layer_abs_max, params, method, seed, None)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`simulate_tile`], plus warm-start plumbing: the returned
+/// [`TileSolveState`] holds the solved node voltages of both arrays, and a
+/// related later simulation (repair's column-permuted re-run, a recalibrate
+/// re-map of slightly perturbed weights) can pass it back as `warm` to
+/// start relaxation from that state instead of the cold guess.
+///
+/// Warm-started solves are never inserted into the solve cache — only cold
+/// solves are, so a [`CacheMode::Full`] hit always replays a genuine cold
+/// result bit-for-bit.
+///
+/// # Errors
+///
+/// * [`SolveError::Config`] if `params` fails validation;
+/// * circuit-solver errors, including final non-convergence after the
+///   extended-sweep fallback.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_tile_seeded(
+    tile: &Tensor,
+    scale: MappingScale,
+    layer_abs_max: f32,
+    params: &CrossbarParams,
+    method: SolveMethod,
+    seed: u64,
+    warm: Option<&TileSolveState>,
+) -> Result<(TileOutcome, TileSolveState)> {
+    // Validate before any conductance math: inconsistent params would
+    // otherwise panic in quantization or the solver, which a worker thread
+    // can only report as an opaque panic.
+    params
+        .validate()
+        .map_err(|e| SolveError::Config(e.to_string()))?;
     let mut pair = weights_to_conductances(tile, scale, layer_abs_max, params);
     let g_min = params.g_min();
     let low_g = {
@@ -127,11 +203,14 @@ pub fn simulate_tile(
         xbar_obs::metrics::counter_add("sim/reprogrammed_cells", fault_report.reprogrammed as u64);
         xbar_obs::metrics::counter_add("sim/program_retries", fault_report.retry_rounds as u64);
     }
-    let solver = NonIdealSolver::new(*params, method);
+    let solver =
+        NonIdealSolver::try_new(*params, method).map_err(|e| SolveError::Config(e.to_string()))?;
     let v = vec![params.v_read; tile.rows()];
     let solve_start = std::time::Instant::now();
-    let (pos_solve, pos_fallback) = solve_with_fallback(&solver, &pair.pos, &v)?;
-    let (neg_solve, neg_fallback) = solve_with_fallback(&solver, &pair.neg, &v)?;
+    let (pos_solve, pos_nodes, pos_fallback) =
+        solve_array(&solver, &pair.pos, &v, warm.map(|w| w.pos.warm()))?;
+    let (neg_solve, neg_nodes, neg_fallback) =
+        solve_array(&solver, &pair.neg, &v, warm.map(|w| w.neg.warm()))?;
     let solve_us = solve_start.elapsed().as_secs_f64() * 1e6;
     let mut stats = pos_solve.stats;
     stats.accumulate(neg_solve.stats);
@@ -159,7 +238,7 @@ pub fn simulate_tile(
             v.iter().sum::<f64>() / v.len() as f64
         }
     };
-    Ok(TileOutcome {
+    let outcome = TileOutcome {
         weights,
         nf_pos: mean(&nf_pos_cols),
         nf_neg: mean(&nf_neg_cols),
@@ -168,42 +247,100 @@ pub fn simulate_tile(
         fallback: pos_fallback || neg_fallback,
         fault_report,
         w_ref: pair.w_ref,
-    })
+    };
+    let state = TileSolveState {
+        pos: pos_nodes,
+        neg: neg_nodes,
+    };
+    Ok((outcome, state))
 }
 
-/// Solves one array, retrying once with a 4× sweep budget if line relaxation
-/// fails to converge. Fallbacks and terminal failures are counted in the
-/// `sim/tile_fallbacks` / `sim/tile_failures` metrics.
-fn solve_with_fallback(
+/// Solves one array through the solve cache, resuming once with a 4× sweep
+/// budget if line relaxation fails to converge within the base budget.
+///
+/// The fallback *resumes* from the abandoned state instead of re-running
+/// from the cold guess, so the abandoned sweeps are paid for (and counted
+/// in `stats.iterations`) exactly once; because relaxation is
+/// deterministic, the resumed trajectory is bit-for-bit the one a single
+/// solve with a larger budget would have taken. Fallbacks and terminal
+/// failures are counted in the `sim/tile_fallbacks` / `sim/tile_failures`
+/// metrics, cache traffic in `sim/solve_cache_hits` / `_misses`.
+fn solve_array(
     solver: &NonIdealSolver,
     g: &ConductanceMatrix,
     v: &[f64],
-) -> Result<(EffectiveSolve, bool)> {
-    match solver.effective_conductances(g, v) {
-        Ok(solve) => Ok((solve, false)),
-        Err(SolveError::NoConvergence { iterations, .. }) => {
-            xbar_obs::metrics::counter_add("sim/tile_fallbacks", 1);
-            let mut retry = *solver;
-            retry.max_sweeps *= 4;
-            match retry.effective_conductances(g, v) {
-                Ok(mut solve) => {
-                    // Report the total work including the abandoned attempt.
-                    solve.stats.iterations += iterations;
-                    Ok((solve, true))
+    warm: Option<Warm<'_>>,
+) -> Result<(EffectiveSolve, NodeVoltages, bool)> {
+    let mode = cache::solve_cache_mode();
+    let key = if mode == CacheMode::Off {
+        None
+    } else {
+        Some(cache::solve_key(solver, g, v))
+    };
+    if let Some(key) = key {
+        if let Some(hit) = cache::lookup(key) {
+            xbar_obs::metrics::counter_add("sim/solve_cache_hits", 1);
+            match mode {
+                // Replay the stored cold solve: extraction is pure, so this
+                // is bit-identical to the solve that populated the entry.
+                CacheMode::Full => {
+                    let solve = solver.extract(g, v, &hit.nodes)?;
+                    return Ok((solve, hit.nodes, hit.fallback));
                 }
-                Err(err) => {
-                    xbar_obs::metrics::counter_add("sim/tile_failures", 1);
-                    Err(err)
+                // Verify-and-reuse: one sweep confirms the seed still meets
+                // tolerance (equal keys make failure impossible in practice,
+                // but fall through to the cold path if it ever happens).
+                CacheMode::Seed => {
+                    let nodes = solver.solve_nodes(g, v, Some(hit.nodes.warm()))?;
+                    if nodes.stats.converged {
+                        let solve = solver.extract(g, v, &nodes)?;
+                        return Ok((solve, nodes, false));
+                    }
                 }
+                CacheMode::Off => unreachable!("cache key computed with cache off"),
             }
+        } else {
+            xbar_obs::metrics::counter_add("sim/solve_cache_misses", 1);
         }
-        Err(err) => Err(err),
     }
+    let caller_seeded = warm.is_some();
+    let first = solver.solve_nodes(g, v, warm)?;
+    let (nodes, fallback) = if first.stats.converged {
+        (first, false)
+    } else {
+        xbar_obs::metrics::counter_add("sim/tile_fallbacks", 1);
+        let abandoned = first.stats.iterations;
+        let mut retry = *solver;
+        retry.max_sweeps *= 4;
+        let mut resumed = retry.solve_nodes(g, v, Some(first.warm()))?;
+        // Total work of the single logical trajectory: the abandoned sweeps
+        // plus the resumed ones, each counted once.
+        resumed.stats.iterations += abandoned;
+        if !resumed.stats.converged {
+            xbar_obs::metrics::counter_add("sim/tile_failures", 1);
+            return Err(SolveError::NoConvergence {
+                iterations: resumed.stats.iterations,
+                residual: resumed.stats.residual,
+            });
+        }
+        (resumed, true)
+    };
+    let solve = solver.extract(g, v, &nodes)?;
+    if !caller_seeded {
+        if let Some(key) = key {
+            cache::insert(key, nodes.clone(), fallback);
+        }
+    }
+    Ok((solve, nodes, fallback))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that flip the process-global cache mode.
+    static CACHE_TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn rand_tile(rows: usize, cols: usize, seed: u64, amp: f32) -> Tensor {
         let mut s = seed;
@@ -456,6 +593,176 @@ mod tests {
         assert!(
             closed_err < open_err,
             "verify retries must tighten programming: {closed_err} vs {open_err}"
+        );
+    }
+
+    #[test]
+    fn cached_and_warm_started_tiles_match_cold_bitwise() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = cache::solve_cache_mode();
+        let params = CrossbarParams::with_size(16);
+        let tile = rand_tile(16, 16, 42, 1.0);
+        let run = || {
+            simulate_tile(
+                &tile,
+                MappingScale::PerTileMax,
+                1.0,
+                &params,
+                SolveMethod::LineRelaxation,
+                9,
+            )
+            .unwrap()
+        };
+        cache::set_solve_cache_mode(CacheMode::Off);
+        let cold = run();
+        // Full mode: populate cold, then a hit replays the stored solve —
+        // weights AND stats bit-identical.
+        cache::set_solve_cache_mode(CacheMode::Full);
+        cache::clear_solve_cache();
+        let populate = run();
+        assert_eq!(populate.weights, cold.weights);
+        assert_eq!(populate.stats, cold.stats);
+        let hit = run();
+        assert_eq!(hit.weights, cold.weights);
+        assert_eq!(hit.stats, cold.stats);
+        assert_eq!(hit.fallback, cold.fallback);
+        // Seed mode: the hit warm-starts a verifying solve — weights still
+        // bit-identical, stats honestly ~1 sweep per array.
+        cache::set_solve_cache_mode(CacheMode::Seed);
+        let seeded = run();
+        assert_eq!(seeded.weights, cold.weights);
+        assert!(
+            seeded.stats.iterations < cold.stats.iterations,
+            "verified reuse must be cheaper: {} vs {} sweeps",
+            seeded.stats.iterations,
+            cold.stats.iterations
+        );
+        cache::set_solve_cache_mode(prior);
+    }
+
+    #[test]
+    fn caller_seeded_resimulation_matches_cold_within_tolerance() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = cache::solve_cache_mode();
+        cache::set_solve_cache_mode(CacheMode::Off);
+        let params = CrossbarParams::with_size(12);
+        let tile = rand_tile(12, 12, 7, 1.0);
+        let cold = |t: &Tensor| {
+            simulate_tile_seeded(
+                t,
+                MappingScale::PerTileMax,
+                1.0,
+                &params,
+                SolveMethod::LineRelaxation,
+                4,
+                None,
+            )
+            .unwrap()
+        };
+        let (base, state) = cold(&tile);
+        // Re-simulate a column-swapped variant warm-started from the
+        // permuted base state; compare with its cold solve.
+        let mut swapped = tile.clone();
+        for r in 0..12 {
+            let (a, b) = (swapped.at2(r, 2), swapped.at2(r, 9));
+            swapped.set2(r, 2, b);
+            swapped.set2(r, 9, a);
+        }
+        let (cold_swap, _) = cold(&swapped);
+        let seed = state.swap_columns(12, &[(2, 9)]);
+        let (warm_swap, _) = simulate_tile_seeded(
+            &swapped,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            4,
+            Some(&seed),
+        )
+        .unwrap();
+        assert!(
+            warm_swap.stats.iterations <= cold_swap.stats.iterations,
+            "warm start must not do more work: {} vs {}",
+            warm_swap.stats.iterations,
+            cold_swap.stats.iterations
+        );
+        // Both states satisfy the same convergence tolerance, so the
+        // read-back weights agree to circuit accuracy.
+        for (a, b) in cold_swap
+            .weights
+            .as_slice()
+            .iter()
+            .zip(warm_swap.weights.as_slice())
+        {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        let _ = base;
+        cache::set_solve_cache_mode(prior);
+    }
+
+    #[test]
+    fn fallback_resume_is_bit_identical_and_counts_sweeps_once() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = cache::solve_cache_mode();
+        cache::set_solve_cache_mode(CacheMode::Off);
+        let params = CrossbarParams::with_size(16);
+        let g = {
+            let mut g = ConductanceMatrix::filled(16, 16, 0.0);
+            let mut s = 3u64;
+            for i in 0..16 {
+                for j in 0..16 {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let frac = (s % 1000) as f64 / 1000.0;
+                    g.set(
+                        i,
+                        j,
+                        params.g_min() + frac * (params.g_max() - params.g_min()),
+                    );
+                }
+            }
+            g
+        };
+        let v = vec![params.v_read; 16];
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let (cold, _, cold_fb) = solve_array(&solver, &g, &v, None).unwrap();
+        assert!(!cold_fb);
+        let n = cold.stats.iterations;
+        assert!(n >= 2, "need a multi-sweep solve to starve ({n} sweeps)");
+        // Starve the base budget by one sweep to force the fallback; the
+        // resumed trajectory must land on the same answer bit-for-bit and
+        // count the abandoned sweeps exactly once.
+        let mut starved = solver;
+        starved.max_sweeps = n - 1;
+        let (fb, _, used_fallback) = solve_array(&starved, &g, &v, None).unwrap();
+        assert!(used_fallback);
+        assert_eq!(fb.g_eff.as_slice(), cold.g_eff.as_slice());
+        assert_eq!(fb.col_currents, cold.col_currents);
+        assert_eq!(
+            fb.stats.iterations, n,
+            "abandoned sweeps must be counted exactly once"
+        );
+        cache::set_solve_cache_mode(prior);
+    }
+
+    #[test]
+    fn invalid_params_surface_as_config_error() {
+        let mut params = CrossbarParams::with_size(8);
+        params.r_min = -5.0;
+        let tile = Tensor::ones(&[8, 8]);
+        let err = simulate_tile(
+            &tile,
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            0,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SolveError::Config(_)),
+            "expected a config error, got {err:?}"
         );
     }
 

@@ -72,21 +72,31 @@ pub fn abs_quantile(xs: &[f32], q: f64) -> f32 {
 /// Histogram of `xs` over `bins` equal-width buckets spanning `[lo, hi)`.
 /// Values outside the range are clamped into the first/last bucket.
 ///
+/// NaN values are *skipped*, not counted — the saturating float→int cast
+/// used to drop them silently into bucket 0, skewing heatmap exports. The
+/// second return value is the number of NaNs skipped so callers can log or
+/// surface it.
+///
 /// Used to export the weight-heatmap data behind the paper's Fig. 3(f).
 ///
 /// # Panics
 ///
 /// Panics if `bins == 0` or `lo >= hi`.
-pub fn histogram(xs: &[f32], lo: f32, hi: f32, bins: usize) -> Vec<usize> {
+pub fn histogram(xs: &[f32], lo: f32, hi: f32, bins: usize) -> (Vec<usize>, usize) {
     assert!(bins > 0, "histogram needs at least one bin");
     assert!(lo < hi, "histogram range must be non-empty");
     let mut counts = vec![0usize; bins];
+    let mut skipped = 0usize;
     let width = (hi - lo) / bins as f32;
     for &x in xs {
+        if x.is_nan() {
+            skipped += 1;
+            continue;
+        }
         let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
         counts[idx] += 1;
     }
-    counts
+    (counts, skipped)
 }
 
 #[cfg(test)]
@@ -141,8 +151,19 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_clamps() {
-        let h = histogram(&[-10.0, 0.1, 0.6, 0.9, 10.0], 0.0, 1.0, 2);
+        let (h, skipped) = histogram(&[-10.0, 0.1, 0.6, 0.9, 10.0], 0.0, 1.0, 2);
         assert_eq!(h, vec![2, 3]);
         assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn histogram_skips_nan_and_reports_it() {
+        let xs = [0.1, f32::NAN, 0.6, f32::NAN, f32::NAN];
+        let (h, skipped) = histogram(&xs, 0.0, 1.0, 2);
+        // NaNs must not inflate bucket 0 (the old saturating-cast bug).
+        assert_eq!(h, vec![1, 1]);
+        assert_eq!(skipped, 3);
+        assert_eq!(h.iter().sum::<usize>() + skipped, xs.len());
     }
 }

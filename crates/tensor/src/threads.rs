@@ -4,7 +4,8 @@
 //! worker pools) all ask [`max_threads`] how many workers they may spawn.
 //! The budget resolves, in priority order:
 //!
-//! 1. a programmatic override set via [`set_max_threads`] (CLI `--threads`);
+//! 1. a programmatic override set via [`set_max_threads`] (CLI `--threads`;
+//!    `0` clears the override and falls through to the next step);
 //! 2. the `XBAR_THREADS` environment variable (parsed once);
 //! 3. `available_parallelism()` capped at 8 — the historical default, which
 //!    keeps small boxes responsive and avoids oversubscription on large
@@ -30,9 +31,14 @@ fn env_threads() -> usize {
 }
 
 /// Sets the process-wide worker budget, overriding `XBAR_THREADS` and the
-/// auto-detected default. Values are clamped to at least 1.
+/// auto-detected default.
+///
+/// Passing `0` clears any previous override, restoring auto-detection
+/// (`XBAR_THREADS`, then `available_parallelism()` capped at 8) — it does
+/// *not* mean "one thread". CLI `--threads` flags document the same
+/// convention.
 pub fn set_max_threads(n: usize) {
-    OVERRIDE.store(n.max(1), Ordering::Relaxed);
+    OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// The number of worker threads parallel sections may use.
@@ -67,14 +73,19 @@ mod tests {
     }
 
     #[test]
-    fn override_wins_and_clamps_to_one() {
-        // Serialise against the other test via a local lock on OVERRIDE
-        // state: save and restore.
+    fn override_wins_and_zero_resets_to_auto() {
+        // Save and restore OVERRIDE state: it is process-wide.
         let before = OVERRIDE.load(Ordering::Relaxed);
         set_max_threads(3);
         assert_eq!(max_threads(), 3);
+        // 0 clears the override: the budget returns to the auto default
+        // (env or detected parallelism), not to a single thread.
         set_max_threads(0);
-        assert_eq!(max_threads(), 1);
+        let auto = max_threads();
+        assert!(auto >= 1);
+        if env_threads() == 0 {
+            assert!(auto <= DEFAULT_CAP);
+        }
         OVERRIDE.store(before, Ordering::Relaxed);
     }
 }
