@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs a command against a live `serve` instance and guarantees the
+# background server is reaped no matter how the command exits.
+#
+# Usage: with-serve.sh <artifact> <host:port> <command...>
+#
+# The EXIT trap fixes two bugs the old inline steps had: a failing middle
+# step used to leak the background server (no trap), and an unconditional
+# `kill -TERM $PID; wait $PID` could race a server that had already exited
+# gracefully (kill of a reaped PID fails under `set -e`).
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+  echo "usage: $0 <artifact> <host:port> <command...>" >&2
+  exit 2
+fi
+
+ARTIFACT=$1
+ADDR=$2
+shift 2
+
+SERVE_PID=""
+cleanup() {
+  status=$?
+  if [ -n "$SERVE_PID" ]; then
+    # TERM only if still alive (it may have shut down gracefully already);
+    # then reap. Neither step may clobber the command's exit status.
+    kill -0 "$SERVE_PID" 2>/dev/null && kill -TERM "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
+./target/release/serve --artifact "$ARTIFACT" --addr "$ADDR" &
+SERVE_PID=$!
+
+for _ in $(seq 1 50); do
+  if curl -sf "http://$ADDR/healthz" > /dev/null; then
+    exec_ready=1
+    break
+  fi
+  sleep 0.2
+done
+if [ -z "${exec_ready:-}" ]; then
+  echo "error: serve did not become healthy on $ADDR" >&2
+  exit 1
+fi
+
+"$@"

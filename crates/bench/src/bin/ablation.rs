@@ -8,379 +8,54 @@
 //!   per-tile agreement and wall time.
 //! * `--which rearrange-policy` — R column orderings (none, ascending,
 //!   centre-out): NF and accuracy.
+//! * `--which bn-recalibration` / `robustness` / `approximation` — the
+//!   extension studies A4–A6.
+//!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::ablations`]; the suite
+//! orchestrator runs the same code, one artifact per study.
 //!
 //! Usage: `cargo run --release -p xbar-bench --bin ablation
 //! [--which X] [--full|--smoke] [--seed N]` (no selector = all).
 
-use std::time::Instant;
-use xbar_bench::report::{pct, Table};
-use xbar_bench::runner::{
-    crossbar_accuracy_avg, map_config, relative_weight_error, Arity, RunContext, DEFAULT_REPS,
-};
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_core::wct::{apply_wct, WctConfig};
-use xbar_core::ColumnOrder;
-use xbar_data::Split;
-use xbar_nn::train::{DataRef, WeightConstraint};
-use xbar_nn::vgg::VggVariant;
-use xbar_prune::PruneMethod;
-use xbar_sim::conductance::ConductanceMatrix;
-use xbar_sim::params::CrossbarParams;
-use xbar_sim::solve::{NonIdealSolver, SolveMethod};
-use xbar_sim::MappingScale;
+use std::process::ExitCode;
+use xbar_bench::artifacts::{ablations, ArtifactCtx, ArtifactOutput};
+use xbar_bench::runner::{Arity, RunContext};
 
-fn main() {
+type Study = fn(&ArtifactCtx) -> Result<ArtifactOutput, String>;
+
+fn main() -> ExitCode {
     let ctx = RunContext::init("ablation", &[("--which", Arity::Value)]);
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
     let which = ctx.args.get("--which").map(str::to_string);
-    let run = |p: &str| which.as_deref().is_none_or(|sel| sel == p);
-
-    if run("mapping-scale") {
-        mapping_scale_ablation(scale, seed);
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let studies: [(&str, Study); 6] = [
+        ("mapping-scale", ablations::mapping_scale),
+        ("solver", ablations::solver),
+        ("rearrange-policy", ablations::rearrange),
+        ("bn-recalibration", ablations::bn_recalibration),
+        ("robustness", ablations::robustness),
+        ("approximation", ablations::approximation),
+    ];
+    if let Some(sel) = &which {
+        if !studies.iter().any(|(name, _)| name == sel) {
+            eprintln!(
+                "error: unknown ablation {sel:?}; supported: {}",
+                studies.map(|(n, _)| n).join(" ")
+            );
+            return ExitCode::from(2);
+        }
     }
-    if run("solver") {
-        solver_ablation();
-    }
-    if run("rearrange-policy") {
-        rearrange_ablation(scale, seed);
-    }
-    if run("bn-recalibration") {
-        bn_recalibration_ablation(scale, seed);
-    }
-    if run("robustness") {
-        robustness_ablation(scale, seed);
-    }
-    if run("approximation") {
-        approximation_ablation();
+    let mut result = Ok(());
+    for (name, run) in studies {
+        if which.as_deref().is_none_or(|sel| sel == name) {
+            if let Err(e) = run(&actx) {
+                eprintln!("error: {name}: {e}");
+                result = Err(());
+            }
+        }
     }
     ctx.finish();
-}
-
-/// A6 (extension): fidelity of the paper's methodology. The framework folds
-/// non-idealities into effective conductances `G'` extracted once at the
-/// nominal read voltage; real inference applies *varying* activation
-/// patterns, for which the folding is an approximation. This ablation
-/// measures the approximation error against exact per-input circuit solves.
-#[allow(clippy::needless_range_loop)]
-fn approximation_ablation() {
-    use xbar_sim::conductance::ConductanceMatrix;
-    use xbar_sim::solve::{NonIdealSolver, SolveMethod};
-    let mut table = Table::new(
-        "Ablation A6 (extension): G'-folding fidelity vs exact per-input solves",
-        &["Tile", "Active rows", "Mean |dI|/I (%)", "Max |dI|/I (%)"],
-    );
-    for n in [16usize, 32, 64] {
-        let mut params = CrossbarParams::with_size(n);
-        params.sigma_variation = 0.0;
-        let mut g = ConductanceMatrix::filled(n, n, 0.0);
-        let mut s = 11u64;
-        for i in 0..n {
-            for j in 0..n {
-                s ^= s << 13;
-                s ^= s >> 7;
-                s ^= s << 17;
-                let f = (s % 1000) as f64 / 1000.0;
-                g.set(i, j, params.g_min() + f * (params.g_max() - params.g_min()));
-            }
-        }
-        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
-        let nominal = vec![params.v_read; n];
-        let eff = solver
-            .effective_conductances(&g, &nominal)
-            .expect("nominal solve");
-        for active_fraction in [0.25f64, 0.5, 1.0] {
-            let active = ((n as f64) * active_fraction).round() as usize;
-            let v: Vec<f64> = (0..n)
-                .map(|i| {
-                    if i % (n / active.max(1)).max(1) == 0 || active == n {
-                        params.v_read
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-            let exact = solver.column_currents(&g, &v).expect("exact solve");
-            let mut sum_rel = 0.0f64;
-            let mut max_rel = 0.0f64;
-            let mut count = 0usize;
-            for j in 0..n {
-                let approx: f64 = (0..n).map(|i| eff.g_eff.at(i, j) * v[i]).sum();
-                if exact[j].abs() > f64::MIN_POSITIVE {
-                    let rel = ((approx - exact[j]) / exact[j]).abs();
-                    sum_rel += rel;
-                    max_rel = max_rel.max(rel);
-                    count += 1;
-                }
-            }
-            table.push_row(vec![
-                format!("{n}x{n}"),
-                format!("{active}/{n}"),
-                format!("{:.3}", 100.0 * sum_rel / count.max(1) as f64),
-                format!("{:.3}", 100.0 * max_rel),
-            ]);
-        }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(()) => ExitCode::FAILURE,
     }
-    table.emit("ablation_approximation").expect("write results");
-}
-
-/// A4 (extension): BatchNorm recalibration after mapping.
-fn bn_recalibration_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
-    use xbar_core::recalibrate::recalibrate_batchnorm;
-    let mut table = Table::new(
-        "Ablation A4 (extension): BatchNorm recalibration after mapping (64x64)",
-        &["Model", "Mapped acc (%)", "After BN recal (%)", "Gain (pp)"],
-    );
-    for method in [PruneMethod::None, PruneMethod::ChannelFilter] {
-        let sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale)
-            .with_seed(seed);
-        let data = sc.dataset();
-        let tm = sc.train_model_cached(&data);
-        let cfg = map_config(&tm, 64, seed);
-        let (mapped, _) = xbar_core::pipeline::map_to_crossbars(&tm.model, &cfg).expect("map");
-        let test_ref =
-            DataRef::new(data.images(Split::Test), data.labels(Split::Test)).expect("dataset");
-        let train_ref =
-            DataRef::new(data.images(Split::Train), data.labels(Split::Train)).expect("dataset");
-        let mut plain = mapped.clone();
-        let before = xbar_nn::train::evaluate(&mut plain, test_ref, 64).expect("eval");
-        let mut recal = mapped;
-        recalibrate_batchnorm(&mut recal, train_ref, 32, 8).expect("recalibrate");
-        let after = xbar_nn::train::evaluate(&mut recal, test_ref, 64).expect("eval");
-        xbar_obs::event!(
-            "progress",
-            ablation = "bn-recalibration",
-            method = method.to_string(),
-            before = before,
-            after = after
-        );
-        table.push_row(vec![
-            method.to_string(),
-            pct(before),
-            pct(after),
-            format!("{:+.1}", 100.0 * (after - before)),
-        ]);
-    }
-    table.emit("ablation_bn_recal").expect("write results");
-}
-
-/// A5 (extension): conductance quantization and stuck-at faults — does the
-/// paper's "sparse models are more fragile" conclusion extend to other
-/// non-idealities?
-fn robustness_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
-    use xbar_sim::faults::FaultModel;
-    let mut table = Table::new(
-        "Ablation A5 (extension): quantization levels and stuck-at faults (32x32)",
-        &["Perturbation", "Unpruned acc (%)", "C/F acc (%)"],
-    );
-    let models: Vec<_> = [PruneMethod::None, PruneMethod::ChannelFilter]
-        .into_iter()
-        .map(|method| {
-            let sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale)
-                .with_seed(seed);
-            let data = sc.dataset();
-            let tm = sc.train_model_cached(&data);
-            (tm, data)
-        })
-        .collect();
-    let row = |label: &str, edit: &dyn Fn(&mut CrossbarParams)| {
-        let mut cells = vec![label.to_string()];
-        for (tm, data) in &models {
-            let mut cfg = map_config(tm, 32, seed);
-            edit(&mut cfg.params);
-            let (acc, _) = crossbar_accuracy_avg(tm, data, &cfg, DEFAULT_REPS);
-            xbar_obs::event!(
-                "progress",
-                ablation = "robustness",
-                perturbation = label,
-                method = tm.scenario.method.to_string(),
-                accuracy = acc
-            );
-            cells.push(pct(acc));
-        }
-        cells
-    };
-    let baseline = row("baseline (analog, fault-free)", &|_| {});
-    table.push_row(baseline);
-    for levels in [32u32, 16, 8, 4] {
-        let cells = row(&format!("{levels} conductance levels"), &move |p| {
-            p.levels = levels;
-        });
-        table.push_row(cells);
-    }
-    for rate in [0.01f64, 0.05] {
-        let cells = row(&format!("{:.0}% stuck-at-Gmin", rate * 100.0), &move |p| {
-            p.faults = FaultModel {
-                stuck_at_gmin: rate,
-                stuck_at_gmax: 0.0,
-            };
-        });
-        table.push_row(cells);
-    }
-    table.emit("ablation_robustness").expect("write results");
-}
-
-/// A1: WCT benefit exists under Fixed scale and inverts under PerLayerMax.
-fn mapping_scale_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
-    let sc = Scenario::new(
-        VggVariant::Vgg11,
-        DatasetKind::Cifar10Like,
-        PruneMethod::ChannelFilter,
-        scale,
-    )
-    .with_seed(seed);
-    let data = sc.dataset();
-    let mut tm = sc.train_model_cached(&data);
-    let train_ref =
-        DataRef::new(data.images(Split::Train), data.labels(Split::Train)).expect("dataset");
-    let constraint: Option<&dyn WeightConstraint> =
-        tm.masks.as_ref().map(|m| m as &dyn WeightConstraint);
-    let wct_cfg = WctConfig::default();
-    let mut wct_model = tm.model.clone();
-    let outcome = apply_wct(&mut wct_model, train_ref, &wct_cfg, constraint).expect("WCT trains");
-    tm.model = wct_model;
-    let mut table = Table::new(
-        "Ablation A1: WCT mapping-scale choice (VGG11/CIFAR10-like, C/F s = 0.8, 64x64)",
-        &[
-            "Mapping scale",
-            "Crossbar acc (%)",
-            "Mean NF",
-            "Low-G fraction",
-        ],
-    );
-    for (label, mscale) in [
-        ("Fixed(pre-clamp max)", outcome.mapping_scale()),
-        ("PerLayerMax", MappingScale::PerLayerMax),
-        ("PerTileMax", MappingScale::PerTileMax),
-    ] {
-        let mut cfg = map_config(&tm, 64, seed);
-        cfg.scale = mscale;
-        let (acc, report) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-        xbar_obs::event!(
-            "progress",
-            ablation = "mapping-scale",
-            mapping_scale = label,
-            accuracy = acc
-        );
-        table.push_row(vec![
-            label.to_string(),
-            pct(acc),
-            format!("{:.4}", report.mean_nf()),
-            format!("{:.3}", report.mean_low_g_fraction()),
-        ]);
-    }
-    table.emit("ablation_mapping_scale").expect("write results");
-}
-
-/// A2: exact vs line-relaxation circuit solver.
-fn solver_ablation() {
-    let mut table = Table::new(
-        "Ablation A2: circuit solver agreement and speed",
-        &[
-            "Tile",
-            "Max |dI| / I (exact vs lines)",
-            "Exact (ms)",
-            "Lines (ms)",
-            "Speedup",
-        ],
-    );
-    for n in [8usize, 16, 24] {
-        let params = CrossbarParams::with_size(n);
-        let mut g = ConductanceMatrix::filled(n, n, 0.0);
-        let mut s = 77u64;
-        for i in 0..n {
-            for j in 0..n {
-                s ^= s << 13;
-                s ^= s >> 7;
-                s ^= s << 17;
-                let f = (s % 1000) as f64 / 1000.0;
-                g.set(i, j, params.g_min() + f * (params.g_max() - params.g_min()));
-            }
-        }
-        let v = vec![params.v_read; n];
-        let t0 = Instant::now();
-        let exact = NonIdealSolver::new(params, SolveMethod::DenseExact)
-            .effective_conductances(&g, &v)
-            .expect("exact solve");
-        let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        let lines = NonIdealSolver::new(params, SolveMethod::LineRelaxation)
-            .effective_conductances(&g, &v)
-            .expect("line solve");
-        let lines_ms = t1.elapsed().as_secs_f64() * 1e3;
-        let rel_err = exact
-            .col_currents
-            .iter()
-            .zip(&lines.col_currents)
-            .map(|(a, b)| ((a - b) / a).abs())
-            .fold(0.0f64, f64::max);
-        table.push_row(vec![
-            format!("{n}x{n}"),
-            format!("{rel_err:.2e}"),
-            format!("{exact_ms:.2}"),
-            format!("{lines_ms:.3}"),
-            format!("{:.0}x", exact_ms / lines_ms.max(1e-9)),
-        ]);
-    }
-    table.emit("ablation_solver").expect("write results");
-}
-
-/// A3: R column-order policies.
-fn rearrange_ablation(scale: xbar_bench::ExperimentScale, seed: u64) {
-    let sc = Scenario::new(
-        VggVariant::Vgg11,
-        DatasetKind::Cifar10Like,
-        PruneMethod::ChannelFilter,
-        scale,
-    )
-    .with_seed(seed);
-    let data = sc.dataset();
-    let tm = sc.train_model_cached(&data);
-    let mut table = Table::new(
-        "Ablation A3: R column-order policy (VGG11/CIFAR10-like, C/F s = 0.8)",
-        &[
-            "Policy",
-            "Acc @16 (%)",
-            "Acc @64 (%)",
-            "Rel W err @16",
-            "Rel W err @64",
-        ],
-    );
-    for (label, order) in [
-        ("none", None),
-        ("ascending", Some(ColumnOrder::Ascending)),
-        ("descending", Some(ColumnOrder::Descending)),
-        ("center-out", Some(ColumnOrder::CenterOut)),
-        ("grouped-descending", Some(ColumnOrder::GroupedDescending)),
-    ] {
-        let mut row = vec![label.to_string()];
-        let mut errs = Vec::new();
-        for size in [16usize, 64] {
-            let mut cfg = map_config(&tm, size, seed);
-            cfg.rearrange = order;
-            let (acc, _) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-            // Deterministic weight-error comparison without variation noise.
-            let mut det_cfg = cfg;
-            det_cfg.params.sigma_variation = 0.0;
-            let (mapped, _) =
-                xbar_core::pipeline::map_to_crossbars(&tm.model, &det_cfg).expect("map");
-            let err = relative_weight_error(&tm.model, &mapped);
-            xbar_obs::event!(
-                "progress",
-                ablation = "rearrange-policy",
-                policy = label,
-                size = size,
-                accuracy = acc,
-                rel_weight_err = err
-            );
-            row.push(pct(acc));
-            errs.push(format!("{err:.4}"));
-        }
-        // Reorder: accs then errors.
-        let accs: Vec<String> = row[1..].to_vec();
-        let mut final_row = vec![row[0].clone()];
-        final_row.extend(accs);
-        final_row.extend(errs);
-        table.push_row(final_row);
-    }
-    table.emit("ablation_rearrange").expect("write results");
 }

@@ -9,93 +9,39 @@
 //! axis — rates {0, 0.1%, 1%, 5%} — and shows how much accuracy the repair
 //! path buys back at each rate.
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::tables::fault_sweep`];
+//! the suite orchestrator runs the same code.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin faults
 //! [--full|--smoke|--quick] [--seed N] [--size N] [--quiet]
 //! [--trace-out <path>]`
 //!
 //! Writes `results/fault_sweep.csv`.
 
-use xbar_bench::report::{pct, Table};
-use xbar_bench::runner::{crossbar_accuracy, map_config, Arity, RunContext};
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_core::RepairConfig;
-use xbar_nn::vgg::VggVariant;
-use xbar_prune::PruneMethod;
-use xbar_sim::FaultModel;
+use std::process::ExitCode;
+use xbar_bench::artifacts::{tables, ArtifactCtx};
+use xbar_bench::runner::{Arity, RunContext};
 
-/// Default crossbar size the sweep evaluates at.
-const SIZE: usize = 16;
-
-/// Stuck-at fault rates swept (fraction of devices).
-const FAULT_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
-
-fn main() {
+fn main() -> ExitCode {
     let mut ctx = RunContext::init("faults", &[("--size", Arity::Value)]);
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
-    let size: usize = ctx
-        .args
-        .get("--size")
-        .map(|v| v.parse().expect("--size must be an integer"))
-        .unwrap_or(SIZE);
+    let size: usize = match ctx.args.get("--size").map(str::parse) {
+        None => tables::FAULT_SWEEP_SIZE,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("error: --size must be an integer");
+            return ExitCode::from(2);
+        }
+    };
     ctx.config("crossbar_size", size);
-    ctx.config("fault_rates", format!("{FAULT_RATES:?}"));
-
-    let mut table = Table::new(
-        format!("Fault-injection sweep ({size}x{size}, stuck-at devices)"),
-        &[
-            "Method",
-            "Fault rate (%)",
-            "Repair",
-            "Crossbar acc (%)",
-            "Stuck cells",
-            "Repaired cols",
-            "Corrected cells",
-            "Degraded tiles",
-        ],
-    );
-
-    for method in [PruneMethod::None, PruneMethod::ChannelFilter] {
-        let sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale)
-            .with_seed(seed);
-        let data = sc.dataset();
-        let tm = sc.train_model_cached(&data);
-        for rate in FAULT_RATES {
-            for repair in [false, true] {
-                let mut cfg = map_config(&tm, size, seed);
-                // Split like measured RRAM fault populations: stuck-low
-                // (high-resistance, open) devices dominate stuck-high.
-                cfg.params.faults = FaultModel {
-                    stuck_at_gmin: 0.6 * rate,
-                    stuck_at_gmax: 0.4 * rate,
-                };
-                if repair {
-                    cfg.repair = Some(RepairConfig::default());
-                }
-                let (acc, report) = crossbar_accuracy(&tm, &data, &cfg);
-                xbar_obs::event!(
-                    "fault_case_done",
-                    method = method.to_string(),
-                    fault_rate = rate,
-                    repair = repair,
-                    crossbar_acc = acc,
-                    stuck_cells = report.stuck_cells() as u64,
-                    repaired_columns = report.repaired_columns() as u64,
-                    degraded_tiles = report.degraded_tiles() as u64
-                );
-                table.push_row(vec![
-                    method.to_string(),
-                    format!("{:.1}", 100.0 * rate),
-                    if repair { "on" } else { "off" }.to_string(),
-                    pct(acc),
-                    report.stuck_cells().to_string(),
-                    report.repaired_columns().to_string(),
-                    report.corrected_cells().to_string(),
-                    report.degraded_tiles().to_string(),
-                ]);
-            }
+    ctx.config("fault_rates", format!("{:?}", tables::FAULT_RATES));
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let result = tables::fault_sweep(&actx, size);
+    ctx.finish();
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
-
-    table.emit("fault_sweep").expect("write results");
-    ctx.finish();
 }

@@ -6,145 +6,32 @@
 //! * (c) as (a) for VGG16;
 //! * (d) average NF for unpruned vs C/F weight matrices at 32×32 and 64×64.
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::figures::fig3_panel`];
+//! the suite orchestrator runs the same code, one artifact per panel.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin fig3 [--panel a|b|c|d]
 //! [--full|--smoke] [--seed N]` (no panel = all).
 
-use xbar_bench::report::{pct, Table};
-use xbar_bench::runner::{
-    crossbar_accuracy_avg, map_config, Arity, RunContext, DEFAULT_REPS, SIZES,
-};
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_nn::vgg::VggVariant;
-use xbar_prune::PruneMethod;
+use std::process::ExitCode;
+use xbar_bench::artifacts::{figures, ArtifactCtx};
+use xbar_bench::runner::{Arity, RunContext};
 
-fn main() {
+fn main() -> ExitCode {
     let ctx = RunContext::init("fig3", &[("--panel", Arity::Value)]);
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
     let panel = ctx.args.get("--panel").map(str::to_string);
-    let run = |p: &str| panel.as_deref().is_none_or(|sel| sel == p);
-
-    let methods = [
-        PruneMethod::None,
-        PruneMethod::ChannelFilter,
-        PruneMethod::XbarColumn,
-        PruneMethod::XbarRow,
-    ];
-
-    // Panels (a) and (c): accuracy vs size per method.
-    for (panel_id, variant) in [("a", VggVariant::Vgg11), ("c", VggVariant::Vgg16)] {
-        if !run(panel_id) {
-            continue;
-        }
-        let mut table = Table::new(
-            format!(
-                "Fig 3({panel_id}): accuracy vs crossbar size, {variant}/CIFAR10-like (s = 0.8)"
-            ),
-            &[
-                "Method",
-                "Software (%)",
-                "16x16 (%)",
-                "32x32 (%)",
-                "64x64 (%)",
-            ],
-        );
-        for method in methods {
-            let sc =
-                Scenario::new(variant, DatasetKind::Cifar10Like, method, scale).with_seed(seed);
-            let data = sc.dataset();
-            let tm = sc.train_model_cached(&data);
-            let mut row = vec![method.to_string(), pct(tm.software_accuracy)];
-            for size in SIZES {
-                let cfg = map_config(&tm, size, seed);
-                let (acc, _) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-                xbar_obs::event!(
-                    "progress",
-                    panel = format!("fig3{panel_id}"),
-                    method = method.to_string(),
-                    size = size,
-                    accuracy = acc
-                );
-                row.push(pct(acc));
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let mut result = Ok(());
+    for p in ["a", "b", "c", "d"] {
+        if panel.as_deref().is_none_or(|sel| sel == p) {
+            if let Err(e) = figures::fig3_panel(&actx, p) {
+                eprintln!("error: fig3{p}: {e}");
+                result = Err(());
             }
-            table.push_row(row);
         }
-        table
-            .emit(&format!("fig3{panel_id}"))
-            .expect("write results");
-    }
-
-    // Panel (b): C/F sparsity sweep on VGG11.
-    if run("b") {
-        let mut table = Table::new(
-            "Fig 3(b): accuracy vs crossbar size for C/F sparsities, VGG11/CIFAR10-like",
-            &[
-                "Sparsity",
-                "Software (%)",
-                "16x16 (%)",
-                "32x32 (%)",
-                "64x64 (%)",
-            ],
-        );
-        for s in [0.5f64, 0.65, 0.8] {
-            let sc = Scenario::new(
-                VggVariant::Vgg11,
-                DatasetKind::Cifar10Like,
-                PruneMethod::ChannelFilter,
-                scale,
-            )
-            .with_seed(seed)
-            .with_sparsity(s);
-            let data = sc.dataset();
-            let tm = sc.train_model_cached(&data);
-            let mut row = vec![format!("{s:.2}"), pct(tm.software_accuracy)];
-            for size in SIZES {
-                let cfg = map_config(&tm, size, seed);
-                let (acc, _) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-                xbar_obs::event!(
-                    "progress",
-                    panel = "fig3b",
-                    sparsity = s,
-                    size = size,
-                    accuracy = acc
-                );
-                row.push(pct(acc));
-            }
-            table.push_row(row);
-        }
-        table.emit("fig3b").expect("write results");
-    }
-
-    // Panel (d): average NF, unpruned vs C/F, 32x32 -> 64x64.
-    if run("d") {
-        let mut table = Table::new(
-            "Fig 3(d): average NF, unpruned vs C/F pruned VGG11/CIFAR10-like",
-            &["Method", "NF @ 32x32", "NF @ 64x64", "Growth (x)"],
-        );
-        for method in [PruneMethod::None, PruneMethod::ChannelFilter] {
-            let sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale)
-                .with_seed(seed);
-            let data = sc.dataset();
-            let tm = sc.train_model_cached(&data);
-            let mut nfs = Vec::new();
-            for size in [32usize, 64] {
-                let cfg = map_config(&tm, size, seed);
-                let (_, report) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-                nfs.push(report.mean_nf());
-            }
-            xbar_obs::event!(
-                "progress",
-                panel = "fig3d",
-                method = method.to_string(),
-                nf_32 = nfs[0],
-                nf_64 = nfs[1]
-            );
-            table.push_row(vec![
-                method.to_string(),
-                format!("{:.4}", nfs[0]),
-                format!("{:.4}", nfs[1]),
-                format!("{:.2}", nfs[1] / nfs[0].max(1e-12)),
-            ]);
-        }
-        table.emit("fig3d").expect("write results");
     }
     ctx.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(()) => ExitCode::FAILURE,
+    }
 }

@@ -6,182 +6,32 @@
 //! * (e)–(f) accuracy vs crossbar size for unpruned, C/F and WCT + C/F
 //!   VGG11 models on both datasets.
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::figures::fig4_panel`];
+//! the suite orchestrator runs the same code, one artifact per panel.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin fig4 [--panel a..f]
 //! [--full|--smoke] [--seed N]` (no panel = all).
 
-use xbar_bench::report::{pct, Table};
-use xbar_bench::runner::{
-    crossbar_accuracy_avg, map_config, Arity, RunContext, DEFAULT_REPS, SIZES,
-};
-use xbar_bench::{DatasetKind, Scenario, TrainedModel};
-use xbar_core::wct::{apply_wct, WctConfig};
-use xbar_core::ColumnOrder;
-use xbar_data::{Dataset, Split};
-use xbar_nn::train::{evaluate, DataRef, WeightConstraint};
-use xbar_nn::vgg::VggVariant;
-use xbar_prune::PruneMethod;
+use std::process::ExitCode;
+use xbar_bench::artifacts::{figures, ArtifactCtx};
+use xbar_bench::runner::{Arity, RunContext};
 
-fn accuracy_row(
-    label: &str,
-    tm: &TrainedModel,
-    data: &Dataset,
-    seed: u64,
-    rearrange: Option<ColumnOrder>,
-    scale_override: Option<xbar_sim::MappingScale>,
-) -> Vec<String> {
-    let mut row = vec![label.to_string(), pct(tm.software_accuracy)];
-    for size in SIZES {
-        let mut cfg = map_config(tm, size, seed);
-        cfg.rearrange = rearrange;
-        if let Some(s) = scale_override {
-            cfg.scale = s;
-        }
-        let (acc, _) = crossbar_accuracy_avg(tm, data, &cfg, DEFAULT_REPS);
-        xbar_obs::event!("progress", model = label, size = size, accuracy = acc);
-        row.push(pct(acc));
-    }
-    row
-}
-
-fn main() {
+fn main() -> ExitCode {
     let ctx = RunContext::init("fig4", &[("--panel", Arity::Value)]);
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
     let panel = ctx.args.get("--panel").map(str::to_string);
-    let run = |p: &str| panel.as_deref().is_none_or(|sel| sel == p);
-
-    // Panels (a)-(d): R transformation.
-    let r_cases = [
-        ("a", VggVariant::Vgg11, DatasetKind::Cifar10Like),
-        ("b", VggVariant::Vgg16, DatasetKind::Cifar10Like),
-        ("c", VggVariant::Vgg11, DatasetKind::Cifar100Like),
-        ("d", VggVariant::Vgg16, DatasetKind::Cifar100Like),
-    ];
-    for (panel_id, variant, dataset) in r_cases {
-        if !run(panel_id) {
-            continue;
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let mut result = Ok(());
+    for p in ["a", "b", "c", "d", "e", "f"] {
+        if panel.as_deref().is_none_or(|sel| sel == p) {
+            if let Err(e) = figures::fig4_panel(&actx, p) {
+                eprintln!("error: fig4{p}: {e}");
+                result = Err(());
+            }
         }
-        let mut table = Table::new(
-            format!(
-                "Fig 4({panel_id}): R transformation, {variant}/{} (s = {})",
-                dataset.name(),
-                dataset.paper_sparsity()
-            ),
-            &[
-                "Model",
-                "Software (%)",
-                "16x16 (%)",
-                "32x32 (%)",
-                "64x64 (%)",
-            ],
-        );
-        let unpruned = Scenario::new(variant, dataset, PruneMethod::None, scale).with_seed(seed);
-        let data = unpruned.dataset();
-        let tm_unpruned = unpruned.train_model_cached(&data);
-        table.push_row(accuracy_row(
-            "unpruned",
-            &tm_unpruned,
-            &data,
-            seed,
-            None,
-            None,
-        ));
-        let cf = Scenario::new(variant, dataset, PruneMethod::ChannelFilter, scale).with_seed(seed);
-        let tm_cf = cf.train_model_cached(&data);
-        table.push_row(accuracy_row("C/F", &tm_cf, &data, seed, None, None));
-        table.push_row(accuracy_row(
-            "C/F + R",
-            &tm_cf,
-            &data,
-            seed,
-            // The paper's R layout (Fig. 3(f)): light columns centre, dark at
-            // the peripheries. See ablation A3 for the other orderings.
-            Some(ColumnOrder::CenterOut),
-            None,
-        ));
-        table
-            .emit(&format!("fig4{panel_id}"))
-            .expect("write results");
-    }
-
-    // Panels (e)-(f): WCT.
-    let wct_cases = [
-        ("e", DatasetKind::Cifar10Like),
-        ("f", DatasetKind::Cifar100Like),
-    ];
-    for (panel_id, dataset) in wct_cases {
-        if !run(panel_id) {
-            continue;
-        }
-        let mut table = Table::new(
-            format!(
-                "Fig 4({panel_id}): WCT, VGG11/{} (s = {})",
-                dataset.name(),
-                dataset.paper_sparsity()
-            ),
-            &[
-                "Model",
-                "Software (%)",
-                "16x16 (%)",
-                "32x32 (%)",
-                "64x64 (%)",
-            ],
-        );
-        let unpruned =
-            Scenario::new(VggVariant::Vgg11, dataset, PruneMethod::None, scale).with_seed(seed);
-        let data = unpruned.dataset();
-        let tm_unpruned = unpruned.train_model_cached(&data);
-        table.push_row(accuracy_row(
-            "unpruned",
-            &tm_unpruned,
-            &data,
-            seed,
-            None,
-            None,
-        ));
-        let cf = Scenario::new(
-            VggVariant::Vgg11,
-            dataset,
-            PruneMethod::ChannelFilter,
-            scale,
-        )
-        .with_seed(seed);
-        let tm_cf = cf.train_model_cached(&data);
-        table.push_row(accuracy_row("C/F", &tm_cf, &data, seed, None, None));
-        // WCT on top of the C/F model: clamp + 2-epoch constrained retrain,
-        // then map with the fixed pre-clamp scale.
-        let mut tm_wct = tm_cf.clone();
-        let train_ref = DataRef::new(data.images(Split::Train), data.labels(Split::Train))
-            .expect("dataset well-formed");
-        let mut wct_cfg = WctConfig::default();
-        wct_cfg.train.batch_size = scale.batch_size;
-        if let Ok(q) = std::env::var("XBAR_WCT_Q") {
-            wct_cfg.quantile = q.parse().expect("XBAR_WCT_Q must be a float");
-        }
-        let constraint: Option<&dyn WeightConstraint> =
-            tm_wct.masks.as_ref().map(|m| m as &dyn WeightConstraint);
-        let outcome =
-            apply_wct(&mut tm_wct.model, train_ref, &wct_cfg, constraint).expect("WCT trains");
-        let test_ref = DataRef::new(data.images(Split::Test), data.labels(Split::Test))
-            .expect("dataset well-formed");
-        tm_wct.software_accuracy =
-            evaluate(&mut tm_wct.model, test_ref, 64).expect("evaluation shape-safe");
-        xbar_obs::event!(
-            "wct_applied",
-            w_cut = outcome.w_cut,
-            pre_clamp_abs_max = outcome.pre_clamp_abs_max,
-            software_acc = tm_wct.software_accuracy
-        );
-        table.push_row(accuracy_row(
-            "WCT + C/F",
-            &tm_wct,
-            &data,
-            seed,
-            None,
-            Some(outcome.mapping_scale()),
-        ));
-        table
-            .emit(&format!("fig4{panel_id}"))
-            .expect("write results");
     }
     ctx.finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(()) => ExitCode::FAILURE,
+    }
 }

@@ -4,75 +4,26 @@
 //! `results/`. Also prints the column-adjacency clustering score (lower =
 //! more clustered), the quantitative counterpart of the visual effect.
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::figures::fig3f`]; the
+//! suite orchestrator runs the same code.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin heatmaps
 //! [--full|--smoke] [--seed N]`
 
-use xbar_bench::report::{results_dir, Table};
+use std::process::ExitCode;
+use xbar_bench::artifacts::{figures, ArtifactCtx};
 use xbar_bench::runner::RunContext;
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_core::heatmap::{column_adjacency_score, Heatmap};
-use xbar_core::rearrange::{ColumnOrder, Rearrangement};
-use xbar_nn::vgg::VggVariant;
-use xbar_prune::transform::transform;
-use xbar_prune::unroll::unrolled_matrices;
-use xbar_prune::PruneMethod;
 
-fn main() {
+fn main() -> ExitCode {
     let ctx = RunContext::init("heatmaps", &[]);
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
-    let sc = Scenario::new(
-        VggVariant::Vgg16,
-        DatasetKind::Cifar10Like,
-        PruneMethod::ChannelFilter,
-        scale,
-    )
-    .with_seed(seed);
-    let data = sc.dataset();
-    let tm = sc.train_model_cached(&data);
-    let unrolled = unrolled_matrices(&tm.model);
-    let mut table = Table::new(
-        "Fig 3(f): column clustering score before/after R (lower = more clustered)",
-        &[
-            "Conv layer",
-            "Score before R",
-            "Score after R (centre-out)",
-            "Score after R (ascending)",
-            "Best reduction (%)",
-        ],
-    );
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    // The paper shows the 3rd and 5th conv layers (1-indexed).
-    for conv_ordinal in [3usize, 5] {
-        let ul = &unrolled[conv_ordinal - 1];
-        // Compact with T first, as the mapping pipeline does.
-        let t = transform(&ul.matrix, PruneMethod::ChannelFilter, 32, 32);
-        let panel = &t.panels[0].matrix;
-        let r = Rearrangement::compute(panel, ColumnOrder::CenterOut, 32);
-        let after = r.apply(panel);
-        let before_score = column_adjacency_score(panel);
-        let after_score = column_adjacency_score(&after);
-        // The adjacency metric is minimised by a monotone ordering, so also
-        // report the ascending score — the quantitative optimum.
-        let asc = Rearrangement::compute(panel, ColumnOrder::Ascending, 32);
-        let asc_score = column_adjacency_score(&asc.apply(panel));
-        for (tag, matrix) in [("before", panel), ("after", &after)] {
-            let hm = Heatmap::from_matrix(matrix, 128, 128);
-            let path = dir.join(format!("fig3f_conv{conv_ordinal}_{tag}_r.csv"));
-            std::fs::write(&path, hm.to_csv()).expect("write heatmap");
-            println!("[heatmap written to {}]", path.display());
-        }
-        table.push_row(vec![
-            format!("conv{conv_ordinal}"),
-            format!("{before_score:.5}"),
-            format!("{after_score:.5}"),
-            format!("{asc_score:.5}"),
-            format!(
-                "{:.1}",
-                100.0 * (1.0 - after_score.min(asc_score) / before_score.max(1e-12))
-            ),
-        ]);
-    }
-    table.emit("fig3f_scores").expect("write results");
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let result = figures::fig3f(&actx);
     ctx.finish();
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

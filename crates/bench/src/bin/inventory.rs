@@ -4,29 +4,29 @@
 //! seeing *where* in a network the non-idealities concentrate (the deep
 //! 512-channel VGG blocks dominate both crossbar count and NF).
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::tables::inventory`]; the
+//! suite orchestrator runs the same code.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin inventory
 //! [--size N] [--method none|cf] [--full|--smoke] [--seed N]`
 
-use xbar_bench::report::{pct, Table};
-use xbar_bench::runner::{map_config, Arity, RunContext};
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_core::cost::{estimate_cost, CostModel};
-use xbar_core::pipeline::map_to_crossbars;
-use xbar_nn::vgg::VggVariant;
+use std::process::ExitCode;
+use xbar_bench::artifacts::{tables, ArtifactCtx};
+use xbar_bench::runner::{Arity, RunContext};
 use xbar_prune::PruneMethod;
 
-fn main() {
+fn main() -> ExitCode {
     let ctx = RunContext::init(
         "inventory",
         &[("--size", Arity::Value), ("--method", Arity::Value)],
     );
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
-    let size: usize = ctx
-        .args
-        .get("--size")
-        .unwrap_or("32")
-        .parse()
-        .expect("--size takes an integer");
+    let size: usize = match ctx.args.get("--size").unwrap_or("32").parse() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("error: --size takes an integer");
+            return ExitCode::from(2);
+        }
+    };
     let method = match ctx.args.get("--method").unwrap_or("cf") {
         "none" => PruneMethod::None,
         "cf" => PruneMethod::ChannelFilter,
@@ -34,53 +34,17 @@ fn main() {
         "xrs" => PruneMethod::XbarRow,
         other => {
             eprintln!("error: unknown method {other}; supported: none cf xcs xrs");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
-    let sc =
-        Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale).with_seed(seed);
-    let data = sc.dataset();
-    let tm = sc.train_model_cached(&data);
-    let cfg = map_config(&tm, size, seed);
-    let (_, report) = map_to_crossbars(&tm.model, &cfg).expect("mapping pipeline");
-    let mut table = Table::new(
-        format!(
-            "Layer inventory: VGG11 ({method}) on {size}x{size} crossbars — software acc {}%",
-            pct(tm.software_accuracy)
-        ),
-        &[
-            "Layer",
-            "Kind",
-            "Crossbars",
-            "Mean NF",
-            "NF std",
-            "Low-G fraction",
-            "Solver iters",
-            "Max residual",
-            "Non-conv",
-        ],
-    );
-    for lr in &report.layers {
-        let kind = tm.model.layers()[lr.layer_index].kind_name();
-        table.push_row(vec![
-            format!("#{}", lr.layer_index),
-            kind.to_string(),
-            lr.crossbar_count.to_string(),
-            format!("{:.4}", lr.nf.mean()),
-            format!("{:.4}", lr.nf.std()),
-            format!("{:.3}", lr.low_g_fraction),
-            lr.solver_iterations.to_string(),
-            format!("{:.2e}", lr.max_residual),
-            lr.non_converged.to_string(),
-        ]);
-    }
-    table.emit("inventory").expect("write results");
-    let cost = estimate_cost(&tm.model, &cfg, &CostModel::default());
-    println!(
-        "total: {} crossbars, {:.2} mm^2, {:.1} uJ/inference (first-order model)",
-        cost.crossbars,
-        cost.area_um2 / 1e6,
-        cost.energy_uj
-    );
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let result = tables::inventory(&actx, size, method);
     ctx.finish();
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

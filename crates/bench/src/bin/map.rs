@@ -2,23 +2,23 @@
 //! and persists the resulting `W'` network as an `XBARMDL1` artifact for
 //! `xbar-serve`.
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::perfmap::map_artifact`];
+//! the suite orchestrator runs the same code with the default options.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin map -- [--smoke|--full]
 //! [--seed N] [--network vgg11|vgg16] [--dataset cifar10|cifar100]
 //! [--method none|cf|xcs|xrs] [--size N] [--threads N] [--out <path>]`
 //!
 //! `--threads 0` resets the compute-thread budget to auto-detection.
 
-use xbar_bench::report::{pct, results_dir, Table};
-use xbar_bench::runner::{map_config, Arity, RunContext};
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_core::pipeline::map_to_crossbars;
-use xbar_core::{save_artifact_to_file, ArtifactMeta};
-use xbar_data::Split;
-use xbar_nn::train::{evaluate, DataRef};
+use std::process::ExitCode;
+use xbar_bench::artifacts::{perfmap, ArtifactCtx};
+use xbar_bench::runner::{Arity, RunContext};
+use xbar_bench::DatasetKind;
 use xbar_nn::vgg::VggVariant;
 use xbar_prune::PruneMethod;
 
-fn main() {
+fn main() -> ExitCode {
     let mut ctx = RunContext::init(
         "map",
         &[
@@ -38,7 +38,7 @@ fn main() {
                 eprintln!(
                     "error: --threads must be a non-negative integer (0 = auto), got {raw:?}"
                 );
-                std::process::exit(2);
+                return ExitCode::from(2);
             }
         }
     }
@@ -47,7 +47,7 @@ fn main() {
         "vgg16" => VggVariant::Vgg16,
         other => {
             eprintln!("error: --network must be vgg11 or vgg16, got {other:?}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
     let dataset = match ctx.args.get("--dataset").unwrap_or("cifar10") {
@@ -55,7 +55,7 @@ fn main() {
         "cifar100" => DatasetKind::Cifar100Like,
         other => {
             eprintln!("error: --dataset must be cifar10 or cifar100, got {other:?}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
     let method = match ctx.args.get("--method").unwrap_or("cf") {
@@ -65,72 +65,35 @@ fn main() {
         "xrs" => PruneMethod::XbarRow,
         other => {
             eprintln!("error: --method must be none, cf, xcs or xrs, got {other:?}");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
-    let size: usize = match ctx.args.get("--size").unwrap_or("32").parse() {
+    let size = match ctx.args.get("--size").unwrap_or("32").parse() {
         Ok(n) if n > 0 => n,
         _ => {
             eprintln!("error: --size must be a positive integer");
-            std::process::exit(2);
+            return ExitCode::from(2);
         }
     };
-    let out = ctx
-        .args
-        .get("--out")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| results_dir().join("model.xbarmdl"));
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
-    ctx.config("crossbar_size", size);
-    ctx.config("artifact", out.display());
-
-    let sc = Scenario::new(variant, dataset, method, scale).with_seed(seed);
-    let data = sc.dataset();
-    let tm = sc.train_model_cached(&data);
-    let cfg = map_config(&tm, size, seed);
-    let (mut noisy, report) = map_to_crossbars(&tm.model, &cfg).expect("mapping pipeline");
-    let test = DataRef::new(data.images(Split::Test), data.labels(Split::Test))
-        .expect("dataset well-formed");
-    let crossbar_accuracy = evaluate(&mut noisy, test, 64).expect("evaluation shape-safe");
-
-    let label = format!(
-        "{variant} {} {method} s={:.1} {size}x{size}",
-        dataset.name(),
-        sc.sparsity
-    );
-    let mut meta = ArtifactMeta::from_mapping(label, &cfg, &report);
-    meta.software_accuracy = Some(tm.software_accuracy);
-    meta.crossbar_accuracy = Some(crossbar_accuracy);
-    if let Some(dir) = out.parent() {
-        std::fs::create_dir_all(dir).expect("create artifact directory");
+    let opts = perfmap::MapArtifactOptions {
+        variant,
+        dataset,
+        method,
+        size,
+        out: ctx.args.get("--out").map(std::path::PathBuf::from),
+    };
+    ctx.config("crossbar_size", opts.size);
+    if let Some(out) = &opts.out {
+        ctx.config("artifact", out.display());
     }
-    save_artifact_to_file(&mut noisy, &meta, &out).expect("write artifact");
-
-    let mut table = Table::new(
-        "Mapped-model artifact",
-        &[
-            "Network",
-            "Dataset",
-            "Method",
-            "Crossbar",
-            "Software acc (%)",
-            "Crossbar acc (%)",
-            "Mean NF",
-            "Artifact",
-        ],
-    );
-    table.push_row(vec![
-        variant.to_string(),
-        dataset.name().to_string(),
-        method.to_string(),
-        format!("{size}x{size}"),
-        pct(tm.software_accuracy),
-        pct(crossbar_accuracy),
-        format!("{:.4}", report.mean_nf()),
-        out.display().to_string(),
-    ]);
-    table.emit("map").expect("write results");
-    // Scripts (CI smoke, demos) parse this line for the artifact path.
-    println!("artifact written to {}", out.display());
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let result = perfmap::map_artifact(&actx, &opts);
     ctx.finish();
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -6,47 +6,17 @@
 //! are bit-identical across all of them, and writes the timings plus cache
 //! counters to `results/BENCH_map.json`.
 //!
-//! This models the repeated-sweep workload of the experiment binaries
-//! (faults × repair, rearrange A/B, WCT epochs), which re-map identical or
-//! near-identical weight matrices per scenario.
+//! Thin CLI wrapper over [`xbar_bench::artifacts::perfmap::perf`]; the
+//! suite orchestrator runs the same code (serially — it toggles the global
+//! solve-cache mode and measures wall time).
 //!
 //! Usage: `cargo run --release -p xbar-bench --bin perf --
 //! [--smoke|--quick|--full] [--seed N] [--size N] [--quiet]
 //! [--trace-out <path>]`
 
 use std::process::ExitCode;
-use std::time::Instant;
-use xbar_bench::report::results_dir;
+use xbar_bench::artifacts::{perfmap, ArtifactCtx};
 use xbar_bench::runner::{Arity, RunContext};
-use xbar_core::pipeline::{map_to_crossbars, MapConfig, MapReport};
-use xbar_nn::vgg::{VggConfig, VggVariant};
-use xbar_nn::Sequential;
-use xbar_obs::json::Json;
-use xbar_obs::metrics::counter_value;
-use xbar_sim::params::CrossbarParams;
-use xbar_sim::CacheMode;
-
-/// Pools every synaptic weight of the mapped model for bitwise comparison.
-fn synaptic_weights(model: &Sequential) -> Vec<f32> {
-    let mut model = model.clone();
-    let mut out = Vec::new();
-    for p in model.params_mut() {
-        if p.kind.is_synaptic() {
-            out.extend_from_slice(p.value.as_slice());
-        }
-    }
-    out
-}
-
-fn timed_map(model: &Sequential, cfg: &MapConfig) -> (f64, Sequential, MapReport) {
-    let start = Instant::now();
-    let (mapped, report) = map_to_crossbars(model, cfg).expect("mapping pipeline");
-    (start.elapsed().as_secs_f64(), mapped, report)
-}
-
-fn bits_equal(a: &[f32], b: &[f32]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
 
 fn main() -> ExitCode {
     let mut ctx = RunContext::init("perf", &[("--size", Arity::Value)]);
@@ -58,115 +28,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let width = ctx.args.scale.width;
-    let seed = ctx.args.seed;
     ctx.config("crossbar_size", size);
-    ctx.config("width_multiplier", width);
-
-    let model = VggConfig::new(VggVariant::Vgg11, 10)
-        .width_multiplier(width)
-        .build(seed);
-    let mut params = CrossbarParams::with_size(size);
-    params.sigma_variation = 0.05;
-    let cfg = MapConfig {
-        params,
-        seed,
-        ..Default::default()
-    };
-
-    // Cold: no caching, every tile solved from the cold initial guess.
-    xbar_sim::set_solve_cache_mode(CacheMode::Off);
-    let (cold_s, cold_model, cold_report) = timed_map(&model, &cfg);
-    let cold_weights = synaptic_weights(&cold_model);
-    eprintln!(
-        "[perf] cold map: {cold_s:.3}s, {} solver sweeps",
-        cold_report.solver_iterations()
-    );
-
-    // Populate, then replay from cache: the repeated-sweep workload.
-    xbar_sim::set_solve_cache_mode(CacheMode::Full);
-    xbar_sim::clear_solve_cache();
-    let (h0, m0) = (
-        counter_value("sim/solve_cache_hits"),
-        counter_value("sim/solve_cache_misses"),
-    );
-    let (populate_s, _, _) = timed_map(&model, &cfg);
-    let (cached_s, cached_model, cached_report) = timed_map(&model, &cfg);
-    let hits = counter_value("sim/solve_cache_hits") - h0;
-    let misses = counter_value("sim/solve_cache_misses") - m0;
-    eprintln!("[perf] cached re-map: {cached_s:.3}s ({hits} hits / {misses} misses)");
-
-    // Warm-started: each solve verifies the cached voltages in ~1 sweep.
-    xbar_sim::set_solve_cache_mode(CacheMode::Seed);
-    let (warm_s, warm_model, warm_report) = timed_map(&model, &cfg);
-    xbar_sim::set_solve_cache_mode(CacheMode::Full);
-    eprintln!(
-        "[perf] warm re-map: {warm_s:.3}s, {} solver sweeps",
-        warm_report.solver_iterations()
-    );
-
-    let bit_identical_cached = bits_equal(&cold_weights, &synaptic_weights(&cached_model));
-    let bit_identical_warm = bits_equal(&cold_weights, &synaptic_weights(&warm_model));
-    let speedup_cached = cold_s / cached_s.max(1e-12);
-    let speedup_warm = cold_s / warm_s.max(1e-12);
-
-    let out = Json::Obj(vec![
-        ("bin".into(), Json::Str("perf".into())),
-        ("scale".into(), Json::Str(ctx.args.scale_name.into())),
-        ("network".into(), Json::Str("vgg11".into())),
-        ("width_multiplier".into(), Json::Num(width)),
-        ("crossbar_size".into(), Json::Num(size as f64)),
-        ("seed".into(), Json::Num(seed as f64)),
-        ("cold_s".into(), Json::Num(cold_s)),
-        ("populate_s".into(), Json::Num(populate_s)),
-        ("cached_s".into(), Json::Num(cached_s)),
-        ("warm_s".into(), Json::Num(warm_s)),
-        ("speedup_cached".into(), Json::Num(speedup_cached)),
-        ("speedup_warm".into(), Json::Num(speedup_warm)),
-        ("cache_hits".into(), Json::Num(hits as f64)),
-        ("cache_misses".into(), Json::Num(misses as f64)),
-        (
-            "solver_sweeps_cold".into(),
-            Json::Num(cold_report.solver_iterations() as f64),
-        ),
-        (
-            "solver_sweeps_cached".into(),
-            Json::Num(cached_report.solver_iterations() as f64),
-        ),
-        (
-            "solver_sweeps_warm".into(),
-            Json::Num(warm_report.solver_iterations() as f64),
-        ),
-        (
-            "bit_identical_cached".into(),
-            Json::Bool(bit_identical_cached),
-        ),
-        ("bit_identical_warm".into(), Json::Bool(bit_identical_warm)),
-    ]);
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results directory");
-    let path = dir.join("BENCH_map.json");
-    if let Err(e) = std::fs::write(&path, out.to_json() + "\n") {
-        eprintln!("error: cannot write {}: {e}", path.display());
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "cold {cold_s:.3}s | cached {cached_s:.3}s ({speedup_cached:.1}x) | \
-         warm {warm_s:.3}s ({speedup_warm:.1}x) -> {}",
-        path.display()
-    );
+    ctx.config("width_multiplier", ctx.args.scale.width);
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let result = perfmap::perf(&actx, size);
     ctx.finish();
-
-    if !bit_identical_cached || !bit_identical_warm {
-        eprintln!(
-            "error: cached/warm mapping diverged from cold \
-             (cached: {bit_identical_cached}, warm: {bit_identical_warm})"
-        );
-        return ExitCode::FAILURE;
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    if speedup_cached < 1.5 {
-        eprintln!("error: cached re-map speedup {speedup_cached:.2}x below the 1.5x target");
-        return ExitCode::FAILURE;
-    }
-    ExitCode::SUCCESS
 }

@@ -3,153 +3,27 @@
 //! the unpruned and structure-pruned VGG11/VGG16 models on the
 //! CIFAR10-like (s = 0.8) and CIFAR100-like (s = 0.6) datasets.
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::tables::table1`]; the
+//! suite orchestrator runs the same code.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin table1 [--full|--smoke]
 //! [--seed N] [--quiet] [--trace-out <path>]`
 
-use xbar_bench::report::{pct, rate, Table};
-use xbar_bench::runner::{crossbar_accuracy, map_config, RunContext};
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_nn::vgg::VggVariant;
-use xbar_prune::compression::compression_rate;
-use xbar_prune::PruneMethod;
+use std::process::ExitCode;
+use xbar_bench::artifacts::{tables, ArtifactCtx};
+use xbar_bench::runner::RunContext;
 
-/// Crossbar size Table I evaluates at.
-const SIZE: usize = 32;
-
-fn main() {
+fn main() -> ExitCode {
     let mut ctx = RunContext::init("table1", &[]);
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
-    ctx.config("crossbar_size", SIZE);
-    let mut table = Table::new(
-        "Table I: software accuracy and crossbar-compression-rate (32x32)",
-        &[
-            "Dataset",
-            "Network",
-            "Method",
-            "Sparsity",
-            "Software acc (%)",
-            "Crossbar acc (%)",
-            "Compression",
-        ],
-    );
-    let mut solver_table = Table::new(
-        "Table I mapping solver statistics (32x32)",
-        &[
-            "Dataset",
-            "Network",
-            "Method",
-            "Crossbars",
-            "Mean NF",
-            "Solver iters",
-            "Max residual",
-            "Non-conv tiles",
-        ],
-    );
-    let cases: Vec<(DatasetKind, VggVariant, PruneMethod)> = vec![
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg11,
-            PruneMethod::None,
-        ),
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg11,
-            PruneMethod::ChannelFilter,
-        ),
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg11,
-            PruneMethod::XbarColumn,
-        ),
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg11,
-            PruneMethod::XbarRow,
-        ),
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg16,
-            PruneMethod::None,
-        ),
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg16,
-            PruneMethod::ChannelFilter,
-        ),
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg16,
-            PruneMethod::XbarColumn,
-        ),
-        (
-            DatasetKind::Cifar10Like,
-            VggVariant::Vgg16,
-            PruneMethod::XbarRow,
-        ),
-        (
-            DatasetKind::Cifar100Like,
-            VggVariant::Vgg11,
-            PruneMethod::None,
-        ),
-        (
-            DatasetKind::Cifar100Like,
-            VggVariant::Vgg11,
-            PruneMethod::ChannelFilter,
-        ),
-        (
-            DatasetKind::Cifar100Like,
-            VggVariant::Vgg16,
-            PruneMethod::None,
-        ),
-        (
-            DatasetKind::Cifar100Like,
-            VggVariant::Vgg16,
-            PruneMethod::ChannelFilter,
-        ),
-    ];
-    for (dataset, variant, method) in cases {
-        let sc = Scenario::new(variant, dataset, method, scale).with_seed(seed);
-        let data = sc.dataset();
-        let tm = sc.train_model_cached(&data);
-        let compression = match method {
-            PruneMethod::None => "-".to_string(),
-            m => rate(compression_rate(&tm.model, m, SIZE, SIZE)),
-        };
-        let cfg = map_config(&tm, SIZE, seed);
-        let (xbar_acc, report) = crossbar_accuracy(&tm, &data, &cfg);
-        xbar_obs::event!(
-            "case_done",
-            dataset = dataset.name(),
-            network = variant.to_string(),
-            method = method.to_string(),
-            software_acc = tm.software_accuracy,
-            crossbar_acc = xbar_acc
-        );
-        table.push_row(vec![
-            dataset.name().to_string(),
-            variant.to_string(),
-            method.to_string(),
-            if method == PruneMethod::None {
-                "-".to_string()
-            } else {
-                format!("{:.1}", sc.sparsity)
-            },
-            pct(tm.software_accuracy),
-            pct(xbar_acc),
-            compression,
-        ]);
-        solver_table.push_row(vec![
-            dataset.name().to_string(),
-            variant.to_string(),
-            method.to_string(),
-            report.crossbar_count().to_string(),
-            format!("{:.4}", report.mean_nf()),
-            report.solver_iterations().to_string(),
-            format!("{:.2e}", report.max_residual()),
-            report.non_converged().to_string(),
-        ]);
-    }
-    table.emit("table1").expect("write results");
-    solver_table.emit("table1_solver").expect("write results");
+    ctx.config("crossbar_size", tables::TABLE1_SIZE);
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let result = tables::table1(&actx);
     ctx.finish();
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -3,75 +3,26 @@
 //! model) but lose more accuracy to non-idealities. One row per C/F sparsity
 //! level on VGG11/CIFAR10-like at 32×32 crossbars.
 //!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::tables::tradeoff`]; the
+//! suite orchestrator runs the same code.
+//!
 //! Usage: `cargo run --release -p xbar-bench --bin tradeoff
 //! [--full|--smoke] [--seed N]`
 
-use xbar_bench::report::{pct, rate, Table};
-use xbar_bench::runner::{crossbar_accuracy_avg, map_config, RunContext, DEFAULT_REPS};
-use xbar_bench::{DatasetKind, Scenario};
-use xbar_core::cost::{estimate_cost, CostModel};
-use xbar_nn::vgg::VggVariant;
-use xbar_prune::PruneMethod;
+use std::process::ExitCode;
+use xbar_bench::artifacts::{tables, ArtifactCtx};
+use xbar_bench::runner::RunContext;
 
-fn main() {
+fn main() -> ExitCode {
     let ctx = RunContext::init("tradeoff", &[]);
-    let (scale, seed) = (ctx.args.scale, ctx.args.seed);
-    let cost_model = CostModel::default();
-    let mut table = Table::new(
-        "Trade-off: C/F sparsity vs hardware cost vs crossbar accuracy (VGG11/CIFAR10-like, 32x32)",
-        &[
-            "Sparsity",
-            "Software (%)",
-            "Crossbar acc (%)",
-            "Crossbars",
-            "Area saving",
-            "Energy saving",
-        ],
-    );
-    // Dense baseline for the savings ratios.
-    let mut dense_cost = None;
-    for s in [0.0f64, 0.5, 0.65, 0.8] {
-        let method = if s == 0.0 {
-            PruneMethod::None
-        } else {
-            PruneMethod::ChannelFilter
-        };
-        let sc = Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale)
-            .with_seed(seed)
-            .with_sparsity(if s == 0.0 { 0.5 } else { s });
-        let sc = if s == 0.0 {
-            // Sparsity is ignored for the unpruned run; keep the canonical
-            // cache key.
-            Scenario::new(VggVariant::Vgg11, DatasetKind::Cifar10Like, method, scale)
-                .with_seed(seed)
-        } else {
-            sc
-        };
-        let data = sc.dataset();
-        let tm = sc.train_model_cached(&data);
-        let cfg = map_config(&tm, 32, seed);
-        let (acc, report) = crossbar_accuracy_avg(&tm, &data, &cfg, DEFAULT_REPS);
-        let cost = estimate_cost(&tm.model, &cfg, &cost_model);
-        let dense = *dense_cost.get_or_insert(cost);
-        xbar_obs::event!(
-            "progress",
-            sparsity = s,
-            accuracy = acc,
-            crossbars = cost.crossbars
-        );
-        table.push_row(vec![
-            if s == 0.0 {
-                "unpruned".into()
-            } else {
-                format!("{s:.2}")
-            },
-            pct(tm.software_accuracy),
-            pct(acc),
-            report.crossbar_count().to_string(),
-            rate(cost.area_saving_vs(&dense)),
-            rate(cost.energy_saving_vs(&dense)),
-        ]);
-    }
-    table.emit("tradeoff").expect("write results");
+    let actx = ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed);
+    let result = tables::tradeoff(&actx);
     ctx.finish();
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

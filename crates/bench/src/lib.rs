@@ -15,8 +15,10 @@
 //! orderings, trends with crossbar size and sparsity, and the effect of the
 //! R and WCT mitigations. `EXPERIMENTS.md` records both sides.
 
+pub mod artifacts;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod suite;
 
 pub use scenario::{DatasetKind, ExperimentScale, Scenario, TrainedModel};

@@ -65,6 +65,22 @@ impl Table {
         out
     }
 
+    /// Writes the CSV under `results/` without printing anything — the
+    /// quiet half of [`Table::emit`], used by the suite orchestrator whose
+    /// concurrent artifact workers must not interleave markdown on stdout.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the results directory or file cannot be
+    /// written.
+    pub fn write_csv(&self, file_stem: &str) -> io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{file_stem}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+
     /// Prints the markdown to stdout and writes the CSV under `results/`.
     ///
     /// # Errors
@@ -73,10 +89,7 @@ impl Table {
     /// written.
     pub fn emit(&self, file_stem: &str) -> io::Result<PathBuf> {
         println!("{}", self.to_markdown());
-        let dir = results_dir();
-        fs::create_dir_all(&dir)?;
-        let path = dir.join(format!("{file_stem}.csv"));
-        fs::write(&path, self.to_csv())?;
+        let path = self.write_csv(file_stem)?;
         println!("[csv written to {}]", path.display());
         Ok(path)
     }

@@ -248,7 +248,11 @@ impl Scenario {
 
     /// A deterministic cache key covering every field that affects training,
     /// including the recipe (so recipe changes invalidate stale entries).
-    fn cache_key(&self) -> String {
+    ///
+    /// Public because the suite orchestrator also uses it as the identity
+    /// under which scenarios shared by several artifacts are deduplicated:
+    /// two scenarios with equal keys train to bit-identical models.
+    pub fn cache_key(&self) -> String {
         let recipe = self.train_recipe();
         // Bumped when a pruning method's semantics change (v2: XCS/XRS
         // exempt the input layer).
@@ -277,6 +281,10 @@ impl Scenario {
     /// `results/cache/` so the many experiment binaries that share scenarios
     /// (e.g. the unpruned VGG11 baseline) train each model only once.
     ///
+    /// Hits and misses are counted in the `bench/scenario_cache_hits` /
+    /// `bench/scenario_cache_misses` metrics; the suite orchestrator uses
+    /// the deltas to prove each unique scenario trained at most once.
+    ///
     /// # Panics
     ///
     /// Panics on I/O errors other than a missing cache entry.
@@ -284,9 +292,11 @@ impl Scenario {
         let dir = crate::report::results_dir().join("cache");
         let path = dir.join(format!("{}.xbarmodel", self.cache_key()));
         if let Some(tm) = self.try_load(&path, data) {
+            xbar_obs::metrics::counter_add("bench/scenario_cache_hits", 1);
             xbar_obs::event!("cache_loaded", path = path.display().to_string());
             return tm;
         }
+        xbar_obs::metrics::counter_add("bench/scenario_cache_misses", 1);
         let tm = self.train_model(data);
         std::fs::create_dir_all(&dir).expect("create cache dir");
         let mut model = tm.model.clone();

@@ -67,6 +67,49 @@ impl Json {
         out
     }
 
+    /// Two-space-indented serialisation for artifacts meant to be read by
+    /// humans (e.g. `results/suite.json` in a CI run's uploaded artifacts).
+    /// Parses back to the same value as [`Json::to_json`].
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -108,6 +151,12 @@ impl Json {
             return Err(format!("trailing data at byte {pos}"));
         }
         Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
     }
 }
 
@@ -321,6 +370,22 @@ mod tests {
         let text = doc.to_json();
         let back = Json::parse(&text).expect("parses");
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn pretty_round_trips_and_indents() {
+        let doc = obj(vec![
+            ("name", Json::Str("suite".into())),
+            ("items", Json::Arr(vec![Json::Num(1.0), Json::Bool(false)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("nested", obj(vec![("ok", Json::Bool(true))])),
+        ]);
+        let text = doc.to_json_pretty();
+        assert!(text.contains("\n  \"items\": [\n    1,\n    false\n  ]"));
+        assert!(text.contains("\"empty_arr\": []"));
+        assert!(text.contains("\"empty_obj\": {}"));
+        assert_eq!(Json::parse(&text).expect("pretty output parses"), doc);
     }
 
     #[test]
