@@ -22,5 +22,11 @@ assert len(answer["scores"]) == 10, answer
 print("classify ok:", answer["class"])
 EOF
 
-curl -sf "http://$ADDR/metrics" | grep -q serve_classify_ok
+# /metrics must be a parseable Prometheus exposition, not just non-empty:
+# obs-report --check-prom exits nonzero on any malformed line.
+METRICS_SCRAPE=$(mktemp)
+trap 'rm -f "$METRICS_SCRAPE"' EXIT
+curl -sf "http://$ADDR/metrics" > "$METRICS_SCRAPE"
+grep -q serve_classify_ok "$METRICS_SCRAPE"
+./target/release/obs-report --check-prom "$METRICS_SCRAPE"
 curl -sf -X POST "http://$ADDR/admin/shutdown" > /dev/null

@@ -22,6 +22,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod perfmap;
+pub mod profile;
 pub mod tables;
 
 use crate::report::Table;
@@ -374,6 +375,13 @@ pub fn registry() -> Vec<ArtifactSpec> {
             exclusive: true,
             run: run_perf,
             scenarios: no_scenarios,
+        },
+        ArtifactSpec {
+            name: "profile",
+            paper_ref: "suite time profile (ours)",
+            exclusive: true,
+            run: profile::profile,
+            scenarios: profile::profile_scenarios,
         },
     ]
 }

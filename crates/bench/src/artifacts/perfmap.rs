@@ -18,6 +18,7 @@ use xbar_nn::vgg::{VggConfig, VggVariant};
 use xbar_nn::Sequential;
 use xbar_obs::json::Json;
 use xbar_obs::metrics::counter_value;
+use xbar_obs::names;
 use xbar_prune::PruneMethod;
 use xbar_sim::params::CrossbarParams;
 use xbar_sim::CacheMode;
@@ -196,13 +197,13 @@ pub fn perf(ctx: &ArtifactCtx, size: usize) -> Result<ArtifactOutput, String> {
     xbar_sim::set_solve_cache_mode(CacheMode::Full);
     xbar_sim::clear_solve_cache();
     let (h0, m0) = (
-        counter_value("sim/solve_cache_hits"),
-        counter_value("sim/solve_cache_misses"),
+        counter_value(names::SIM_SOLVE_CACHE_HITS),
+        counter_value(names::SIM_SOLVE_CACHE_MISSES),
     );
     let (populate_s, _, _) = timed_map(&model, &cfg)?;
     let (cached_s, cached_model, cached_report) = timed_map(&model, &cfg)?;
-    let hits = counter_value("sim/solve_cache_hits") - h0;
-    let misses = counter_value("sim/solve_cache_misses") - m0;
+    let hits = counter_value(names::SIM_SOLVE_CACHE_HITS) - h0;
+    let misses = counter_value(names::SIM_SOLVE_CACHE_MISSES) - m0;
     eprintln!("[perf] cached re-map: {cached_s:.3}s ({hits} hits / {misses} misses)");
 
     // Warm-started: each solve verifies the cached voltages in ~1 sweep.

@@ -1,0 +1,198 @@
+//! The suite time-profile artifact (`results/profile.csv`): where does a
+//! pipeline run actually spend its wall time?
+//!
+//! One instrumented mini-pipeline — cached training, crossbar mapping from
+//! a cold solve cache, forward-pass evaluation, artifact save/load I/O, and
+//! a cached re-map — each phase timed and annotated with the metric deltas
+//! it produced (scenario-cache traffic, tiles mapped, solve-cache hits).
+//! Phases are also recorded as spans, so the suite's Chrome trace
+//! (`results/suite_trace.json`) shows the same breakdown on a timeline.
+//!
+//! The artifact is `exclusive`: it clears the process-global solve cache
+//! and reads global counters before/after each phase, so concurrent
+//! mapping work would corrupt both the timings and the attributions.
+
+use super::{ArtifactCtx, ArtifactOutput};
+use crate::report::Table;
+use crate::runner::map_config;
+use crate::scenario::Scenario;
+use crate::DatasetKind;
+use std::time::Instant;
+use xbar_core::pipeline::map_to_crossbars;
+use xbar_core::{load_artifact_from_file, save_artifact_to_file, ArtifactMeta};
+use xbar_data::Split;
+use xbar_nn::train::{evaluate, DataRef};
+use xbar_nn::vgg::VggVariant;
+use xbar_obs::metrics::counter_value;
+use xbar_obs::{names, span};
+use xbar_prune::PruneMethod;
+
+/// One timed phase of the profile run.
+struct Phase {
+    name: &'static str,
+    wall_s: f64,
+    detail: String,
+}
+
+/// The scenario the profile pipeline trains — deliberately the same one the
+/// `map` artifact uses, so the suite's prepare phase covers it and the
+/// train phase measures a pure cache load.
+pub fn profile_scenarios(ctx: &ArtifactCtx) -> Vec<Scenario> {
+    vec![Scenario::new(
+        VggVariant::Vgg11,
+        DatasetKind::Cifar10Like,
+        PruneMethod::ChannelFilter,
+        ctx.scale,
+    )
+    .with_seed(ctx.seed)]
+}
+
+/// Runs the instrumented mini-pipeline and writes the per-phase wall-time
+/// breakdown to `results/profile.csv`.
+///
+/// # Errors
+///
+/// Fails on any pipeline error (mapping, evaluation, artifact I/O).
+pub fn profile(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
+    let mut out = ArtifactOutput::default();
+    let mut phases: Vec<Phase> = Vec::new();
+    let size = 32usize;
+
+    // Phase 1: training through the disk cache (a hit when the suite's
+    // prepare phase ran first; the detail column says which).
+    let sc = profile_scenarios(ctx).remove(0);
+    let (th0, tm0) = (
+        counter_value(names::BENCH_SCENARIO_CACHE_HITS),
+        counter_value(names::BENCH_SCENARIO_CACHE_MISSES),
+    );
+    let start = Instant::now();
+    let (data, tm) = {
+        let _span = span!("profile_train");
+        let data = sc.dataset();
+        let tm = sc.train_model_cached(&data);
+        (data, tm)
+    };
+    let hits = counter_value(names::BENCH_SCENARIO_CACHE_HITS) - th0;
+    let misses = counter_value(names::BENCH_SCENARIO_CACHE_MISSES) - tm0;
+    phases.push(Phase {
+        name: "train",
+        wall_s: start.elapsed().as_secs_f64(),
+        detail: format!("scenario cache: {hits} hit(s), {misses} miss(es)"),
+    });
+
+    // Phase 2: mapping onto non-ideal crossbars from a cold solve cache
+    // (cleared first — a concurrent artifact may have populated it).
+    let cfg = map_config(&tm, size, ctx.seed);
+    xbar_sim::clear_solve_cache();
+    let (xb0, sw0) = (
+        counter_value(names::MAP_CROSSBARS),
+        counter_value(names::MAP_SOLVER_ITERATIONS),
+    );
+    let start = Instant::now();
+    let (mut noisy, report) = {
+        let _span = span!("profile_map");
+        map_to_crossbars(&tm.model, &cfg).map_err(|e| format!("mapping pipeline: {e}"))?
+    };
+    let map_s = start.elapsed().as_secs_f64();
+    phases.push(Phase {
+        name: "map",
+        wall_s: map_s,
+        detail: format!(
+            "{} crossbar(s), {} solver sweep(s)",
+            counter_value(names::MAP_CROSSBARS) - xb0,
+            counter_value(names::MAP_SOLVER_ITERATIONS) - sw0,
+        ),
+    });
+
+    // Phase 3: forward-pass evaluation of the mapped model on the test set.
+    let test = DataRef::new(data.images(Split::Test), data.labels(Split::Test))
+        .map_err(|e| format!("dataset well-formed: {e}"))?;
+    let n_test = data.labels(Split::Test).len();
+    let start = Instant::now();
+    let crossbar_accuracy = {
+        let _span = span!("profile_eval");
+        evaluate(&mut noisy, test, 64).map_err(|e| format!("evaluation shape-safe: {e}"))?
+    };
+    phases.push(Phase {
+        name: "eval",
+        wall_s: start.elapsed().as_secs_f64(),
+        detail: format!(
+            "{n_test} image(s), {:.2}% crossbar accuracy",
+            100.0 * crossbar_accuracy
+        ),
+    });
+
+    // Phase 4: artifact serialisation round-trip (the `map` artifact's
+    // write plus the server's load), against a scratch file.
+    let scratch = std::env::temp_dir().join(format!(
+        "xbar-profile-{}-{}.xbarmdl",
+        std::process::id(),
+        ctx.seed
+    ));
+    let meta = ArtifactMeta::from_mapping("profile".to_string(), &cfg, &report);
+    let start = Instant::now();
+    {
+        let _span = span!("profile_io");
+        save_artifact_to_file(&mut noisy, &meta, &scratch)
+            .map_err(|e| format!("write artifact: {e}"))?;
+        load_artifact_from_file(&scratch).map_err(|e| format!("read artifact back: {e}"))?;
+    }
+    let io_s = start.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(&scratch).map(|m| m.len()).unwrap_or(0);
+    std::fs::remove_file(&scratch).ok();
+    phases.push(Phase {
+        name: "io",
+        wall_s: io_s,
+        detail: format!("save + load round-trip, {bytes} byte artifact"),
+    });
+
+    // Phase 5: the same mapping replayed through the now-warm solve cache.
+    let (ch0, cm0) = (
+        counter_value(names::SIM_SOLVE_CACHE_HITS),
+        counter_value(names::SIM_SOLVE_CACHE_MISSES),
+    );
+    let start = Instant::now();
+    {
+        let _span = span!("profile_cache");
+        map_to_crossbars(&tm.model, &cfg).map_err(|e| format!("cached re-map: {e}"))?;
+    }
+    let cache_s = start.elapsed().as_secs_f64();
+    phases.push(Phase {
+        name: "cache",
+        wall_s: cache_s,
+        detail: format!(
+            "cached re-map: {} hit(s), {} miss(es), {:.1}x vs cold map",
+            counter_value(names::SIM_SOLVE_CACHE_HITS) - ch0,
+            counter_value(names::SIM_SOLVE_CACHE_MISSES) - cm0,
+            map_s / cache_s.max(1e-12),
+        ),
+    });
+
+    let total_s: f64 = phases.iter().map(|p| p.wall_s).sum();
+    let mut table = Table::new(
+        "Suite time profile",
+        &["Phase", "Wall (s)", "Share (%)", "Detail"],
+    );
+    for phase in &phases {
+        table.push_row(vec![
+            phase.name.to_string(),
+            format!("{:.3}", phase.wall_s),
+            format!(
+                "{:.1}",
+                100.0 * phase.wall_s / total_s.max(f64::MIN_POSITIVE)
+            ),
+            phase.detail.clone(),
+        ]);
+        out.key(format!("{}_s", phase.name), phase.wall_s);
+    }
+    table.push_row(vec![
+        "total".to_string(),
+        format!("{total_s:.3}"),
+        "100.0".to_string(),
+        format!("scale {}, seed {}", ctx.scale_name, ctx.seed),
+    ]);
+    ctx.emit(&table, &mut out, "profile")?;
+    out.key("total_s", total_s);
+    out.key("crossbar_acc", crossbar_accuracy);
+    Ok(out)
+}

@@ -4,7 +4,16 @@
 //!
 //! Usage: `cargo run --release -p xbar-bench --bin loadgen --
 //! --addr 127.0.0.1:7878 [--connections 32] [--requests 25]
-//! [--input-len 3072] [--json-floats]`
+//! [--input-len 3072] [--interval-ms N] [--json-floats]`
+//!
+//! Latencies are recorded in a log-bucketed histogram
+//! ([`xbar_obs::LogHistogram`]), so the tail percentiles stay accurate at
+//! any request count. By default each connection runs closed-loop (next
+//! request after the previous response). `--interval-ms N` switches to an
+//! open-loop schedule: each connection *intends* to send every N ms and
+//! latency is measured from the intended send time, so a stalled server
+//! inflates the percentiles instead of silently slowing the workload —
+//! coordinated-omission-honest reporting.
 //!
 //! Exit status is non-zero if any request failed with something other than
 //! explicit backpressure (HTTP 503) — the acceptance bar for the serving
@@ -16,19 +25,37 @@ use std::thread;
 use std::time::{Duration, Instant};
 use xbar_bench::report::Table;
 use xbar_bench::runner::{Arity, RunContext};
+use xbar_obs::LogHistogram;
 use xbar_serve::base64::encode_f32;
 use xbar_serve::{RetryPolicy, RetryingClient};
 
+/// Sub-bucket precision of the latency histograms: 2^5 sub-buckets per
+/// power of two, ~3% relative error on reported quantiles.
+const LATENCY_SUB_BITS: u32 = 5;
+
 /// Per-connection outcome tallies and successful-request latencies.
-#[derive(Default)]
 struct ConnStats {
-    latencies_us: Vec<u64>,
+    latency: LogHistogram,
     ok: u64,
     backpressure: u64,
     timeouts: u64,
     other_status: u64,
     io_errors: u64,
     retries: u64,
+}
+
+impl Default for ConnStats {
+    fn default() -> Self {
+        ConnStats {
+            latency: LogHistogram::new(LATENCY_SUB_BITS),
+            ok: 0,
+            backpressure: 0,
+            timeouts: 0,
+            other_status: 0,
+            io_errors: 0,
+            retries: 0,
+        }
+    }
 }
 
 /// Deterministic pseudo-image: contents do not matter for load, but
@@ -44,12 +71,8 @@ fn image(len: usize, seed: u64) -> Vec<f32> {
         .collect()
 }
 
-fn percentile(sorted_us: &[u64], q: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
-    sorted_us[idx] as f64 / 1e3
+fn quantile_ms(h: &LogHistogram, q: f64) -> f64 {
+    h.quantile(q) as f64 / 1e3
 }
 
 fn parse_count(ctx: &RunContext, flag: &str, default: usize) -> usize {
@@ -73,6 +96,7 @@ fn main() -> ExitCode {
             ("--connections", Arity::Value),
             ("--requests", Arity::Value),
             ("--input-len", Arity::Value),
+            ("--interval-ms", Arity::Value),
             ("--json-floats", Arity::Flag),
         ],
     );
@@ -83,19 +107,37 @@ fn main() -> ExitCode {
     let connections = parse_count(&ctx, "--connections", 32);
     let requests = parse_count(&ctx, "--requests", 25);
     let input_len = parse_count(&ctx, "--input-len", 3 * 32 * 32);
+    // 0 = closed-loop (the default); N>0 = open-loop with an intended send
+    // every N ms per connection.
+    let interval_ms: u64 = match ctx.args.get("--interval-ms") {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("error: --interval-ms must be a non-negative integer, got {raw:?}");
+                return ExitCode::from(2);
+            }
+        },
+    };
     let as_json_floats = ctx.args.is_set("--json-floats");
     let seed = ctx.args.seed;
     ctx.config("addr", &addr);
     ctx.config("connections", connections);
     ctx.config("requests_per_connection", requests);
+    ctx.config("interval_ms", interval_ms);
 
     eprintln!(
         "driving {connections} connections x {requests} requests at http://{addr} \
-         ({} bodies)",
+         ({} bodies, {})",
         if as_json_floats {
             "JSON float"
         } else {
             "base64"
+        },
+        if interval_ms > 0 {
+            format!("open-loop every {interval_ms} ms")
+        } else {
+            "closed-loop".to_string()
         }
     );
     let addr = Arc::new(addr);
@@ -116,6 +158,7 @@ fn main() -> ExitCode {
                         ..RetryPolicy::default()
                     },
                 );
+                let schedule_start = Instant::now();
                 for req in 0..requests {
                     let img = image(input_len, seed ^ ((conn * 1_000_003 + req) as u64));
                     let body = if as_json_floats {
@@ -124,12 +167,25 @@ fn main() -> ExitCode {
                     } else {
                         format!("{{\"image_b64\":\"{}\"}}", encode_f32(&img))
                     };
-                    let begin = Instant::now();
+                    // Open-loop: latency counts from the *intended* send
+                    // time, so falling behind schedule is charged to the
+                    // server, not hidden by it (coordinated omission).
+                    let begin = if interval_ms > 0 {
+                        let intended =
+                            schedule_start + Duration::from_millis(interval_ms * req as u64);
+                        let now = Instant::now();
+                        if now < intended {
+                            thread::sleep(intended - now);
+                        }
+                        intended
+                    } else {
+                        Instant::now()
+                    };
                     match client.post_json("/v1/classify", &body) {
                         Ok(response) => match response.status {
                             200 => {
                                 stats.ok += 1;
-                                stats.latencies_us.push(begin.elapsed().as_micros() as u64);
+                                stats.latency.record(begin.elapsed().as_micros() as u64);
                             }
                             503 => stats.backpressure += 1,
                             504 => stats.timeouts += 1,
@@ -158,7 +214,9 @@ fn main() -> ExitCode {
     let mut all = ConnStats::default();
     for worker in workers {
         let stats = worker.join().expect("load thread panicked");
-        all.latencies_us.extend(stats.latencies_us);
+        all.latency
+            .merge(&stats.latency)
+            .expect("same sub-bucket precision");
         all.ok += stats.ok;
         all.backpressure += stats.backpressure;
         all.timeouts += stats.timeouts;
@@ -167,13 +225,7 @@ fn main() -> ExitCode {
         all.retries += stats.retries;
     }
     let wall = started.elapsed().as_secs_f64();
-    all.latencies_us.sort_unstable();
     let throughput = all.ok as f64 / wall.max(f64::MIN_POSITIVE);
-    let mean_ms = if all.latencies_us.is_empty() {
-        0.0
-    } else {
-        all.latencies_us.iter().sum::<u64>() as f64 / all.latencies_us.len() as f64 / 1e3
-    };
 
     let mut table = Table::new(
         "Serving load test",
@@ -190,6 +242,7 @@ fn main() -> ExitCode {
             "p50 (ms)",
             "p95 (ms)",
             "p99 (ms)",
+            "Max (ms)",
         ],
     );
     table.push_row(vec![
@@ -201,10 +254,18 @@ fn main() -> ExitCode {
         (all.other_status + all.io_errors).to_string(),
         all.retries.to_string(),
         format!("{throughput:.1}"),
-        format!("{mean_ms:.2}"),
-        format!("{:.2}", percentile(&all.latencies_us, 0.50)),
-        format!("{:.2}", percentile(&all.latencies_us, 0.95)),
-        format!("{:.2}", percentile(&all.latencies_us, 0.99)),
+        format!("{:.2}", all.latency.mean() / 1e3),
+        format!("{:.2}", quantile_ms(&all.latency, 0.50)),
+        format!("{:.2}", quantile_ms(&all.latency, 0.95)),
+        format!("{:.2}", quantile_ms(&all.latency, 0.99)),
+        format!(
+            "{:.2}",
+            if all.latency.is_empty() {
+                0.0
+            } else {
+                all.latency.max() as f64 / 1e3
+            }
+        ),
     ]);
     println!("{}", table.to_markdown());
     table.emit("loadgen").expect("write results");

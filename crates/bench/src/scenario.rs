@@ -292,11 +292,11 @@ impl Scenario {
         let dir = crate::report::results_dir().join("cache");
         let path = dir.join(format!("{}.xbarmodel", self.cache_key()));
         if let Some(tm) = self.try_load(&path, data) {
-            xbar_obs::metrics::counter_add("bench/scenario_cache_hits", 1);
+            xbar_obs::metrics::counter_add(xbar_obs::names::BENCH_SCENARIO_CACHE_HITS, 1);
             xbar_obs::event!("cache_loaded", path = path.display().to_string());
             return tm;
         }
-        xbar_obs::metrics::counter_add("bench/scenario_cache_misses", 1);
+        xbar_obs::metrics::counter_add(xbar_obs::names::BENCH_SCENARIO_CACHE_MISSES, 1);
         let tm = self.train_model(data);
         std::fs::create_dir_all(&dir).expect("create cache dir");
         let mut model = tm.model.clone();

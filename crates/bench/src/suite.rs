@@ -25,6 +25,10 @@
 //! fresh `results/BENCH_map.json` against the baseline committed in the
 //! repository (read *before* the run overwrites it) with a relative
 //! tolerance, and fails on any generate-phase training miss.
+//!
+//! Every run also writes `results/suite_trace.json`, a Chrome-trace view of
+//! the whole run (one lane per pooled task), loadable in `chrome://tracing`
+//! or ui.perfetto.dev.
 
 use crate::artifacts::{self, ArtifactCtx, ArtifactOutput, ArtifactSpec};
 use crate::report::results_dir;
@@ -38,6 +42,8 @@ use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 use xbar_obs::json::Json;
 use xbar_obs::metrics::counter_value;
+use xbar_obs::names;
+use xbar_obs::trace::FieldValue;
 
 /// How a suite run is configured.
 #[derive(Debug, Clone)]
@@ -271,6 +277,31 @@ pub fn suite_json_path() -> PathBuf {
     results_dir().join("suite.json")
 }
 
+/// Path of the suite's Chrome trace under the active results directory.
+pub fn suite_trace_path() -> PathBuf {
+    results_dir().join("suite_trace.json")
+}
+
+/// Writes the run's span buffer as a Chrome trace (`suite_trace.json`),
+/// loadable in `chrome://tracing` or ui.perfetto.dev. Each pooled task ran
+/// on its own thread, so lanes are named after the depth-0 span that ran
+/// there (the artifact name, `train_scenario`, or `suite` for the
+/// orchestrator thread itself).
+fn write_suite_trace() -> Option<PathBuf> {
+    let mut lanes: BTreeMap<u64, String> = BTreeMap::new();
+    let mut spans = xbar_obs::trace::all_spans();
+    spans.sort_by_key(|s| s.start_us);
+    for span in spans.iter().filter(|s| s.depth == 0) {
+        lanes.entry(span.thread).or_insert_with(|| match span.name {
+            "suite_prepare" | "suite_generate" => "suite".to_string(),
+            name => name.to_string(),
+        });
+    }
+    let path = suite_trace_path();
+    xbar_obs::chrome::write_chrome_trace(&path, &lanes).ok()?;
+    Some(path)
+}
+
 fn write_report(report: &SuiteReport) {
     let dir = results_dir();
     if std::fs::create_dir_all(&dir).is_err() {
@@ -425,6 +456,10 @@ where
 }
 
 fn train_task(sc: Scenario) -> Result<(), String> {
+    let _span = xbar_obs::trace::SpanGuard::enter(
+        "train_scenario",
+        vec![("scenario", FieldValue::Str(sc.cache_key()))],
+    );
     let data = sc.dataset();
     sc.train_model_cached(&data);
     Ok(())
@@ -436,6 +471,13 @@ fn artifact_task(
     if inject_failure {
         return Err("injected failure (--fail)".to_string());
     }
+    // `spec.name` is 'static, so the artifact itself is the span name: each
+    // task runs on its own thread, which becomes one lane of the suite's
+    // Chrome trace (see `write_suite_trace`).
+    let _span = xbar_obs::trace::SpanGuard::enter(
+        spec.name,
+        vec![("paper_ref", FieldValue::Str(spec.paper_ref.to_string()))],
+    );
     (spec.run)(&ctx)
 }
 
@@ -543,8 +585,8 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
     let scenarios: Vec<Scenario> = unique.into_values().collect();
     report.scenarios.unique = scenarios.len();
     let (h0, m0) = (
-        counter_value("bench/scenario_cache_hits"),
-        counter_value("bench/scenario_cache_misses"),
+        counter_value(names::BENCH_SCENARIO_CACHE_HITS),
+        counter_value(names::BENCH_SCENARIO_CACHE_MISSES),
     );
     {
         let _span = xbar_obs::span!("suite_prepare");
@@ -586,8 +628,8 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
         // scenario will fail (or retrain) individually and be reported.
     }
     let (h1, m1) = (
-        counter_value("bench/scenario_cache_hits"),
-        counter_value("bench/scenario_cache_misses"),
+        counter_value(names::BENCH_SCENARIO_CACHE_HITS),
+        counter_value(names::BENCH_SCENARIO_CACHE_MISSES),
     );
     report.scenarios.prepare_hits = h1 - h0;
     report.scenarios.prepare_misses = m1 - m0;
@@ -672,8 +714,8 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
         }
     }
     let (h2, m2) = (
-        counter_value("bench/scenario_cache_hits"),
-        counter_value("bench/scenario_cache_misses"),
+        counter_value(names::BENCH_SCENARIO_CACHE_HITS),
+        counter_value(names::BENCH_SCENARIO_CACHE_MISSES),
     );
     report.scenarios.generate_hits = h2 - h1;
     report.scenarios.generate_misses = m2 - m1;
@@ -733,6 +775,15 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
                     .push("perf ran but left no readable BENCH_map.json".to_string()),
             }
         }
+    }
+    if let Some(path) = write_suite_trace() {
+        progress(
+            cfg,
+            &format!(
+                "trace: {} (load in chrome://tracing or ui.perfetto.dev)",
+                path.display()
+            ),
+        );
     }
     report.wall_s = suite_start.elapsed().as_secs_f64();
     write_report(&report);

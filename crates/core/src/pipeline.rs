@@ -5,6 +5,7 @@ use crate::rearrange::{ColumnOrder, Rearrangement};
 use crate::repair::{map_tile_plain, map_tile_with_repair, MappedTile, RepairConfig};
 use std::fmt;
 use xbar_nn::Sequential;
+use xbar_obs::names;
 use xbar_prune::transform::{transform, TransformedLayer};
 use xbar_prune::unroll::{unrolled_matrices, write_back};
 use xbar_prune::PruneMethod;
@@ -368,32 +369,35 @@ pub fn map_to_crossbars(
         };
         let noisy_matrix = transformed.invert(&noisy_panels);
         write_back(&mut noisy, ul.layer_index, &noisy_matrix);
-        xbar_obs::metrics::counter_add("map/crossbars", layer_report.crossbar_count as u64);
-        xbar_obs::metrics::counter_add("map/solver_iterations", layer_report.solver_iterations);
+        xbar_obs::metrics::counter_add(names::MAP_CROSSBARS, layer_report.crossbar_count as u64);
+        xbar_obs::metrics::counter_add(
+            names::MAP_SOLVER_ITERATIONS,
+            layer_report.solver_iterations,
+        );
         xbar_obs::metrics::gauge_set(
-            &format!("map/layer{}/nf_mean", ul.layer_index),
+            &names::map_layer_gauge(ul.layer_index, "nf_mean"),
             layer_report.nf.mean(),
         );
         xbar_obs::metrics::gauge_set(
-            &format!("map/layer{}/low_g_fraction", ul.layer_index),
+            &names::map_layer_gauge(ul.layer_index, "low_g_fraction"),
             layer_report.low_g_fraction,
         );
         if layer_report.stuck_cells > 0 || layer_report.repaired_columns > 0 {
-            xbar_obs::metrics::counter_add("map/stuck_cells", layer_report.stuck_cells as u64);
+            xbar_obs::metrics::counter_add(names::MAP_STUCK_CELLS, layer_report.stuck_cells as u64);
             xbar_obs::metrics::counter_add(
-                "map/repaired_columns",
+                names::MAP_REPAIRED_COLUMNS,
                 layer_report.repaired_columns as u64,
             );
             xbar_obs::metrics::counter_add(
-                "map/corrected_cells",
+                names::MAP_CORRECTED_CELLS,
                 layer_report.corrected_cells as u64,
             );
             xbar_obs::metrics::counter_add(
-                "map/degraded_tiles",
+                names::MAP_DEGRADED_TILES,
                 layer_report.degraded_tiles as u64,
             );
             xbar_obs::metrics::gauge_set(
-                &format!("map/layer{}/fault_score", ul.layer_index),
+                &names::map_layer_gauge(ul.layer_index, "fault_score"),
                 layer_report.max_fault_score,
             );
         }

@@ -1,0 +1,192 @@
+//! Chrome Trace Event exporter: renders the span tracer's records as a
+//! JSON document loadable in `chrome://tracing` or [Perfetto]
+//! (ui.perfetto.dev), one lane per traced thread.
+//!
+//! The format is the "JSON Array Format" wrapped in an object:
+//! `{"traceEvents": [...]}`. Spans become `ph: "X"` complete events
+//! (timestamps are already microseconds from the process epoch, which is
+//! exactly the unit the format wants), events become `ph: "i"` instants,
+//! and each thread gets a `ph: "M"` metadata record naming its lane so
+//! suite workers show up as `worker 0`, `worker 1`, … rather than bare
+//! thread ids.
+//!
+//! [Perfetto]: https://perfetto.dev
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::json::{obj, Json};
+use crate::sink::fields_to_json;
+use crate::trace::{self, EventRecord, SpanRecord};
+
+/// Converts explicit span/event lists into a Chrome trace document.
+/// `lane_names` overrides the display name of specific thread lanes
+/// (missing threads fall back to `lane <id>`).
+pub fn chrome_trace(
+    spans: &[SpanRecord],
+    events: &[EventRecord],
+    lane_names: &BTreeMap<u64, String>,
+) -> Json {
+    let mut records: Vec<Json> = Vec::new();
+    let mut threads: Vec<u64> = spans
+        .iter()
+        .map(|s| s.thread)
+        .chain(events.iter().map(|e| e.thread))
+        .collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for &tid in &threads {
+        let name = lane_names
+            .get(&tid)
+            .cloned()
+            .unwrap_or_else(|| format!("lane {tid}"));
+        records.push(obj(vec![
+            ("ph", Json::Str("M".into())),
+            ("name", Json::Str("thread_name".into())),
+            ("pid", Json::Num(0.0)),
+            ("tid", Json::Num(tid as f64)),
+            ("args", obj(vec![("name", Json::Str(name))])),
+        ]));
+    }
+    for span in spans {
+        records.push(obj(vec![
+            ("ph", Json::Str("X".into())),
+            ("name", Json::Str(span.name.into())),
+            ("cat", Json::Str("span".into())),
+            ("pid", Json::Num(0.0)),
+            ("tid", Json::Num(span.thread as f64)),
+            ("ts", Json::Num(span.start_us as f64)),
+            ("dur", Json::Num(span.duration_us as f64)),
+            ("args", fields_to_json(&span.fields)),
+        ]));
+    }
+    for event in events {
+        records.push(obj(vec![
+            ("ph", Json::Str("i".into())),
+            ("name", Json::Str(event.name.into())),
+            ("cat", Json::Str("event".into())),
+            // Thread-scoped instant: renders as a tick on its lane.
+            ("s", Json::Str("t".into())),
+            ("pid", Json::Num(0.0)),
+            ("tid", Json::Num(event.thread as f64)),
+            ("ts", Json::Num(event.at_us as f64)),
+            ("args", fields_to_json(&event.fields)),
+        ]));
+    }
+    obj(vec![
+        ("traceEvents", Json::Arr(records)),
+        ("displayTimeUnit", Json::Str("ms".into())),
+    ])
+}
+
+/// Renders everything in the global trace buffer as a Chrome trace
+/// document (compact JSON text).
+pub fn render_global(lane_names: &BTreeMap<u64, String>) -> String {
+    chrome_trace(&trace::all_spans(), &trace::all_events(), lane_names).to_json()
+}
+
+/// Writes the global trace buffer as a Chrome trace file, creating parent
+/// directories. Load the result in `chrome://tracing` or ui.perfetto.dev.
+pub fn write_chrome_trace(
+    path: impl AsRef<Path>,
+    lane_names: &BTreeMap<u64, String>,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_global(lane_names).as_bytes())?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::FieldValue;
+
+    fn sample_span(name: &'static str, thread: u64, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            fields: vec![("layer", FieldValue::U64(3))],
+            thread,
+            depth: 0,
+            start_us: start,
+            duration_us: dur,
+        }
+    }
+
+    #[test]
+    fn trace_document_has_expected_shape() {
+        let spans = [
+            sample_span("map", 0, 10, 500),
+            sample_span("solve", 1, 60, 120),
+        ];
+        let events = [EventRecord {
+            name: "cache_loaded",
+            fields: vec![],
+            thread: 1,
+            depth: 0,
+            at_us: 70,
+        }];
+        let mut lanes = BTreeMap::new();
+        lanes.insert(1, "worker 1".to_string());
+        let doc = chrome_trace(&spans, &events, &lanes);
+        let items = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 thread_name metadata + 2 spans + 1 instant.
+        assert_eq!(items.len(), 5);
+        let metas: Vec<_> = items
+            .iter()
+            .filter(|r| r.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 2);
+        assert!(metas
+            .iter()
+            .any(|m| m.get("args").unwrap().get("name").unwrap().as_str() == Some("worker 1")));
+        assert!(metas
+            .iter()
+            .any(|m| m.get("args").unwrap().get("name").unwrap().as_str() == Some("lane 0")));
+        let complete: Vec<_> = items
+            .iter()
+            .filter(|r| r.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        let map = complete
+            .iter()
+            .find(|r| r.get("name").unwrap().as_str() == Some("map"))
+            .unwrap();
+        assert_eq!(map.get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(map.get("dur").unwrap().as_u64(), Some(500));
+        assert_eq!(
+            map.get("args").unwrap().get("layer").unwrap().as_u64(),
+            Some(3)
+        );
+        let instant = items
+            .iter()
+            .find(|r| r.get("ph").unwrap().as_str() == Some("i"))
+            .unwrap();
+        assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
+        assert_eq!(instant.get("ts").unwrap().as_u64(), Some(70));
+    }
+
+    #[test]
+    fn output_parses_back_as_json() {
+        let spans = [sample_span("phase", 0, 0, 42)];
+        let text = chrome_trace(&spans, &[], &BTreeMap::new()).to_json();
+        let back = Json::parse(&text).expect("valid JSON");
+        assert!(back.get("traceEvents").unwrap().as_arr().is_some());
+    }
+
+    #[test]
+    fn write_creates_parents_and_global_render_is_json() {
+        let dir = std::env::temp_dir().join(format!("xbar-chrome-test-{}", std::process::id()));
+        let path = dir.join("nested/trace.json");
+        write_chrome_trace(&path, &BTreeMap::new()).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        Json::parse(&text).expect("file parses");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -39,12 +39,30 @@
 //! metric, and a per-phase timing summary as one JSON object per line; the
 //! schema is documented on that function. [`sink::stderr_echo`] toggles
 //! live progress lines (`--quiet` turns them off).
+//! [`chrome::write_chrome_trace`] renders the same span data as a Chrome
+//! Trace Event file loadable in `chrome://tracing` / Perfetto.
+//!
+//! ## Request tracing
+//!
+//! [`ring`] adds per-*request* observability on top of the span tracer:
+//! sampled requests get a [`ring::TraceId`], collect per-stage timings as
+//! they cross worker pools, and land in a bounded [`ring::TraceRing`].
+//! [`metrics::latency_record_us`] feeds latency samples into log-bucketed
+//! [`hdr::LogHistogram`]s whose quantiles stay within ~3% without
+//! hand-picked bucket bounds. Metric names are declared once in [`names`];
+//! debug builds reject unregistered names at the record site.
 
+pub mod chrome;
+pub mod hdr;
 pub mod json;
 pub mod metrics;
+pub mod names;
+pub mod ring;
 pub mod sink;
 pub mod trace;
 
+pub use hdr::LogHistogram;
+pub use ring::{RequestTrace, Sampler, TraceId, TraceRing};
 pub use trace::{EventRecord, FieldValue, SpanGuard, SpanRecord, Watch};
 
 /// Starts a timed, nested span; the returned [`SpanGuard`] records the span

@@ -1,15 +1,24 @@
-//! Metrics registry: named counters, gauges, and fixed-bucket histograms
-//! behind a process-global, thread-safe store.
+//! Metrics registry: named counters, gauges, fixed-bucket histograms, and
+//! log-bucketed latency histograms behind a process-global, thread-safe
+//! store.
 //!
 //! Names are slash-separated paths (`sim/tile_solve_us`,
-//! `map/layer3/nf_mean`); `BTreeMap` storage keeps snapshots and JSONL
-//! output deterministically ordered. Histograms use caller-supplied bucket
-//! upper bounds plus an implicit overflow bucket, so recording is one
-//! `partition_point` and an increment — cheap enough for per-tile hot
-//! paths.
+//! `map/layer3/nf_mean`) declared in [`crate::names`]; in debug builds the
+//! recording functions reject names missing from that registry, so a typo
+//! fails a test instead of silently minting a phantom series. `BTreeMap`
+//! storage keeps snapshots and JSONL output deterministically ordered.
+//!
+//! Fixed-bucket histograms use caller-supplied bucket upper bounds plus an
+//! implicit overflow bucket, so recording is one `partition_point` and an
+//! increment — cheap enough for per-tile hot paths. Latency metrics use
+//! [`LogHistogram`] instead (whole `u64` range, ~3% relative error, no
+//! bounds to choose); record via [`latency_record_us`].
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
+
+use crate::hdr::LogHistogram;
+use crate::names;
 
 /// Fixed-bucket histogram: `counts[i]` tallies values `<= bounds[i]`
 /// (first matching bound), `counts[bounds.len()]` is the overflow bucket.
@@ -101,14 +110,23 @@ impl Histogram {
         self.max = max.unwrap_or(f64::NEG_INFINITY);
     }
 
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bounds, other.bounds, "histogram bounds differ");
+    /// Merges `other` into `self`. Errors when the bucket bounds differ —
+    /// counts from different bucket layouts cannot be combined.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "cannot merge histograms with different bounds \
+                 ({:?} vs {:?})",
+                self.bounds, other.bounds
+            ));
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 }
 
@@ -117,6 +135,7 @@ struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    log_histograms: BTreeMap<String, LogHistogram>,
 }
 
 fn registry() -> &'static Mutex<Registry> {
@@ -126,25 +145,64 @@ fn registry() -> &'static Mutex<Registry> {
 
 /// Adds `delta` to the named counter (creating it at zero).
 pub fn counter_add(name: &str, delta: u64) {
+    names::assert_registered(name);
     let mut reg = registry().lock().expect("metrics registry poisoned");
     *reg.counters.entry(name.to_string()).or_insert(0) += delta;
 }
 
 /// Sets the named gauge to `value` (last write wins).
 pub fn gauge_set(name: &str, value: f64) {
+    names::assert_registered(name);
     let mut reg = registry().lock().expect("metrics registry poisoned");
     reg.gauges.insert(name.to_string(), value);
 }
 
 /// Records `value` into the named histogram, creating it with `bounds` on
 /// first use. Later calls ignore `bounds` (first registration wins), so
-/// callers should use a shared `const` for each metric.
+/// callers should use a shared `const` for each metric. NaN, infinite, and
+/// negative values are dropped (counted in `obs/histogram_skipped`)
+/// instead of poisoning the min/max/sum statistics.
 pub fn histogram_record(name: &str, value: f64, bounds: &[f64]) {
+    names::assert_registered(name);
     let mut reg = registry().lock().expect("metrics registry poisoned");
+    if !value.is_finite() || value < 0.0 {
+        *reg.counters
+            .entry(names::OBS_HISTOGRAM_SKIPPED.to_string())
+            .or_insert(0) += 1;
+        return;
+    }
     reg.histograms
         .entry(name.to_string())
         .or_insert_with(|| Histogram::new(bounds))
         .record(value);
+}
+
+/// Records a microsecond latency into the named log-bucketed histogram
+/// (created at default resolution on first use). Use for durations and
+/// sizes where the range is unknown ahead of time; quantiles come back via
+/// [`latency_quantile_us`] or the snapshot.
+pub fn latency_record_us(name: &str, us: u64) {
+    names::assert_registered(name);
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.log_histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(us);
+}
+
+/// Copy of the named log-bucketed histogram, if it has been recorded to.
+pub fn log_histogram(name: &str) -> Option<LogHistogram> {
+    registry()
+        .lock()
+        .expect("metrics registry poisoned")
+        .log_histograms
+        .get(name)
+        .cloned()
+}
+
+/// Quantile of the named log-bucketed histogram (`None` when absent).
+pub fn latency_quantile_us(name: &str, q: f64) -> Option<u64> {
+    log_histogram(name).map(|h| h.quantile(q))
 }
 
 /// Point-in-time copy of the whole registry, deterministically ordered.
@@ -153,6 +211,7 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, f64>,
     pub histograms: BTreeMap<String, Histogram>,
+    pub log_histograms: BTreeMap<String, LogHistogram>,
 }
 
 pub fn snapshot() -> MetricsSnapshot {
@@ -161,21 +220,47 @@ pub fn snapshot() -> MetricsSnapshot {
         counters: reg.counters.clone(),
         gauges: reg.gauges.clone(),
         histograms: reg.histograms.clone(),
+        log_histograms: reg.log_histograms.clone(),
     }
 }
 
-impl MetricsSnapshot {
-    /// Renders the snapshot in a Prometheus-style text exposition format:
-    /// one `name value` line per counter and gauge, and for each histogram
-    /// cumulative `_bucket{le="..."}` lines plus `_sum` and `_count`.
-    /// Slashes in metric names are rewritten to underscores so the output
-    /// is scrapable by standard tooling.
-    pub fn to_text(&self) -> String {
-        fn sanitize(name: &str) -> String {
-            name.chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-                .collect()
+/// Rewrites a metric path to the Prometheus name charset
+/// (`[a-zA-Z0-9_]`, slashes and other punctuation become `_`).
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline get backslash escapes.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
         }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// one `name value` line per counter and gauge, and for each histogram
+    /// (fixed-bound and log-bucketed) cumulative `_bucket{le="..."}` lines
+    /// plus `_sum` and `_count`. Slashes in metric names are rewritten to
+    /// underscores, label values are escaped, and `BTreeMap` iteration
+    /// keeps series order deterministic, so the output always parses (see
+    /// [`parse_prometheus_text`]).
+    pub fn to_text(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
             let name = sanitize(name);
@@ -191,9 +276,24 @@ impl MetricsSnapshot {
             let mut cumulative = 0u64;
             for (bound, count) in hist.bounds().iter().zip(hist.counts()) {
                 cumulative += count;
-                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    escape_label_value(&bound.to_string())
+                ));
             }
             cumulative += hist.counts().last().copied().unwrap_or(0);
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            out.push_str(&format!("{name}_sum {}\n", hist.sum()));
+            out.push_str(&format!("{name}_count {}\n", hist.count()));
+        }
+        for (name, hist) in &self.log_histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (edge, count) in hist.nonzero_buckets() {
+                cumulative += count;
+                out.push_str(&format!("{name}_bucket{{le=\"{edge}\"}} {cumulative}\n"));
+            }
             out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
             out.push_str(&format!("{name}_sum {}\n", hist.sum()));
             out.push_str(&format!("{name}_count {}\n", hist.count()));
@@ -206,6 +306,123 @@ impl MetricsSnapshot {
 /// [`MetricsSnapshot::to_text`]) — the body of an HTTP `/metrics` endpoint.
 pub fn to_text() -> String {
     snapshot().to_text()
+}
+
+/// One parsed sample line from Prometheus exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    /// `(label, unescaped value)` pairs in declaration order.
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses Prometheus text exposition format into samples, rejecting any
+/// line the scrape format would reject (the round-trip guard behind
+/// `/metrics` tests and the `obs-report --check-prom` CI step). Comment
+/// (`#`) and blank lines are skipped.
+pub fn parse_prometheus_text(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value_text) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected 'name value'"))?;
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            other => other
+                .parse::<f64>()
+                .map_err(|_| err("unparseable sample value"))?,
+        };
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                (name.to_string(), parse_labels(body).map_err(|m| err(&m))?)
+            }
+        };
+        if !valid_metric_name(&name) {
+            return Err(err("invalid metric name"));
+        }
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let bytes = body.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let eq = body[pos..]
+            .find('=')
+            .map(|i| pos + i)
+            .ok_or("label without '='")?;
+        let key = &body[pos..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err("label value not quoted".into());
+        }
+        let mut value = String::new();
+        let mut i = eq + 2;
+        loop {
+            match bytes.get(i) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err("bad escape in label value".into()),
+                    }
+                    i += 2;
+                }
+                Some(_) => {
+                    let rest = &body[i..];
+                    let c = rest.chars().next().expect("non-empty by match");
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((key.to_string(), value));
+        pos = i + 1; // past closing quote
+        match bytes.get(pos) {
+            None => break,
+            Some(b',') => pos += 1,
+            Some(_) => return Err("expected ',' between labels".into()),
+        }
+    }
+    Ok(labels)
+}
+
+/// Validates that `text` is scrapeable Prometheus exposition output.
+/// Returns the number of sample lines on success.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    parse_prometheus_text(text).map(|samples| samples.len())
 }
 
 /// Reads a single counter (0 if absent) — convenience for tests/reports.
@@ -257,11 +474,57 @@ mod tests {
         a.record(0.5);
         b.record(1.5);
         b.record(5.0);
-        a.merge(&b);
+        a.merge(&b).expect("same bounds merge");
         assert_eq!(a.counts(), &[1, 1, 1]);
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 5.0);
         assert_eq!(a.min(), 0.5);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1.0, 2.0]);
+        let b = Histogram::new(&[1.0, 3.0]);
+        let before = a.clone();
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.contains("different bounds"), "{err}");
+        assert_eq!(a, before, "failed merge must not mutate");
+    }
+
+    #[test]
+    fn histogram_record_skips_nan_and_negative() {
+        let skipped_before = counter_value(crate::names::OBS_HISTOGRAM_SKIPPED);
+        histogram_record("test/metrics/guarded", f64::NAN, &[1.0]);
+        histogram_record("test/metrics/guarded", -3.0, &[1.0]);
+        histogram_record("test/metrics/guarded", f64::INFINITY, &[1.0]);
+        histogram_record("test/metrics/guarded", 0.5, &[1.0]);
+        let snap = snapshot();
+        let h = &snap.histograms["test/metrics/guarded"];
+        assert_eq!(h.count(), 1, "only the finite non-negative value lands");
+        assert_eq!(h.min(), 0.5);
+        assert!(
+            counter_value(crate::names::OBS_HISTOGRAM_SKIPPED) >= skipped_before + 3,
+            "skips are counted"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not declared")]
+    fn unregistered_metric_name_rejected_in_debug() {
+        counter_add("serve/definitely_a_typo", 1);
+    }
+
+    #[test]
+    fn latency_log_histogram_records_and_quantiles() {
+        for us in [100u64, 200, 400, 800, 100_000] {
+            latency_record_us("test/metrics/lat_us", us);
+        }
+        let h = log_histogram("test/metrics/lat_us").expect("created");
+        assert_eq!(h.count(), 5);
+        let p50 = latency_quantile_us("test/metrics/lat_us", 0.5).unwrap();
+        assert!(p50 >= 400 && p50 - 400 <= h.bucket_width(400), "p50={p50}");
+        assert_eq!(latency_quantile_us("test/metrics/absent", 0.5), None);
     }
 
     #[test]
@@ -274,6 +537,10 @@ mod tests {
         h.record(2.0);
         h.record(9.0);
         snap.histograms.insert("serve/batch_size".into(), h);
+        let mut lh = LogHistogram::default();
+        lh.record(100);
+        lh.record(100_000);
+        snap.log_histograms.insert("serve/infer_us".into(), lh);
         let text = snap.to_text();
         assert!(text.contains("serve_requests 7"), "{text}");
         assert!(text.contains("serve_up 1"), "{text}");
@@ -291,6 +558,100 @@ mod tests {
         );
         assert!(text.contains("serve_batch_size_count 3"), "{text}");
         assert!(text.contains("# TYPE serve_batch_size histogram"), "{text}");
+        assert!(text.contains("# TYPE serve_infer_us histogram"), "{text}");
+        assert!(text.contains("serve_infer_us_count 2"), "{text}");
+        assert!(
+            text.contains("serve_infer_us_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn text_exposition_is_deterministic_and_ordered() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("b/two".into(), 2);
+        snap.counters.insert("a/one".into(), 1);
+        snap.gauges.insert("z/late".into(), 0.5);
+        let text = snap.to_text();
+        assert_eq!(text, snap.to_text(), "same snapshot, same text");
+        let a = text.find("a_one 1").unwrap();
+        let b = text.find("b_two 2").unwrap();
+        assert!(a < b, "counters render in sorted name order");
+    }
+
+    #[test]
+    fn sanitize_never_emits_leading_digit() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("0weird/name".into(), 1);
+        let text = snap.to_text();
+        assert!(text.contains("_0weird_name 1"), "{text}");
+        validate_prometheus_text(&text).expect("still parseable");
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        let tricky = "a\"b\\c\nd";
+        let escaped = escape_label_value(tricky);
+        assert_eq!(escaped, "a\\\"b\\\\c\\nd");
+        let line = format!("m_bucket{{le=\"{escaped}\"}} 4\n");
+        let samples = parse_prometheus_text(&line).expect("parses");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].labels, vec![("le".into(), tricky.to_string())]);
+        assert_eq!(samples[0].value, 4.0);
+    }
+
+    #[test]
+    fn exposition_round_trips_through_parser() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("serve/requests".into(), 7);
+        snap.gauges.insert("serve/nf".into(), 1.25);
+        let mut h = Histogram::new(&[0.5, 2.5]);
+        h.record(1.0);
+        snap.histograms.insert("sim/widths".into(), h);
+        let mut lh = LogHistogram::default();
+        lh.record(12345);
+        snap.log_histograms.insert("serve/lat_us".into(), lh);
+        let samples = parse_prometheus_text(&snap.to_text()).expect("parses");
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert_eq!(get("serve_requests").value, 7.0);
+        assert_eq!(get("serve_nf").value, 1.25);
+        assert_eq!(get("sim_widths_count").value, 1.0);
+        assert_eq!(get("serve_lat_us_count").value, 1.0);
+        let inf_bucket = samples
+            .iter()
+            .find(|s| {
+                s.name == "sim_widths_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .expect("+Inf bucket present");
+        assert_eq!(inf_bucket.value, 1.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "no_value",
+            "1name 3",
+            "name{le=\"unterminated} 1",
+            "name{le=unquoted} 1",
+            "name{le=\"x\" le=\"y\"} 1",
+            "name{le=\"\\q\"} 1",
+            "name notanumber",
+        ] {
+            assert!(
+                parse_prometheus_text(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert_eq!(
+            validate_prometheus_text("# a comment\n\nm 1\nn{a=\"b\"} +Inf\n").unwrap(),
+            2
+        );
     }
 
     #[test]
@@ -302,10 +663,12 @@ mod tests {
         gauge_set("test/reg/gauge", 1.5);
         gauge_set("test/reg/gauge", 2.5);
         histogram_record("test/reg/hist", 4.0, &[1.0, 10.0]);
+        latency_record_us("test/reg/lat", 77);
         let snap = snapshot();
         assert_eq!(snap.counters["test/reg/counter"], 5);
         assert_eq!(counter_value("test/reg/counter"), 5);
         assert_eq!(snap.gauges["test/reg/gauge"], 2.5);
         assert_eq!(snap.histograms["test/reg/hist"].counts(), &[0, 1, 0]);
+        assert_eq!(snap.log_histograms["test/reg/lat"].count(), 1);
     }
 }

@@ -13,6 +13,7 @@
 //! | `counter`   | `name`, `value`                                                       |
 //! | `gauge`     | `name`, `value`                                                       |
 //! | `histogram` | `name`, `bounds`, `counts`, `sum`, `min`, `max`, `count`              |
+//! | `loghistogram` | `name`, `sub_bits`, `buckets` (array of `[edge, count]`), `sum`, `min`, `max`, `count` |
 //! | `summary`   | `phases`: array of `{name, total_us, count}`                          |
 //!
 //! `fields` is an object with the `key = value` pairs from the `span!` /
@@ -24,6 +25,7 @@ use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::Path;
 
+use crate::hdr::LogHistogram;
 use crate::json::{obj, Json};
 use crate::metrics::{Histogram, MetricsSnapshot};
 use crate::trace::{self, FieldValue};
@@ -108,7 +110,7 @@ fn field_to_json(value: &FieldValue) -> Json {
     }
 }
 
-fn fields_to_json(fields: &[(&'static str, FieldValue)]) -> Json {
+pub(crate) fn fields_to_json(fields: &[(&'static str, FieldValue)]) -> Json {
     Json::Obj(
         fields
             .iter()
@@ -144,6 +146,43 @@ fn histogram_to_json(name: &str, h: &Histogram) -> Json {
                 Json::Null
             } else {
                 Json::Num(h.max())
+            },
+        ),
+        ("count", Json::Num(h.count() as f64)),
+    ])
+}
+
+fn log_histogram_to_json(name: &str, h: &LogHistogram) -> Json {
+    obj(vec![
+        ("type", Json::Str("loghistogram".into())),
+        ("name", Json::Str(name.into())),
+        ("sub_bits", Json::Num(h.sub_bits() as f64)),
+        (
+            "buckets",
+            Json::Arr(
+                h.nonzero_buckets()
+                    .iter()
+                    .map(|&(edge, count)| {
+                        Json::Arr(vec![Json::Num(edge as f64), Json::Num(count as f64)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("sum", Json::Num(h.sum() as f64)),
+        (
+            "min",
+            if h.is_empty() {
+                Json::Null
+            } else {
+                Json::Num(h.min() as f64)
+            },
+        ),
+        (
+            "max",
+            if h.is_empty() {
+                Json::Null
+            } else {
+                Json::Num(h.max() as f64)
             },
         ),
         ("count", Json::Num(h.count() as f64)),
@@ -211,6 +250,9 @@ pub fn render_jsonl(run: &RunInfo) -> String {
     }
     for (name, histogram) in &metrics.histograms {
         lines.push(histogram_to_json(name, histogram));
+    }
+    for (name, histogram) in &metrics.log_histograms {
+        lines.push(log_histogram_to_json(name, histogram));
     }
     lines.push(obj(vec![
         ("type", Json::Str("summary".into())),
@@ -316,6 +358,39 @@ pub fn parse_jsonl_metrics(text: &str) -> Result<MetricsSnapshot, String> {
                 );
                 snap.histograms.insert(name()?, h);
             }
+            "loghistogram" => {
+                let sub_bits = doc
+                    .get("sub_bits")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {}: missing sub_bits", lineno + 1))?;
+                let mut buckets = Vec::new();
+                for pair in doc
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("line {}: missing buckets", lineno + 1))?
+                {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| format!("line {}: bad bucket pair", lineno + 1))?;
+                    let edge = pair[0]
+                        .as_u64()
+                        .ok_or_else(|| format!("line {}: bad bucket edge", lineno + 1))?;
+                    let count = pair[1]
+                        .as_u64()
+                        .ok_or_else(|| format!("line {}: bad bucket count", lineno + 1))?;
+                    buckets.push((edge, count));
+                }
+                let h = LogHistogram::restore(
+                    sub_bits as u32,
+                    &buckets,
+                    doc.get("sum").and_then(Json::as_u64).unwrap_or(0) as u128,
+                    doc.get("min").and_then(Json::as_u64).unwrap_or(u64::MAX),
+                    doc.get("max").and_then(Json::as_u64).unwrap_or(0),
+                )
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                snap.log_histograms.insert(name()?, h);
+            }
             _ => {}
         }
     }
@@ -333,6 +408,9 @@ mod tests {
         metrics::gauge_set("test/sink/nf", 1.4375);
         for v in [3.0, 9.0, 150.0] {
             metrics::histogram_record("test/sink/iters", v, &[4.0, 16.0, 64.0]);
+        }
+        for us in [5u64, 800, 42_000] {
+            metrics::latency_record_us("test/sink/lat_us", us);
         }
         let run = RunInfo::new("unit")
             .config("sparsity", 0.8)
@@ -364,6 +442,10 @@ mod tests {
         assert_eq!(
             snap.histograms["test/sink/iters"],
             full.histograms["test/sink/iters"]
+        );
+        assert_eq!(
+            snap.log_histograms["test/sink/lat_us"],
+            full.log_histograms["test/sink/lat_us"]
         );
     }
 

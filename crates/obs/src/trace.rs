@@ -1,5 +1,5 @@
 //! Span/event tracer: thread-safe collection of timed, nested spans and
-//! instantaneous events into a process-global buffer.
+//! instantaneous events into a bounded, process-global buffer.
 //!
 //! Design notes:
 //!
@@ -10,11 +10,17 @@
 //! * Timestamps are microsecond offsets from a process-wide epoch (first
 //!   use), which keeps records `Copy`-cheap and makes JSONL output
 //!   machine-diffable without wall-clock noise.
+//! * The buffer is a ring: a long-running server keeps the most recent
+//!   [`buffer_capacity`] records per kind and counts what it evicted
+//!   (`obs/trace_spans_dropped`) instead of growing without bound.
+//!   Positions handed to [`Watch`] are *logical* (monotonic since process
+//!   start), so a watch survives evictions — it just sees fewer records.
 //! * Tests observe the global buffer through a [`Watch`], which remembers
 //!   the buffer position at construction and filters to the calling
 //!   thread, so parallel tests don't see each other's records.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -108,10 +114,53 @@ pub struct EventRecord {
     pub at_us: u64,
 }
 
+/// Default per-kind buffer capacity: enough for every record a bench run
+/// produces, small enough (a few MB) to hold resident in a server.
+pub const DEFAULT_BUFFER_CAPACITY: usize = 65_536;
+
+static BUFFER_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_BUFFER_CAPACITY);
+
+/// Current per-kind (spans, events) buffer capacity.
+pub fn buffer_capacity() -> usize {
+    BUFFER_CAP.load(Ordering::Relaxed)
+}
+
+/// Overrides the buffer capacity (records already stored are kept until
+/// evicted by new pushes). Intended for long-running servers that want a
+/// smaller resident ring; a zero capacity is clamped to 1.
+pub fn set_buffer_capacity(cap: usize) {
+    BUFFER_CAP.store(cap.max(1), Ordering::Relaxed);
+}
+
 #[derive(Default)]
 struct Buffer {
-    spans: Vec<SpanRecord>,
-    events: Vec<EventRecord>,
+    spans: VecDeque<SpanRecord>,
+    events: VecDeque<EventRecord>,
+    /// Logical index of `spans[0]` — grows as old records are evicted.
+    spans_base: usize,
+    events_base: usize,
+    dropped_spans: u64,
+    dropped_events: u64,
+}
+
+impl Buffer {
+    fn push_span(&mut self, record: SpanRecord, cap: usize) {
+        while self.spans.len() >= cap {
+            self.spans.pop_front();
+            self.spans_base += 1;
+            self.dropped_spans += 1;
+        }
+        self.spans.push_back(record);
+    }
+
+    fn push_event(&mut self, record: EventRecord, cap: usize) {
+        while self.events.len() >= cap {
+            self.events.pop_front();
+            self.events_base += 1;
+            self.dropped_events += 1;
+        }
+        self.events.push_back(record);
+    }
 }
 
 fn buffer() -> &'static Mutex<Buffer> {
@@ -125,7 +174,10 @@ pub(crate) fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_us() -> u64 {
+/// Microseconds since the process trace epoch — the clock every span and
+/// event timestamp shares. Public so request tracing can timestamp stages
+/// measured outside a `SpanGuard`.
+pub fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
 }
 
@@ -222,9 +274,26 @@ impl Drop for SpanGuard {
         buffer()
             .lock()
             .expect("trace buffer poisoned")
-            .spans
-            .push(record);
+            .push_span(record, buffer_capacity());
     }
+}
+
+/// Records a pre-timed span directly — for stage timings measured across
+/// threads (request tracing) where no RAII guard can bracket the work.
+/// Depth and thread are taken from the calling thread at record time.
+pub fn record_span_raw(name: &'static str, fields: Fields, start_us: u64, duration_us: u64) {
+    let record = SpanRecord {
+        name,
+        fields,
+        thread: thread_index(),
+        depth: DEPTH.with(|d| d.get()),
+        start_us,
+        duration_us,
+    };
+    buffer()
+        .lock()
+        .expect("trace buffer poisoned")
+        .push_span(record, buffer_capacity());
 }
 
 /// Records an instantaneous event; used via the `event!` macro.
@@ -242,31 +311,42 @@ pub fn record_event(name: &'static str, fields: Fields) {
     buffer()
         .lock()
         .expect("trace buffer poisoned")
-        .events
-        .push(record);
+        .push_event(record, buffer_capacity());
 }
 
-/// Snapshot of all spans recorded so far (all threads), in completion order.
+/// Snapshot of the retained spans (all threads), in completion order.
 pub fn all_spans() -> Vec<SpanRecord> {
     buffer()
         .lock()
         .expect("trace buffer poisoned")
         .spans
-        .clone()
+        .iter()
+        .cloned()
+        .collect()
 }
 
-/// Snapshot of all events recorded so far (all threads), in record order.
+/// Snapshot of the retained events (all threads), in record order.
 pub fn all_events() -> Vec<EventRecord> {
     buffer()
         .lock()
         .expect("trace buffer poisoned")
         .events
-        .clone()
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// `(spans, events)` evicted from the ring so far — nonzero means a trace
+/// export is missing the oldest records.
+pub fn dropped_counts() -> (u64, u64) {
+    let buf = buffer().lock().expect("trace buffer poisoned");
+    (buf.dropped_spans, buf.dropped_events)
 }
 
 /// A race-free window onto the global trace buffer for tests: only records
 /// produced *after* construction *on the constructing thread* are visible,
-/// so concurrently running tests don't pollute each other.
+/// so concurrently running tests don't pollute each other. Positions are
+/// logical, so ring evictions shrink the window instead of corrupting it.
 pub struct Watch {
     spans_from: usize,
     events_from: usize,
@@ -278,25 +358,33 @@ impl Watch {
     pub fn new() -> Self {
         let buf = buffer().lock().expect("trace buffer poisoned");
         Watch {
-            spans_from: buf.spans.len(),
-            events_from: buf.events.len(),
+            spans_from: buf.spans_base + buf.spans.len(),
+            events_from: buf.events_base + buf.events.len(),
             thread: thread_index(),
         }
     }
 
-    /// Spans completed on this thread since the watch began.
+    /// Spans completed on this thread since the watch began (and still
+    /// retained by the ring).
     pub fn spans(&self) -> Vec<SpanRecord> {
-        buffer().lock().expect("trace buffer poisoned").spans[self.spans_from..]
+        let buf = buffer().lock().expect("trace buffer poisoned");
+        let skip = self.spans_from.saturating_sub(buf.spans_base);
+        buf.spans
             .iter()
+            .skip(skip)
             .filter(|s| s.thread == self.thread)
             .cloned()
             .collect()
     }
 
-    /// Events recorded on this thread since the watch began.
+    /// Events recorded on this thread since the watch began (and still
+    /// retained by the ring).
     pub fn events(&self) -> Vec<EventRecord> {
-        buffer().lock().expect("trace buffer poisoned").events[self.events_from..]
+        let buf = buffer().lock().expect("trace buffer poisoned");
+        let skip = self.events_from.saturating_sub(buf.events_base);
+        buf.events
             .iter()
+            .skip(skip)
             .filter(|e| e.thread == self.thread)
             .cloned()
             .collect()
@@ -372,6 +460,17 @@ mod tests {
     }
 
     #[test]
+    fn raw_spans_record_given_timing() {
+        let watch = Watch::new();
+        record_span_raw("raw_stage", vec![("k", FieldValue::U64(1))], 123, 456);
+        let spans = watch.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "raw_stage");
+        assert_eq!(spans[0].start_us, 123);
+        assert_eq!(spans[0].duration_us, 456);
+    }
+
+    #[test]
     fn watch_does_not_see_other_threads() {
         let watch = Watch::new();
         std::thread::scope(|s| {
@@ -386,5 +485,66 @@ mod tests {
             all_spans().iter().any(|s| s.name == "other_thread_span"),
             "global view still includes it"
         );
+    }
+
+    fn raw(name: &'static str, start: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            fields: vec![],
+            thread: 0,
+            depth: 0,
+            start_us: start,
+            duration_us: 1,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_tracks_logical_base() {
+        // Exercises the eviction path on a private buffer so the shared
+        // global ring (and every parallel test watching it) is untouched.
+        let mut buf = Buffer::default();
+        for i in 0..20 {
+            buf.push_span(raw("ring_test_span", i), 8);
+        }
+        assert_eq!(buf.spans.len(), 8, "ring bounded");
+        assert_eq!(buf.dropped_spans, 12);
+        assert_eq!(buf.spans_base, 12, "base advances with evictions");
+        assert_eq!(buf.spans.front().unwrap().start_us, 12, "oldest evicted");
+        assert_eq!(buf.spans.back().unwrap().start_us, 19, "newest retained");
+
+        // A watch taken at logical position 15 skips 15 - base = 3 records
+        // and still sees the last 5 — the arithmetic Watch::spans uses.
+        let skip = 15usize.saturating_sub(buf.spans_base);
+        assert_eq!(buf.spans.iter().skip(skip).count(), 5);
+        // A watch older than everything retained sees the whole ring.
+        let skip = 2usize.saturating_sub(buf.spans_base);
+        assert_eq!(buf.spans.iter().skip(skip).count(), 8);
+    }
+
+    #[test]
+    fn event_ring_evicts_and_counts() {
+        let mut buf = Buffer::default();
+        for i in 0..5 {
+            buf.push_event(
+                EventRecord {
+                    name: "ring_test_event",
+                    fields: vec![],
+                    thread: 0,
+                    depth: 0,
+                    at_us: i,
+                },
+                3,
+            );
+        }
+        assert_eq!(buf.events.len(), 3);
+        assert_eq!(buf.dropped_events, 2);
+        assert_eq!(buf.events_base, 2);
+    }
+
+    #[test]
+    fn default_capacity_is_sane() {
+        // Mutating the global capacity here would race parallel tests;
+        // the clamp in set_buffer_capacity is `.max(1)` by inspection.
+        assert!(buffer_capacity() >= 1);
     }
 }

@@ -1,0 +1,89 @@
+//! Property-based tests for the log-bucketed histogram: quantile accuracy
+//! against exact sorted-sample quantiles, and merge/serialisation
+//! invariants.
+
+use proptest::prelude::*;
+use xbar_obs::hdr::LogHistogram;
+
+/// Sample vectors spanning exact (linear) buckets, mid-range, and large
+/// values, so quantiles cross every bucket-math regime.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => 0u64..64,
+            3 => 64u64..100_000,
+            2 => 100_000u64..10_000_000_000,
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_within_one_bucket_width_of_exact(mut values in samples(), q in 0.0f64..=1.0) {
+        let mut h = LogHistogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = values[rank];
+        let est = h.quantile(q);
+        // The estimate is the bucket's inclusive upper edge (clamped to the
+        // observed max), so it never undershoots and overshoots by less
+        // than one bucket width.
+        prop_assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+        prop_assert!(
+            est - exact <= h.bucket_width(exact),
+            "q={q}: estimate {est} beyond one bucket width {} of exact {exact}",
+            h.bucket_width(exact)
+        );
+    }
+
+    #[test]
+    fn count_sum_min_max_are_exact(values in samples()) {
+        let mut h = LogHistogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min(), *values.iter().min().expect("non-empty"));
+        prop_assert_eq!(h.max(), *values.iter().max().expect("non-empty"));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording(a in samples(), b in samples()) {
+        let mut ha = LogHistogram::default();
+        let mut hb = LogHistogram::default();
+        let mut hall = LogHistogram::default();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb).expect("same resolution");
+        prop_assert_eq!(ha, hall);
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trip(values in samples()) {
+        let mut h = LogHistogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let restored = LogHistogram::restore(
+            h.sub_bits(),
+            &h.nonzero_buckets(),
+            h.sum(),
+            h.min(),
+            h.max(),
+        ).expect("edges produced by nonzero_buckets are valid");
+        prop_assert_eq!(restored, h);
+    }
+}

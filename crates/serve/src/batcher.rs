@@ -20,13 +20,12 @@ use std::time::{Duration, Instant};
 
 use xbar_core::ArtifactMeta;
 use xbar_nn::{Mode, Sequential};
-use xbar_obs::metrics;
+use xbar_obs::ring::StageTiming;
+use xbar_obs::{metrics, names, trace};
 use xbar_tensor::Tensor;
 
 /// Bucket bounds for the `serve/batch_size` histogram.
 const BATCH_SIZE_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
-/// Bucket bounds for the `serve/infer_ms` histogram.
-const INFER_MS_BOUNDS: &[f64] = &[1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0];
 
 /// Result of classifying one image.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +36,10 @@ pub struct ClassifyOutcome {
     pub scores: Vec<f32>,
     /// How many requests shared the forward pass that produced this.
     pub batch_size: usize,
+    /// Per-stage timings (`queue`, `batch`, `solve`) gathered on the
+    /// inference side; the HTTP worker appends its own `respond` stage and
+    /// feeds the lot into request tracing when the request is sampled.
+    pub stages: Vec<StageTiming>,
 }
 
 type SlotState = Option<Result<ClassifyOutcome, String>>;
@@ -88,6 +91,21 @@ impl ResponseSlot {
 pub struct Pending {
     pub input: Vec<f32>,
     pub slot: Arc<ResponseSlot>,
+    /// When the request entered the batch queue (trace-epoch µs); the
+    /// inference worker turns the gap to batch start into the `queue`
+    /// stage timing.
+    pub enqueued_us: u64,
+}
+
+impl Pending {
+    /// Builds a pending request stamped with the current trace-epoch time.
+    pub fn new(input: Vec<f32>, slot: Arc<ResponseSlot>) -> Self {
+        Pending {
+            input,
+            slot,
+            enqueued_us: trace::now_us(),
+        }
+    }
 }
 
 /// Why a submit was refused.
@@ -135,10 +153,11 @@ impl BatchQueue {
             return Err(SubmitError::Closed);
         }
         if state.items.len() >= self.cap {
-            metrics::counter_add("serve/queue_rejections", 1);
+            metrics::counter_add(names::SERVE_QUEUE_REJECTIONS, 1);
             return Err(SubmitError::QueueFull { cap: self.cap });
         }
         state.items.push_back(pending);
+        metrics::gauge_set(names::SERVE_QUEUE_DEPTH, state.items.len() as f64);
         self.cond.notify_one();
         Ok(())
     }
@@ -188,7 +207,9 @@ impl BatchQueue {
             }
         }
         let n = state.items.len().min(max_batch);
-        Some(state.items.drain(..n).collect())
+        let batch = state.items.drain(..n).collect();
+        metrics::gauge_set(names::SERVE_QUEUE_DEPTH, state.items.len() as f64);
+        Some(batch)
     }
 }
 
@@ -210,6 +231,7 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// against single-request execution on the same model instance.
 pub fn classify_batch(model: &mut Sequential, input_shape: &[usize], batch: Vec<Pending>) {
     let n = batch.len();
+    let batch_start_us = trace::now_us();
     let per_example: usize = input_shape.iter().product();
     let mut stacked = Vec::with_capacity(n * per_example);
     for pending in &batch {
@@ -218,17 +240,37 @@ pub fn classify_batch(model: &mut Sequential, input_shape: &[usize], batch: Vec<
     let mut shape = Vec::with_capacity(1 + input_shape.len());
     shape.push(n);
     shape.extend_from_slice(input_shape);
+    let solve_start_us = trace::now_us();
     let start = Instant::now();
     let result = Tensor::from_vec(stacked, &shape)
         .and_then(|x| model.forward(&x, Mode::Eval))
         .map_err(|e| format!("forward failed: {e}"));
-    metrics::histogram_record(
-        "serve/infer_ms",
-        start.elapsed().as_secs_f64() * 1e3,
-        INFER_MS_BOUNDS,
-    );
-    metrics::histogram_record("serve/batch_size", n as f64, BATCH_SIZE_BOUNDS);
-    metrics::counter_add("serve/batches", 1);
+    let solve_us = start.elapsed().as_micros() as u64;
+    metrics::latency_record_us(names::SERVE_INFER_US, solve_us);
+    metrics::histogram_record(names::SERVE_BATCH_SIZE, n as f64, BATCH_SIZE_BOUNDS);
+    metrics::counter_add(names::SERVE_BATCHES, 1);
+    // queue: enqueue → batch assembly; batch: stacking; solve: the shared
+    // forward pass. Start offsets are absolute (trace epoch) so the stages
+    // line up with HTTP-side spans in exports.
+    let stages_for = |enqueued_us: u64| {
+        vec![
+            StageTiming {
+                stage: "queue",
+                start_us: enqueued_us,
+                duration_us: batch_start_us.saturating_sub(enqueued_us),
+            },
+            StageTiming {
+                stage: "batch",
+                start_us: batch_start_us,
+                duration_us: solve_start_us.saturating_sub(batch_start_us),
+            },
+            StageTiming {
+                stage: "solve",
+                start_us: solve_start_us,
+                duration_us: solve_us,
+            },
+        ]
+    };
     match result {
         Ok(logits) => {
             let classes = logits.shape().last().copied().unwrap_or(0).max(1);
@@ -244,6 +286,7 @@ pub fn classify_batch(model: &mut Sequential, input_shape: &[usize], batch: Vec<
                     class,
                     scores,
                     batch_size: n,
+                    stages: stages_for(pending.enqueued_us),
                 }));
             }
         }
@@ -302,10 +345,7 @@ mod tests {
         let batch: Vec<Pending> = slots
             .iter()
             .enumerate()
-            .map(|(i, slot)| Pending {
-                input: image(i),
-                slot: Arc::clone(slot),
-            })
+            .map(|(i, slot)| Pending::new(image(i), Arc::clone(slot)))
             .collect();
         classify_batch(&mut model, &shape, batch);
         // Singles: each request through its own forward pass.
@@ -319,10 +359,7 @@ mod tests {
             classify_batch(
                 &mut tiny_model(),
                 &shape,
-                vec![Pending {
-                    input: image(i),
-                    slot: Arc::clone(&single_slot),
-                }],
+                vec![Pending::new(image(i), Arc::clone(&single_slot))],
             );
             let single = single_slot
                 .wait(Duration::from_secs(1))
@@ -341,10 +378,7 @@ mod tests {
         let queue = BatchQueue::new(16);
         for i in 0..4 {
             queue
-                .submit(Pending {
-                    input: image(i),
-                    slot: ResponseSlot::new(),
-                })
+                .submit(Pending::new(image(i), ResponseSlot::new()))
                 .unwrap();
         }
         // Deadline far away: the size trigger must flush immediately.
@@ -356,10 +390,7 @@ mod tests {
     fn queue_flushes_on_deadline_with_partial_batch() {
         let queue = BatchQueue::new(16);
         queue
-            .submit(Pending {
-                input: image(0),
-                slot: ResponseSlot::new(),
-            })
+            .submit(Pending::new(image(0), ResponseSlot::new()))
             .unwrap();
         let start = Instant::now();
         let batch = queue.next_batch(64, Duration::from_millis(30)).unwrap();
@@ -375,17 +406,11 @@ mod tests {
         let queue = BatchQueue::new(2);
         for i in 0..2 {
             queue
-                .submit(Pending {
-                    input: image(i),
-                    slot: ResponseSlot::new(),
-                })
+                .submit(Pending::new(image(i), ResponseSlot::new()))
                 .unwrap();
         }
         let err = queue
-            .submit(Pending {
-                input: image(2),
-                slot: ResponseSlot::new(),
-            })
+            .submit(Pending::new(image(2), ResponseSlot::new()))
             .unwrap_err();
         assert_eq!(err, SubmitError::QueueFull { cap: 2 });
     }
@@ -394,17 +419,11 @@ mod tests {
     fn closed_queue_drains_then_stops() {
         let queue = BatchQueue::new(4);
         queue
-            .submit(Pending {
-                input: image(0),
-                slot: ResponseSlot::new(),
-            })
+            .submit(Pending::new(image(0), ResponseSlot::new()))
             .unwrap();
         queue.close();
         assert!(matches!(
-            queue.submit(Pending {
-                input: image(1),
-                slot: ResponseSlot::new(),
-            }),
+            queue.submit(Pending::new(image(1), ResponseSlot::new())),
             Err(SubmitError::Closed)
         ));
         let drained = queue.next_batch(8, Duration::from_millis(1)).unwrap();
@@ -433,10 +452,7 @@ mod tests {
         };
         let slot = ResponseSlot::new();
         queue
-            .submit(Pending {
-                input: image(3),
-                slot: Arc::clone(&slot),
-            })
+            .submit(Pending::new(image(3), Arc::clone(&slot)))
             .unwrap();
         let outcome = slot
             .wait(Duration::from_secs(5))

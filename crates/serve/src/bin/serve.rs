@@ -4,13 +4,21 @@
 //! serve --artifact results/vgg11.xbarmdl [--addr 127.0.0.1:7878]
 //!       [--threads N] [--http-workers N] [--infer-workers N]
 //!       [--batch-size N] [--batch-deadline-ms N] [--queue-cap N]
-//!       [--timeout-ms N]
+//!       [--timeout-ms N] [--trace-sample N] [--slow-ms N]
+//!       [--trace-out PATH]
 //! ```
 //!
 //! `--threads` (or the `XBAR_THREADS` environment variable) bounds the
 //! compute worker pool used by the tensor kernels — the same knob the
 //! offline pipeline uses; `--threads 0` resets to auto-detection. Exits
 //! gracefully on SIGTERM/SIGINT or `POST /admin/shutdown`.
+//!
+//! Tracing: `--trace-sample N` traces one classify request in N (the
+//! response carries a `trace_id` and the queue → batch → solve → respond
+//! spans land in the trace buffer); `--slow-ms N` dumps any slower request
+//! to stderr with its stage breakdown; `--trace-out PATH` writes the JSONL
+//! observability sink (spans + metrics) at shutdown, ready for
+//! `obs-report`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -20,13 +28,18 @@ struct Args {
     artifact: String,
     cfg: ServeConfig,
     threads: Option<usize>,
+    trace_out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: serve --artifact <path.xbarmdl> [--addr HOST:PORT] [--threads N]\n\
      \x20             [--http-workers N] [--infer-workers N] [--batch-size N]\n\
      \x20             [--batch-deadline-ms N] [--queue-cap N] [--timeout-ms N]\n\
-     \x20 --threads 0 resets the compute-thread budget to auto-detection"
+     \x20             [--trace-sample N] [--slow-ms N] [--trace-out PATH]\n\
+     \x20 --threads 0 resets the compute-thread budget to auto-detection\n\
+     \x20 --trace-sample N traces 1-in-N classify requests (0 = off)\n\
+     \x20 --slow-ms N dumps requests slower than N ms to stderr (0 = off)\n\
+     \x20 --trace-out PATH writes the JSONL observability sink at shutdown"
 }
 
 fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a str, String> {
@@ -44,6 +57,7 @@ fn next_usize(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut artifact = None;
     let mut threads = None;
+    let mut trace_out = None;
     let mut cfg = ServeConfig {
         addr: "127.0.0.1:7878".into(),
         ..ServeConfig::default()
@@ -74,6 +88,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 cfg.request_timeout =
                     Duration::from_millis(next_usize(&mut it, "--timeout-ms")?.max(1) as u64);
             }
+            "--trace-sample" => {
+                cfg.trace_sample = next_usize(&mut it, "--trace-sample")? as u64;
+            }
+            "--slow-ms" => {
+                cfg.slow_ms = next_usize(&mut it, "--slow-ms")? as u64;
+            }
+            "--trace-out" => {
+                trace_out = Some(next_value(&mut it, "--trace-out")?.to_string());
+            }
             "--help" | "-h" => return Err(usage().into()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -83,6 +106,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         artifact,
         cfg,
         threads,
+        trace_out,
     })
 }
 
@@ -118,6 +142,7 @@ fn main() -> ExitCode {
         meta.mean_nf,
     );
     signals::install();
+    let trace_sample = args.cfg.trace_sample;
     let server = match Server::start(model, meta, args.cfg) {
         Ok(server) => server,
         Err(e) => {
@@ -128,6 +153,15 @@ fn main() -> ExitCode {
     // CI and scripts parse this line for the resolved port.
     println!("listening on http://{}", server.local_addr());
     server.run_until_shutdown();
+    if let Some(path) = args.trace_out {
+        let run = xbar_obs::sink::RunInfo::new("serve")
+            .config("artifact", &args.artifact)
+            .config("trace_sample", trace_sample);
+        match xbar_obs::sink::write_jsonl(&path, &run) {
+            Ok(()) => eprintln!("wrote trace sink to {path:?}"),
+            Err(e) => eprintln!("cannot write trace sink {path:?}: {e}"),
+        }
+    }
     eprintln!("shutdown complete");
     ExitCode::SUCCESS
 }

@@ -24,7 +24,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::base64;
 use crate::batcher::{inference_loop, BatchQueue, Pending, ResponseSlot, SubmitError};
@@ -32,7 +32,8 @@ use crate::http::{read_request, write_response, HttpError, Request};
 use xbar_core::ArtifactMeta;
 use xbar_nn::Sequential;
 use xbar_obs::json::Json;
-use xbar_obs::metrics;
+use xbar_obs::ring::{next_trace_id, RequestTrace, Sampler, TraceRing};
+use xbar_obs::{metrics, names, trace};
 
 /// POSIX signal handling without a libc crate: `std` already links libc on
 /// unix, so declaring `signal(2)` ourselves is enough for a flag-setting
@@ -93,6 +94,16 @@ pub struct ServeConfig {
     pub request_timeout: Duration,
     /// Largest accepted request body.
     pub max_body: usize,
+    /// Trace 1-in-N classify requests (0 disables tracing). Sampled
+    /// requests get a `trace_id` in the response and their queue → batch →
+    /// solve → respond breakdown lands in the trace ring and span buffer.
+    pub trace_sample: u64,
+    /// Dump any classify request slower than this many milliseconds to
+    /// stderr (with its stage breakdown) and keep it in the trace ring even
+    /// when unsampled. 0 disables.
+    pub slow_ms: u64,
+    /// Capacity of the bounded ring of finished request traces.
+    pub trace_ring_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +117,9 @@ impl Default for ServeConfig {
             queue_cap: 256,
             request_timeout: Duration::from_secs(10),
             max_body: 32 << 20,
+            trace_sample: 0,
+            slow_ms: 0,
+            trace_ring_cap: 1024,
         }
     }
 }
@@ -173,6 +187,8 @@ struct Ctx {
     batch_queue: Arc<BatchQueue>,
     shutdown: Arc<AtomicBool>,
     cfg: ServeConfig,
+    sampler: Sampler,
+    trace_ring: Arc<TraceRing>,
 }
 
 /// A running server; drop-in handle for tests, the binary, and CI smoke.
@@ -183,6 +199,7 @@ pub struct Server {
     http_handles: Vec<JoinHandle<()>>,
     infer_handles: Vec<JoinHandle<()>>,
     batch_queue: Arc<BatchQueue>,
+    trace_ring: Arc<TraceRing>,
 }
 
 impl Server {
@@ -215,11 +232,14 @@ impl Server {
             })
             .collect();
 
+        let trace_ring = Arc::new(TraceRing::new(cfg.trace_ring_cap.max(1)));
         let ctx = Arc::new(Ctx {
             meta,
             batch_queue: Arc::clone(&batch_queue),
             shutdown: Arc::clone(&shutdown),
             cfg: cfg.clone(),
+            sampler: Sampler::new(cfg.trace_sample),
+            trace_ring: Arc::clone(&trace_ring),
         });
         let http_handles: Vec<JoinHandle<()>> = (0..cfg.http_workers.max(1))
             .map(|i| {
@@ -248,13 +268,16 @@ impl Server {
                 .expect("spawn accept thread")
         };
 
-        metrics::gauge_set("serve/up", 1.0);
+        metrics::gauge_set(names::SERVE_UP, 1.0);
         let meta = &ctx.meta;
-        metrics::gauge_set("serve/degraded", if meta.is_degraded() { 1.0 } else { 0.0 });
-        metrics::gauge_set("serve/degraded_tiles", meta.degraded_tiles as f64);
-        metrics::gauge_set("serve/stuck_cells", meta.stuck_cells as f64);
-        metrics::gauge_set("serve/repaired_columns", meta.repaired_columns as f64);
-        metrics::gauge_set("serve/max_fault_score", meta.max_fault_score);
+        metrics::gauge_set(
+            names::SERVE_DEGRADED,
+            if meta.is_degraded() { 1.0 } else { 0.0 },
+        );
+        metrics::gauge_set(names::SERVE_DEGRADED_TILES, meta.degraded_tiles as f64);
+        metrics::gauge_set(names::SERVE_STUCK_CELLS, meta.stuck_cells as f64);
+        metrics::gauge_set(names::SERVE_REPAIRED_COLUMNS, meta.repaired_columns as f64);
+        metrics::gauge_set(names::SERVE_MAX_FAULT_SCORE, meta.max_fault_score);
         Ok(Server {
             addr,
             shutdown,
@@ -262,12 +285,19 @@ impl Server {
             http_handles,
             infer_handles,
             batch_queue,
+            trace_ring,
         })
     }
 
     /// The bound address (resolves `:0` to the picked port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bounded ring of finished request traces (sampled and slow
+    /// requests land here; see [`ServeConfig::trace_sample`]).
+    pub fn trace_ring(&self) -> Arc<TraceRing> {
+        Arc::clone(&self.trace_ring)
     }
 
     /// A flag other threads (or the admin endpoint) can set to stop the
@@ -303,7 +333,19 @@ impl Server {
         for handle in self.infer_handles.drain(..) {
             handle.join().expect("inference worker panicked");
         }
-        metrics::gauge_set("serve/up", 0.0);
+        // Final accounting: how much tracing data the bounded buffers shed.
+        let ring_dropped = self.trace_ring.dropped();
+        if ring_dropped > 0 {
+            metrics::counter_add(names::SERVE_TRACE_SPANS_DROPPED, ring_dropped);
+        }
+        let (spans_dropped, events_dropped) = trace::dropped_counts();
+        if spans_dropped + events_dropped > 0 {
+            metrics::counter_add(
+                names::OBS_TRACE_SPANS_DROPPED,
+                spans_dropped + events_dropped,
+            );
+        }
+        metrics::gauge_set(names::SERVE_UP, 0.0);
     }
 }
 
@@ -311,9 +353,9 @@ fn accept_loop(listener: &TcpListener, conn_queue: &ConnQueue, shutdown: &Atomic
     while !shutdown.load(Ordering::SeqCst) && !signals::signalled() {
         match listener.accept() {
             Ok((stream, _)) => {
-                metrics::counter_add("serve/connections", 1);
+                metrics::counter_add(names::SERVE_CONNECTIONS, 1);
                 if let Err(mut rejected) = conn_queue.push(stream) {
-                    metrics::counter_add("serve/connections_rejected", 1);
+                    metrics::counter_add(names::SERVE_CONNECTIONS_REJECTED, 1);
                     respond_error(
                         &mut rejected,
                         503,
@@ -378,7 +420,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
             Ok(None) => return,
             Err(HttpError::Io(_)) => return,
             Err(HttpError::Bad(msg)) => {
-                metrics::counter_add("serve/bad_requests", 1);
+                metrics::counter_add(names::SERVE_BAD_REQUESTS, 1);
                 respond_error(&mut writer, 400, "Bad Request", &msg);
                 return;
             }
@@ -396,7 +438,7 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
                 return;
             }
         };
-        metrics::counter_add("serve/http_requests", 1);
+        metrics::counter_add(names::SERVE_HTTP_REQUESTS, 1);
         let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
         let ok = route(&mut writer, &request, keep_alive, ctx);
         if !ok || !keep_alive {
@@ -428,8 +470,38 @@ fn respond_error(writer: &mut TcpStream, status: u16, reason: &str, detail: &str
     respond_json(writer, status, reason, &body, false);
 }
 
-/// Dispatches one request; returns `false` if the connection died.
+/// Stable low-cardinality label for the per-endpoint latency series.
+fn endpoint_label(request: &Request) -> &'static str {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", "/v1/model") => "model",
+        ("POST", "/v1/classify") => "classify",
+        ("POST", "/admin/shutdown") => "admin",
+        _ => "other",
+    }
+}
+
+/// Dispatches one request; returns `false` if the connection died. Every
+/// request lands in the per-endpoint request-latency log histogram.
 fn route(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
+    let start = Instant::now();
+    let endpoint = endpoint_label(request);
+    let ok = dispatch(writer, request, keep_alive, ctx, endpoint);
+    metrics::latency_record_us(
+        &names::serve_request_us(endpoint),
+        start.elapsed().as_micros() as u64,
+    );
+    ok
+}
+
+fn dispatch(
+    writer: &mut TcpStream,
+    request: &Request,
+    keep_alive: bool,
+    ctx: &Ctx,
+    endpoint: &'static str,
+) -> bool {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             // Degraded ≠ dead: tiles past the repair threshold lower the
@@ -472,7 +544,7 @@ fn route(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx)
         ("GET", "/v1/model") => {
             respond_json(writer, 200, "OK", &ctx.meta.summary_json(), keep_alive)
         }
-        ("POST", "/v1/classify") => classify(writer, request, keep_alive, ctx),
+        ("POST", "/v1/classify") => classify(writer, request, keep_alive, ctx, endpoint),
         ("POST", "/admin/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             let body = Json::Obj(vec![("status".into(), Json::Str("shutting down".into()))]);
@@ -516,23 +588,28 @@ fn parse_image(body: &[u8], expected_len: usize) -> Result<Vec<f32>, String> {
     Ok(image)
 }
 
-fn classify(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
-    metrics::counter_add("serve/classify_requests", 1);
+fn classify(
+    writer: &mut TcpStream,
+    request: &Request,
+    keep_alive: bool,
+    ctx: &Ctx,
+    endpoint: &'static str,
+) -> bool {
+    metrics::counter_add(names::SERVE_CLASSIFY_REQUESTS, 1);
+    let req_start_us = trace::now_us();
+    let sampled = ctx.sampler.sample();
     let input = match parse_image(&request.body, ctx.meta.input_len()) {
         Ok(input) => input,
         Err(msg) => {
-            metrics::counter_add("serve/classify_bad_input", 1);
+            metrics::counter_add(names::SERVE_CLASSIFY_BAD_INPUT, 1);
             let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
             return respond_json(writer, 400, "Bad Request", &body, keep_alive);
         }
     };
     let slot = ResponseSlot::new();
-    let pending = Pending {
-        input,
-        slot: Arc::clone(&slot),
-    };
+    let pending = Pending::new(input, Arc::clone(&slot));
     if let Err(e) = ctx.batch_queue.submit(pending) {
-        metrics::counter_add("serve/classify_rejected", 1);
+        metrics::counter_add(names::SERVE_CLASSIFY_REJECTED, 1);
         let detail = match e {
             SubmitError::QueueFull { cap } => format!("queue full ({cap} waiting), retry later"),
             SubmitError::Closed => "server is shutting down".into(),
@@ -542,7 +619,7 @@ fn classify(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &C
     }
     match slot.wait(ctx.cfg.request_timeout) {
         None => {
-            metrics::counter_add("serve/classify_timeout", 1);
+            metrics::counter_add(names::SERVE_CLASSIFY_TIMEOUT, 1);
             let body = Json::Obj(vec![(
                 "error".into(),
                 Json::Str(format!(
@@ -553,13 +630,14 @@ fn classify(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &C
             respond_json(writer, 504, "Gateway Timeout", &body, keep_alive)
         }
         Some(Err(msg)) => {
-            metrics::counter_add("serve/classify_failed", 1);
+            metrics::counter_add(names::SERVE_CLASSIFY_FAILED, 1);
             let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
             respond_json(writer, 500, "Internal Server Error", &body, keep_alive)
         }
         Some(Ok(outcome)) => {
-            metrics::counter_add("serve/classify_ok", 1);
-            let body = Json::Obj(vec![
+            metrics::counter_add(names::SERVE_CLASSIFY_OK, 1);
+            let respond_start_us = trace::now_us();
+            let mut fields = vec![
                 ("class".into(), Json::Num(outcome.class as f64)),
                 (
                     "scores".into(),
@@ -573,8 +651,35 @@ fn classify(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &C
                 ),
                 ("batch_size".into(), Json::Num(outcome.batch_size as f64)),
                 ("model".into(), ctx.meta.summary_json()),
-            ]);
-            respond_json(writer, 200, "OK", &body, keep_alive)
+            ];
+            // Finish the per-request trace. The `respond` stage and total
+            // run to just before the socket write — the trace ID has to be
+            // serialised into the very response it describes.
+            let now_us = trace::now_us();
+            let total_us = now_us.saturating_sub(req_start_us);
+            let slow = ctx.cfg.slow_ms > 0 && total_us > ctx.cfg.slow_ms * 1000;
+            if sampled || slow {
+                let mut rec = RequestTrace::new(next_trace_id(), endpoint, req_start_us);
+                rec.stages = outcome.stages.clone();
+                rec.push_stage(
+                    "respond",
+                    respond_start_us,
+                    now_us.saturating_sub(respond_start_us),
+                );
+                rec.total_us = total_us;
+                if sampled {
+                    metrics::counter_add(names::SERVE_TRACE_SAMPLED, 1);
+                    rec.emit_spans();
+                }
+                if slow {
+                    metrics::counter_add(names::SERVE_SLOW_REQUESTS, 1);
+                    eprintln!("[serve] slow request: {}", rec.describe());
+                }
+                fields.push(("trace_id".into(), Json::Str(rec.id.to_string())));
+                // Ring before write: a client that sees the ID can find it.
+                ctx.trace_ring.push(rec);
+            }
+            respond_json(writer, 200, "OK", &Json::Obj(fields), keep_alive)
         }
     }
 }

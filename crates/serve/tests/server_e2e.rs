@@ -312,6 +312,84 @@ fn faulted_repaired_model_serves_degraded_but_alive() {
 }
 
 #[test]
+fn sampled_classify_requests_carry_joinable_trace_ids() {
+    let (server, addr) = start_server(ServeConfig {
+        http_workers: 4,
+        trace_sample: 1, // trace every classify request
+        ..ServeConfig::default()
+    });
+    let ring = server.trace_ring();
+    let mut client = connect(&addr);
+
+    let mut ids = Vec::new();
+    for seed in 0..3 {
+        let response = client
+            .post_json("/v1/classify", &image_json(seed))
+            .expect("classify");
+        assert_eq!(response.status, 200, "{}", response.text());
+        let body = Json::parse(&response.text()).expect("classify JSON");
+        let id_text = body
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .expect("sampled response carries trace_id")
+            .to_string();
+        let id = xbar_obs::TraceId::parse(&id_text).expect("well-formed trace id");
+        ids.push(id);
+    }
+
+    // Every ID is in the ring with the full stage breakdown.
+    for id in &ids {
+        let trace = ring.find(*id).expect("trace id found in ring");
+        assert_eq!(trace.endpoint, "classify");
+        let stages: Vec<&str> = trace.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            vec!["queue", "batch", "solve", "respond"],
+            "stage breakdown for {id}"
+        );
+        assert!(trace.total_us > 0, "total time recorded");
+    }
+
+    // The spans emitted into the global buffer join on the same IDs.
+    // (`Watch` is per-thread; these spans come from HTTP worker threads,
+    // so read the global buffer and join on the unique trace IDs.)
+    let spans = xbar_obs::trace::all_spans();
+    for id in &ids {
+        let hex = id.to_string();
+        let tagged: Vec<&str> = spans
+            .iter()
+            .filter(|s| {
+                s.fields.iter().any(|(k, v)| {
+                    *k == "trace_id" && matches!(v, xbar_obs::FieldValue::Str(h) if *h == hex)
+                })
+            })
+            .map(|s| s.name)
+            .collect();
+        for stage in ["queue", "batch", "solve", "respond", "request"] {
+            assert!(
+                tagged.contains(&stage),
+                "span {stage:?} missing for trace {id}: got {tagged:?}"
+            );
+        }
+    }
+
+    // /metrics is valid Prometheus text and includes the per-endpoint
+    // latency histogram plus the sampling counter.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    let samples = xbar_obs::metrics::parse_prometheus_text(&text).expect("exposition parses");
+    assert!(!samples.is_empty());
+    assert!(text.contains("serve_request_us_classify_bucket"), "{text}");
+    assert!(text.contains("serve_trace_sampled"), "{text}");
+
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+#[test]
 fn full_batch_queue_is_backpressure_not_an_error() {
     // One inference worker, tiny queue, long deadline: the queue fills.
     let (server, addr) = start_server(ServeConfig {

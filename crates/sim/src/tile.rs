@@ -16,6 +16,7 @@ use crate::program::{program_array, ArrayKind, FaultReport};
 use crate::quantize::quantize_conductances;
 use crate::solve::{EffectiveSolve, NodeVoltages, NonIdealSolver, SolveMethod, Warm};
 use xbar_linalg::{Result, SolveError, SolveStats};
+use xbar_obs::names;
 use xbar_tensor::Tensor;
 
 /// Bucket bounds (µs) for the per-tile circuit-solve latency histogram.
@@ -199,9 +200,15 @@ pub fn simulate_tile_seeded(
     pair.neg = neg_programmed.g.clone();
     let fault_report = FaultReport::from_arrays(tile.cols(), pos_programmed, neg_programmed);
     if !fault_report.is_clean() || fault_report.reprogrammed > 0 {
-        xbar_obs::metrics::counter_add("sim/stuck_cells", fault_report.stuck_count() as u64);
-        xbar_obs::metrics::counter_add("sim/reprogrammed_cells", fault_report.reprogrammed as u64);
-        xbar_obs::metrics::counter_add("sim/program_retries", fault_report.retry_rounds as u64);
+        xbar_obs::metrics::counter_add(names::SIM_STUCK_CELLS, fault_report.stuck_count() as u64);
+        xbar_obs::metrics::counter_add(
+            names::SIM_REPROGRAMMED_CELLS,
+            fault_report.reprogrammed as u64,
+        );
+        xbar_obs::metrics::counter_add(
+            names::SIM_PROGRAM_RETRIES,
+            fault_report.retry_rounds as u64,
+        );
     }
     let solver =
         NonIdealSolver::try_new(*params, method).map_err(|e| SolveError::Config(e.to_string()))?;
@@ -214,9 +221,9 @@ pub fn simulate_tile_seeded(
     let solve_us = solve_start.elapsed().as_secs_f64() * 1e6;
     let mut stats = pos_solve.stats;
     stats.accumulate(neg_solve.stats);
-    xbar_obs::metrics::histogram_record("sim/tile_solve_us", solve_us, TILE_SOLVE_US_BOUNDS);
+    xbar_obs::metrics::histogram_record(names::SIM_TILE_SOLVE_US, solve_us, TILE_SOLVE_US_BOUNDS);
     xbar_obs::metrics::histogram_record(
-        "sim/tile_sweeps",
+        names::SIM_TILE_SWEEPS,
         stats.iterations as f64,
         TILE_SWEEP_BOUNDS,
     );
@@ -229,7 +236,7 @@ pub fn simulate_tile_seeded(
     let nf_pos_cols = column_nf(&pos_solve);
     let nf_neg_cols = column_nf(&neg_solve);
     for &nf in nf_pos_cols.iter().chain(&nf_neg_cols) {
-        xbar_obs::metrics::histogram_record("sim/nf_column", nf, NF_BOUNDS);
+        xbar_obs::metrics::histogram_record(names::SIM_NF_COLUMN, nf, NF_BOUNDS);
     }
     let mean = |v: &[f64]| {
         if v.is_empty() {
@@ -279,7 +286,7 @@ fn solve_array(
     };
     if let Some(key) = key {
         if let Some(hit) = cache::lookup(key) {
-            xbar_obs::metrics::counter_add("sim/solve_cache_hits", 1);
+            xbar_obs::metrics::counter_add(names::SIM_SOLVE_CACHE_HITS, 1);
             match mode {
                 // Replay the stored cold solve: extraction is pure, so this
                 // is bit-identical to the solve that populated the entry.
@@ -300,7 +307,7 @@ fn solve_array(
                 CacheMode::Off => unreachable!("cache key computed with cache off"),
             }
         } else {
-            xbar_obs::metrics::counter_add("sim/solve_cache_misses", 1);
+            xbar_obs::metrics::counter_add(names::SIM_SOLVE_CACHE_MISSES, 1);
         }
     }
     let caller_seeded = warm.is_some();
@@ -308,7 +315,7 @@ fn solve_array(
     let (nodes, fallback) = if first.stats.converged {
         (first, false)
     } else {
-        xbar_obs::metrics::counter_add("sim/tile_fallbacks", 1);
+        xbar_obs::metrics::counter_add(names::SIM_TILE_FALLBACKS, 1);
         let abandoned = first.stats.iterations;
         let mut retry = *solver;
         retry.max_sweeps *= 4;
@@ -317,7 +324,7 @@ fn solve_array(
         // plus the resumed ones, each counted once.
         resumed.stats.iterations += abandoned;
         if !resumed.stats.converged {
-            xbar_obs::metrics::counter_add("sim/tile_failures", 1);
+            xbar_obs::metrics::counter_add(names::SIM_TILE_FAILURES, 1);
             return Err(SolveError::NoConvergence {
                 iterations: resumed.stats.iterations,
                 residual: resumed.stats.residual,
