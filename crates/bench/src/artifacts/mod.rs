@@ -23,6 +23,7 @@ pub mod ablations;
 pub mod figures;
 pub mod perfmap;
 pub mod profile;
+pub mod surrogate;
 pub mod tables;
 
 use crate::report::Table;
@@ -211,6 +212,10 @@ fn run_perf(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
     perfmap::perf(ctx, 32)
 }
 
+fn run_surrogate(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
+    surrogate::surrogate_accuracy(ctx, surrogate::SURROGATE_SIZE)
+}
+
 /// Every artifact the suite regenerates, in a stable order: the paper's
 /// tables and figures first, then the ablations and the extensions.
 pub fn registry() -> Vec<ArtifactSpec> {
@@ -375,6 +380,13 @@ pub fn registry() -> Vec<ArtifactSpec> {
             exclusive: true,
             run: run_perf,
             scenarios: no_scenarios,
+        },
+        ArtifactSpec {
+            name: "surrogate",
+            paper_ref: "surrogate fidelity & speedup (ours)",
+            exclusive: true,
+            run: run_surrogate,
+            scenarios: surrogate::surrogate_scenarios,
         },
         ArtifactSpec {
             name: "profile",

@@ -17,11 +17,20 @@
 //!                                          the model's full inference state
 //!                                          incl. BatchNorm statistics, see
 //!                                          xbar_nn::serialize)
+//! --- optional fidelity-tier payloads, each flagged in the meta ---
+//! tensors ideal (software) model state      when meta "tiers"."ideal"
+//! tensors surrogate-folded W'' model state  when meta "tiers"."surrogate"
+//! tensors surrogate net parameters          when meta has "surrogate"
 //! ```
 //!
 //! Unlike a training checkpoint the artifact is self-contained: the JSON
 //! meta embeds the layer-by-layer [`LayerSpec`] so a server can rebuild the
 //! architecture without knowing the training scenario.
+//!
+//! The optional payloads extend the format backward-compatibly in both
+//! directions: a legacy artifact simply ends after the `W'` tensor block
+//! (the flags default to absent), and a legacy reader given a new artifact
+//! stops after the `W'` block and never sees the extras.
 
 use crate::pipeline::{MapConfig, MapReport};
 use std::fmt;
@@ -88,6 +97,113 @@ impl From<TensorBlockError> for ArtifactError {
     }
 }
 
+/// Input feature count of an embedded surrogate net for a tile shape.
+///
+/// The feature layout is part of the artifact format, five aggregate
+/// blocks: normalized row voltages (`rows`), per-row ideal currents
+/// (`rows`), per-column conductance sums (`cols`), per-column
+/// depth-weighted ideal currents (`cols`, weighting each device by how far
+/// down the column wire its current enters), then the per-column ideal
+/// currents (`cols`) as the final block. These are the aggregates wire IR
+/// drop physically responds to; raw per-device conductances are deliberately
+/// excluded so surrogate evaluation stays an order of magnitude cheaper
+/// than the circuit solve it replaces. The `xbar-surrogate` crate encodes
+/// inputs with this layout and this function is the single source of truth
+/// for its width.
+pub fn surrogate_input_dim(rows: usize, cols: usize) -> usize {
+    2 * rows + 3 * cols
+}
+
+/// Provenance and held-out validation record of an embedded surrogate:
+/// which tile shape it emulates, its normalization constants, and how far
+/// its predicted column currents sat from the exact solver on held-out
+/// pairs. Persisted in (and restored from) the artifact meta so `/v1/model`
+/// can report the surrogate's error without re-validating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateMeta {
+    /// Crossbar rows the surrogate was trained for.
+    pub rows: usize,
+    /// Crossbar columns the surrogate was trained for.
+    pub cols: usize,
+    /// Conductance floor used for input normalization (S).
+    pub g_min: f64,
+    /// Conductance ceiling used for input normalization (S).
+    pub g_max: f64,
+    /// Nominal read voltage used for input/target normalization (V).
+    pub v_read: f64,
+    /// Held-out max column-current error, as a fraction of the largest
+    /// exact current in the validation split.
+    pub val_max_err: f64,
+    /// Held-out RMS column-current error, same normalization.
+    pub val_rms_err: f64,
+    /// Training pairs generated from the exact solver.
+    pub train_pairs: usize,
+    /// Seed of pair generation and net initialisation.
+    pub seed: u64,
+    /// The surrogate net's architecture (rebuilt via `build_from_spec`).
+    pub arch: Vec<LayerSpec>,
+}
+
+impl SurrogateMeta {
+    fn from_json(j: &Json) -> Result<Self, String> {
+        let num = |name: &str| -> Result<f64, String> {
+            j.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("surrogate record missing number field {name:?}"))
+        };
+        Ok(SurrogateMeta {
+            rows: num("rows")? as usize,
+            cols: num("cols")? as usize,
+            g_min: num("g_min")?,
+            g_max: num("g_max")?,
+            v_read: num("v_read")?,
+            val_max_err: num("val_max_err")?,
+            val_rms_err: num("val_rms_err")?,
+            train_pairs: num("train_pairs")? as usize,
+            seed: num("seed")? as u64,
+            arch: spec_from_json(j.get("arch").ok_or("surrogate record missing \"arch\"")?)?,
+        })
+    }
+}
+
+/// Which optional tier payloads follow the `W'` tensor block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct TierFlags {
+    ideal: bool,
+    surrogate_model: bool,
+}
+
+/// A full fidelity-tier artifact: the exact `W'` model plus the optional
+/// ideal (software) weights, the surrogate-folded `W''` weights, and the
+/// serialized surrogate net itself.
+#[derive(Debug, Clone)]
+pub struct ArtifactBundle {
+    /// The exact-solver-mapped `W'` network (always present).
+    pub model: Sequential,
+    /// Mapping provenance, statistics, and the surrogate record.
+    pub meta: ArtifactMeta,
+    /// The pre-mapping software network (the `ideal` serving tier).
+    pub ideal_model: Option<Sequential>,
+    /// The surrogate-folded `W''` network (the `surrogate` serving tier).
+    pub surrogate_model: Option<Sequential>,
+    /// The surrogate net whose fold produced `surrogate_model`; its
+    /// architecture and validation errors live in `meta.surrogate`.
+    pub surrogate_net: Option<Sequential>,
+}
+
+impl ArtifactBundle {
+    /// Wraps a plain mapped model with no optional tier payloads.
+    pub fn exact_only(model: Sequential, meta: ArtifactMeta) -> Self {
+        Self {
+            model,
+            meta,
+            ideal_model: None,
+            surrogate_model: None,
+            surrogate_net: None,
+        }
+    }
+}
+
 /// Descriptive metadata persisted with (and restored from) an artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArtifactMeta {
@@ -134,6 +250,11 @@ pub struct ArtifactMeta {
     pub degraded_tiles: usize,
     /// Worst post-repair tile fault score.
     pub max_fault_score: f64,
+    /// Embedded-surrogate record (tile shape, normalization, held-out
+    /// validation error); `None` for artifacts without a surrogate.
+    pub surrogate: Option<SurrogateMeta>,
+    /// Test accuracy of the surrogate-folded `W''` model, if measured.
+    pub surrogate_accuracy: Option<f64>,
 }
 
 impl ArtifactMeta {
@@ -161,6 +282,8 @@ impl ArtifactMeta {
             corrected_cells: report.corrected_cells(),
             degraded_tiles: report.degraded_tiles(),
             max_fault_score: report.max_fault_score(),
+            surrogate: None,
+            surrogate_accuracy: None,
         }
     }
 
@@ -178,7 +301,7 @@ impl ArtifactMeta {
     /// JSON object used by the server's classify responses (a compact echo
     /// of the mapping provenance).
     pub fn summary_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("label".into(), Json::Str(self.label.clone())),
             ("rows".into(), Json::Num(self.rows as f64)),
             ("cols".into(), Json::Num(self.cols as f64)),
@@ -201,12 +324,26 @@ impl ArtifactMeta {
                 "degraded_tiles".into(),
                 Json::Num(self.degraded_tiles as f64),
             ),
-        ])
+        ];
+        if let Some(s) = &self.surrogate {
+            fields.push((
+                "surrogate".into(),
+                Json::Obj(vec![
+                    ("val_max_err".into(), Json::Num(s.val_max_err)),
+                    ("val_rms_err".into(), Json::Num(s.val_rms_err)),
+                    ("train_pairs".into(), Json::Num(s.train_pairs as f64)),
+                ]),
+            ));
+            if let Some(acc) = self.surrogate_accuracy {
+                fields.push(("surrogate_accuracy".into(), Json::Num(acc)));
+            }
+        }
+        Json::Obj(fields)
     }
 
-    fn to_json(&self, spec: &[LayerSpec]) -> Json {
+    fn to_json(&self, spec: &[LayerSpec], tiers: TierFlags) -> Json {
         let opt_num = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
-        Json::Obj(vec![
+        let mut fields = vec![
             ("format".into(), Json::Str("XBARMDL1".into())),
             ("label".into(), Json::Str(self.label.clone())),
             ("num_classes".into(), Json::Num(self.num_classes as f64)),
@@ -258,10 +395,43 @@ impl ArtifactMeta {
                 Json::Num(self.degraded_tiles as f64),
             ),
             ("max_fault_score".into(), Json::Num(self.max_fault_score)),
-        ])
+        ];
+        // Tier payloads and the surrogate record are written only when
+        // present, so surrogate-free artifacts stay byte-compatible with
+        // what earlier writers produced.
+        if tiers != TierFlags::default() {
+            fields.push((
+                "tiers".into(),
+                Json::Obj(vec![
+                    ("ideal".into(), Json::Bool(tiers.ideal)),
+                    ("surrogate".into(), Json::Bool(tiers.surrogate_model)),
+                ]),
+            ));
+        }
+        if let Some(s) = &self.surrogate {
+            fields.push((
+                "surrogate".into(),
+                Json::Obj(vec![
+                    ("rows".into(), Json::Num(s.rows as f64)),
+                    ("cols".into(), Json::Num(s.cols as f64)),
+                    ("g_min".into(), Json::Num(s.g_min)),
+                    ("g_max".into(), Json::Num(s.g_max)),
+                    ("v_read".into(), Json::Num(s.v_read)),
+                    ("val_max_err".into(), Json::Num(s.val_max_err)),
+                    ("val_rms_err".into(), Json::Num(s.val_rms_err)),
+                    ("train_pairs".into(), Json::Num(s.train_pairs as f64)),
+                    ("seed".into(), Json::Num(s.seed as f64)),
+                    ("arch".into(), spec_to_json(&s.arch)),
+                ]),
+            ));
+        }
+        if let Some(acc) = self.surrogate_accuracy {
+            fields.push(("surrogate_accuracy".into(), Json::Num(acc)));
+        }
+        Json::Obj(fields)
     }
 
-    fn from_json(j: &Json) -> Result<(Self, Vec<LayerSpec>), String> {
+    fn from_json(j: &Json) -> Result<(Self, Vec<LayerSpec>, TierFlags), String> {
         let str_field = |name: &str| -> Result<String, String> {
             j.get(name)
                 .and_then(Json::as_str)
@@ -316,8 +486,23 @@ impl ArtifactMeta {
             corrected_cells: opt_usize("corrected_cells"),
             degraded_tiles: opt_usize("degraded_tiles"),
             max_fault_score: opt_f64("max_fault_score").unwrap_or(0.0),
+            // The surrogate record and tier flags are absent in artifacts
+            // written before fidelity tiers existed; default to "exact W'
+            // only".
+            surrogate: match j.get("surrogate") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(SurrogateMeta::from_json(s)?),
+            },
+            surrogate_accuracy: opt_f64("surrogate_accuracy"),
         };
-        Ok((meta, spec))
+        let tiers = match j.get("tiers") {
+            None | Some(Json::Null) => TierFlags::default(),
+            Some(t) => TierFlags {
+                ideal: t.get("ideal").and_then(Json::as_bool).unwrap_or(false),
+                surrogate_model: t.get("surrogate").and_then(Json::as_bool).unwrap_or(false),
+            },
+        };
+        Ok((meta, spec, tiers))
     }
 }
 
@@ -334,6 +519,21 @@ pub fn save_artifact<W: Write>(
     meta: &ArtifactMeta,
     mut writer: W,
 ) -> Result<(), ArtifactError> {
+    write_header(model, meta, TierFlags::default(), &mut writer)?;
+    let tensors = model.state_tensors_mut();
+    write_tensor_block(writer, tensors.iter().map(|t| &**t))?;
+    Ok(())
+}
+
+/// Writes magic + meta (with `num_classes` derived from the final linear
+/// layer if left at zero), validating any surrogate record against the
+/// model's partition first.
+fn write_header<W: Write>(
+    model: &Sequential,
+    meta: &ArtifactMeta,
+    tiers: TierFlags,
+    writer: &mut W,
+) -> Result<(), ArtifactError> {
     let spec = spec_of(model);
     let mut meta = meta.clone();
     if meta.num_classes == 0 {
@@ -345,12 +545,87 @@ pub fn save_artifact<W: Write>(
             .map(|l| l.out_features())
             .unwrap_or(0);
     }
-    let meta_bytes = meta.to_json(&spec).to_json().into_bytes();
+    if let Some(s) = &meta.surrogate {
+        validate_surrogate_record(s, &meta)?;
+    }
+    let meta_bytes = meta.to_json(&spec, tiers).to_json().into_bytes();
     writer.write_all(MAGIC)?;
     writer.write_all(&(meta_bytes.len() as u64).to_le_bytes())?;
     writer.write_all(&meta_bytes)?;
-    let tensors = model.state_tensors_mut();
-    write_tensor_block(writer, tensors.iter().map(|t| &**t))?;
+    Ok(())
+}
+
+/// Rejects a surrogate record whose tile shape or net geometry disagrees
+/// with the mapped model's partition — a surrogate trained for a different
+/// crossbar would silently serve wrong currents.
+fn validate_surrogate_record(s: &SurrogateMeta, meta: &ArtifactMeta) -> Result<(), ArtifactError> {
+    if (s.rows, s.cols) != (meta.rows, meta.cols) {
+        return Err(ArtifactError::Mismatch(format!(
+            "embedded surrogate was trained for {}×{} tiles but the model was \
+             partitioned onto {}×{} crossbars; retrain the surrogate for this \
+             tile shape",
+            s.rows, s.cols, meta.rows, meta.cols
+        )));
+    }
+    let in_dim = surrogate_input_dim(s.rows, s.cols);
+    let first_in = s.arch.iter().find_map(|l| match l {
+        LayerSpec::Linear { in_f, .. } => Some(*in_f),
+        _ => None,
+    });
+    let last_out = s.arch.iter().rev().find_map(|l| match l {
+        LayerSpec::Linear { out_f, .. } => Some(*out_f),
+        _ => None,
+    });
+    if first_in != Some(in_dim) || last_out != Some(s.cols) {
+        return Err(ArtifactError::Mismatch(format!(
+            "embedded surrogate net maps {:?} → {:?} features but {}×{} tiles \
+             need {} → {}; the surrogate block does not fit the declared tile \
+             shape",
+            first_in, last_out, s.rows, s.cols, in_dim, s.cols
+        )));
+    }
+    Ok(())
+}
+
+/// Writes a full fidelity-tier bundle: the `W'` model plus any optional
+/// ideal/surrogate payloads, each flagged in the meta so a reader knows
+/// which tensor blocks follow.
+///
+/// # Errors
+///
+/// * [`ArtifactError::Io`] on write failure;
+/// * [`ArtifactError::Mismatch`] when the surrogate net is present without
+///   its meta record (or vice versa), or when the record disagrees with the
+///   mapped model's partition.
+pub fn save_artifact_bundle<W: Write>(
+    bundle: &mut ArtifactBundle,
+    mut writer: W,
+) -> Result<(), ArtifactError> {
+    if bundle.surrogate_net.is_some() != bundle.meta.surrogate.is_some() {
+        return Err(ArtifactError::Mismatch(
+            "bundle carries a surrogate net without its meta record (or a \
+             record without the net); both or neither must be present"
+                .into(),
+        ));
+    }
+    let tiers = TierFlags {
+        ideal: bundle.ideal_model.is_some(),
+        surrogate_model: bundle.surrogate_model.is_some(),
+    };
+    write_header(&bundle.model, &bundle.meta, tiers, &mut writer)?;
+    let tensors = bundle.model.state_tensors_mut();
+    write_tensor_block(&mut writer, tensors.iter().map(|t| &**t))?;
+    for m in [&mut bundle.ideal_model, &mut bundle.surrogate_model]
+        .into_iter()
+        .flatten()
+    {
+        let tensors = m.state_tensors_mut();
+        write_tensor_block(&mut writer, tensors.iter().map(|t| &**t))?;
+    }
+    if let Some(net) = &mut bundle.surrogate_net {
+        let tensors = net.state_tensors_mut();
+        write_tensor_block(&mut writer, tensors.iter().map(|t| &**t))?;
+    }
     Ok(())
 }
 
@@ -365,8 +640,19 @@ pub fn save_artifact<W: Write>(
 /// * [`ArtifactError::Mismatch`] when the tensor block does not fit the
 ///   declared architecture (names the offending tensor and sizes).
 pub fn load_artifact<R: Read>(mut reader: R) -> Result<(Sequential, ArtifactMeta), ArtifactError> {
+    let (model, meta, _tiers) = read_header_and_model(&mut reader)?;
+    Ok((model, meta))
+}
+
+/// Shared front half of the two loaders: magic, meta, and the `W'` tensor
+/// block. Returns the tier flags so [`load_artifact_bundle`] knows which
+/// optional blocks follow; [`load_artifact`] ignores them, which is exactly
+/// how legacy readers stay compatible with bundle files.
+fn read_header_and_model<R: Read>(
+    reader: &mut R,
+) -> Result<(Sequential, ArtifactMeta, TierFlags), ArtifactError> {
     let mut magic = [0u8; 8];
-    read_exact_or_truncated(&mut reader, &mut magic, || "reading magic".into())?;
+    read_exact_or_truncated(&mut *reader, &mut magic, || "reading magic".into())?;
     if &magic != MAGIC {
         return Err(ArtifactError::Malformed(format!(
             "bad magic {:?} (not an XBARMDL1 artifact)",
@@ -374,7 +660,7 @@ pub fn load_artifact<R: Read>(mut reader: R) -> Result<(Sequential, ArtifactMeta
         )));
     }
     let mut len8 = [0u8; 8];
-    read_exact_or_truncated(&mut reader, &mut len8, || "reading metadata length".into())?;
+    read_exact_or_truncated(&mut *reader, &mut len8, || "reading metadata length".into())?;
     let meta_len = u64::from_le_bytes(len8);
     if meta_len > MAX_META_BYTES {
         return Err(ArtifactError::Malformed(format!(
@@ -382,23 +668,73 @@ pub fn load_artifact<R: Read>(mut reader: R) -> Result<(Sequential, ArtifactMeta
         )));
     }
     let mut meta_bytes = vec![0u8; meta_len as usize];
-    read_exact_or_truncated(&mut reader, &mut meta_bytes, || "reading metadata".into())?;
+    read_exact_or_truncated(&mut *reader, &mut meta_bytes, || "reading metadata".into())?;
     let meta_text = String::from_utf8(meta_bytes)
         .map_err(|_| ArtifactError::Malformed("metadata is not UTF-8".into()))?;
     let json = Json::parse(&meta_text)
         .map_err(|e| ArtifactError::Malformed(format!("metadata JSON: {e}")))?;
-    let (meta, spec) = ArtifactMeta::from_json(&json).map_err(ArtifactError::Malformed)?;
+    let (meta, spec, tiers) = ArtifactMeta::from_json(&json).map_err(ArtifactError::Malformed)?;
+    if let Some(s) = &meta.surrogate {
+        validate_surrogate_record(s, &meta)?;
+    }
     let mut model = build_from_spec(&spec);
+    read_block_into_model(&mut *reader, &mut model, "serving model")?;
+    Ok((model, meta, tiers))
+}
+
+fn read_block_into_model<R: Read>(
+    reader: R,
+    model: &mut Sequential,
+    which: &str,
+) -> Result<(), ArtifactError> {
     let mut slots = model.state_tensors_mut();
     read_tensor_block_into(reader, &mut slots).map_err(|e| match e {
         TensorBlockError::Mismatch(detail) => ArtifactError::Mismatch(format!(
-            "{detail} — the tensor block disagrees with the architecture the \
-             artifact declares; the file is corrupt or was produced by an \
-             incompatible writer"
+            "{detail} — the {which} tensor block disagrees with the \
+             architecture the artifact declares; the file is corrupt or was \
+             produced by an incompatible writer"
         )),
         other => other.into(),
-    })?;
-    Ok((model, meta))
+    })
+}
+
+/// Reads a full fidelity-tier bundle. Optional payloads are read only when
+/// the meta's tier flags / surrogate record say they are present, so legacy
+/// artifacts (no flags) load with every optional slot `None`.
+///
+/// # Errors
+///
+/// Same as [`load_artifact`], plus [`ArtifactError::Mismatch`] when the
+/// embedded surrogate record disagrees with the mapped model's partition
+/// or an optional tensor block does not fit its declared architecture.
+pub fn load_artifact_bundle<R: Read>(mut reader: R) -> Result<ArtifactBundle, ArtifactError> {
+    let (model, meta, tiers) = read_header_and_model(&mut reader)?;
+    let spec = spec_of(&model);
+    let mut ideal_model = None;
+    if tiers.ideal {
+        let mut m = build_from_spec(&spec);
+        read_block_into_model(&mut reader, &mut m, "ideal-tier model")?;
+        ideal_model = Some(m);
+    }
+    let mut surrogate_model = None;
+    if tiers.surrogate_model {
+        let mut m = build_from_spec(&spec);
+        read_block_into_model(&mut reader, &mut m, "surrogate-tier model")?;
+        surrogate_model = Some(m);
+    }
+    let mut surrogate_net = None;
+    if let Some(s) = &meta.surrogate {
+        let mut net = build_from_spec(&s.arch);
+        read_block_into_model(&mut reader, &mut net, "surrogate net")?;
+        surrogate_net = Some(net);
+    }
+    Ok(ArtifactBundle {
+        model,
+        meta,
+        ideal_model,
+        surrogate_model,
+        surrogate_net,
+    })
 }
 
 /// Saves an artifact to a file (see [`save_artifact`]).
@@ -426,6 +762,30 @@ pub fn load_artifact_from_file(
 ) -> Result<(Sequential, ArtifactMeta), ArtifactError> {
     let file = std::fs::File::open(path)?;
     load_artifact(io::BufReader::new(file))
+}
+
+/// Saves a fidelity-tier bundle to a file (see [`save_artifact_bundle`]).
+///
+/// # Errors
+///
+/// Propagates [`save_artifact_bundle`] errors.
+pub fn save_artifact_bundle_to_file(
+    bundle: &mut ArtifactBundle,
+    path: impl AsRef<Path>,
+) -> Result<(), ArtifactError> {
+    xbar_nn::serialize::write_file_atomic(path, |writer| save_artifact_bundle(bundle, writer))
+}
+
+/// Loads a fidelity-tier bundle from a file (see [`load_artifact_bundle`]).
+///
+/// # Errors
+///
+/// Propagates [`load_artifact_bundle`] errors.
+pub fn load_artifact_bundle_from_file(
+    path: impl AsRef<Path>,
+) -> Result<ArtifactBundle, ArtifactError> {
+    let file = std::fs::File::open(path)?;
+    load_artifact_bundle(io::BufReader::new(file))
 }
 
 #[cfg(test)]
@@ -578,6 +938,151 @@ mod tests {
         assert_eq!(loaded.degraded_tiles, 0);
         assert!(!loaded.is_degraded());
         assert_eq!(loaded.max_fault_score, 0.0);
+    }
+
+    /// Surrogate record + freshly initialised net matching `mapped()`'s
+    /// 16×16 crossbars.
+    fn surrogate_parts(meta: &ArtifactMeta) -> (SurrogateMeta, Sequential) {
+        let in_dim = surrogate_input_dim(meta.rows, meta.cols);
+        let arch = vec![
+            LayerSpec::Linear {
+                in_f: in_dim,
+                out_f: 32,
+            },
+            LayerSpec::ReLU,
+            LayerSpec::Linear {
+                in_f: 32,
+                out_f: meta.cols,
+            },
+        ];
+        let net = build_from_spec(&arch);
+        let record = SurrogateMeta {
+            rows: meta.rows,
+            cols: meta.cols,
+            g_min: 1e-6,
+            g_max: 1e-4,
+            v_read: 0.25,
+            val_max_err: 0.011,
+            val_rms_err: 0.002,
+            train_pairs: 512,
+            seed: 7,
+            arch,
+        };
+        (record, net)
+    }
+
+    #[test]
+    fn bundle_round_trip_is_byte_identical_and_legacy_reader_copes() {
+        let (noisy, mut meta) = mapped();
+        let (record, net) = surrogate_parts(&meta);
+        meta.surrogate = Some(record);
+        meta.surrogate_accuracy = Some(0.75);
+        let mut bundle = ArtifactBundle {
+            ideal_model: Some(tiny_model()),
+            surrogate_model: Some(noisy.clone()),
+            surrogate_net: Some(net),
+            model: noisy,
+            meta,
+        };
+        let mut buf = Vec::new();
+        save_artifact_bundle(&mut bundle, &mut buf).unwrap();
+
+        let mut loaded = load_artifact_bundle(buf.as_slice()).unwrap();
+        assert!(loaded.ideal_model.is_some());
+        assert!(loaded.surrogate_model.is_some());
+        assert!(loaded.surrogate_net.is_some());
+        let s = loaded.meta.surrogate.as_ref().unwrap();
+        assert_eq!((s.rows, s.cols), (loaded.meta.rows, loaded.meta.cols));
+        assert_eq!(s.val_max_err, 0.011);
+        assert_eq!(loaded.meta.surrogate_accuracy, Some(0.75));
+
+        // Byte-identical second save: the format round-trips exactly.
+        let mut buf2 = Vec::new();
+        save_artifact_bundle(&mut loaded, &mut buf2).unwrap();
+        assert_eq!(buf, buf2, "save → load → save must be byte-identical");
+
+        // A legacy reader ignores the tier flags and the trailing blocks but
+        // still gets the exact-tier model and full meta.
+        let (mut legacy_model, legacy_meta) = load_artifact(buf.as_slice()).unwrap();
+        assert!(legacy_meta.surrogate.is_some());
+        let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i % 13) as f32 / 13.0);
+        let want = bundle.model.forward(&x, Mode::Eval).unwrap();
+        let got = legacy_model.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn legacy_artifact_without_surrogate_loads_as_exact_only_bundle() {
+        let (mut noisy, meta) = mapped();
+        let buf = save_to_vec(&mut noisy, &meta);
+        let bundle = load_artifact_bundle(buf.as_slice()).unwrap();
+        assert!(bundle.meta.surrogate.is_none());
+        assert!(bundle.ideal_model.is_none());
+        assert!(bundle.surrogate_model.is_none());
+        assert!(bundle.surrogate_net.is_none());
+    }
+
+    #[test]
+    fn surrogate_tile_shape_mismatch_rejected_on_save_and_load() {
+        let (noisy, mut meta) = mapped();
+        let (mut record, net) = surrogate_parts(&meta);
+
+        // Save-side: record claims 8×8 tiles, mapping used 16×16.
+        record.rows = 8;
+        record.cols = 8;
+        meta.surrogate = Some(record.clone());
+        let mut bundle = ArtifactBundle {
+            surrogate_net: Some(net),
+            model: noisy,
+            meta: meta.clone(),
+            ideal_model: None,
+            surrogate_model: None,
+        };
+        let err = save_artifact_bundle(&mut bundle, &mut Vec::new()).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, ArtifactError::Mismatch(_)), "{msg}");
+        assert!(msg.contains("8×8") && msg.contains("16×16"), "{msg}");
+
+        // Load-side: hand-craft a header carrying the bad record, so a file
+        // from a buggy or hostile writer is rejected too.
+        let spec = spec_of(&bundle.model);
+        let meta_bytes = meta
+            .to_json(&spec, TierFlags::default())
+            .to_json()
+            .into_bytes();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(meta_bytes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&meta_bytes);
+        let err = load_artifact(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, ArtifactError::Mismatch(_)), "{msg}");
+        assert!(msg.contains("partitioned onto"), "{msg}");
+
+        // Geometry-mismatched net (wrong input width for the tile shape).
+        let (mut record, net) = surrogate_parts(&bundle.meta);
+        record.arch[0] = LayerSpec::Linear { in_f: 3, out_f: 32 };
+        bundle.meta.surrogate = Some(record);
+        bundle.surrogate_net = Some(net);
+        let err = save_artifact_bundle(&mut bundle, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn surrogate_net_without_record_is_rejected() {
+        let (noisy, meta) = mapped();
+        let (_, net) = surrogate_parts(&meta);
+        let mut bundle = ArtifactBundle {
+            surrogate_net: Some(net),
+            model: noisy,
+            meta,
+            ideal_model: None,
+            surrogate_model: None,
+        };
+        let err = save_artifact_bundle(&mut bundle, &mut Vec::new()).unwrap_err();
+        let msg = err.to_string();
+        assert!(matches!(err, ArtifactError::Mismatch(_)), "{msg}");
+        assert!(msg.contains("both or neither"), "{msg}");
     }
 
     #[test]

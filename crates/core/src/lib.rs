@@ -54,7 +54,10 @@ pub mod recalibrate;
 pub mod repair;
 pub mod wct;
 
-pub use artifact::{load_artifact_from_file, save_artifact_to_file, ArtifactMeta};
+pub use artifact::{
+    load_artifact_bundle_from_file, load_artifact_from_file, save_artifact_bundle_to_file,
+    save_artifact_to_file, ArtifactBundle, ArtifactMeta, SurrogateMeta,
+};
 pub use pipeline::{map_to_crossbars, MapConfig, MapError, MapReport};
 pub use rearrange::{ColumnOrder, Rearrangement};
 pub use repair::RepairConfig;

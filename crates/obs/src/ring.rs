@@ -93,7 +93,9 @@ impl Sampler {
         if self.every == 0 {
             return false;
         }
-        self.seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.every)
+        self.seq
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.every)
     }
 }
 

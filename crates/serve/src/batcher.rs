@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use xbar_core::ArtifactMeta;
+use crate::tier::{Tier, TierModels, ALL_TIERS};
 use xbar_nn::{Mode, Sequential};
 use xbar_obs::ring::StageTiming;
 use xbar_obs::{metrics, names, trace};
@@ -91,6 +91,9 @@ impl ResponseSlot {
 pub struct Pending {
     pub input: Vec<f32>,
     pub slot: Arc<ResponseSlot>,
+    /// Which weight set to classify against. Mixed-tier micro-batches are
+    /// split into per-tier sub-batches by the inference worker.
+    pub tier: Tier,
     /// When the request entered the batch queue (trace-epoch µs); the
     /// inference worker turns the gap to batch start into the `queue`
     /// stage timing.
@@ -98,11 +101,18 @@ pub struct Pending {
 }
 
 impl Pending {
-    /// Builds a pending request stamped with the current trace-epoch time.
+    /// Builds an exact-tier pending request stamped with the current
+    /// trace-epoch time.
     pub fn new(input: Vec<f32>, slot: Arc<ResponseSlot>) -> Self {
+        Pending::for_tier(Tier::Exact, input, slot)
+    }
+
+    /// Builds a pending request against a specific fidelity tier.
+    pub fn for_tier(tier: Tier, input: Vec<f32>, slot: Arc<ResponseSlot>) -> Self {
         Pending {
             input,
             slot,
+            tier,
             enqueued_us: trace::now_us(),
         }
     }
@@ -299,17 +309,44 @@ pub fn classify_batch(model: &mut Sequential, input_shape: &[usize], batch: Vec<
 }
 
 /// Inference worker loop: pulls micro-batches until the queue closes.
-/// Each worker owns its own `model` clone, so multiple loops can run
-/// concurrently without locking the network.
+/// Each worker owns its own [`TierModels`] clone, so multiple loops can
+/// run concurrently without locking the networks. A pulled batch may mix
+/// fidelity tiers; it is split into per-tier sub-batches, each sharing one
+/// forward pass through that tier's weight set.
 pub fn inference_loop(
-    mut model: Sequential,
-    meta: &ArtifactMeta,
+    mut models: TierModels,
+    input_shape: &[usize],
     queue: &BatchQueue,
     max_batch: usize,
     deadline: Duration,
 ) {
     while let Some(batch) = queue.next_batch(max_batch, deadline) {
-        classify_batch(&mut model, &meta.input_shape, batch);
+        let mut groups: [Vec<Pending>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for pending in batch {
+            let slot = ALL_TIERS
+                .iter()
+                .position(|&t| t == pending.tier)
+                .expect("every tier is in ALL_TIERS");
+            groups[slot].push(pending);
+        }
+        for (tier, group) in ALL_TIERS.into_iter().zip(groups) {
+            if group.is_empty() {
+                continue;
+            }
+            match models.model_mut(tier) {
+                Some(model) => classify_batch(model, input_shape, group),
+                // The HTTP side rejects unavailable tiers with 409 before
+                // enqueueing; reaching here means a logic error, so answer
+                // the requests instead of hanging them into a 504.
+                None => {
+                    for pending in &group {
+                        pending
+                            .slot
+                            .fill(Err(format!("fidelity tier {tier:?} has no model loaded")));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -435,6 +472,90 @@ mod tests {
     fn slot_times_out_when_never_filled() {
         let slot = ResponseSlot::new();
         assert!(slot.wait(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn mixed_tier_batch_splits_into_per_tier_sub_batches() {
+        // Exact and ideal carry different weights (different seeds), so a
+        // request routed to the wrong tier would produce the wrong scores.
+        let models = TierModels {
+            exact: tiny_model(),
+            surrogate: None,
+            ideal: Some(Sequential::new(vec![
+                Layer::Conv2d(Conv2d::new(1, 4, 3, 1, 1, 21)),
+                Layer::ReLU(ReLU::new()),
+                Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+                Layer::Flatten(Flatten::new()),
+                Layer::Linear(Linear::new(4 * 4 * 4, 3, 23)),
+            ])),
+        };
+        let mut reference = models.clone();
+        let queue = BatchQueue::new(16);
+        let worker = {
+            let queue = Arc::clone(&queue);
+            let models = models.clone();
+            thread::spawn(move || {
+                inference_loop(models, &[1, 8, 8], &queue, 16, Duration::from_millis(20));
+            })
+        };
+        // 2 exact + 2 ideal requests land in one pulled batch.
+        let tiers = [Tier::Exact, Tier::Ideal, Tier::Exact, Tier::Ideal];
+        let slots: Vec<Arc<ResponseSlot>> = (0..4).map(|_| ResponseSlot::new()).collect();
+        for (i, (tier, slot)) in tiers.iter().zip(&slots).enumerate() {
+            queue
+                .submit(Pending::for_tier(*tier, image(i), Arc::clone(slot)))
+                .unwrap();
+        }
+        for (i, (tier, slot)) in tiers.iter().zip(&slots).enumerate() {
+            let outcome = slot
+                .wait(Duration::from_secs(5))
+                .expect("filled")
+                .expect("ok");
+            // Ground truth: the same input through that tier's model alone.
+            let single = ResponseSlot::new();
+            classify_batch(
+                reference.model_mut(*tier).unwrap(),
+                &[1, 8, 8],
+                vec![Pending::for_tier(*tier, image(i), Arc::clone(&single))],
+            );
+            let expected = single
+                .wait(Duration::from_secs(5))
+                .expect("filled")
+                .expect("ok");
+            assert_eq!(
+                outcome.scores, expected.scores,
+                "request {i} must run on the {tier} weights"
+            );
+            assert!(
+                outcome.batch_size <= 2,
+                "sub-batch holds at most the requests of its own tier, \
+                 got {}",
+                outcome.batch_size
+            );
+        }
+        queue.close();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn unavailable_tier_fails_the_request_instead_of_hanging() {
+        let models = TierModels::exact_only(tiny_model());
+        let queue = BatchQueue::new(4);
+        let slot = ResponseSlot::new();
+        queue
+            .submit(Pending::for_tier(
+                Tier::Surrogate,
+                image(0),
+                Arc::clone(&slot),
+            ))
+            .unwrap();
+        queue.close();
+        inference_loop(models, &[1, 8, 8], &queue, 4, Duration::from_millis(1));
+        let err = slot
+            .wait(Duration::from_secs(1))
+            .expect("filled")
+            .expect_err("no surrogate model loaded");
+        assert!(err.contains("no model loaded"), "{err}");
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! serve --artifact results/vgg11.xbarmdl [--addr 127.0.0.1:7878]
-//!       [--threads N] [--http-workers N] [--infer-workers N]
+//!       [--fidelity exact|surrogate|ideal] [--threads N]
+//!       [--http-workers N] [--infer-workers N]
 //!       [--batch-size N] [--batch-deadline-ms N] [--queue-cap N]
 //!       [--timeout-ms N] [--trace-sample N] [--slow-ms N]
 //!       [--trace-out PATH]
 //! ```
+//!
+//! `--fidelity` picks the default weight set classify requests run
+//! against (requests can override it per call with a `"tier"` body
+//! field); the artifact must carry that tier. Legacy artifacts carry only
+//! `exact`.
 //!
 //! `--threads` (or the `XBAR_THREADS` environment variable) bounds the
 //! compute worker pool used by the tensor kernels — the same knob the
@@ -22,7 +28,7 @@
 
 use std::process::ExitCode;
 use std::time::Duration;
-use xbar_serve::{signals, ServeConfig, Server};
+use xbar_serve::{signals, ServeConfig, Server, Tier, TierModels};
 
 struct Args {
     artifact: String,
@@ -33,10 +39,12 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: serve --artifact <path.xbarmdl> [--addr HOST:PORT] [--threads N]\n\
+     \x20             [--fidelity exact|surrogate|ideal]\n\
      \x20             [--http-workers N] [--infer-workers N] [--batch-size N]\n\
      \x20             [--batch-deadline-ms N] [--queue-cap N] [--timeout-ms N]\n\
      \x20             [--trace-sample N] [--slow-ms N] [--trace-out PATH]\n\
      \x20 --threads 0 resets the compute-thread budget to auto-detection\n\
+     \x20 --fidelity picks the default serving tier (default exact)\n\
      \x20 --trace-sample N traces 1-in-N classify requests (0 = off)\n\
      \x20 --slow-ms N dumps requests slower than N ms to stderr (0 = off)\n\
      \x20 --trace-out PATH writes the JSONL observability sink at shutdown"
@@ -67,6 +75,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         match flag.as_str() {
             "--artifact" => artifact = Some(next_value(&mut it, "--artifact")?.to_string()),
             "--addr" => cfg.addr = next_value(&mut it, "--addr")?.to_string(),
+            "--fidelity" => {
+                cfg.default_tier = Tier::parse(next_value(&mut it, "--fidelity")?)?;
+            }
             "--threads" => threads = Some(next_usize(&mut it, "--threads")?),
             "--http-workers" => {
                 cfg.http_workers = next_usize(&mut it, "--http-workers")?.max(1);
@@ -122,15 +133,17 @@ fn main() -> ExitCode {
     if let Some(n) = args.threads {
         xbar_tensor::threads::set_max_threads(n);
     }
-    let (model, meta) = match xbar_core::load_artifact_from_file(&args.artifact) {
+    let bundle = match xbar_core::load_artifact_bundle_from_file(&args.artifact) {
         Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("cannot load artifact {:?}: {e}", args.artifact);
             return ExitCode::FAILURE;
         }
     };
+    let (models, meta) = TierModels::from_bundle(bundle);
+    let tiers: Vec<&str> = models.available().iter().map(|t| t.as_str()).collect();
     eprintln!(
-        "loaded {:?}: {} ({} classes, input {:?}, {} crossbars of {}x{}, method {}, mean NF {:.4})",
+        "loaded {:?}: {} ({} classes, input {:?}, {} crossbars of {}x{}, method {}, mean NF {:.4}, tiers [{}], default {})",
         args.artifact,
         meta.label,
         meta.num_classes,
@@ -140,10 +153,18 @@ fn main() -> ExitCode {
         meta.cols,
         meta.method,
         meta.mean_nf,
+        tiers.join(", "),
+        args.cfg.default_tier,
     );
+    if let Some(s) = &meta.surrogate {
+        eprintln!(
+            "embedded surrogate: {}x{} tiles, held-out max err {:.4}, rms err {:.4} ({} pairs)",
+            s.rows, s.cols, s.val_max_err, s.val_rms_err, s.train_pairs,
+        );
+    }
     signals::install();
     let trace_sample = args.cfg.trace_sample;
-    let server = match Server::start(model, meta, args.cfg) {
+    let server = match Server::start_tiered(models, meta, args.cfg) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot start server: {e}");

@@ -10,12 +10,18 @@
 //! dependencies):
 //!
 //! * `POST /v1/classify` — one image (JSON float array or base64 LE f32),
-//!   answered with the argmax class, softmax scores, the micro-batch size
-//!   the request rode in, and the mapping provenance;
+//!   answered with the argmax class, softmax scores, the fidelity tier it
+//!   ran on, the micro-batch size the request rode in, and the mapping
+//!   provenance; an optional `"tier"` field picks the weight set
+//!   (`exact` / `surrogate` / `ideal`) per request — unknown tiers are
+//!   answered `400`, tiers the artifact does not carry `409`, never a
+//!   silent fallback;
 //! * `GET /healthz` — liveness plus queue depth;
 //! * `GET /metrics` — the process-wide `xbar_obs` metrics registry in
 //!   Prometheus text format;
-//! * `GET /v1/model` — the artifact's mapping summary;
+//! * `GET /v1/model` — the artifact's mapping summary, the available and
+//!   default fidelity tiers, and the embedded surrogate's held-out
+//!   validation error when one is present;
 //! * `POST /admin/shutdown` — CI-friendly graceful stop (SIGTERM and
 //!   SIGINT do the same).
 //!
@@ -33,7 +39,9 @@ pub mod batcher;
 pub mod client;
 pub mod http;
 pub mod server;
+pub mod tier;
 
 pub use batcher::{BatchQueue, ClassifyOutcome, Pending, ResponseSlot, SubmitError};
 pub use client::{Client, RetryPolicy, RetryingClient};
 pub use server::{signals, ServeConfig, Server};
+pub use tier::{Tier, TierModels, ALL_TIERS};

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 use crate::base64;
 use crate::batcher::{inference_loop, BatchQueue, Pending, ResponseSlot, SubmitError};
 use crate::http::{read_request, write_response, HttpError, Request};
+use crate::tier::{Tier, TierModels};
 use xbar_core::ArtifactMeta;
 use xbar_nn::Sequential;
 use xbar_obs::json::Json;
@@ -104,6 +105,10 @@ pub struct ServeConfig {
     pub slow_ms: u64,
     /// Capacity of the bounded ring of finished request traces.
     pub trace_ring_cap: usize,
+    /// Fidelity tier classify requests run against when their body does
+    /// not name one (`--fidelity` in the binary). Must be available in the
+    /// served artifact.
+    pub default_tier: Tier,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +125,7 @@ impl Default for ServeConfig {
             trace_sample: 0,
             slow_ms: 0,
             trace_ring_cap: 1024,
+            default_tier: Tier::Exact,
         }
     }
 }
@@ -189,6 +195,9 @@ struct Ctx {
     cfg: ServeConfig,
     sampler: Sampler,
     trace_ring: Arc<TraceRing>,
+    /// Tiers the served artifact actually carries; requests for any other
+    /// tier are answered `409`, never silently downgraded.
+    available_tiers: Vec<Tier>,
 }
 
 /// A running server; drop-in handle for tests, the binary, and CI smoke.
@@ -203,12 +212,45 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the thread pools, and returns immediately.
+    /// Binds, spawns the thread pools, and returns immediately, serving
+    /// only the exact tier (legacy single-model artifacts).
     ///
     /// # Errors
     ///
     /// Returns the bind error if the address is unavailable.
     pub fn start(model: Sequential, meta: ArtifactMeta, cfg: ServeConfig) -> io::Result<Server> {
+        Server::start_tiered(TierModels::exact_only(model), meta, cfg)
+    }
+
+    /// Binds, spawns the thread pools, and returns immediately, serving
+    /// every fidelity tier the artifact bundle carries.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when `cfg.default_tier` is not among the loaded
+    /// tiers; otherwise the bind error if the address is unavailable.
+    pub fn start_tiered(
+        models: TierModels,
+        meta: ArtifactMeta,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        if !models.has(cfg.default_tier) {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                format!(
+                    "default fidelity tier \"{}\" is not in the artifact \
+                     (available: {}); rebuild the artifact with that tier \
+                     or pick another --fidelity",
+                    cfg.default_tier,
+                    models
+                        .available()
+                        .iter()
+                        .map(|t| t.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            ));
+        }
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -218,15 +260,15 @@ impl Server {
 
         let infer_handles: Vec<JoinHandle<()>> = (0..cfg.infer_workers.max(1))
             .map(|i| {
-                let worker_model = model.clone();
-                let worker_meta = meta.clone();
+                let worker_models = models.clone();
+                let input_shape = meta.input_shape.clone();
                 let queue = Arc::clone(&batch_queue);
                 let max_batch = cfg.max_batch;
                 let deadline = cfg.batch_deadline;
                 thread::Builder::new()
                     .name(format!("xbar-infer-{i}"))
                     .spawn(move || {
-                        inference_loop(worker_model, &worker_meta, &queue, max_batch, deadline);
+                        inference_loop(worker_models, &input_shape, &queue, max_batch, deadline);
                     })
                     .expect("spawn inference worker")
             })
@@ -240,6 +282,7 @@ impl Server {
             cfg: cfg.clone(),
             sampler: Sampler::new(cfg.trace_sample),
             trace_ring: Arc::clone(&trace_ring),
+            available_tiers: models.available(),
         });
         let http_handles: Vec<JoinHandle<()>> = (0..cfg.http_workers.max(1))
             .map(|i| {
@@ -278,6 +321,11 @@ impl Server {
         metrics::gauge_set(names::SERVE_STUCK_CELLS, meta.stuck_cells as f64);
         metrics::gauge_set(names::SERVE_REPAIRED_COLUMNS, meta.repaired_columns as f64);
         metrics::gauge_set(names::SERVE_MAX_FAULT_SCORE, meta.max_fault_score);
+        metrics::gauge_set(names::SERVE_FIDELITY_TIER, cfg.default_tier.gauge_value());
+        if let Some(s) = &meta.surrogate {
+            metrics::gauge_set(names::SERVE_SURROGATE_VAL_MAX_ERR, s.val_max_err);
+            metrics::gauge_set(names::SERVE_SURROGATE_VAL_RMS_ERR, s.val_rms_err);
+        }
         Ok(Server {
             addr,
             shutdown,
@@ -541,9 +589,7 @@ fn dispatch(
             keep_alive,
         )
         .is_ok(),
-        ("GET", "/v1/model") => {
-            respond_json(writer, 200, "OK", &ctx.meta.summary_json(), keep_alive)
-        }
+        ("GET", "/v1/model") => respond_json(writer, 200, "OK", &model_json(ctx), keep_alive),
         ("POST", "/v1/classify") => classify(writer, request, keep_alive, ctx, endpoint),
         ("POST", "/admin/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
@@ -560,11 +606,57 @@ fn dispatch(
     }
 }
 
+/// The `/v1/model` body: the artifact's mapping summary extended with the
+/// serving-side fidelity-tier facts — the deployment's default tier, which
+/// tiers the artifact carries, and the embedded surrogate's held-out
+/// validation error when one is present.
+fn model_json(ctx: &Ctx) -> Json {
+    let Json::Obj(mut fields) = ctx.meta.summary_json() else {
+        unreachable!("summary_json always returns an object");
+    };
+    fields.push((
+        "fidelity_tier".into(),
+        Json::Str(ctx.cfg.default_tier.as_str().into()),
+    ));
+    fields.push((
+        "available_tiers".into(),
+        Json::Arr(
+            ctx.available_tiers
+                .iter()
+                .map(|t| Json::Str(t.as_str().into()))
+                .collect(),
+        ),
+    ));
+    if let Some(s) = &ctx.meta.surrogate {
+        fields.push(("surrogate_val_max_err".into(), Json::Num(s.val_max_err)));
+        fields.push(("surrogate_val_rms_err".into(), Json::Num(s.val_rms_err)));
+    }
+    Json::Obj(fields)
+}
+
+/// Parses a classify body into JSON.
+fn parse_body(body: &[u8]) -> Result<Json, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))
+}
+
+/// Resolves the request's fidelity tier: the optional `"tier"` body field,
+/// falling back to the deployment default.
+fn parse_tier(json: &Json, default: Tier) -> Result<Tier, String> {
+    match json.get("tier") {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Str(name)) => Tier::parse(name),
+        Some(other) => Err(format!(
+            "\"tier\" must be a string (\"exact\", \"surrogate\", \
+             \"ideal\"), got {}",
+            other.to_json()
+        )),
+    }
+}
+
 /// Extracts the image from a classify body: `image` (JSON array of floats)
 /// or `image_b64` (base64 little-endian f32 bytes).
-fn parse_image(body: &[u8], expected_len: usize) -> Result<Vec<f32>, String> {
-    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    let json = Json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+fn parse_image(json: &Json, expected_len: usize) -> Result<Vec<f32>, String> {
     let image = if let Some(b64) = json.get("image_b64").and_then(Json::as_str) {
         base64::decode_f32(b64).map_err(|e| format!("image_b64: {e}"))?
     } else if let Some(values) = json.get("image").and_then(Json::as_arr) {
@@ -598,16 +690,41 @@ fn classify(
     metrics::counter_add(names::SERVE_CLASSIFY_REQUESTS, 1);
     let req_start_us = trace::now_us();
     let sampled = ctx.sampler.sample();
-    let input = match parse_image(&request.body, ctx.meta.input_len()) {
-        Ok(input) => input,
+    let parsed = parse_body(&request.body).and_then(|json| {
+        let tier = parse_tier(&json, ctx.cfg.default_tier)?;
+        let input = parse_image(&json, ctx.meta.input_len())?;
+        Ok((tier, input))
+    });
+    let (tier, input) = match parsed {
+        Ok(parsed) => parsed,
         Err(msg) => {
             metrics::counter_add(names::SERVE_CLASSIFY_BAD_INPUT, 1);
             let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
             return respond_json(writer, 400, "Bad Request", &body, keep_alive);
         }
     };
+    if !ctx.available_tiers.contains(&tier) {
+        // Never a silent fallback: the caller asked for a fidelity the
+        // served artifact cannot honour.
+        metrics::counter_add(names::SERVE_CLASSIFY_BAD_INPUT, 1);
+        let body = Json::Obj(vec![(
+            "error".into(),
+            Json::Str(format!(
+                "fidelity tier \"{tier}\" is not in the served artifact \
+             (available: {}); rebuild the artifact with that tier or drop \
+             the \"tier\" field",
+                ctx.available_tiers
+                    .iter()
+                    .map(|t| t.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            )),
+        )]);
+        return respond_json(writer, 409, "Conflict", &body, keep_alive);
+    }
+    metrics::counter_add(&names::serve_classify_tier(tier.as_str()), 1);
     let slot = ResponseSlot::new();
-    let pending = Pending::new(input, Arc::clone(&slot));
+    let pending = Pending::for_tier(tier, input, Arc::clone(&slot));
     if let Err(e) = ctx.batch_queue.submit(pending) {
         metrics::counter_add(names::SERVE_CLASSIFY_REJECTED, 1);
         let detail = match e {
@@ -638,6 +755,7 @@ fn classify(
             metrics::counter_add(names::SERVE_CLASSIFY_OK, 1);
             let respond_start_us = trace::now_us();
             let mut fields = vec![
+                ("tier".into(), Json::Str(tier.as_str().into())),
                 ("class".into(), Json::Num(outcome.class as f64)),
                 (
                     "scores".into(),
@@ -657,6 +775,7 @@ fn classify(
             // serialised into the very response it describes.
             let now_us = trace::now_us();
             let total_us = now_us.saturating_sub(req_start_us);
+            metrics::latency_record_us(&names::serve_classify_tier_us(tier.as_str()), total_us);
             let slow = ctx.cfg.slow_ms > 0 && total_us > ctx.cfg.slow_ms * 1000;
             if sampled || slow {
                 let mut rec = RequestTrace::new(next_trace_id(), endpoint, req_start_us);

@@ -103,58 +103,41 @@ impl TileSolveState {
     }
 }
 
-/// Simulates one weight tile on a non-ideal differential crossbar pair.
-///
-/// * `tile` — `rows × cols` weights (padded with zeros to the full crossbar
-///   size by the caller; zero cells sit at `Gmin` like unused devices);
-/// * `scale`/`layer_abs_max` — weight→conductance reference (see
-///   [`MappingScale`]);
-/// * `seed` — deterministic variation seed (derive per tile).
+/// A tile's differential conductance pair after the full programming
+/// pipeline — quantization, closed-loop programming with write noise and
+/// stuck-at faults — ready either for the exact circuit solve or for a
+/// learned column-current emulator (`xbar-surrogate`).
+#[derive(Debug, Clone)]
+pub struct PreparedTile {
+    /// The programmed differential conductance pair.
+    pub pair: DifferentialPair,
+    /// Read-verify verdict over both arrays.
+    pub fault_report: FaultReport,
+    /// Fraction of devices (both arrays) within 1 % of `Gmin`.
+    pub low_g_fraction: f64,
+}
+
+/// Programs one weight tile onto a differential crossbar pair without
+/// solving the circuit: weights → conductances, quantization, and the
+/// closed-loop program-and-verify pass with write noise and stuck-at
+/// faults. This is exactly the state [`simulate_tile_seeded`] hands to the
+/// circuit solver, so an emulator fed the returned conductances sees the
+/// same arrays the exact path does, bit for bit.
 ///
 /// # Errors
 ///
-/// Propagates circuit-solver errors.
+/// Returns [`SolveError::Config`] if `params` fails validation.
 ///
 /// # Panics
 ///
 /// Panics if `tile` is not 2-D.
-pub fn simulate_tile(
+pub fn prepare_tile_conductances(
     tile: &Tensor,
     scale: MappingScale,
     layer_abs_max: f32,
     params: &CrossbarParams,
-    method: SolveMethod,
     seed: u64,
-) -> Result<TileOutcome> {
-    simulate_tile_seeded(tile, scale, layer_abs_max, params, method, seed, None)
-        .map(|(outcome, _)| outcome)
-}
-
-/// [`simulate_tile`], plus warm-start plumbing: the returned
-/// [`TileSolveState`] holds the solved node voltages of both arrays, and a
-/// related later simulation (repair's column-permuted re-run, a recalibrate
-/// re-map of slightly perturbed weights) can pass it back as `warm` to
-/// start relaxation from that state instead of the cold guess.
-///
-/// Warm-started solves are never inserted into the solve cache — only cold
-/// solves are, so a [`CacheMode::Full`] hit always replays a genuine cold
-/// result bit-for-bit.
-///
-/// # Errors
-///
-/// * [`SolveError::Config`] if `params` fails validation;
-/// * circuit-solver errors, including final non-convergence after the
-///   extended-sweep fallback.
-#[allow(clippy::too_many_arguments)]
-pub fn simulate_tile_seeded(
-    tile: &Tensor,
-    scale: MappingScale,
-    layer_abs_max: f32,
-    params: &CrossbarParams,
-    method: SolveMethod,
-    seed: u64,
-    warm: Option<&TileSolveState>,
-) -> Result<(TileOutcome, TileSolveState)> {
+) -> Result<PreparedTile> {
     // Validate before any conductance math: inconsistent params would
     // otherwise panic in quantization or the solver, which a worker thread
     // can only report as an opaque panic.
@@ -210,6 +193,70 @@ pub fn simulate_tile_seeded(
             fault_report.retry_rounds as u64,
         );
     }
+    Ok(PreparedTile {
+        pair,
+        fault_report,
+        low_g_fraction: low_g,
+    })
+}
+
+/// Simulates one weight tile on a non-ideal differential crossbar pair.
+///
+/// * `tile` — `rows × cols` weights (padded with zeros to the full crossbar
+///   size by the caller; zero cells sit at `Gmin` like unused devices);
+/// * `scale`/`layer_abs_max` — weight→conductance reference (see
+///   [`MappingScale`]);
+/// * `seed` — deterministic variation seed (derive per tile).
+///
+/// # Errors
+///
+/// Propagates circuit-solver errors.
+///
+/// # Panics
+///
+/// Panics if `tile` is not 2-D.
+pub fn simulate_tile(
+    tile: &Tensor,
+    scale: MappingScale,
+    layer_abs_max: f32,
+    params: &CrossbarParams,
+    method: SolveMethod,
+    seed: u64,
+) -> Result<TileOutcome> {
+    simulate_tile_seeded(tile, scale, layer_abs_max, params, method, seed, None)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`simulate_tile`], plus warm-start plumbing: the returned
+/// [`TileSolveState`] holds the solved node voltages of both arrays, and a
+/// related later simulation (repair's column-permuted re-run, a recalibrate
+/// re-map of slightly perturbed weights) can pass it back as `warm` to
+/// start relaxation from that state instead of the cold guess.
+///
+/// Warm-started solves are never inserted into the solve cache — only cold
+/// solves are, so a [`CacheMode::Full`] hit always replays a genuine cold
+/// result bit-for-bit.
+///
+/// # Errors
+///
+/// * [`SolveError::Config`] if `params` fails validation;
+/// * circuit-solver errors, including final non-convergence after the
+///   extended-sweep fallback.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_tile_seeded(
+    tile: &Tensor,
+    scale: MappingScale,
+    layer_abs_max: f32,
+    params: &CrossbarParams,
+    method: SolveMethod,
+    seed: u64,
+    warm: Option<&TileSolveState>,
+) -> Result<(TileOutcome, TileSolveState)> {
+    let PreparedTile {
+        pair,
+        fault_report,
+        low_g_fraction: low_g,
+    } = prepare_tile_conductances(tile, scale, layer_abs_max, params, seed)?;
     let solver =
         NonIdealSolver::try_new(*params, method).map_err(|e| SolveError::Config(e.to_string()))?;
     let v = vec![params.v_read; tile.rows()];

@@ -1,0 +1,41 @@
+//! # xbar-surrogate
+//!
+//! A learned stand-in for the exact non-ideal crossbar solver (a
+//! self-hosted GENIEx-style emulator). The exact circuit solve in
+//! `xbar-sim` is the slowest path in the pipeline; this crate trains a
+//! small per-tile-shape MLP on (conductances, input voltages) → non-ideal
+//! column currents pairs generated *by that same solver*, then serves
+//! predictions orders of magnitude faster.
+//!
+//! The flow:
+//!
+//! 1. [`pairs::generate_pairs`] samples random conductance arrays (varied
+//!    sparsity, spanning the programmable range plus variation headroom)
+//!    and voltage patterns, and labels each with the exact solver's column
+//!    currents.
+//! 2. [`train::train_surrogate`] fits an MLP (`xbar-nn` layers, plain MSE
+//!    SGD) to the pairs, holding out a validation split whose max/RMS
+//!    current error — relative to the largest exact current in the split —
+//!    is recorded on the returned [`Surrogate`] and exported as gauges.
+//! 3. The [`Surrogate`] implements [`xbar_core::pipeline::TileEmulator`],
+//!    so `map_to_crossbars_with` can fold its predicted currents into
+//!    `W''` weights exactly the way the exact path folds `G'` into `W'`.
+//! 4. `into_parts`/`from_parts` convert to/from the
+//!    [`xbar_core::artifact::SurrogateMeta`] record + `Sequential` pair
+//!    that the XBARMDL bundle format embeds.
+//!
+//! The feature encoding is owned by the artifact format
+//! ([`xbar_core::artifact::surrogate_input_dim`]): normalised row
+//! voltages, per-row ideal currents, per-column conductance sums,
+//! per-column depth-weighted ideal currents, then per-column ideal
+//! currents — aggregates only, no raw per-device conductances, which keeps
+//! a tile evaluation an order of magnitude cheaper than the circuit solve
+//! while the ratio-deviation target stays near-linear in the features.
+
+pub mod net;
+pub mod pairs;
+pub mod train;
+
+pub use net::Surrogate;
+pub use pairs::{generate_pairs, TrainingPair};
+pub use train::{train_surrogate, TrainConfig};

@@ -1,0 +1,316 @@
+//! The trained surrogate: feature encoding, batched prediction, and the
+//! [`TileEmulator`] implementation the mapping pipeline consumes.
+
+use xbar_core::artifact::{surrogate_input_dim, SurrogateMeta};
+use xbar_core::pipeline::TileEmulator;
+use xbar_nn::arch::{spec_of, LayerSpec};
+use xbar_nn::{Mode, Sequential};
+use xbar_sim::conductance::ConductanceMatrix;
+use xbar_tensor::Tensor;
+
+/// A trained per-tile-shape crossbar emulator.
+///
+/// Wraps the MLP together with the [`SurrogateMeta`] record (tile shape,
+/// normalisation constants, held-out validation errors) that the XBARMDL
+/// bundle format persists. Construct via [`crate::train::train_surrogate`]
+/// or [`Surrogate::from_parts`].
+#[derive(Debug, Clone)]
+pub struct Surrogate {
+    meta: SurrogateMeta,
+    net: Sequential,
+}
+
+impl Surrogate {
+    /// Reassembles a surrogate from its persisted parts, validating that
+    /// the net matches the record's declared architecture and tile shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on any geometry disagreement.
+    pub fn from_parts(meta: SurrogateMeta, net: Sequential) -> Result<Self, String> {
+        let got = spec_of(&net);
+        if got != meta.arch {
+            return Err(format!(
+                "surrogate net architecture {:?} does not match the record's \
+                 declared {:?}",
+                got, meta.arch
+            ));
+        }
+        let in_dim = surrogate_input_dim(meta.rows, meta.cols);
+        let first_in = meta.arch.iter().find_map(|l| match l {
+            LayerSpec::Linear { in_f, .. } => Some(*in_f),
+            _ => None,
+        });
+        let last_out = meta.arch.iter().rev().find_map(|l| match l {
+            LayerSpec::Linear { out_f, .. } => Some(*out_f),
+            _ => None,
+        });
+        if first_in != Some(in_dim) || last_out != Some(meta.cols) {
+            return Err(format!(
+                "surrogate net maps {first_in:?} → {last_out:?} features but \
+                 {}×{} tiles need {in_dim} → {}",
+                meta.rows, meta.cols, meta.cols
+            ));
+        }
+        Ok(Self { meta, net })
+    }
+
+    /// Splits the surrogate into the meta record and net that
+    /// `save_artifact_bundle` embeds.
+    pub fn into_parts(self) -> (SurrogateMeta, Sequential) {
+        (self.meta, self.net)
+    }
+
+    /// The persisted record (tile shape, normalisation, validation errors).
+    pub fn meta(&self) -> &SurrogateMeta {
+        &self.meta
+    }
+
+    /// Current scale the net's outputs are normalised by: the ideal current
+    /// of a fully-ON, fully-driven column.
+    fn current_scale(&self) -> f64 {
+        current_scale(&self.meta)
+    }
+
+    /// Appends the feature vector for one (array, voltages) query. The
+    /// layout is part of the artifact format — see
+    /// [`xbar_core::artifact::surrogate_input_dim`].
+    fn encode_into(&self, g: &ConductanceMatrix, v: &[f64], out: &mut Vec<f32>) {
+        encode_query(&self.meta, g, v, out);
+    }
+
+    fn check_query(&self, g: &ConductanceMatrix, v: &[f64]) -> Result<(), String> {
+        let m = &self.meta;
+        if (g.rows(), g.cols()) != (m.rows, m.cols) {
+            return Err(format!(
+                "surrogate was trained for {}×{} tiles but got a {}×{} array",
+                m.rows,
+                m.cols,
+                g.rows(),
+                g.cols()
+            ));
+        }
+        if v.len() != m.rows {
+            return Err(format!(
+                "surrogate expects {} input voltages, got {}",
+                m.rows,
+                v.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Predicted non-ideal column currents (A) for a batch of queries, one
+    /// forward pass for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when a query does not fit the trained
+    /// tile geometry or the net rejects the batch.
+    pub fn predict_currents_batch(
+        &self,
+        queries: &[(&ConductanceMatrix, &[f64])],
+    ) -> Result<Vec<Vec<f64>>, String> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let m = &self.meta;
+        let in_dim = surrogate_input_dim(m.rows, m.cols);
+        let mut features = Vec::with_capacity(queries.len() * in_dim);
+        for (g, v) in queries {
+            self.check_query(g, v)?;
+            self.encode_into(g, v, &mut features);
+        }
+        let x = Tensor::from_vec(features, &[queries.len(), in_dim])
+            .map_err(|e| format!("surrogate feature batch: {e}"))?;
+        // `forward` needs `&mut` for layer scratch space; the net is small,
+        // so a clone per batch keeps the public API (and TileEmulator)
+        // `&self` + thread-safe.
+        let mut net = self.net.clone();
+        let y = net
+            .forward(&x, Mode::Eval)
+            .map_err(|e| format!("surrogate forward: {e}"))?;
+        let scale = self.current_scale();
+        let data = y.as_slice();
+        Ok((0..queries.len())
+            .map(|i| {
+                (0..m.cols)
+                    .map(|c| {
+                        // Reconstruct: ideal current (the query's last
+                        // feature block) times the predicted ratio.
+                        let ideal = x.as_slice()[i * in_dim + in_dim - m.cols + c] as f64;
+                        let dev = (data[i * m.cols + c] as f64 / RATIO_GAIN)
+                            .clamp(-RATIO_CLAMP, RATIO_CLAMP);
+                        // Column currents are physically non-negative;
+                        // clamp the regression output accordingly.
+                        (ideal * (1.0 + dev) * scale).max(0.0)
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// Predicted non-ideal column currents (A) for one query.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Surrogate::predict_currents_batch`].
+    pub fn predict_currents(&self, g: &ConductanceMatrix, v: &[f64]) -> Result<Vec<f64>, String> {
+        let mut out = self.predict_currents_batch(&[(g, v)])?;
+        Ok(out.pop().expect("one query in, one prediction out"))
+    }
+}
+
+/// Current the net's outputs are normalised by: the ideal current of a
+/// fully-ON, fully-driven column of `meta`'s tile shape.
+pub(crate) fn current_scale(meta: &SurrogateMeta) -> f64 {
+    meta.g_max * meta.v_read * meta.rows as f64
+}
+
+/// The net regresses the per-column current *ratio* deviation
+/// `I_exact/I_ideal − 1`, not the absolute current: the ideal current is
+/// already an input feature, and the ratio (one minus the column's
+/// non-ideality factor) is a near-linear function of the aggregate
+/// conductance/current features, which a small MLP learns readily — this
+/// is exactly the quantity the `W''` fold consumes. Ratios are clamped to
+/// `1 ± RATIO_CLAMP` (sneak paths can inflate the ratio arbitrarily on
+/// near-zero ideal currents) and amplified by `RATIO_GAIN` during training
+/// so targets sit in a healthy range for SGD; predictions invert both.
+pub(crate) const RATIO_GAIN: f64 = 40.0;
+/// Largest ratio deviation the net models; matches the fold's `[0, 2]`
+/// scale clamp in `xbar_core::pipeline`.
+pub(crate) const RATIO_CLAMP: f64 = 1.0;
+
+/// Appends the feature vector for one (array, voltages) query: normalised
+/// row voltages, per-row ideal currents, per-column conductance sums,
+/// per-column depth-weighted ideal currents (each device weighted by how
+/// far down the column wire its current enters — the first-order spatial
+/// moment column IR drop responds to), then normalised per-column ideal
+/// currents. One pass over the array, row-major. The layout is part of the
+/// artifact format — see [`xbar_core::artifact::surrogate_input_dim`].
+pub(crate) fn encode_query(
+    meta: &SurrogateMeta,
+    g: &ConductanceMatrix,
+    v: &[f64],
+    out: &mut Vec<f32>,
+) {
+    let (rows, cols) = (meta.rows, meta.cols);
+    out.extend(v.iter().map(|&x| (x / meta.v_read) as f32));
+    let mut col_g = vec![0.0f64; cols];
+    let mut col_depth = vec![0.0f64; cols];
+    let mut col_ideal = vec![0.0f64; cols];
+    let row_scale = meta.g_max * meta.v_read * cols as f64;
+    let flat = g.as_slice();
+    for r in 0..rows {
+        let vr = v[r];
+        // Depth of row `r`'s injection point along the column wire, in
+        // (0, 1]; deeper devices see more wire resistance to the sense amp.
+        let depth = (r + 1) as f64 / rows as f64;
+        let row = &flat[r * cols..(r + 1) * cols];
+        let mut row_current = 0.0f64;
+        for (c, &gc) in row.iter().enumerate() {
+            let i = gc * vr;
+            row_current += i;
+            col_g[c] += gc;
+            col_depth[c] += i * depth;
+            col_ideal[c] += i;
+        }
+        out.push((row_current / row_scale) as f32);
+    }
+    let col_g_scale = meta.g_max * rows as f64;
+    let scale = current_scale(meta);
+    out.extend(col_g.iter().map(|&x| (x / col_g_scale) as f32));
+    out.extend(col_depth.iter().map(|&x| (x / scale) as f32));
+    out.extend(col_ideal.iter().map(|&x| (x / scale) as f32));
+}
+
+impl TileEmulator for Surrogate {
+    fn tile_shape(&self) -> (usize, usize) {
+        (self.meta.rows, self.meta.cols)
+    }
+
+    fn column_currents_batch(&self, arrays: &[ConductanceMatrix]) -> Result<Vec<Vec<f64>>, String> {
+        // The fold drives every row at the nominal read voltage.
+        let v = vec![self.meta.v_read; self.meta.rows];
+        let queries: Vec<_> = arrays.iter().map(|g| (g, v.as_slice())).collect();
+        self.predict_currents_batch(&queries)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use xbar_nn::arch::build_from_spec;
+
+    pub(crate) fn record(rows: usize, cols: usize) -> SurrogateMeta {
+        SurrogateMeta {
+            rows,
+            cols,
+            g_min: 1e-6,
+            g_max: 1e-5,
+            v_read: 0.25,
+            val_max_err: 0.01,
+            val_rms_err: 0.002,
+            train_pairs: 16,
+            seed: 1,
+            arch: vec![
+                LayerSpec::Linear {
+                    in_f: surrogate_input_dim(rows, cols),
+                    out_f: 8,
+                },
+                LayerSpec::ReLU,
+                LayerSpec::Linear {
+                    in_f: 8,
+                    out_f: cols,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn parts_round_trip_and_geometry_is_enforced() {
+        let meta = record(4, 4);
+        let net = build_from_spec(&meta.arch);
+        let s = Surrogate::from_parts(meta.clone(), net).unwrap();
+        assert_eq!(s.tile_shape(), (4, 4));
+        let (back, net) = s.into_parts();
+        assert_eq!(back, meta);
+
+        // Net that disagrees with the declared arch.
+        let err = Surrogate::from_parts(record(8, 4), net).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+
+        // Declared arch that does not fit the tile shape.
+        let mut bad = record(4, 4);
+        bad.arch[0] = LayerSpec::Linear { in_f: 3, out_f: 8 };
+        let net = build_from_spec(&bad.arch);
+        let err = Surrogate::from_parts(bad, net).unwrap_err();
+        assert!(err.contains("tiles need"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_queries_are_rejected() {
+        let meta = record(4, 4);
+        let net = build_from_spec(&meta.arch);
+        let s = Surrogate::from_parts(meta, net).unwrap();
+        let g = ConductanceMatrix::filled(3, 4, 1e-6);
+        let err = s.predict_currents(&g, &[0.25; 3]).unwrap_err();
+        assert!(err.contains("3×4"), "{err}");
+        let g = ConductanceMatrix::filled(4, 4, 1e-6);
+        let err = s.predict_currents(&g, &[0.25; 5]).unwrap_err();
+        assert!(err.contains("4 input voltages"), "{err}");
+    }
+
+    #[test]
+    fn predictions_are_finite_and_nonnegative() {
+        let meta = record(4, 4);
+        let net = build_from_spec(&meta.arch);
+        let s = Surrogate::from_parts(meta, net).unwrap();
+        let g = ConductanceMatrix::filled(4, 4, 5e-6);
+        let out = s.column_currents_batch(&[g.clone(), g]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 4);
+        assert!(out[0].iter().all(|&i| i.is_finite() && i >= 0.0));
+        assert_eq!(out[0], out[1], "identical arrays, identical predictions");
+    }
+}
