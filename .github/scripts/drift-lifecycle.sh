@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Drift-lifecycle smoke against a running serve instance started with
+# --drift-test-hooks (and a fast tau range, e.g. --drift-tau-fast 10
+# --drift-tau-slow 100000). Run under with-serve.sh, which owns the server
+# lifecycle. Exercises the whole ladder:
+#
+#   1. the background health sweep fires on its own (serve_health_sweeps);
+#   2. /admin/advance-time fast-forwards the drift clock until a sweep
+#      reports a refresh rung (1 or 2) with cells actually rewritten;
+#   3. /admin/reload hot-swaps in-place while concurrent classifies are in
+#      flight — every single request must answer 200.
+set -euo pipefail
+
+ADDR=${1:-127.0.0.1:7979}
+
+python3 - "$ADDR" <<'EOF'
+import json, re, sys, threading, time, urllib.request
+
+addr = sys.argv[1]
+
+def get(path):
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=30) as resp:
+        assert resp.status == 200, (path, resp.status)
+        return resp.read().decode()
+
+def post(path, payload=None):
+    body = b"" if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        f"http://{addr}{path}", data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return resp.status, json.load(resp)
+
+def metric(text, name):
+    m = re.search(rf"^{name}\s+([0-9.eE+-]+)$", text, re.M)
+    return float(m.group(1)) if m else 0.0
+
+# 1. Drift fields are live and the background sweep fires by itself.
+health = json.loads(get("/healthz"))
+assert "probe_accuracy" in health and "mitigation_rung" in health, health
+for _ in range(100):
+    if metric(get("/metrics"), "serve_health_sweeps") >= 1:
+        break
+    time.sleep(0.2)
+else:
+    raise AssertionError("background health sweep never fired")
+print("background sweep ok")
+
+# 2. Fast-forward until a sweep crosses a refresh rung. The background
+# sweep races the synchronous one we request, so success is judged by the
+# cumulative refresh counters, not by which sweep caught the drift.
+rewritten = 0.0
+seconds, elapsed_budget = 20.0, 3.0e6
+while seconds <= elapsed_budget:
+    status, body = post("/admin/advance-time",
+                        {"seconds": seconds, "sweep": True})
+    assert status == 200, body
+    sweep = body["sweep"]
+    assert sweep["post_accuracy"] >= sweep["pre_accuracy"] - 1e-9, sweep
+    metrics = get("/metrics")
+    rewritten = metric(metrics, "serve_drift_refreshed_cells") + \
+        metric(metrics, "serve_drift_remapped_columns")
+    if rewritten > 0:
+        break
+    seconds *= 2
+assert rewritten > 0, "no refresh rung triggered across the escalation"
+health = json.loads(get("/healthz"))
+assert health["health_sweeps"] >= 1 and health["last_sweep_unix_s"], health
+print(f"mitigation ok: {rewritten:.0f} cells/columns rewritten "
+      f"after {seconds:.0f}s drift")
+
+# 3. Hot reload under load: no in-flight classify may fail.
+image = [((i * 31) % 13) / 13.0 - 0.5 for i in range(3 * 32 * 32)]
+stop, failures, okay = threading.Event(), [], [0]
+
+def hammer(seed):
+    while not stop.is_set():
+        try:
+            status, body = post("/v1/classify", {"image": image})
+            if status != 200:
+                failures.append((status, body))
+            else:
+                okay[0] += 1
+        except Exception as e:  # connection drop = dropped request
+            failures.append(("exception", repr(e)))
+
+threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+for t in threads:
+    t.start()
+time.sleep(0.5)
+status, body = post("/admin/reload")
+assert status == 200 and body["status"] == "reloaded", body
+time.sleep(0.5)
+stop.set()
+for t in threads:
+    t.join()
+assert not failures, f"dropped requests during reload: {failures[:3]}"
+assert okay[0] > 0, "no classify traffic flowed during the reload"
+health = json.loads(get("/healthz"))
+assert health["mitigation_rung"] == 0, health
+print(f"hot reload ok: {okay[0]} in-flight classifies, zero failures")
+EOF

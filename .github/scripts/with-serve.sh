@@ -4,6 +4,9 @@
 #
 # Usage: with-serve.sh <artifact> <host:port> <command...>
 #
+# Extra serve flags can be passed via $SERVE_FLAGS (word-split
+# deliberately), e.g. SERVE_FLAGS="--drift-test-hooks" for the drift smoke.
+#
 # The EXIT trap fixes two bugs the old inline steps had: a failing middle
 # step used to leak the background server (no trap), and an unconditional
 # `kill -TERM $PID; wait $PID` could race a server that had already exited
@@ -32,7 +35,8 @@ cleanup() {
 }
 trap cleanup EXIT
 
-./target/release/serve --artifact "$ARTIFACT" --addr "$ADDR" &
+# shellcheck disable=SC2086  # $SERVE_FLAGS is a flag list, splitting is the point
+./target/release/serve --artifact "$ARTIFACT" --addr "$ADDR" ${SERVE_FLAGS:-} &
 SERVE_PID=$!
 
 for _ in $(seq 1 50); do

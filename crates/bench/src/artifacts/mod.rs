@@ -20,6 +20,7 @@
 //! figure" means.
 
 pub mod ablations;
+pub mod drift;
 pub mod figures;
 pub mod perfmap;
 pub mod profile;
@@ -387,6 +388,13 @@ pub fn registry() -> Vec<ArtifactSpec> {
             exclusive: true,
             run: run_surrogate,
             scenarios: surrogate::surrogate_scenarios,
+        },
+        ArtifactSpec {
+            name: "drift",
+            paper_ref: "retention-drift lifecycle (ours)",
+            exclusive: true,
+            run: drift::drift_sweep,
+            scenarios: drift::drift_scenarios,
         },
         ArtifactSpec {
             name: "profile",

@@ -1,0 +1,329 @@
+//! Whole-model retention-drift state.
+//!
+//! [`ModelDriftState`] wraps a mapped model the way the physical accelerator
+//! holds it: every weighted layer's unrolled `fan_in × fan_out` matrix is
+//! programmed onto a differential conductance pair
+//! ([`xbar_sim::drift::ProgrammedPair`]), and the per-device retention
+//! clocks advance only through an explicit [`advance_time`]
+//! (`ModelDriftState::advance_time`) call. At any elapsed time the state can
+//! be *snapshotted* back into a [`Sequential`] whose weights reflect the
+//! decayed conductances — the model a serving process would actually be
+//! running — and the mitigation ladder operates directly on the programmed
+//! pairs:
+//!
+//! 1. [`refresh`](ModelDriftState::refresh) — program-and-verify rewrite of
+//!    cells whose decay exceeds a tolerance (same physical devices, same τ);
+//! 2. [`remap_worst_columns`](ModelDriftState::remap_worst_columns) — the
+//!    spare-column path: the most-decayed columns are relocated onto fresh
+//!    devices with newly drawn retention constants;
+//! 3. [`reprogram_all`](ModelDriftState::reprogram_all) — the full re-map
+//!    backing a hot artifact swap.
+//!
+//! [`advance_time`]: ModelDriftState::advance_time
+
+use xbar_nn::Sequential;
+use xbar_prune::unroll::{unrolled_matrices, write_back};
+use xbar_sim::conductance::{conductances_to_weights, weights_to_conductances, MappingScale};
+use xbar_sim::drift::ProgrammedPair;
+use xbar_sim::params::CrossbarParams;
+
+pub use xbar_sim::drift::DriftModel;
+
+/// Odd constant deriving independent per-layer seeds (splitmix-style).
+const LAYER_SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A point-in-time summary of the drift state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStatus {
+    /// Seconds since initial programming.
+    pub elapsed: f64,
+    /// Mean per-cell decay fraction across every programmed device.
+    pub mean_decay: f64,
+    /// Worst per-cell decay fraction.
+    pub max_decay: f64,
+}
+
+#[derive(Debug, Clone)]
+struct DriftLayer {
+    layer_index: usize,
+    pair: ProgrammedPair,
+}
+
+/// The programmed conductance state of every weighted layer of a model,
+/// with per-device retention clocks.
+#[derive(Debug, Clone)]
+pub struct ModelDriftState {
+    base: Sequential,
+    layers: Vec<DriftLayer>,
+    params: CrossbarParams,
+    elapsed: f64,
+}
+
+impl ModelDriftState {
+    /// Programs `model`'s weighted layers onto differential pairs governed
+    /// by `params.drift`, deterministically from `seed` (each layer gets an
+    /// independent derived stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `params.drift` is inconsistent.
+    pub fn new(
+        model: &Sequential,
+        params: &CrossbarParams,
+        seed: u64,
+    ) -> std::result::Result<Self, String> {
+        params.drift.validate()?;
+        let mut layers = Vec::new();
+        for ul in unrolled_matrices(model) {
+            let abs_max = ul.matrix.abs_max();
+            let pair =
+                weights_to_conductances(&ul.matrix, MappingScale::PerLayerMax, abs_max, params);
+            let layer_seed = seed ^ (ul.layer_index as u64 + 1).wrapping_mul(LAYER_SEED_MIX);
+            layers.push(DriftLayer {
+                layer_index: ul.layer_index,
+                pair: ProgrammedPair::new(pair, params.drift, params.g_min(), layer_seed)?,
+            });
+        }
+        Ok(Self {
+            base: model.clone(),
+            layers,
+            params: *params,
+            elapsed: 0.0,
+        })
+    }
+
+    /// [`ModelDriftState::new`] over the default device parameters with the
+    /// given drift model — the serving-side entry point, where no explicit
+    /// [`CrossbarParams`] exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `drift` is inconsistent.
+    pub fn with_defaults(
+        model: &Sequential,
+        drift: DriftModel,
+        seed: u64,
+    ) -> std::result::Result<Self, String> {
+        let params = CrossbarParams {
+            drift,
+            ..CrossbarParams::default()
+        };
+        Self::new(model, &params, seed)
+    }
+
+    /// Seconds since initial programming.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Total programmed devices across all layers (both arrays).
+    pub fn cell_count(&self) -> usize {
+        self.layers.iter().map(|l| l.pair.cell_count()).sum()
+    }
+
+    /// Advances every layer's retention clock by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite.
+    pub fn advance_time(&mut self, dt: f64) {
+        for l in &mut self.layers {
+            l.pair.advance_time(dt);
+        }
+        self.elapsed += dt;
+    }
+
+    /// Cell-weighted mean decay fraction over the whole model.
+    pub fn mean_decay(&self) -> f64 {
+        let total = self.cell_count();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .map(|l| l.pair.mean_decay() * l.pair.cell_count() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Worst per-cell decay fraction over the whole model.
+    pub fn max_decay(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.pair.max_decay())
+            .fold(0.0, f64::max)
+    }
+
+    /// Summary of the current drift state.
+    pub fn status(&self) -> DriftStatus {
+        DriftStatus {
+            elapsed: self.elapsed,
+            mean_decay: self.mean_decay(),
+            max_decay: self.max_decay(),
+        }
+    }
+
+    /// Rung 1 — program-and-verify refresh: rewrites every cell whose decay
+    /// fraction exceeds `tol`. Returns the number of cells rewritten.
+    pub fn refresh(&mut self, tol: f64) -> usize {
+        self.layers
+            .iter_mut()
+            .map(|l| l.pair.refresh_drifted(tol))
+            .sum()
+    }
+
+    /// Rung 2 — spare-column remap: every column whose mean decay exceeds
+    /// `col_decay_threshold` is relocated onto fresh devices (new retention
+    /// constants drawn deterministically from `salt`). Returns the number of
+    /// columns remapped.
+    pub fn remap_worst_columns(&mut self, col_decay_threshold: f64, salt: u64) -> usize {
+        let mut remapped = 0;
+        for l in &mut self.layers {
+            let worst: Vec<usize> = l
+                .pair
+                .column_decay()
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d > col_decay_threshold)
+                .map(|(c, _)| c)
+                .collect();
+            remapped += l.pair.remap_columns(&worst, salt);
+        }
+        remapped
+    }
+
+    /// Rung 3 — full re-map: every cell is rewritten to its programmed
+    /// value. Returns the cell count.
+    pub fn reprogram_all(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.pair.reprogram_all()).sum()
+    }
+
+    /// Whether every device currently reads back its programmed value.
+    pub fn is_pristine(&self) -> bool {
+        self.layers.iter().all(|l| l.pair.is_pristine())
+    }
+
+    /// The model as it reads at the current elapsed time: decayed
+    /// conductances inverted back into weights and written into a clone of
+    /// the programmed model. When no device has drifted this is a
+    /// bit-identical clone of the base model.
+    pub fn snapshot_model(&self) -> Sequential {
+        let mut model = self.base.clone();
+        if self.is_pristine() {
+            return model;
+        }
+        for l in &self.layers {
+            let weights = conductances_to_weights(&l.pair.current(), &self.params);
+            write_back(&mut model, l.layer_index, &weights);
+        }
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+    use xbar_nn::Layer;
+
+    fn tiny_model() -> Sequential {
+        Sequential::new(vec![
+            Layer::Conv2d(Conv2d::new(1, 8, 3, 1, 1, 1)),
+            Layer::ReLU(ReLU::new()),
+            Layer::MaxPool2d(MaxPool2d::new(2, 2)),
+            Layer::Flatten(Flatten::new()),
+            Layer::Linear(Linear::new(8 * 4 * 4, 4, 2)),
+        ])
+    }
+
+    fn drifting_params() -> CrossbarParams {
+        let mut p = CrossbarParams::with_size(16);
+        p.drift = DriftModel::new(10.0, 1e5);
+        p
+    }
+
+    fn weights_of(model: &Sequential) -> Vec<f32> {
+        unrolled_matrices(model)
+            .iter()
+            .flat_map(|ul| ul.matrix.as_slice().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn pristine_snapshot_is_bit_identical() {
+        let model = tiny_model();
+        let state = ModelDriftState::new(&model, &drifting_params(), 7).unwrap();
+        assert!(state.is_pristine());
+        assert_eq!(weights_of(&state.snapshot_model()), weights_of(&model));
+        assert_eq!(state.mean_decay(), 0.0);
+    }
+
+    #[test]
+    fn drift_shrinks_weight_magnitudes_and_refresh_recovers() {
+        let model = tiny_model();
+        let params = drifting_params();
+        let mut state = ModelDriftState::new(&model, &params, 7).unwrap();
+        state.advance_time(params.drift.horizon_for_decay(0.5));
+        assert!(!state.is_pristine());
+        assert!(state.mean_decay() > 0.3);
+        let orig = weights_of(&model);
+        let drifted = weights_of(&state.snapshot_model());
+        let norm = |v: &[f32]| v.iter().map(|w| w.abs() as f64).sum::<f64>();
+        assert!(
+            norm(&drifted) < 0.9 * norm(&orig),
+            "drift toward G_off must shrink the differential weights"
+        );
+        let rewritten = state.refresh(0.0);
+        assert_eq!(rewritten, state.cell_count());
+        assert_eq!(state.refresh(0.0), 0, "refresh is idempotent");
+        assert!(state.is_pristine());
+        assert_eq!(weights_of(&state.snapshot_model()), orig);
+    }
+
+    #[test]
+    fn remap_targets_only_worst_columns() {
+        let model = tiny_model();
+        let params = drifting_params();
+        let mut state = ModelDriftState::new(&model, &params, 3).unwrap();
+        state.advance_time(params.drift.horizon_for_decay(0.2));
+        let all_cols: usize = unrolled_matrices(&model)
+            .iter()
+            .map(|ul| ul.matrix.cols())
+            .sum();
+        let remapped = state.remap_worst_columns(0.3, 1);
+        assert!(remapped > 0, "some columns must exceed the threshold");
+        assert!(remapped < all_cols, "not every column should be remapped");
+        // Remapping alone leaves the untouched columns drifted.
+        assert!(!state.is_pristine());
+    }
+
+    #[test]
+    fn reprogram_all_restores_base() {
+        let model = tiny_model();
+        let params = drifting_params();
+        let mut state = ModelDriftState::new(&model, &params, 3).unwrap();
+        state.advance_time(1e4);
+        assert_eq!(state.reprogram_all(), state.cell_count());
+        assert_eq!(weights_of(&state.snapshot_model()), weights_of(&model));
+    }
+
+    #[test]
+    fn seed_determinism_across_states() {
+        let model = tiny_model();
+        let params = drifting_params();
+        let mut a = ModelDriftState::new(&model, &params, 9).unwrap();
+        let mut b = ModelDriftState::new(&model, &params, 9).unwrap();
+        a.advance_time(5e3);
+        b.advance_time(5e3);
+        assert_eq!(
+            weights_of(&a.snapshot_model()),
+            weights_of(&b.snapshot_model())
+        );
+        let mut c = ModelDriftState::new(&model, &params, 10).unwrap();
+        c.advance_time(5e3);
+        assert_ne!(
+            weights_of(&a.snapshot_model()),
+            weights_of(&c.snapshot_model())
+        );
+    }
+}

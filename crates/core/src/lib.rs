@@ -44,6 +44,7 @@
 
 pub mod artifact;
 pub mod cost;
+pub mod drift;
 pub mod evaluate;
 pub mod exact_inference;
 pub mod heatmap;
@@ -58,6 +59,7 @@ pub use artifact::{
     load_artifact_bundle_from_file, load_artifact_from_file, save_artifact_bundle_to_file,
     save_artifact_to_file, ArtifactBundle, ArtifactMeta, SurrogateMeta,
 };
+pub use drift::{DriftModel, DriftStatus, ModelDriftState};
 pub use pipeline::{map_to_crossbars, MapConfig, MapError, MapReport};
 pub use rearrange::{ColumnOrder, Rearrangement};
 pub use repair::RepairConfig;

@@ -76,6 +76,16 @@ pub const SERVE_TRACE_SPANS_DROPPED: &str = "serve/trace_spans_dropped";
 pub const SERVE_FIDELITY_TIER: &str = "serve/fidelity_tier";
 pub const SERVE_SURROGATE_VAL_MAX_ERR: &str = "serve/surrogate_val_max_err";
 pub const SERVE_SURROGATE_VAL_RMS_ERR: &str = "serve/surrogate_val_rms_err";
+pub const SERVE_DRIFT_ELAPSED_S: &str = "serve/drift_elapsed_s";
+pub const SERVE_DRIFT_MEAN_DECAY: &str = "serve/drift_mean_decay";
+pub const SERVE_HEALTH_SWEEPS: &str = "serve/health_sweeps";
+pub const SERVE_SWEEP_US: &str = "serve/sweep_us";
+pub const SERVE_PROBE_ACCURACY: &str = "serve/probe_accuracy";
+pub const SERVE_PROBE_DEVIATION: &str = "serve/probe_deviation";
+pub const SERVE_MITIGATION_RUNG: &str = "serve/mitigation_rung";
+pub const SERVE_DRIFT_REFRESHED_CELLS: &str = "serve/drift_refreshed_cells";
+pub const SERVE_DRIFT_REMAPPED_COLUMNS: &str = "serve/drift_remapped_columns";
+pub const SERVE_RELOADS: &str = "serve/reloads";
 /// Family prefix for the per-endpoint request-latency log histograms.
 const SERVE_REQUEST_US_PREFIX: &str = "serve/request_us/";
 
@@ -284,6 +294,56 @@ pub const REGISTRY: &[MetricDef] = &[
         name: SERVE_SURROGATE_VAL_RMS_ERR,
         kind: MetricKind::Gauge,
         help: "embedded surrogate's held-out RMS current error vs the exact solver",
+    },
+    MetricDef {
+        name: SERVE_DRIFT_ELAPSED_S,
+        kind: MetricKind::Gauge,
+        help: "simulated seconds of retention drift since the model was programmed",
+    },
+    MetricDef {
+        name: SERVE_DRIFT_MEAN_DECAY,
+        kind: MetricKind::Gauge,
+        help: "mean per-cell decay fraction toward G_off at the last sweep",
+    },
+    MetricDef {
+        name: SERVE_HEALTH_SWEEPS,
+        kind: MetricKind::Counter,
+        help: "background health sweeps executed",
+    },
+    MetricDef {
+        name: SERVE_SWEEP_US,
+        kind: MetricKind::LogHistogram,
+        help: "wall time per health sweep, probe replay plus mitigation (µs)",
+    },
+    MetricDef {
+        name: SERVE_PROBE_ACCURACY,
+        kind: MetricKind::Gauge,
+        help: "probe-set agreement with the pristine model at the last sweep",
+    },
+    MetricDef {
+        name: SERVE_PROBE_DEVIATION,
+        kind: MetricKind::Gauge,
+        help: "mean |score deviation| of probe outputs vs the pristine model",
+    },
+    MetricDef {
+        name: SERVE_MITIGATION_RUNG,
+        kind: MetricKind::Gauge,
+        help: "ladder rung applied at the last sweep (0 none, 1 refresh, 2 remap, 3 reload)",
+    },
+    MetricDef {
+        name: SERVE_DRIFT_REFRESHED_CELLS,
+        kind: MetricKind::Counter,
+        help: "cells rewritten by program-and-verify refresh sweeps",
+    },
+    MetricDef {
+        name: SERVE_DRIFT_REMAPPED_COLUMNS,
+        kind: MetricKind::Counter,
+        help: "columns relocated onto spare devices by remap sweeps",
+    },
+    MetricDef {
+        name: SERVE_RELOADS,
+        kind: MetricKind::Counter,
+        help: "hot artifact swaps through /admin/reload (plus rung-3 re-maps)",
     },
     MetricDef {
         name: "serve/classify_tier/*",

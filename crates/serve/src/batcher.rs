@@ -321,29 +321,36 @@ pub fn inference_loop(
     deadline: Duration,
 ) {
     while let Some(batch) = queue.next_batch(max_batch, deadline) {
-        let mut groups: [Vec<Pending>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for pending in batch {
-            let slot = ALL_TIERS
-                .iter()
-                .position(|&t| t == pending.tier)
-                .expect("every tier is in ALL_TIERS");
-            groups[slot].push(pending);
+        run_tier_batches(&mut models, input_shape, batch);
+    }
+}
+
+/// Splits one pulled batch into per-tier sub-batches and runs each through
+/// the matching model. Shared between [`inference_loop`] and the hot-swap
+/// worker loop in [`crate::lifecycle`].
+pub fn run_tier_batches(models: &mut TierModels, input_shape: &[usize], batch: Vec<Pending>) {
+    let mut groups: [Vec<Pending>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for pending in batch {
+        let slot = ALL_TIERS
+            .iter()
+            .position(|&t| t == pending.tier)
+            .expect("every tier is in ALL_TIERS");
+        groups[slot].push(pending);
+    }
+    for (tier, group) in ALL_TIERS.into_iter().zip(groups) {
+        if group.is_empty() {
+            continue;
         }
-        for (tier, group) in ALL_TIERS.into_iter().zip(groups) {
-            if group.is_empty() {
-                continue;
-            }
-            match models.model_mut(tier) {
-                Some(model) => classify_batch(model, input_shape, group),
-                // The HTTP side rejects unavailable tiers with 409 before
-                // enqueueing; reaching here means a logic error, so answer
-                // the requests instead of hanging them into a 504.
-                None => {
-                    for pending in &group {
-                        pending
-                            .slot
-                            .fill(Err(format!("fidelity tier {tier:?} has no model loaded")));
-                    }
+        match models.model_mut(tier) {
+            Some(model) => classify_batch(model, input_shape, group),
+            // The HTTP side rejects unavailable tiers with 409 before
+            // enqueueing; reaching here means a logic error, so answer
+            // the requests instead of hanging them into a 504.
+            None => {
+                for pending in &group {
+                    pending
+                        .slot
+                        .fill(Err(format!("fidelity tier {tier:?} has no model loaded")));
                 }
             }
         }

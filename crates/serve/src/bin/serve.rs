@@ -7,6 +7,8 @@
 //!       [--batch-size N] [--batch-deadline-ms N] [--queue-cap N]
 //!       [--timeout-ms N] [--trace-sample N] [--slow-ms N]
 //!       [--trace-out PATH]
+//!       [--sweep-interval-ms N] [--probe-count N]
+//!       [--drift-tau-fast S] [--drift-tau-slow S] [--drift-test-hooks]
 //! ```
 //!
 //! `--fidelity` picks the default weight set classify requests run
@@ -25,6 +27,12 @@
 //! to stderr with its stage breakdown; `--trace-out PATH` writes the JSONL
 //! observability sink (spans + metrics) at shutdown, ready for
 //! `obs-report`.
+//!
+//! Drift lifecycle: `--sweep-interval-ms N` turns on periodic health
+//! sweeps over a deterministic probe set, with the re-program → re-map →
+//! hot-swap mitigation ladder behind them; `--drift-tau-fast`/`--drift-tau-slow`
+//! set the retention time-constant range (seconds); `--drift-test-hooks`
+//! enables `POST /admin/advance-time` for CI drift smoke tests.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -43,11 +51,17 @@ fn usage() -> &'static str {
      \x20             [--http-workers N] [--infer-workers N] [--batch-size N]\n\
      \x20             [--batch-deadline-ms N] [--queue-cap N] [--timeout-ms N]\n\
      \x20             [--trace-sample N] [--slow-ms N] [--trace-out PATH]\n\
+     \x20             [--sweep-interval-ms N] [--probe-count N]\n\
+     \x20             [--drift-tau-fast S] [--drift-tau-slow S] [--drift-test-hooks]\n\
      \x20 --threads 0 resets the compute-thread budget to auto-detection\n\
      \x20 --fidelity picks the default serving tier (default exact)\n\
      \x20 --trace-sample N traces 1-in-N classify requests (0 = off)\n\
      \x20 --slow-ms N dumps requests slower than N ms to stderr (0 = off)\n\
-     \x20 --trace-out PATH writes the JSONL observability sink at shutdown"
+     \x20 --trace-out PATH writes the JSONL observability sink at shutdown\n\
+     \x20 --sweep-interval-ms N runs a drift health sweep every N ms (0 = off)\n\
+     \x20 --probe-count N sets the health-sweep probe set size\n\
+     \x20 --drift-tau-fast/--drift-tau-slow set retention tau range (seconds)\n\
+     \x20 --drift-test-hooks enables POST /admin/advance-time (tests only)"
 }
 
 fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a str, String> {
@@ -60,6 +74,14 @@ fn next_usize(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<usize
     let raw = next_value(it, name)?;
     raw.parse::<usize>()
         .map_err(|_| format!("{name}: {raw:?} is not a non-negative integer"))
+}
+
+fn next_f64(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<f64, String> {
+    let raw = next_value(it, name)?;
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err(format!("{name}: {raw:?} is not a positive number")),
+    }
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -108,6 +130,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--trace-out" => {
                 trace_out = Some(next_value(&mut it, "--trace-out")?.to_string());
             }
+            "--sweep-interval-ms" => {
+                cfg.lifecycle.sweep_interval =
+                    Duration::from_millis(next_usize(&mut it, "--sweep-interval-ms")? as u64);
+            }
+            "--probe-count" => {
+                cfg.lifecycle.probe_count = next_usize(&mut it, "--probe-count")?.max(1);
+            }
+            "--drift-tau-fast" => {
+                cfg.lifecycle.tau_fast = next_f64(&mut it, "--drift-tau-fast")?;
+            }
+            "--drift-tau-slow" => {
+                cfg.lifecycle.tau_slow = next_f64(&mut it, "--drift-tau-slow")?;
+            }
+            "--drift-test-hooks" => cfg.lifecycle.test_hooks = true,
             "--help" | "-h" => return Err(usage().into()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -160,6 +196,20 @@ fn main() -> ExitCode {
         eprintln!(
             "embedded surrogate: {}x{} tiles, held-out max err {:.4}, rms err {:.4} ({} pairs)",
             s.rows, s.cols, s.val_max_err, s.val_rms_err, s.train_pairs,
+        );
+    }
+    if args.cfg.lifecycle.active() {
+        eprintln!(
+            "drift lifecycle: sweep interval {:?}, {} probes, tau [{:.0}, {:.0}] s{}",
+            args.cfg.lifecycle.sweep_interval,
+            args.cfg.lifecycle.probe_count,
+            args.cfg.lifecycle.tau_fast,
+            args.cfg.lifecycle.tau_slow,
+            if args.cfg.lifecycle.test_hooks {
+                ", test hooks on"
+            } else {
+                ""
+            },
         );
     }
     signals::install();

@@ -16,6 +16,9 @@ use std::time::Duration;
 pub struct Response {
     pub status: u16,
     pub body: Vec<u8>,
+    /// Parsed `Retry-After` header (delay-seconds form), if present — the
+    /// server attaches it to backpressure `503`s.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -111,6 +114,7 @@ impl Client {
                 )
             })?;
         let mut content_length = 0usize;
+        let mut retry_after = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -124,12 +128,20 @@ impl Client {
                             format!("bad content-length {value:?}"),
                         )
                     })?;
+                } else if name.trim().eq_ignore_ascii_case("retry-after") {
+                    // Only the delay-seconds form; an HTTP-date (which this
+                    // server never sends) parses as absent.
+                    retry_after = value.trim().parse().ok();
                 }
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
-        Ok(Response { status, body })
+        Ok(Response {
+            status,
+            body,
+            retry_after,
+        })
     }
 }
 
@@ -255,9 +267,16 @@ impl RetryingClient {
         let attempts = self.policy.max_attempts.max(1);
         let mut last_err: Option<io::Error> = None;
         let mut last_503: Option<Response> = None;
+        let mut server_hint: Option<Duration> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                let sleep = self.policy.backoff(attempt - 1, &mut self.jitter_state);
+                // A Retry-After hint from the previous 503 overrides the
+                // exponential backoff: the server knows its drain rate
+                // better than our schedule does. Still capped by max_delay.
+                let sleep = match server_hint.take() {
+                    Some(hint) => hint.min(self.policy.max_delay),
+                    None => self.policy.backoff(attempt - 1, &mut self.jitter_state),
+                };
                 std::thread::sleep(sleep);
                 self.retries += 1;
             }
@@ -277,6 +296,7 @@ impl RetryingClient {
                     // Backpressure: the server often closes the connection
                     // with it, so start the next attempt on a fresh socket.
                     self.conn = None;
+                    server_hint = resp.retry_after.map(Duration::from_secs);
                     last_503 = Some(resp);
                 }
                 Ok(resp) => return Ok(resp),
@@ -434,6 +454,72 @@ mod tests {
         let mut client = RetryingClient::new(addr, Duration::from_secs(2), fast_policy(3));
         let resp = client.get("/healthz").expect("a 503 is a response");
         assert_eq!(resp.status, 503, "caller sees the backpressure answer");
+    }
+
+    #[test]
+    fn retry_after_header_is_parsed_into_the_response() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            if let Some(Ok(mut stream)) = listener.incoming().next() {
+                read_headers(&mut stream);
+                stream
+                    .write_all(
+                        b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nRetry-After: 7\r\nConnection: close\r\n\r\n",
+                    )
+                    .ok();
+            }
+        });
+        let mut client = Client::connect(&*addr, Duration::from_secs(2)).unwrap();
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.retry_after, Some(7));
+    }
+
+    #[test]
+    fn retry_after_hint_overrides_the_backoff_schedule() {
+        // Every connection is 503'd with `Retry-After: 0` until the third,
+        // which succeeds. The policy's base delay is far beyond the test
+        // timeout, so finishing quickly proves the hint took precedence.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut seen = 0usize;
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                seen += 1;
+                read_headers(&mut stream);
+                if seen < 3 {
+                    stream
+                        .write_all(
+                            b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nRetry-After: 0\r\nConnection: close\r\n\r\n",
+                        )
+                        .ok();
+                } else {
+                    stream
+                        .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                        .ok();
+                    return;
+                }
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_secs(3600),
+            max_delay: Duration::from_secs(3600),
+            jitter: 0.0,
+            seed: 1,
+        };
+        let start = std::time::Instant::now();
+        let mut client = RetryingClient::new(addr, Duration::from_secs(2), policy);
+        let resp = client.get("/healthz").expect("should reach the 200");
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.retries(), 2);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "hinted sleeps must replace the hour-long backoff, took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

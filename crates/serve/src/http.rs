@@ -183,12 +183,35 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with_headers(writer, status, reason, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After` on
+/// backpressure 503s). Each entry is one `name: value` pair; names must be
+/// valid header tokens.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_with_headers<W: Write>(
+    writer: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -265,6 +288,26 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 2\r\n"), "{text}");
         assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_blank_line() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[("Retry-After", "1".to_string())],
+            b"{}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("\r\nRetry-After: 1"), "{text}");
+        assert!(head.contains("Connection: close"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
     }
 }

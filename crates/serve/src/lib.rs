@@ -23,13 +23,23 @@
 //!   default fidelity tiers, and the embedded surrogate's held-out
 //!   validation error when one is present;
 //! * `POST /admin/shutdown` — CI-friendly graceful stop (SIGTERM and
-//!   SIGINT do the same).
+//!   SIGINT do the same);
+//! * `POST /admin/reload` — hot artifact swap through the versioned model
+//!   slot ([`lifecycle`]): in-flight requests finish on the old weights,
+//!   nothing is dropped;
+//! * `POST /admin/advance-time` — test-only drift fast-forward (enabled by
+//!   [`lifecycle::LifecycleConfig::test_hooks`], otherwise `404`).
 //!
 //! Concurrent classify requests are micro-batched ([`batcher`]): they
 //! share one `Sequential::forward` whenever they arrive within the flush
 //! window, and batching is bit-exact with respect to single-request
 //! execution. Both the connection queue and the batch queue are bounded;
-//! overflow is answered `503` (backpressure), never silently dropped.
+//! overflow is answered `503` with a `Retry-After` hint (backpressure),
+//! never silently dropped — [`client::RetryingClient`] honours the hint.
+//!
+//! [`lifecycle`] adds the device-drift story: a deterministic retention
+//! model of the served conductances, periodic health sweeps over a probe
+//! set, and a re-program → re-map → hot-swap mitigation ladder.
 //!
 //! Start a server with [`server::Server::start`]; drive one with
 //! [`client::Client`] or the `loadgen` binary in `crates/bench`.
@@ -38,10 +48,12 @@ pub mod base64;
 pub mod batcher;
 pub mod client;
 pub mod http;
+pub mod lifecycle;
 pub mod server;
 pub mod tier;
 
 pub use batcher::{BatchQueue, ClassifyOutcome, Pending, ResponseSlot, SubmitError};
 pub use client::{Client, RetryPolicy, RetryingClient};
+pub use lifecycle::{DriftController, LifecycleConfig, LifecycleStatus, ModelSlot, SweepReport};
 pub use server::{signals, ServeConfig, Server};
 pub use tier::{Tier, TierModels, ALL_TIERS};

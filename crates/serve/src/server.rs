@@ -27,8 +27,11 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crate::base64;
-use crate::batcher::{inference_loop, BatchQueue, Pending, ResponseSlot, SubmitError};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::batcher::{BatchQueue, Pending, ResponseSlot, SubmitError};
+use crate::http::{read_request, write_response, write_response_with_headers, HttpError, Request};
+use crate::lifecycle::{
+    hot_swap_inference_loop, sweep_loop, DriftController, LifecycleConfig, ModelSlot,
+};
 use crate::tier::{Tier, TierModels};
 use xbar_core::ArtifactMeta;
 use xbar_nn::Sequential;
@@ -109,6 +112,9 @@ pub struct ServeConfig {
     /// not name one (`--fidelity` in the binary). Must be available in the
     /// served artifact.
     pub default_tier: Tier,
+    /// Drift lifecycle: health sweeps, mitigation ladder, test hooks. The
+    /// default disables it (no drift model, no sweep thread).
+    pub lifecycle: LifecycleConfig,
 }
 
 impl Default for ServeConfig {
@@ -126,8 +132,18 @@ impl Default for ServeConfig {
             slow_ms: 0,
             trace_ring_cap: 1024,
             default_tier: Tier::Exact,
+            lifecycle: LifecycleConfig::default(),
         }
     }
+}
+
+/// `Retry-After` seconds attached to backpressure `503`s (both queues):
+/// micro-batches drain in milliseconds, so one second is a conservative
+/// hint that still stops naive clients from hammering a saturated server.
+const RETRY_AFTER_S: u64 = 1;
+
+fn retry_after_header() -> [(&'static str, String); 1] {
+    [("Retry-After", RETRY_AFTER_S.to_string())]
 }
 
 struct ConnState {
@@ -189,15 +205,16 @@ impl ConnQueue {
 
 /// Shared request-handling context for HTTP workers.
 struct Ctx {
-    meta: ArtifactMeta,
+    /// Versioned, hot-swappable holder of the served networks and their
+    /// metadata; `/admin/reload` and drift sweeps republish through it.
+    slot: Arc<ModelSlot>,
+    /// Drift lifecycle controller, present when the lifecycle is active.
+    lifecycle: Option<Arc<DriftController>>,
     batch_queue: Arc<BatchQueue>,
     shutdown: Arc<AtomicBool>,
     cfg: ServeConfig,
     sampler: Sampler,
     trace_ring: Arc<TraceRing>,
-    /// Tiers the served artifact actually carries; requests for any other
-    /// tier are answered `409`, never silently downgraded.
-    available_tiers: Vec<Tier>,
 }
 
 /// A running server; drop-in handle for tests, the binary, and CI smoke.
@@ -207,6 +224,7 @@ pub struct Server {
     accept_handle: Option<JoinHandle<()>>,
     http_handles: Vec<JoinHandle<()>>,
     infer_handles: Vec<JoinHandle<()>>,
+    sweep_handle: Option<JoinHandle<()>>,
     batch_queue: Arc<BatchQueue>,
     trace_ring: Arc<TraceRing>,
 }
@@ -258,31 +276,54 @@ impl Server {
         let batch_queue = BatchQueue::new(cfg.queue_cap);
         let conn_queue = ConnQueue::new(cfg.http_workers.max(1) * 2);
 
+        let slot = Arc::new(ModelSlot::new(models, meta));
+        let lifecycle = if cfg.lifecycle.active() {
+            let controller = DriftController::new(cfg.lifecycle, Arc::clone(&slot))
+                .map_err(|e| io::Error::new(ErrorKind::InvalidInput, e))?;
+            Some(Arc::new(controller))
+        } else {
+            None
+        };
+
         let infer_handles: Vec<JoinHandle<()>> = (0..cfg.infer_workers.max(1))
             .map(|i| {
-                let worker_models = models.clone();
-                let input_shape = meta.input_shape.clone();
+                let worker_slot = Arc::clone(&slot);
                 let queue = Arc::clone(&batch_queue);
                 let max_batch = cfg.max_batch;
                 let deadline = cfg.batch_deadline;
                 thread::Builder::new()
                     .name(format!("xbar-infer-{i}"))
                     .spawn(move || {
-                        inference_loop(worker_models, &input_shape, &queue, max_batch, deadline);
+                        hot_swap_inference_loop(&worker_slot, &queue, max_batch, deadline);
                     })
                     .expect("spawn inference worker")
             })
             .collect();
 
+        let sweep_handle = match &lifecycle {
+            Some(controller) if cfg.lifecycle.sweep_interval > Duration::ZERO => {
+                let controller = Arc::clone(controller);
+                let shutdown = Arc::clone(&shutdown);
+                let interval = cfg.lifecycle.sweep_interval;
+                Some(
+                    thread::Builder::new()
+                        .name("xbar-sweep".into())
+                        .spawn(move || sweep_loop(&controller, &shutdown, interval))
+                        .expect("spawn health-sweep thread"),
+                )
+            }
+            _ => None,
+        };
+
         let trace_ring = Arc::new(TraceRing::new(cfg.trace_ring_cap.max(1)));
         let ctx = Arc::new(Ctx {
-            meta,
+            slot: Arc::clone(&slot),
+            lifecycle,
             batch_queue: Arc::clone(&batch_queue),
             shutdown: Arc::clone(&shutdown),
             cfg: cfg.clone(),
             sampler: Sampler::new(cfg.trace_sample),
             trace_ring: Arc::clone(&trace_ring),
-            available_tiers: models.available(),
         });
         let http_handles: Vec<JoinHandle<()>> = (0..cfg.http_workers.max(1))
             .map(|i| {
@@ -312,7 +353,7 @@ impl Server {
         };
 
         metrics::gauge_set(names::SERVE_UP, 1.0);
-        let meta = &ctx.meta;
+        let meta = ctx.slot.meta();
         metrics::gauge_set(
             names::SERVE_DEGRADED,
             if meta.is_degraded() { 1.0 } else { 0.0 },
@@ -332,6 +373,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             http_handles,
             infer_handles,
+            sweep_handle,
             batch_queue,
             trace_ring,
         })
@@ -381,6 +423,10 @@ impl Server {
         for handle in self.infer_handles.drain(..) {
             handle.join().expect("inference worker panicked");
         }
+        // The sweep thread polls the shutdown flag in short ticks.
+        if let Some(handle) = self.sweep_handle.take() {
+            handle.join().expect("health-sweep thread panicked");
+        }
         // Final accounting: how much tracing data the bounded buffers shed.
         let ring_dropped = self.trace_ring.dropped();
         if ring_dropped > 0 {
@@ -404,12 +450,7 @@ fn accept_loop(listener: &TcpListener, conn_queue: &ConnQueue, shutdown: &Atomic
                 metrics::counter_add(names::SERVE_CONNECTIONS, 1);
                 if let Err(mut rejected) = conn_queue.push(stream) {
                     metrics::counter_add(names::SERVE_CONNECTIONS_REJECTED, 1);
-                    respond_error(
-                        &mut rejected,
-                        503,
-                        "Service Unavailable",
-                        "connection queue full, retry later",
-                    );
+                    respond_unavailable(&mut rejected, "connection queue full, retry later", false);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -513,9 +554,45 @@ fn respond_json(
     .is_ok()
 }
 
+/// [`respond_json`] plus extra response headers (`Retry-After` on
+/// backpressure 503s).
+fn respond_json_with_headers(
+    writer: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    headers: &[(&str, String)],
+    body: &Json,
+    keep_alive: bool,
+) -> bool {
+    write_response_with_headers(
+        writer,
+        status,
+        reason,
+        "application/json",
+        headers,
+        body.to_json().as_bytes(),
+        keep_alive,
+    )
+    .is_ok()
+}
+
 fn respond_error(writer: &mut TcpStream, status: u16, reason: &str, detail: &str) {
     let body = Json::Obj(vec![("error".into(), Json::Str(detail.into()))]);
     respond_json(writer, status, reason, &body, false);
+}
+
+/// A `503` with a `Retry-After` hint, for both backpressure points (the
+/// connection queue and the batch queue).
+fn respond_unavailable(writer: &mut TcpStream, detail: &str, keep_alive: bool) -> bool {
+    let body = Json::Obj(vec![("error".into(), Json::Str(detail.into()))]);
+    respond_json_with_headers(
+        writer,
+        503,
+        "Service Unavailable",
+        &retry_after_header(),
+        &body,
+        keep_alive,
+    )
 }
 
 /// Stable low-cardinality label for the per-endpoint latency series.
@@ -526,6 +603,8 @@ fn endpoint_label(request: &Request) -> &'static str {
         ("GET", "/v1/model") => "model",
         ("POST", "/v1/classify") => "classify",
         ("POST", "/admin/shutdown") => "admin",
+        ("POST", "/admin/reload") => "admin",
+        ("POST", "/admin/advance-time") => "admin",
         _ => "other",
     }
 }
@@ -556,29 +635,27 @@ fn dispatch(
             // reported health but the server keeps classifying, so probes
             // still get HTTP 200 and orchestrators can alert without
             // restarting a model that is merely less accurate.
-            let status = if ctx.meta.is_degraded() {
-                "degraded"
-            } else {
-                "ok"
-            };
-            let body = Json::Obj(vec![
+            let meta = ctx.slot.meta();
+            let status = if meta.is_degraded() { "degraded" } else { "ok" };
+            let mut fields = vec![
                 ("status".into(), Json::Str(status.into())),
-                ("model".into(), Json::Str(ctx.meta.label.clone())),
+                ("model".into(), Json::Str(meta.label.clone())),
                 (
                     "queue_depth".into(),
                     Json::Num(ctx.batch_queue.depth() as f64),
                 ),
                 (
                     "degraded_tiles".into(),
-                    Json::Num(ctx.meta.degraded_tiles as f64),
+                    Json::Num(meta.degraded_tiles as f64),
                 ),
                 (
                     "repaired_columns".into(),
-                    Json::Num(ctx.meta.repaired_columns as f64),
+                    Json::Num(meta.repaired_columns as f64),
                 ),
-                ("stuck_cells".into(), Json::Num(ctx.meta.stuck_cells as f64)),
-            ]);
-            respond_json(writer, 200, "OK", &body, keep_alive)
+                ("stuck_cells".into(), Json::Num(meta.stuck_cells as f64)),
+            ];
+            fields.extend(lifecycle_fields(ctx));
+            respond_json(writer, 200, "OK", &Json::Obj(fields), keep_alive)
         }
         ("GET", "/metrics") => write_response(
             writer,
@@ -596,6 +673,8 @@ fn dispatch(
             let body = Json::Obj(vec![("status".into(), Json::Str("shutting down".into()))]);
             respond_json(writer, 200, "OK", &body, false)
         }
+        ("POST", "/admin/reload") => admin_reload(writer, request, keep_alive, ctx),
+        ("POST", "/admin/advance-time") => admin_advance_time(writer, request, keep_alive, ctx),
         _ => {
             let body = Json::Obj(vec![(
                 "error".into(),
@@ -611,7 +690,8 @@ fn dispatch(
 /// tiers the artifact carries, and the embedded surrogate's held-out
 /// validation error when one is present.
 fn model_json(ctx: &Ctx) -> Json {
-    let Json::Obj(mut fields) = ctx.meta.summary_json() else {
+    let meta = ctx.slot.meta();
+    let Json::Obj(mut fields) = meta.summary_json() else {
         unreachable!("summary_json always returns an object");
     };
     fields.push((
@@ -621,17 +701,188 @@ fn model_json(ctx: &Ctx) -> Json {
     fields.push((
         "available_tiers".into(),
         Json::Arr(
-            ctx.available_tiers
+            ctx.slot
+                .available()
                 .iter()
                 .map(|t| Json::Str(t.as_str().into()))
                 .collect(),
         ),
     ));
-    if let Some(s) = &ctx.meta.surrogate {
+    if let Some(s) = &meta.surrogate {
         fields.push(("surrogate_val_max_err".into(), Json::Num(s.val_max_err)));
         fields.push(("surrogate_val_rms_err".into(), Json::Num(s.val_rms_err)));
     }
+    fields.push(("model_version".into(), Json::Num(ctx.slot.version() as f64)));
+    fields.extend(lifecycle_fields(ctx));
     Json::Obj(fields)
+}
+
+/// Drift-lifecycle fields shared by `/healthz` and `/v1/model`; empty when
+/// the lifecycle is disabled, so static deployments keep their old bodies.
+fn lifecycle_fields(ctx: &Ctx) -> Vec<(String, Json)> {
+    let Some(controller) = &ctx.lifecycle else {
+        return Vec::new();
+    };
+    let status = controller.status();
+    vec![
+        ("health_sweeps".into(), Json::Num(status.sweeps as f64)),
+        (
+            "last_sweep_unix_s".into(),
+            status
+                .last_sweep_unix_s
+                .map_or(Json::Null, |t| Json::Num(t as f64)),
+        ),
+        ("probe_accuracy".into(), Json::Num(status.probe_accuracy)),
+        ("probe_deviation".into(), Json::Num(status.probe_deviation)),
+        ("mitigation_rung".into(), Json::Num(f64::from(status.rung))),
+        ("drift_elapsed_s".into(), Json::Num(status.drift_elapsed_s)),
+        ("drift_mean_decay".into(), Json::Num(status.mean_decay)),
+    ]
+}
+
+/// `POST /admin/reload` — hot artifact swap. Body `{"artifact": "<path>"}`
+/// loads and swaps in that bundle (validated request-compatible); an empty
+/// body re-programs the current artifact in place (a manual rung-3
+/// recovery). In-flight requests finish on the old weights.
+fn admin_reload(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
+    let artifact = if request.body.is_empty() {
+        None
+    } else {
+        match parse_body(&request.body) {
+            Ok(json) => match json.get("artifact") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(path)) => Some(path.clone()),
+                Some(other) => {
+                    let msg = format!(
+                        "\"artifact\" must be a path string, got {}",
+                        other.to_json()
+                    );
+                    let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
+                    return respond_json(writer, 400, "Bad Request", &body, keep_alive);
+                }
+            },
+            Err(msg) => {
+                let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
+                return respond_json(writer, 400, "Bad Request", &body, keep_alive);
+            }
+        }
+    };
+    let result = match &ctx.lifecycle {
+        Some(controller) => controller.reload(artifact.as_deref()),
+        None => reload_without_lifecycle(&ctx.slot, artifact.as_deref()),
+    };
+    match result {
+        Ok((version, label)) => {
+            let body = Json::Obj(vec![
+                ("status".into(), Json::Str("reloaded".into())),
+                ("model".into(), Json::Str(label)),
+                ("model_version".into(), Json::Num(version as f64)),
+            ]);
+            respond_json(writer, 200, "OK", &body, keep_alive)
+        }
+        Err(msg) => {
+            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
+            respond_json(writer, 409, "Conflict", &body, keep_alive)
+        }
+    }
+}
+
+/// The slot-only reload path for deployments without a drift lifecycle:
+/// still validates compatibility and swaps without dropping requests.
+fn reload_without_lifecycle(
+    slot: &ModelSlot,
+    artifact: Option<&str>,
+) -> Result<(u64, String), String> {
+    let (version, label) = match artifact {
+        Some(path) => {
+            let bundle = xbar_core::load_artifact_bundle_from_file(path)
+                .map_err(|e| format!("cannot load artifact {path}: {e}"))?;
+            let (models, meta) = TierModels::from_bundle(bundle);
+            let label = meta.label.clone();
+            (slot.publish_bundle(models, meta)?, label)
+        }
+        None => {
+            // Nothing drifts without a lifecycle; republish as-is so the
+            // endpoint still answers (and bumps the version) uniformly.
+            let model = slot.exact_model();
+            (slot.publish_exact(model), slot.meta().label)
+        }
+    };
+    metrics::counter_add(names::SERVE_RELOADS, 1);
+    Ok((version, label))
+}
+
+/// `POST /admin/advance-time` — test hook (404 unless enabled): advances
+/// the simulated drift clock by `{"seconds": N}` and, with `"sweep": true`,
+/// runs one synchronous health sweep so tests observe the mitigation
+/// deterministically.
+fn admin_advance_time(
+    writer: &mut TcpStream,
+    request: &Request,
+    keep_alive: bool,
+    ctx: &Ctx,
+) -> bool {
+    if !ctx.cfg.lifecycle.test_hooks {
+        // Hidden, not forbidden: indistinguishable from an unknown route.
+        let body = Json::Obj(vec![(
+            "error".into(),
+            Json::Str(format!("no route {} {}", request.method, request.path)),
+        )]);
+        return respond_json(writer, 404, "Not Found", &body, keep_alive);
+    }
+    let Some(controller) = &ctx.lifecycle else {
+        let body = Json::Obj(vec![(
+            "error".into(),
+            Json::Str("drift lifecycle is not active".into()),
+        )]);
+        return respond_json(writer, 409, "Conflict", &body, keep_alive);
+    };
+    let parsed = parse_body(&request.body).and_then(|json| {
+        let seconds = json
+            .get("seconds")
+            .and_then(Json::as_f64)
+            .ok_or("body needs \"seconds\" (number)")?;
+        if !seconds.is_finite() || seconds < 0.0 {
+            return Err(format!(
+                "\"seconds\" must be finite and >= 0, got {seconds}"
+            ));
+        }
+        let sweep = json.get("sweep").and_then(Json::as_bool).unwrap_or(false);
+        Ok((seconds, sweep))
+    });
+    let (seconds, sweep) = match parsed {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
+            return respond_json(writer, 400, "Bad Request", &body, keep_alive);
+        }
+    };
+    let (elapsed, mean_decay) = controller.advance_time(seconds);
+    let mut fields = vec![
+        ("status".into(), Json::Str("advanced".into())),
+        ("drift_elapsed_s".into(), Json::Num(elapsed)),
+        ("drift_mean_decay".into(), Json::Num(mean_decay)),
+    ];
+    if sweep {
+        let report = controller.sweep();
+        fields.push((
+            "sweep".into(),
+            Json::Obj(vec![
+                ("rung".into(), Json::Num(f64::from(report.rung))),
+                ("pre_accuracy".into(), Json::Num(report.pre_accuracy)),
+                ("post_accuracy".into(), Json::Num(report.post_accuracy)),
+                (
+                    "refreshed_cells".into(),
+                    Json::Num(report.refreshed_cells as f64),
+                ),
+                (
+                    "remapped_columns".into(),
+                    Json::Num(report.remapped_columns as f64),
+                ),
+            ]),
+        ));
+    }
+    respond_json(writer, 200, "OK", &Json::Obj(fields), keep_alive)
 }
 
 /// Parses a classify body into JSON.
@@ -690,9 +941,10 @@ fn classify(
     metrics::counter_add(names::SERVE_CLASSIFY_REQUESTS, 1);
     let req_start_us = trace::now_us();
     let sampled = ctx.sampler.sample();
+    let meta = ctx.slot.meta();
     let parsed = parse_body(&request.body).and_then(|json| {
         let tier = parse_tier(&json, ctx.cfg.default_tier)?;
-        let input = parse_image(&json, ctx.meta.input_len())?;
+        let input = parse_image(&json, meta.input_len())?;
         Ok((tier, input))
     });
     let (tier, input) = match parsed {
@@ -703,7 +955,8 @@ fn classify(
             return respond_json(writer, 400, "Bad Request", &body, keep_alive);
         }
     };
-    if !ctx.available_tiers.contains(&tier) {
+    let available_tiers = ctx.slot.available();
+    if !available_tiers.contains(&tier) {
         // Never a silent fallback: the caller asked for a fidelity the
         // served artifact cannot honour.
         metrics::counter_add(names::SERVE_CLASSIFY_BAD_INPUT, 1);
@@ -713,7 +966,7 @@ fn classify(
                 "fidelity tier \"{tier}\" is not in the served artifact \
              (available: {}); rebuild the artifact with that tier or drop \
              the \"tier\" field",
-                ctx.available_tiers
+                available_tiers
                     .iter()
                     .map(|t| t.as_str())
                     .collect::<Vec<_>>()
@@ -731,8 +984,7 @@ fn classify(
             SubmitError::QueueFull { cap } => format!("queue full ({cap} waiting), retry later"),
             SubmitError::Closed => "server is shutting down".into(),
         };
-        let body = Json::Obj(vec![("error".into(), Json::Str(detail))]);
-        return respond_json(writer, 503, "Service Unavailable", &body, keep_alive);
+        return respond_unavailable(writer, &detail, keep_alive);
     }
     match slot.wait(ctx.cfg.request_timeout) {
         None => {
@@ -768,7 +1020,7 @@ fn classify(
                     ),
                 ),
                 ("batch_size".into(), Json::Num(outcome.batch_size as f64)),
-                ("model".into(), ctx.meta.summary_json()),
+                ("model".into(), meta.summary_json()),
             ];
             // Finish the per-request trace. The `respond` stage and total
             // run to just before the socket write — the trace ID has to be

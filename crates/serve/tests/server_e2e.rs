@@ -1,6 +1,7 @@
 //! End-to-end server tests: map a tiny model to crossbars, persist it as
 //! an `XBARMDL1` artifact, serve it, and drive it over real sockets.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
@@ -11,7 +12,7 @@ use xbar_nn::arch::{build_from_spec, LayerSpec};
 use xbar_nn::layers::{Conv2d, Flatten, Linear, MaxPool2d, ReLU};
 use xbar_nn::{Layer, Mode, Sequential};
 use xbar_obs::json::Json;
-use xbar_serve::{Client, ServeConfig, Server, Tier, TierModels};
+use xbar_serve::{Client, LifecycleConfig, ServeConfig, Server, Tier, TierModels};
 use xbar_sim::params::CrossbarParams;
 use xbar_tensor::Tensor;
 
@@ -626,6 +627,330 @@ fn requesting_a_tier_the_artifact_lacks_is_a_descriptive_conflict() {
         .post_json("/v1/classify", &image_json(1))
         .expect("classify");
     assert_eq!(ok.status, 200, "{}", ok.text());
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+/// Saves the tiny model as an artifact under `label` and returns the
+/// directory (caller removes it) plus the file path. Unlike
+/// `mapped_via_artifact`, the file stays on disk so the running server can
+/// load it through `POST /admin/reload`.
+fn saved_artifact(tag: &str, label: &str) -> (std::path::PathBuf, String) {
+    let model = tiny_model();
+    let mut params = CrossbarParams::with_size(16);
+    params.sigma_variation = 0.0;
+    let cfg = MapConfig {
+        params,
+        ..Default::default()
+    };
+    let (mut noisy, report) = map_to_crossbars(&model, &cfg).expect("mapping succeeds");
+    let mut meta = ArtifactMeta::from_mapping(label, &cfg, &report);
+    meta.input_shape = INPUT_SHAPE.to_vec();
+    let dir = std::env::temp_dir().join(format!("xbar_serve_e2e_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.xbarmdl");
+    save_artifact_to_file(&mut noisy, &meta, &path).expect("save artifact");
+    (dir, path.to_string_lossy().into_owned())
+}
+
+#[test]
+fn admin_reload_hot_swaps_without_dropping_in_flight_requests() {
+    let (server, addr) = start_server(ServeConfig {
+        http_workers: 8,
+        ..ServeConfig::default()
+    });
+    let (dir, artifact_path) = saved_artifact("reload_target", "e2e reload target");
+
+    // Sustained classify traffic across 4 connections while the artifact
+    // is swapped underneath them: every single request must succeed —
+    // in-flight batches finish on the old weights, new ones pick up the
+    // published version.
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = Arc::new(addr);
+    let workers: Vec<_> = (0..4)
+        .map(|seed| {
+            let addr = Arc::clone(&addr);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut client = connect(&addr);
+                let mut okay = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let resp = client
+                        .post_json("/v1/classify", &image_json(seed))
+                        .expect("classify during reload");
+                    assert_eq!(
+                        resp.status,
+                        200,
+                        "in-flight classify must never fail during a hot swap: {}",
+                        resp.text()
+                    );
+                    okay += 1;
+                }
+                okay
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(100));
+    let mut admin = connect(&addr);
+    // Swap repeatedly while traffic flows — each reload bumps the version.
+    for round in 0..3 {
+        let resp = admin
+            .post_json(
+                "/admin/reload",
+                &format!("{{\"artifact\":\"{artifact_path}\"}}"),
+            )
+            .expect("reload");
+        assert_eq!(resp.status, 200, "round {round}: {}", resp.text());
+        let body = Json::parse(&resp.text()).unwrap();
+        assert_eq!(
+            body.get("status").and_then(Json::as_str),
+            Some("reloaded"),
+            "{}",
+            resp.text()
+        );
+        thread::sleep(Duration::from_millis(50));
+    }
+
+    // The served model identity switched and the slot version advanced.
+    let info = admin.get("/v1/model").expect("model");
+    let info_json = Json::parse(&info.text()).expect("model JSON");
+    assert_eq!(
+        info_json.get("label").and_then(Json::as_str),
+        Some("e2e reload target"),
+        "{}",
+        info.text()
+    );
+    assert!(
+        info_json
+            .get("model_version")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            >= 4,
+        "three reloads must leave version >= 4: {}",
+        info.text()
+    );
+
+    thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::SeqCst);
+    let total: u64 = workers
+        .into_iter()
+        .map(|h| h.join().expect("traffic thread"))
+        .sum();
+    assert!(total > 0, "traffic threads must have classified something");
+
+    // Without test hooks the drift fast-forward endpoint does not exist.
+    let hidden = admin
+        .post_json("/admin/advance-time", "{\"seconds\":1}")
+        .expect("advance-time");
+    assert_eq!(hidden.status, 404, "{}", hidden.text());
+
+    // Reload counter is visible on /metrics.
+    let metrics = admin.get("/metrics").expect("metrics");
+    assert!(
+        metrics.text().contains("serve_reloads"),
+        "{}",
+        metrics.text()
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+#[test]
+fn drift_lifecycle_fast_forward_sweeps_and_climbs_the_mitigation_ladder() {
+    // Short retention taus so a simulated 1e7 s horizon decays the mapped
+    // conductances essentially completely; test hooks expose the clock.
+    let (server, addr) = start_server(ServeConfig {
+        http_workers: 4,
+        lifecycle: LifecycleConfig {
+            test_hooks: true,
+            tau_fast: 10.0,
+            tau_slow: 1e5,
+            ..LifecycleConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    let mut client = connect(&addr);
+
+    // Pristine state: drift fields present, nothing swept yet.
+    let health = client.get("/healthz").expect("healthz");
+    let health_json = Json::parse(&health.text()).expect("healthz JSON");
+    assert_eq!(
+        health_json.get("health_sweeps").and_then(Json::as_u64),
+        Some(0),
+        "{}",
+        health.text()
+    );
+    assert_eq!(
+        health_json.get("probe_accuracy").and_then(Json::as_f64),
+        Some(1.0),
+        "{}",
+        health.text()
+    );
+    assert_eq!(
+        health_json.get("mitigation_rung").and_then(Json::as_u64),
+        Some(0),
+        "{}",
+        health.text()
+    );
+
+    // Fast-forward far past tau_slow and run one synchronous sweep: the
+    // probe accuracy collapse must trigger a mitigation rung, and the
+    // mitigation must restore the probe set.
+    let resp = client
+        .post_json("/admin/advance-time", "{\"seconds\":1e7,\"sweep\":true}")
+        .expect("advance-time");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = Json::parse(&resp.text()).expect("advance JSON");
+    assert!(
+        body.get("drift_mean_decay")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+            > 0.9,
+        "1e7 s against tau_slow 1e5 must decay nearly everything: {}",
+        resp.text()
+    );
+    let sweep = body.get("sweep").expect("synchronous sweep report");
+    let rung = sweep.get("rung").and_then(Json::as_u64).expect("rung");
+    let pre = sweep
+        .get("pre_accuracy")
+        .and_then(Json::as_f64)
+        .expect("pre_accuracy");
+    let post = sweep
+        .get("post_accuracy")
+        .and_then(Json::as_f64)
+        .expect("post_accuracy");
+    assert!(
+        rung >= 1,
+        "collapsed probes must trigger mitigation: {}",
+        resp.text()
+    );
+    assert!(
+        post >= pre && (post - 1.0).abs() < 1e-9,
+        "mitigation must restore the probe set (pre {pre}, post {post}): {}",
+        resp.text()
+    );
+
+    // The sweep and its outcome are visible on /healthz and /v1/model.
+    let health = client.get("/healthz").expect("healthz after sweep");
+    let health_json = Json::parse(&health.text()).unwrap();
+    assert_eq!(
+        health_json.get("health_sweeps").and_then(Json::as_u64),
+        Some(1),
+        "{}",
+        health.text()
+    );
+    assert!(
+        health_json
+            .get("last_sweep_unix_s")
+            .and_then(Json::as_u64)
+            .is_some(),
+        "{}",
+        health.text()
+    );
+    assert_eq!(
+        health_json.get("mitigation_rung").and_then(Json::as_u64),
+        Some(rung),
+        "{}",
+        health.text()
+    );
+    let info = client.get("/v1/model").expect("model");
+    let info_json = Json::parse(&info.text()).unwrap();
+    assert!(
+        info_json
+            .get("probe_accuracy")
+            .and_then(Json::as_f64)
+            .is_some(),
+        "{}",
+        info.text()
+    );
+
+    // Drift metrics landed in the registry.
+    let metrics = client.get("/metrics").expect("metrics");
+    let text = metrics.text();
+    for name in [
+        "serve_health_sweeps",
+        "serve_drift_elapsed_s",
+        "serve_drift_mean_decay",
+        "serve_probe_accuracy",
+        "serve_mitigation_rung",
+    ] {
+        assert!(text.contains(name), "missing {name}: {text}");
+    }
+
+    // Classification still answers after the mitigation republished.
+    let ok = client
+        .post_json("/v1/classify", &image_json(2))
+        .expect("classify after mitigation");
+    assert_eq!(ok.status, 200, "{}", ok.text());
+
+    // A manual in-place reload (rung 3 by hand) resets the ladder.
+    let reload = client.post_json("/admin/reload", "").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.text());
+    let health = client.get("/healthz").expect("healthz after reload");
+    let health_json = Json::parse(&health.text()).unwrap();
+    assert_eq!(
+        health_json.get("mitigation_rung").and_then(Json::as_u64),
+        Some(0),
+        "{}",
+        health.text()
+    );
+    assert_eq!(
+        health_json.get("probe_accuracy").and_then(Json::as_f64),
+        Some(1.0),
+        "{}",
+        health.text()
+    );
+
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+#[test]
+fn backpressure_503_carries_a_retry_after_hint() {
+    // One worker, queue of one, a large batch target and a long flush
+    // deadline: the first request parks in the queue for the whole window,
+    // so a second connection's request must be refused with 503 and the
+    // Retry-After hint the retrying client honours.
+    let (server, addr) = start_server(ServeConfig {
+        http_workers: 4,
+        infer_workers: 1,
+        max_batch: 64,
+        batch_deadline: Duration::from_millis(500),
+        queue_cap: 1,
+        request_timeout: Duration::from_secs(20),
+        ..ServeConfig::default()
+    });
+    let first_addr = addr.clone();
+    let first = thread::spawn(move || {
+        let mut client = connect(&first_addr);
+        client
+            .post_json("/v1/classify", &image_json(0))
+            .expect("queued classify")
+            .status
+    });
+    // Let the first request land in the batch queue, then overflow it.
+    thread::sleep(Duration::from_millis(150));
+    let mut client = connect(&addr);
+    let refused = client
+        .post_json("/v1/classify", &image_json(1))
+        .expect("refused classify");
+    assert_eq!(refused.status, 503, "{}", refused.text());
+    assert_eq!(
+        refused.retry_after,
+        Some(1),
+        "backpressure must carry a Retry-After hint: {}",
+        refused.text()
+    );
+    assert_eq!(first.join().expect("first client"), 200);
     server
         .shutdown_handle()
         .store(true, std::sync::atomic::Ordering::SeqCst);

@@ -1,0 +1,522 @@
+//! Time-dependent conductance drift (retention loss).
+//!
+//! Programmed memristive cells do not hold their state forever: over the
+//! serving lifetime each device relaxes toward its OFF conductance. We model
+//! this as a per-cell exponential decay toward `G_off = Gmin`:
+//!
+//! ```text
+//! G(t) = G_off + (G0 − G_off) · exp(−(t − t_prog) / τ)
+//! ```
+//!
+//! where `G0` is the programmed conductance, `t_prog` the (per-cell) time of
+//! the last programming event and `τ` a per-cell retention time constant
+//! drawn log-uniformly from `[tau_fast, tau_slow]`. A wide `tau_slow /
+//! tau_fast` ratio makes the population bimodal in effect: fast cells relax
+//! almost completely within the observation window — behaving like the
+//! paper's stuck-at-`Gmin` faults — while slow cells barely move. Time never
+//! advances implicitly: callers drive it explicitly through
+//! [`ProgrammedPair::advance_time`], so every run is reproducible from the
+//! seed alone.
+
+use crate::conductance::DifferentialPair;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Odd multiplicative constant used to derive independent per-column RNG
+/// streams when remapping (splitmix-style mixing).
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Retention-drift model parameters: the per-cell time-constant range.
+///
+/// `tau_fast == tau_slow == 0` disables drift entirely (the default), in
+/// which case programmed tiles are returned verbatim no matter how much time
+/// has elapsed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Fastest retention time constant, seconds. Cells at this end of the
+    /// distribution relax quickly toward `G_off`.
+    pub tau_fast: f64,
+    /// Slowest retention time constant, seconds.
+    pub tau_slow: f64,
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl DriftModel {
+    /// Drift turned off: tiles never decay.
+    pub fn disabled() -> Self {
+        Self {
+            tau_fast: 0.0,
+            tau_slow: 0.0,
+        }
+    }
+
+    /// A drift model with per-cell time constants log-uniform in
+    /// `[tau_fast, tau_slow]` seconds.
+    pub fn new(tau_fast: f64, tau_slow: f64) -> Self {
+        Self { tau_fast, tau_slow }
+    }
+
+    /// Whether any decay happens at all.
+    pub fn is_enabled(&self) -> bool {
+        self.tau_slow > 0.0
+    }
+
+    /// Validates the time-constant range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the constants are negative, non-finite, or
+    /// inverted. Both-zero (disabled) is valid.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.tau_fast == 0.0 && self.tau_slow == 0.0 {
+            return Ok(());
+        }
+        if !(self.tau_fast.is_finite() && self.tau_slow.is_finite()) {
+            return Err(format!(
+                "drift time constants must be finite, got tau_fast = {}, tau_slow = {}",
+                self.tau_fast, self.tau_slow
+            ));
+        }
+        if self.tau_fast <= 0.0 || self.tau_slow <= 0.0 {
+            return Err(format!(
+                "drift time constants must both be positive (or both zero to \
+                 disable), got tau_fast = {}, tau_slow = {}",
+                self.tau_fast, self.tau_slow
+            ));
+        }
+        if self.tau_fast > self.tau_slow {
+            return Err(format!(
+                "tau_fast must not exceed tau_slow, got tau_fast = {} > tau_slow = {}",
+                self.tau_fast, self.tau_slow
+            ));
+        }
+        Ok(())
+    }
+
+    /// Draws `n` per-cell time constants, log-uniform in
+    /// `[tau_fast, tau_slow]`, deterministically from `seed`.
+    ///
+    /// When drift is disabled every constant is `+∞` (no decay).
+    pub fn sample_taus(&self, n: usize, seed: u64) -> Vec<f64> {
+        if !self.is_enabled() {
+            return vec![f64::INFINITY; n];
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (lo, hi) = (self.tau_fast.ln(), self.tau_slow.ln());
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                (lo + u * (hi - lo)).exp()
+            })
+            .collect()
+    }
+
+    /// Expected decay fraction `E_τ[1 − exp(−t/τ)]` at elapsed time `t`,
+    /// integrated numerically over the log-uniform τ distribution.
+    pub fn mean_decay(&self, t: f64) -> f64 {
+        if !self.is_enabled() || t <= 0.0 {
+            return 0.0;
+        }
+        let (lo, hi) = (self.tau_fast.ln(), self.tau_slow.ln());
+        if hi <= lo {
+            return 1.0 - (-t / self.tau_fast).exp();
+        }
+        const N: usize = 512;
+        let step = (hi - lo) / N as f64;
+        let mut acc = 0.0;
+        for k in 0..N {
+            let tau = (lo + (k as f64 + 0.5) * step).exp();
+            acc += 1.0 - (-t / tau).exp();
+        }
+        acc / N as f64
+    }
+
+    /// Inverts [`mean_decay`](Self::mean_decay) by bisection: the elapsed
+    /// time at which the expected decay fraction reaches `frac`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if drift is disabled or `frac` is outside `(0, 1)`.
+    pub fn horizon_for_decay(&self, frac: f64) -> f64 {
+        assert!(
+            self.is_enabled(),
+            "horizon_for_decay requires an enabled drift model"
+        );
+        assert!(
+            frac > 0.0 && frac < 1.0,
+            "decay fraction must be in (0, 1), got {frac}"
+        );
+        let mut hi = self.tau_slow;
+        for _ in 0..200 {
+            if self.mean_decay(hi) >= frac {
+                break;
+            }
+            hi *= 2.0;
+        }
+        let mut lo = 0.0;
+        for _ in 0..128 {
+            let mid = 0.5 * (lo + hi);
+            if self.mean_decay(mid) < frac {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// A differential pair *as programmed*, plus the per-device retention state
+/// needed to replay its conductances at any later time.
+///
+/// Cell index space: `0..n` addresses the positive array in row-major order,
+/// `n..2n` the negative array, where `n = rows·cols`.
+#[derive(Debug, Clone)]
+pub struct ProgrammedPair {
+    target: DifferentialPair,
+    model: DriftModel,
+    g_off: f64,
+    seed: u64,
+    /// Per-cell retention constants (positive array, then negative).
+    taus: Vec<f64>,
+    /// Per-cell time of the last programming event.
+    t_prog: Vec<f64>,
+    elapsed: f64,
+}
+
+impl ProgrammedPair {
+    /// Wraps a freshly programmed differential pair at `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DriftModel::validate`] description if the model is
+    /// inconsistent.
+    pub fn new(
+        target: DifferentialPair,
+        model: DriftModel,
+        g_off: f64,
+        seed: u64,
+    ) -> std::result::Result<Self, String> {
+        model.validate()?;
+        let n = 2 * target.pos.as_slice().len();
+        Ok(Self {
+            taus: model.sample_taus(n, seed),
+            t_prog: vec![0.0; n],
+            elapsed: 0.0,
+            target,
+            model,
+            g_off,
+            seed,
+        })
+    }
+
+    /// The conductances as originally programmed.
+    pub fn target(&self) -> &DifferentialPair {
+        &self.target
+    }
+
+    /// Elapsed time since initial programming, seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+
+    /// Number of devices across both arrays.
+    pub fn cell_count(&self) -> usize {
+        2 * self.target.pos.as_slice().len()
+    }
+
+    /// Advances the clock by `dt` seconds. Time only moves forward and only
+    /// through this call, so `advance_time(a); advance_time(b)` is exactly
+    /// `advance_time(a + b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite.
+    pub fn advance_time(&mut self, dt: f64) {
+        assert!(
+            dt >= 0.0 && dt.is_finite(),
+            "dt must be finite and >= 0, got {dt}"
+        );
+        self.elapsed += dt;
+    }
+
+    fn drifted(&self, idx: usize, g0: f64) -> f64 {
+        let age = self.elapsed - self.t_prog[idx];
+        if age <= 0.0 {
+            return g0;
+        }
+        self.g_off + (g0 - self.g_off) * (-age / self.taus[idx]).exp()
+    }
+
+    /// Decay fraction `1 − exp(−age/τ)` of one cell (0 = as programmed,
+    /// 1 = fully relaxed to `G_off`).
+    pub fn decay_fraction(&self, idx: usize) -> f64 {
+        if !self.model.is_enabled() {
+            return 0.0;
+        }
+        let age = self.elapsed - self.t_prog[idx];
+        if age <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (-age / self.taus[idx]).exp()
+    }
+
+    /// The conductances at the current elapsed time.
+    ///
+    /// With drift disabled, or for any cell whose age is zero (freshly
+    /// programmed or refreshed), the programmed value is returned
+    /// bit-identically — no float round-trip through the decay formula.
+    pub fn current(&self) -> DifferentialPair {
+        let mut out = self.target.clone();
+        if !self.model.is_enabled() {
+            return out;
+        }
+        let n = out.pos.as_slice().len();
+        for (i, v) in out.pos.as_mut_slice().iter_mut().enumerate() {
+            *v = self.drifted(i, *v);
+        }
+        for (i, v) in out.neg.as_mut_slice().iter_mut().enumerate() {
+            *v = self.drifted(n + i, *v);
+        }
+        out
+    }
+
+    /// Mean decay fraction over all cells.
+    pub fn mean_decay(&self) -> f64 {
+        let n = self.cell_count();
+        if n == 0 {
+            return 0.0;
+        }
+        (0..n).map(|i| self.decay_fraction(i)).sum::<f64>() / n as f64
+    }
+
+    /// Largest per-cell decay fraction.
+    pub fn max_decay(&self) -> f64 {
+        (0..self.cell_count())
+            .map(|i| self.decay_fraction(i))
+            .fold(0.0, f64::max)
+    }
+
+    /// Per-column mean decay fraction (averaged over rows and both arrays):
+    /// the ranking signal for spare-column remapping.
+    pub fn column_decay(&self) -> Vec<f64> {
+        let rows = self.target.pos.rows();
+        let cols = self.target.pos.cols();
+        let n = rows * cols;
+        let mut out = vec![0.0; cols];
+        if rows == 0 || !self.model.is_enabled() {
+            return out;
+        }
+        for r in 0..rows {
+            for (c, acc) in out.iter_mut().enumerate() {
+                let idx = r * cols + c;
+                *acc += self.decay_fraction(idx) + self.decay_fraction(n + idx);
+            }
+        }
+        for acc in &mut out {
+            *acc /= 2.0 * rows as f64;
+        }
+        out
+    }
+
+    /// Program-and-verify refresh: every cell whose decay fraction exceeds
+    /// `tol` is rewritten to its target conductance (its `t_prog` becomes
+    /// the current time, so it reads back bit-identical to the programmed
+    /// value). Returns the number of cells rewritten.
+    pub fn refresh_drifted(&mut self, tol: f64) -> usize {
+        let mut rewritten = 0;
+        for idx in 0..self.cell_count() {
+            if self.decay_fraction(idx) > tol {
+                self.t_prog[idx] = self.elapsed;
+                rewritten += 1;
+            }
+        }
+        rewritten
+    }
+
+    /// Rewrites every cell to its target conductance. Returns the cell
+    /// count.
+    pub fn reprogram_all(&mut self) -> usize {
+        for t in &mut self.t_prog {
+            *t = self.elapsed;
+        }
+        self.t_prog.len()
+    }
+
+    /// Relocates the given columns onto spare physical devices: each cell in
+    /// those columns gets a *new* retention constant (drawn deterministically
+    /// from the pair seed, `salt` and the column index) and is reprogrammed
+    /// to its target conductance. Returns the number of columns remapped.
+    pub fn remap_columns(&mut self, columns: &[usize], salt: u64) -> usize {
+        let rows = self.target.pos.rows();
+        let cols = self.target.pos.cols();
+        let n = rows * cols;
+        let mut remapped = 0;
+        for &c in columns {
+            if c >= cols {
+                continue;
+            }
+            let col_seed = self
+                .seed
+                .wrapping_add(salt.wrapping_mul(SEED_MIX))
+                .wrapping_add((c as u64 + 1).wrapping_mul(SEED_MIX));
+            let fresh = self.model.sample_taus(2 * rows, col_seed);
+            for r in 0..rows {
+                let idx = r * cols + c;
+                self.taus[idx] = fresh[2 * r];
+                self.taus[n + idx] = fresh[2 * r + 1];
+                self.t_prog[idx] = self.elapsed;
+                self.t_prog[n + idx] = self.elapsed;
+            }
+            remapped += 1;
+        }
+        remapped
+    }
+
+    /// Whether every cell currently reads back its programmed value exactly.
+    pub fn is_pristine(&self) -> bool {
+        !self.model.is_enabled() || self.t_prog.iter().all(|&t| self.elapsed - t <= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductance::{weights_to_conductances, MappingScale};
+    use crate::params::CrossbarParams;
+    use xbar_tensor::Tensor;
+
+    fn pair(n: usize) -> (DifferentialPair, f64) {
+        let params = CrossbarParams::with_size(n);
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| ((i as f32) / (n * n) as f32) - 0.5)
+            .collect();
+        let w = Tensor::from_vec(data, &[n, n]).unwrap();
+        let p = weights_to_conductances(&w, MappingScale::PerTileMax, 0.0, &params);
+        (p, params.g_min())
+    }
+
+    #[test]
+    fn validate_rejects_inverted_and_negative() {
+        assert!(DriftModel::new(10.0, 1.0).validate().is_err());
+        assert!(DriftModel::new(-1.0, 1.0).validate().is_err());
+        assert!(DriftModel::new(0.0, 1.0).validate().is_err());
+        assert!(DriftModel::disabled().validate().is_ok());
+        assert!(DriftModel::new(1.0, 1.0).validate().is_ok());
+        assert!(DriftModel::new(1.0, 1e6).validate().is_ok());
+    }
+
+    #[test]
+    fn mean_decay_is_monotone_and_bounded() {
+        let m = DriftModel::new(10.0, 1e5);
+        assert_eq!(m.mean_decay(0.0), 0.0);
+        let mut prev = 0.0;
+        for k in 1..=8 {
+            let d = m.mean_decay(10f64.powi(k - 2));
+            assert!(d >= prev, "decay must be monotone");
+            assert!((0.0..=1.0).contains(&d));
+            prev = d;
+        }
+        assert!(m.mean_decay(1e9) > 0.999);
+    }
+
+    #[test]
+    fn horizon_inverts_mean_decay() {
+        let m = DriftModel::new(10.0, 1e5);
+        for frac in [0.01, 0.05, 0.2, 0.8] {
+            let t = m.horizon_for_decay(frac);
+            assert!(
+                (m.mean_decay(t) - frac).abs() < 1e-6,
+                "frac {frac}: decay at horizon {t} = {}",
+                m.mean_decay(t)
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_model_is_passthrough() {
+        let (p, g_off) = pair(6);
+        let mut pp = ProgrammedPair::new(p.clone(), DriftModel::disabled(), g_off, 7).unwrap();
+        pp.advance_time(1e12);
+        assert_eq!(pp.current(), p);
+        assert_eq!(pp.mean_decay(), 0.0);
+        assert!(pp.is_pristine());
+    }
+
+    #[test]
+    fn drift_decays_toward_g_off() {
+        let (p, g_off) = pair(8);
+        let m = DriftModel::new(10.0, 1e5);
+        let mut pp = ProgrammedPair::new(p.clone(), m, g_off, 3).unwrap();
+        pp.advance_time(m.horizon_for_decay(0.5));
+        let drifted = pp.current();
+        for (d, t) in drifted
+            .pos
+            .as_slice()
+            .iter()
+            .chain(drifted.neg.as_slice())
+            .zip(p.pos.as_slice().iter().chain(p.neg.as_slice()))
+        {
+            assert!(*d <= *t + 1e-18, "drift never raises conductance");
+            assert!(*d >= g_off - 1e-18, "drift never undershoots G_off");
+        }
+        assert!(pp.mean_decay() > 0.3);
+        assert!(!pp.is_pristine());
+    }
+
+    #[test]
+    fn refresh_restores_programmed_values_bit_identically() {
+        let (p, g_off) = pair(8);
+        let m = DriftModel::new(10.0, 1e4);
+        let mut pp = ProgrammedPair::new(p.clone(), m, g_off, 11).unwrap();
+        pp.advance_time(5e3);
+        assert_ne!(pp.current(), p);
+        let rewritten = pp.refresh_drifted(0.0);
+        assert!(rewritten > 0);
+        assert_eq!(pp.current(), p, "refresh must restore exact values");
+        assert!(pp.is_pristine());
+        // A partial refresh leaves slow (low-decay) cells untouched.
+        let mut pp2 = ProgrammedPair::new(p, m, g_off, 11).unwrap();
+        pp2.advance_time(5e3);
+        let partial = pp2.refresh_drifted(0.5);
+        assert!(partial < rewritten);
+    }
+
+    #[test]
+    fn remap_columns_redraws_taus_deterministically() {
+        let (p, g_off) = pair(8);
+        let m = DriftModel::new(10.0, 1e4);
+        let mut a = ProgrammedPair::new(p.clone(), m, g_off, 5).unwrap();
+        let mut b = ProgrammedPair::new(p.clone(), m, g_off, 5).unwrap();
+        a.advance_time(1e3);
+        b.advance_time(1e3);
+        assert_eq!(a.remap_columns(&[2, 5], 1), 2);
+        assert_eq!(b.remap_columns(&[2, 5], 1), 2);
+        // Remapped columns restore their targets now...
+        let decay = a.column_decay();
+        assert_eq!(decay[2], 0.0);
+        assert!(decay[3] > 0.0);
+        // ...and two pairs remapped identically stay in lockstep later.
+        a.advance_time(1e3);
+        b.advance_time(1e3);
+        assert_eq!(a.current(), b.current());
+        // Out-of-range columns are ignored.
+        assert_eq!(a.remap_columns(&[99], 2), 0);
+    }
+
+    #[test]
+    fn column_decay_matches_mean() {
+        let (p, g_off) = pair(6);
+        let m = DriftModel::new(10.0, 1e4);
+        let mut pp = ProgrammedPair::new(p, m, g_off, 9).unwrap();
+        pp.advance_time(500.0);
+        let cols = pp.column_decay();
+        let mean_of_cols = cols.iter().sum::<f64>() / cols.len() as f64;
+        assert!((mean_of_cols - pp.mean_decay()).abs() < 1e-12);
+    }
+}

@@ -51,6 +51,7 @@
 pub mod analytic;
 pub mod cache;
 pub mod conductance;
+pub mod drift;
 pub mod faults;
 pub mod ideal;
 pub mod nf;
@@ -64,6 +65,7 @@ pub mod variation;
 
 pub use cache::{clear_solve_cache, set_solve_cache_mode, solve_cache_mode, CacheMode};
 pub use conductance::{ConductanceMatrix, MappingScale};
+pub use drift::{DriftModel, ProgrammedPair};
 pub use faults::{FaultKind, FaultModel};
 pub use params::{CrossbarParams, InvalidParams};
 pub use program::{FaultReport, ProgramConfig, StuckCell};

@@ -1,5 +1,6 @@
 //! Crossbar device and circuit parameters.
 
+use crate::drift::DriftModel;
 use crate::faults::FaultModel;
 use crate::program::ProgramConfig;
 
@@ -60,6 +61,9 @@ pub struct CrossbarParams {
     /// Closed-loop program-and-verify write settings (defaults to open-loop
     /// programming: zero retries).
     pub program: ProgramConfig,
+    /// Retention drift toward `G_off` over serving time (defaults to
+    /// disabled: programmed conductances hold forever).
+    pub drift: DriftModel,
 }
 
 impl Default for CrossbarParams {
@@ -78,6 +82,7 @@ impl Default for CrossbarParams {
             levels: 0,
             faults: FaultModel::none(),
             program: ProgramConfig::default(),
+            drift: DriftModel::disabled(),
         }
     }
 }
@@ -172,6 +177,7 @@ impl CrossbarParams {
             .validate()
             .map_err(|e| InvalidParams(e.to_string()))?;
         self.program.validate().map_err(InvalidParams)?;
+        self.drift.validate().map_err(InvalidParams)?;
         Ok(())
     }
 }
@@ -231,6 +237,15 @@ mod tests {
         p.faults.stuck_at_gmin = 1.5;
         let err = p.validate().unwrap_err();
         assert!(err.to_string().contains("fault rates"), "{err}");
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn invalid_drift_model_is_rejected_through_params() {
+        let mut p = CrossbarParams::default();
+        p.drift = DriftModel::new(100.0, 1.0);
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("tau_fast"), "{err}");
     }
 
     #[test]

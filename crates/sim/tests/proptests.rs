@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use xbar_sim::conductance::{
     conductances_to_weights, weights_to_conductances, ConductanceMatrix, MappingScale,
 };
+use xbar_sim::drift::{DriftModel, ProgrammedPair};
 use xbar_sim::faults::FaultModel;
 use xbar_sim::params::CrossbarParams;
 use xbar_sim::quantize::{quantization_error_bound, quantize_conductances};
@@ -90,6 +91,69 @@ proptest! {
         // Binomial(1600, rate): allow 5 sigma.
         let sigma = (rate * (1.0 - rate) / 1600.0).sqrt();
         prop_assert!((frac - rate).abs() <= 5.0 * sigma + 1e-9, "{} vs {}", frac, rate);
+    }
+
+    #[test]
+    fn drift_is_seed_deterministic(tile in weight_tile(), seed in 0u64..1000, dt in 1.0f64..1e6) {
+        let params = CrossbarParams::with_size(tile.rows());
+        let model = DriftModel::new(10.0, 1e5);
+        let pair = weights_to_conductances(&tile, MappingScale::PerTileMax, 1.0, &params);
+        let mut a = ProgrammedPair::new(pair.clone(), model, params.g_min(), seed).unwrap();
+        let mut b = ProgrammedPair::new(pair, model, params.g_min(), seed).unwrap();
+        a.advance_time(dt);
+        b.advance_time(dt);
+        prop_assert_eq!(a.current(), b.current());
+        prop_assert_eq!(a.mean_decay(), b.mean_decay());
+    }
+
+    #[test]
+    fn advance_time_composes_and_is_order_independent_across_tiles(
+        tile in weight_tile(),
+        seed in 0u64..1000,
+        a in 1.0f64..1e5,
+        b in 1.0f64..1e5,
+    ) {
+        let params = CrossbarParams::with_size(tile.rows());
+        let model = DriftModel::new(10.0, 1e5);
+        let pair = weights_to_conductances(&tile, MappingScale::PerTileMax, 1.0, &params);
+        // advance(a); advance(b) on one tile == advance(a + b) in one step.
+        let mut two_steps = ProgrammedPair::new(pair.clone(), model, params.g_min(), seed).unwrap();
+        two_steps.advance_time(a);
+        two_steps.advance_time(b);
+        let mut one_step = ProgrammedPair::new(pair.clone(), model, params.g_min(), seed).unwrap();
+        one_step.advance_time(a + b);
+        prop_assert_eq!(two_steps.current(), one_step.current());
+        // Interleaving order across independent tiles does not matter: tile
+        // x advanced before tile y reads the same as y before x.
+        let mut x1 = ProgrammedPair::new(pair.clone(), model, params.g_min(), seed).unwrap();
+        let mut y1 = ProgrammedPair::new(pair.clone(), model, params.g_min(), seed ^ 1).unwrap();
+        x1.advance_time(a);
+        y1.advance_time(b);
+        let mut y2 = ProgrammedPair::new(pair.clone(), model, params.g_min(), seed ^ 1).unwrap();
+        let mut x2 = ProgrammedPair::new(pair, model, params.g_min(), seed).unwrap();
+        y2.advance_time(b);
+        x2.advance_time(a);
+        prop_assert_eq!(x1.current(), x2.current());
+        prop_assert_eq!(y1.current(), y2.current());
+    }
+
+    #[test]
+    fn zero_dt_is_bit_identical_to_undrifted(tile in weight_tile(), seed in 0u64..1000) {
+        // Mirrors the max_retries=0 contract from program-and-verify: the
+        // degenerate setting must be indistinguishable from the feature
+        // being absent, down to the bit.
+        let params = CrossbarParams::with_size(tile.rows());
+        let model = DriftModel::new(10.0, 1e5);
+        let pair = weights_to_conductances(&tile, MappingScale::PerTileMax, 1.0, &params);
+        let mut pp = ProgrammedPair::new(pair.clone(), model, params.g_min(), seed).unwrap();
+        pp.advance_time(0.0);
+        prop_assert_eq!(pp.current(), pair.clone());
+        prop_assert!(pp.is_pristine());
+        prop_assert_eq!(pp.mean_decay(), 0.0);
+        // And a disabled model never drifts regardless of elapsed time.
+        let mut off = ProgrammedPair::new(pair.clone(), DriftModel::disabled(), params.g_min(), seed).unwrap();
+        off.advance_time(1e9);
+        prop_assert_eq!(off.current(), pair);
     }
 
     #[test]
