@@ -24,6 +24,7 @@ pub mod drift;
 pub mod figures;
 pub mod perfmap;
 pub mod profile;
+pub mod solveperf;
 pub mod surrogate;
 pub mod tables;
 
@@ -213,6 +214,14 @@ fn run_perf(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
     perfmap::perf(ctx, 32)
 }
 
+fn run_solve(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
+    solveperf::solve_bench(
+        ctx,
+        solveperf::SOLVE_BENCH_SIZE,
+        solveperf::SOLVE_BENCH_BATCH,
+    )
+}
+
 fn run_surrogate(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
     surrogate::surrogate_accuracy(ctx, surrogate::SURROGATE_SIZE)
 }
@@ -380,6 +389,13 @@ pub fn registry() -> Vec<ArtifactSpec> {
             paper_ref: "solver-performance bench (ours)",
             exclusive: true,
             run: run_perf,
+            scenarios: no_scenarios,
+        },
+        ArtifactSpec {
+            name: "solve",
+            paper_ref: "batched-solve bench (ours)",
+            exclusive: true,
+            run: run_solve,
             scenarios: no_scenarios,
         },
         ArtifactSpec {

@@ -23,6 +23,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
+use xbar_bench::openloop::OpenLoopSchedule;
 use xbar_bench::report::Table;
 use xbar_bench::runner::{Arity, RunContext};
 use xbar_obs::LogHistogram;
@@ -142,6 +143,11 @@ fn main() -> ExitCode {
     );
     let addr = Arc::new(addr);
     let started = Instant::now();
+    // One schedule anchor for every connection, captured before any thread
+    // spawns: the intended-time grid is a pure function of (anchor, req), so
+    // a slow spawn, handshake, connection error, or retry storm can never
+    // re-anchor it and quietly reintroduce coordinated omission.
+    let schedule = OpenLoopSchedule::new(started, Duration::from_millis(interval_ms));
     let workers: Vec<_> = (0..connections)
         .map(|conn| {
             let addr = Arc::clone(&addr);
@@ -158,7 +164,6 @@ fn main() -> ExitCode {
                         ..RetryPolicy::default()
                     },
                 );
-                let schedule_start = Instant::now();
                 for req in 0..requests {
                     let img = image(input_len, seed ^ ((conn * 1_000_003 + req) as u64));
                     let body = if as_json_floats {
@@ -171,13 +176,7 @@ fn main() -> ExitCode {
                     // time, so falling behind schedule is charged to the
                     // server, not hidden by it (coordinated omission).
                     let begin = if interval_ms > 0 {
-                        let intended =
-                            schedule_start + Duration::from_millis(interval_ms * req as u64);
-                        let now = Instant::now();
-                        if now < intended {
-                            thread::sleep(intended - now);
-                        }
-                        intended
+                        schedule.wait_until_intended(req)
                     } else {
                         Instant::now()
                     };

@@ -1,0 +1,56 @@
+//! Batched-solver throughput benchmark with a bit-identity check.
+//!
+//! Times cold circuit solves through one tile two ways — the scalar oracle
+//! one vector at a time, and the lane-vectorized batched path on the whole
+//! batch — verifies the batched currents are bit-identical to the oracle's,
+//! and writes both rates plus the speedup to `results/BENCH_solve.json`.
+//! Fails if bit-identity is lost or the speedup misses the 5x floor.
+//!
+//! Thin CLI wrapper over [`xbar_bench::artifacts::solveperf::solve_bench`];
+//! the suite orchestrator runs the same code (exclusively — it is
+//! timing-sensitive).
+//!
+//! Usage: `cargo run --release -p xbar-bench --bin solve --
+//! [--smoke|--quick|--full] [--seed N] [--size N] [--batch N] [--quiet]
+//! [--trace-out <path>]`
+
+use std::process::ExitCode;
+use xbar_bench::artifacts::{solveperf, ArtifactCtx};
+use xbar_bench::runner::{Arity, RunContext};
+
+fn parse_dim(ctx: &RunContext, flag: &str, default: usize, min: usize) -> Option<usize> {
+    match ctx.args.get(flag).map(str::parse::<usize>) {
+        None => Some(default),
+        Some(Ok(n)) if n >= min => Some(n),
+        Some(_) => {
+            eprintln!("error: {flag} must be an integer >= {min}");
+            None
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut ctx = RunContext::init(
+        "solve",
+        &[("--size", Arity::Value), ("--batch", Arity::Value)],
+    );
+    let Some(size) = parse_dim(&ctx, "--size", solveperf::SOLVE_BENCH_SIZE, 4) else {
+        return ExitCode::from(2);
+    };
+    let Some(batch) = parse_dim(&ctx, "--batch", solveperf::SOLVE_BENCH_BATCH, 1) else {
+        return ExitCode::from(2);
+    };
+    ctx.config("crossbar_size", size);
+    ctx.config("batch", batch);
+    let actx =
+        ArtifactCtx::new(ctx.args.scale, ctx.args.scale_name, ctx.args.seed).quiet(ctx.args.quiet);
+    let result = solveperf::solve_bench(&actx, size, batch);
+    ctx.finish();
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -348,27 +348,63 @@ fn previously_ok(cfg: &SuiteConfig) -> Vec<String> {
 /// Returns one message per violated check: relative speedup regressions
 /// beyond `tolerance` and lost bit-identity.
 pub fn perf_gate_failures(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    bench_gate_failures(
+        baseline,
+        fresh,
+        tolerance,
+        "perf",
+        "BENCH_map.json",
+        &["speedup_cached", "speedup_warm"],
+        &["bit_identical_cached", "bit_identical_warm"],
+    )
+}
+
+/// Compares a fresh `BENCH_solve.json` against the committed baseline:
+/// cold tile-solve throughput must stay within `tolerance` of the baseline
+/// and batched/scalar bit-identity must hold (a hard failure regardless of
+/// tolerance).
+pub fn solve_gate_failures(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    bench_gate_failures(
+        baseline,
+        fresh,
+        tolerance,
+        "solve",
+        "BENCH_solve.json",
+        &["tile_solves_per_s", "speedup_batch"],
+        &["bit_identical_batch"],
+    )
+}
+
+fn bench_gate_failures(
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    what: &str,
+    file: &str,
+    rate_keys: &[&str],
+    identity_keys: &[&str],
+) -> Vec<String> {
     let mut failures = Vec::new();
-    for key in ["speedup_cached", "speedup_warm"] {
+    for key in rate_keys {
         let base = baseline.get(key).and_then(Json::as_f64);
         let new = fresh.get(key).and_then(Json::as_f64);
         match (base, new) {
             (Some(b), Some(n)) => {
                 if n < b * (1.0 - tolerance) {
                     failures.push(format!(
-                        "perf regression: {key} {n:.2}x below baseline {b:.2}x \
+                        "{what} regression: {key} {n:.2} below baseline {b:.2} \
                          (tolerance {:.0}%)",
                         100.0 * tolerance
                     ));
                 }
             }
-            (Some(_), None) => failures.push(format!("perf: fresh BENCH_map.json lacks {key}")),
+            (Some(_), None) => failures.push(format!("{what}: fresh {file} lacks {key}")),
             (None, _) => {} // baseline predates the field; nothing to compare
         }
     }
-    for key in ["bit_identical_cached", "bit_identical_warm"] {
+    for key in identity_keys {
         if fresh.get(key).and_then(Json::as_bool) == Some(false) {
-            failures.push(format!("perf: {key} is false"));
+            failures.push(format!("{what}: {key} is false"));
         }
     }
     failures
@@ -528,8 +564,11 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
     } else {
         previously_ok(cfg)
     };
-    // Read the committed perf baseline before the run overwrites it.
+    // Read the committed perf/solve baselines before the run overwrites them.
     let perf_baseline = std::fs::read_to_string(results_dir().join("BENCH_map.json"))
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    let solve_baseline = std::fs::read_to_string(results_dir().join("BENCH_solve.json"))
         .ok()
         .and_then(|text| Json::parse(&text).ok());
 
@@ -775,6 +814,31 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
                     .push("perf ran but left no readable BENCH_map.json".to_string()),
             }
         }
+        let solve_ran = report
+            .artifacts
+            .iter()
+            .any(|a| a.name == "solve" && a.status == ArtifactStatus::Ok);
+        if solve_ran {
+            match (
+                &solve_baseline,
+                std::fs::read_to_string(results_dir().join("BENCH_solve.json"))
+                    .ok()
+                    .and_then(|text| Json::parse(&text).ok()),
+            ) {
+                (Some(baseline), Some(fresh)) => report.gate_failures.extend(solve_gate_failures(
+                    baseline,
+                    &fresh,
+                    cfg.tolerance,
+                )),
+                (None, _) => progress(
+                    cfg,
+                    "gate: no committed BENCH_solve.json baseline; skipping solve comparison",
+                ),
+                (_, None) => report
+                    .gate_failures
+                    .push("solve ran but left no readable BENCH_solve.json".to_string()),
+            }
+        }
     }
     if let Some(path) = write_suite_trace() {
         progress(
@@ -833,6 +897,55 @@ mod tests {
         let baseline = Json::Obj(vec![]);
         let fresh = bench_json(1.0, 1.0, true);
         assert!(perf_gate_failures(&baseline, &fresh, 0.5).is_empty());
+    }
+
+    fn solve_json(tile_solves_per_s: f64, speedup_batch: f64, bit_identical: bool) -> Json {
+        Json::Obj(vec![
+            (
+                "tile_solves_per_s".to_string(),
+                Json::Num(tile_solves_per_s),
+            ),
+            ("speedup_batch".to_string(), Json::Num(speedup_batch)),
+            ("bit_identical_batch".to_string(), Json::Bool(bit_identical)),
+        ])
+    }
+
+    #[test]
+    fn solve_gate_passes_within_tolerance() {
+        let baseline = solve_json(1000.0, 8.0, true);
+        let fresh = solve_json(600.0, 5.0, true);
+        assert!(solve_gate_failures(&baseline, &fresh, 0.5).is_empty());
+    }
+
+    #[test]
+    fn solve_gate_flags_throughput_regression() {
+        let baseline = solve_json(1000.0, 8.0, true);
+        let fresh = solve_json(400.0, 8.0, true);
+        let failures = solve_gate_failures(&baseline, &fresh, 0.5);
+        assert!(
+            failures.iter().any(|f| f.contains("tile_solves_per_s")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn solve_gate_lost_bit_identity_is_a_hard_failure() {
+        // Bit-identity is checked on the fresh run alone: even a faster run
+        // that broke the oracle contract must fail the gate.
+        let baseline = solve_json(1000.0, 8.0, true);
+        let fresh = solve_json(2000.0, 16.0, false);
+        let failures = solve_gate_failures(&baseline, &fresh, 0.5);
+        assert!(
+            failures.iter().any(|f| f.contains("bit_identical_batch")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn solve_gate_tolerates_missing_baseline_fields() {
+        let baseline = Json::Obj(vec![]);
+        let fresh = solve_json(1.0, 1.0, true);
+        assert!(solve_gate_failures(&baseline, &fresh, 0.5).is_empty());
     }
 
     #[test]

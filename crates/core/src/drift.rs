@@ -23,9 +23,12 @@
 
 use xbar_nn::Sequential;
 use xbar_prune::unroll::{unrolled_matrices, write_back};
-use xbar_sim::conductance::{conductances_to_weights, weights_to_conductances, MappingScale};
+use xbar_sim::conductance::{
+    conductances_to_weights, weights_to_conductances, ConductanceMatrix, MappingScale,
+};
 use xbar_sim::drift::ProgrammedPair;
 use xbar_sim::params::CrossbarParams;
+use xbar_sim::solve::{NonIdealSolver, SolveMethod};
 
 pub use xbar_sim::drift::DriftModel;
 
@@ -203,6 +206,77 @@ impl ModelDriftState {
         self.layers.iter().all(|l| l.pair.is_pristine())
     }
 
+    /// Circuit-level drift probe: a deterministic micro-batch of
+    /// `probe_count` read-voltage vectors drives a tile-sized slice of the
+    /// first weighted layer's programmed pair — once against the pristine
+    /// target conductances and once against the drifted current ones — with
+    /// each array's whole micro-batch going through one
+    /// [`NonIdealSolver::column_currents_batch`] call. Returns the summed
+    /// relative deviation of the differential column currents: `0` on
+    /// pristine devices, growing with physical decay, independent of the
+    /// model's logits (which can saturate and hide drift).
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-solver failures as a description.
+    pub fn circuit_probe_deviation(
+        &self,
+        probe_count: usize,
+        seed: u64,
+    ) -> std::result::Result<f64, String> {
+        let Some(layer) = self.layers.first() else {
+            return Ok(0.0);
+        };
+        let target = layer.pair.target().clone();
+        let current = layer.pair.current();
+        let rows = self.params.rows.min(target.pos.rows());
+        let cols = self.params.cols.min(target.pos.cols());
+        if rows == 0 || cols == 0 {
+            return Ok(0.0);
+        }
+        let tile = |g: &ConductanceMatrix| {
+            let mut s = ConductanceMatrix::filled(rows, cols, 0.0);
+            for i in 0..rows {
+                for j in 0..cols {
+                    s.set(i, j, g.at(i, j));
+                }
+            }
+            s
+        };
+        let mut rng = seed | 1;
+        let probes: Vec<Vec<f64>> = (0..probe_count.max(1))
+            .map(|_| {
+                (0..rows)
+                    .map(|_| {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        (rng % 1000) as f64 / 999.0 * self.params.v_read
+                    })
+                    .collect()
+            })
+            .collect();
+        let solver = NonIdealSolver::new(self.params, SolveMethod::LineRelaxation);
+        let solve = |g: &ConductanceMatrix| {
+            solver
+                .column_currents_batch(&tile(g), &probes)
+                .map_err(|e| format!("circuit probe solve failed: {e}"))
+        };
+        let (tp, tn) = (solve(&target.pos)?, solve(&target.neg)?);
+        let (cp, cn) = (solve(&current.pos)?, solve(&current.neg)?);
+        let mut dev = 0.0f64;
+        let mut norm = 0.0f64;
+        for k in 0..probes.len() {
+            for j in 0..cols {
+                let pristine = tp[k][j] - tn[k][j];
+                let drifted = cp[k][j] - cn[k][j];
+                dev += (drifted - pristine).abs();
+                norm += pristine.abs();
+            }
+        }
+        Ok(if norm > 0.0 { dev / norm } else { 0.0 })
+    }
+
     /// The model as it reads at the current elapsed time: decayed
     /// conductances inverted back into weights and written into a clone of
     /// the programmed model. When no device has drifted this is a
@@ -305,6 +379,24 @@ mod tests {
         state.advance_time(1e4);
         assert_eq!(state.reprogram_all(), state.cell_count());
         assert_eq!(weights_of(&state.snapshot_model()), weights_of(&model));
+    }
+
+    #[test]
+    fn circuit_probe_deviation_tracks_physical_drift() {
+        let model = tiny_model();
+        let params = drifting_params();
+        let mut state = ModelDriftState::new(&model, &params, 7).unwrap();
+        assert_eq!(state.circuit_probe_deviation(4, 11).unwrap(), 0.0);
+        state.advance_time(params.drift.horizon_for_decay(0.5));
+        let drifted = state.circuit_probe_deviation(4, 11).unwrap();
+        assert!(
+            drifted > 0.05,
+            "decay must show in the probe currents: {drifted}"
+        );
+        // Deterministic in (probe_count, seed), so sweeps are comparable.
+        assert_eq!(drifted, state.circuit_probe_deviation(4, 11).unwrap());
+        state.reprogram_all();
+        assert_eq!(state.circuit_probe_deviation(4, 11).unwrap(), 0.0);
     }
 
     #[test]

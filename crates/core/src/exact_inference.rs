@@ -71,8 +71,13 @@ pub fn exact_matmul(weights: &Tensor, x: &Tensor, cfg: &MapConfig) -> Result<Ten
         let span = params.g_max() - g_min;
         // Current → weight-units conversion for this tile.
         let current_scale = (pair.w_ref as f64) * (x_abs_max as f64) / (span * params.v_read);
+        // Gather every active input phase of every sample: each phase vector
+        // drives both arrays, so one pass collects the whole batch and two
+        // batched solves replace 2 × phases single solves against the same
+        // programmed pair (bit-identical to the one-at-a-time path).
+        let mut phase_vs: Vec<Vec<f64>> = Vec::with_capacity(2 * x.rows());
+        let mut phase_of: Vec<(usize, f64)> = Vec::with_capacity(2 * x.rows());
         for sample in 0..x.rows() {
-            // Build positive/negative input phases for this tile's rows.
             let mut v_pos = vec![0.0f64; params.rows];
             let mut v_neg = vec![0.0f64; params.rows];
             let mut any_pos = false;
@@ -91,21 +96,29 @@ pub fn exact_matmul(weights: &Tensor, x: &Tensor, cfg: &MapConfig) -> Result<Ten
                     any_neg = true;
                 }
             }
-            let mut acc = vec![0.0f64; params.cols];
-            for (v, active, sign) in [(&v_pos, any_pos, 1.0f64), (&v_neg, any_neg, -1.0)] {
-                if !active {
-                    continue;
-                }
-                let i_pos = solver.column_currents(&pair.pos, v)?;
-                let i_neg = solver.column_currents(&pair.neg, v)?;
-                // Subtract the Gmin baseline both arrays share: with every
-                // device at Gmin the differential current is ~0, so the pos
-                // and neg array baselines cancel in (i_pos - i_neg).
-                for (a, (ip, in_)) in acc.iter_mut().zip(i_pos.iter().zip(&i_neg)) {
-                    *a += sign * (ip - in_);
+            for (v, active, sign) in [(v_pos, any_pos, 1.0f64), (v_neg, any_neg, -1.0)] {
+                if active {
+                    phase_vs.push(v);
+                    phase_of.push((sample, sign));
                 }
             }
-            for (c, &current) in acc.iter().enumerate() {
+        }
+        let i_pos = xbar_sim::solve_currents_batch(&solver, &pair.pos, &phase_vs)?;
+        let i_neg = xbar_sim::solve_currents_batch(&solver, &pair.neg, &phase_vs)?;
+        // Per-sample f64 accumulators keep the fold order of the
+        // one-solve-at-a-time path: both phases sum in f64, then one f32
+        // round-trip per output cell.
+        let mut acc = vec![vec![0.0f64; params.cols]; x.rows()];
+        for ((&(sample, sign), ip), in_) in phase_of.iter().zip(&i_pos).zip(&i_neg) {
+            // Subtract the Gmin baseline both arrays share: with every
+            // device at Gmin the differential current is ~0, so the pos
+            // and neg array baselines cancel in (i_pos - i_neg).
+            for (a, (p, n)) in acc[sample].iter_mut().zip(ip.iter().zip(in_)) {
+                *a += sign * (p - n);
+            }
+        }
+        for (sample, row) in acc.iter().enumerate() {
+            for (c, &current) in row.iter().enumerate() {
                 let dst = tile.col_start + c;
                 if dst >= fan_out {
                     break;

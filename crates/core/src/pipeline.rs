@@ -367,14 +367,89 @@ pub fn map_to_crossbars_with(
     let active_cols = cfg.active_cols();
     let mut noisy = model.clone();
     let mut report = MapReport::default();
+
+    // Phase 1 — plan: transform, rearrange, and partition every layer up
+    // front, so the solve phase sees one flat list of independent tile jobs
+    // spanning the whole model instead of one join barrier per panel. The
+    // emulator path keeps its one-batched-call-per-panel shape and is
+    // resolved here; exact tiles are left for the shared pool.
+    let mut layers: Vec<LayerWork> = Vec::new();
     for ul in unrolled_matrices(model) {
         let _layer_span = xbar_obs::span!("map_layer", layer = ul.layer_index);
         let layer_abs_max = ul.matrix.abs_max();
         let transformed: TransformedLayer =
             transform(&ul.matrix, cfg.method, cfg.params.rows, active_cols);
-        let mut noisy_panels: Vec<Tensor> = Vec::with_capacity(transformed.panels.len());
-        let mut layer_report = LayerReport {
+        let mut panels: Vec<PanelWork> = Vec::with_capacity(transformed.panels.len());
+        for (panel_idx, panel) in transformed.panels.iter().enumerate() {
+            let rearrangement = match cfg.rearrange {
+                Some(order) => Rearrangement::compute(&panel.matrix, order, active_cols),
+                None => Rearrangement::identity(panel.matrix.cols()),
+            };
+            let arranged = rearrangement.apply(&panel.matrix);
+            let tiles = partition(&arranged, cfg.params.rows, active_cols);
+            let seed_base = tile_seed_base(cfg.seed, ul.layer_index, panel_idx);
+            let mapped = match emulator {
+                None => None,
+                Some(em) => Some(
+                    emulate_tiles(&tiles, cfg, layer_abs_max, seed_base, em).map_err(|e| {
+                        e.in_stage(format!(
+                            "simulate layer {} panel {panel_idx}",
+                            ul.layer_index
+                        ))
+                    })?,
+                ),
+            };
+            panels.push(PanelWork {
+                rearrangement,
+                arranged_rows: arranged.rows(),
+                arranged_cols: arranged.cols(),
+                tiles,
+                seed_base,
+                mapped,
+            });
+        }
+        layers.push(LayerWork {
             layer_index: ul.layer_index,
+            layer_abs_max,
+            transformed,
+            panels,
+        });
+    }
+
+    // Phase 2 — solve: every exact tile of every layer/panel goes onto one
+    // work-stealing pool; a fast layer's workers steal straight into the
+    // next layer's tiles with no per-layer join.
+    let jobs: Vec<TileJob> = layers
+        .iter()
+        .enumerate()
+        .flat_map(|(l, lw)| {
+            lw.panels
+                .iter()
+                .enumerate()
+                .filter(|(_, pw)| pw.mapped.is_none())
+                .flat_map(move |(p, pw)| (0..pw.tiles.len()).map(move |t| TileJob(l, p, t)))
+        })
+        .collect();
+    if !jobs.is_empty() {
+        let mut solved = solve_tile_jobs(&layers, &jobs, cfg)?.into_iter();
+        for lw in &mut layers {
+            for pw in &mut lw.panels {
+                if pw.mapped.is_none() {
+                    pw.mapped = Some(
+                        (0..pw.tiles.len())
+                            .map(|_| solved.next().expect("one result per planned tile"))
+                            .collect(),
+                    );
+                }
+            }
+        }
+    }
+
+    // Phase 3 — stitch: fold the solved tiles back into panels, layers, and
+    // the model, in network order, exactly as the per-layer loop used to.
+    for mut lw in layers {
+        let mut layer_report = LayerReport {
+            layer_index: lw.layer_index,
             crossbar_count: 0,
             nf: NfAccumulator::new(),
             low_g_fraction: 0.0,
@@ -389,25 +464,10 @@ pub fn map_to_crossbars_with(
             max_fault_score: 0.0,
         };
         let mut low_g_sum = 0.0f64;
-        for (panel_idx, panel) in transformed.panels.iter().enumerate() {
-            let rearrangement = match cfg.rearrange {
-                Some(order) => Rearrangement::compute(&panel.matrix, order, active_cols),
-                None => Rearrangement::identity(panel.matrix.cols()),
-            };
-            let arranged = rearrangement.apply(&panel.matrix);
-            let mut tiles = partition(&arranged, cfg.params.rows, active_cols);
-            let seed_base = tile_seed_base(cfg.seed, ul.layer_index, panel_idx);
-            let mapped = match emulator {
-                None => simulate_tiles_parallel(&tiles, cfg, layer_abs_max, seed_base),
-                Some(em) => emulate_tiles(&tiles, cfg, layer_abs_max, seed_base, em),
-            }
-            .map_err(|e| {
-                e.in_stage(format!(
-                    "simulate layer {} panel {panel_idx}",
-                    ul.layer_index
-                ))
-            })?;
-            for (tile, mapped_tile) in tiles.iter_mut().zip(&mapped) {
+        let mut noisy_panels: Vec<Tensor> = Vec::with_capacity(lw.panels.len());
+        for pw in &mut lw.panels {
+            let mapped = pw.mapped.take().expect("every panel resolved");
+            for (tile, mapped_tile) in pw.tiles.iter_mut().zip(&mapped) {
                 let outcome = &mapped_tile.outcome;
                 tile.weights = mapped_tile.weights.clone();
                 layer_report.nf.push(outcome.nf());
@@ -429,28 +489,28 @@ pub fn map_to_crossbars_with(
                         .max(outcome.fault_report.fault_score());
                 }
             }
-            layer_report.crossbar_count += tiles.len();
-            let noisy_arranged = reassemble(&tiles, arranged.rows(), arranged.cols());
-            noisy_panels.push(rearrangement.invert(&noisy_arranged));
+            layer_report.crossbar_count += pw.tiles.len();
+            let noisy_arranged = reassemble(&pw.tiles, pw.arranged_rows, pw.arranged_cols);
+            noisy_panels.push(pw.rearrangement.invert(&noisy_arranged));
         }
         layer_report.low_g_fraction = if layer_report.crossbar_count == 0 {
             0.0
         } else {
             low_g_sum / layer_report.crossbar_count as f64
         };
-        let noisy_matrix = transformed.invert(&noisy_panels);
-        write_back(&mut noisy, ul.layer_index, &noisy_matrix);
+        let noisy_matrix = lw.transformed.invert(&noisy_panels);
+        write_back(&mut noisy, lw.layer_index, &noisy_matrix);
         xbar_obs::metrics::counter_add(names::MAP_CROSSBARS, layer_report.crossbar_count as u64);
         xbar_obs::metrics::counter_add(
             names::MAP_SOLVER_ITERATIONS,
             layer_report.solver_iterations,
         );
         xbar_obs::metrics::gauge_set(
-            &names::map_layer_gauge(ul.layer_index, "nf_mean"),
+            &names::map_layer_gauge(lw.layer_index, "nf_mean"),
             layer_report.nf.mean(),
         );
         xbar_obs::metrics::gauge_set(
-            &names::map_layer_gauge(ul.layer_index, "low_g_fraction"),
+            &names::map_layer_gauge(lw.layer_index, "low_g_fraction"),
             layer_report.low_g_fraction,
         );
         if layer_report.stuck_cells > 0 || layer_report.repaired_columns > 0 {
@@ -468,7 +528,7 @@ pub fn map_to_crossbars_with(
                 layer_report.degraded_tiles as u64,
             );
             xbar_obs::metrics::gauge_set(
-                &names::map_layer_gauge(ul.layer_index, "fault_score"),
+                &names::map_layer_gauge(lw.layer_index, "fault_score"),
                 layer_report.max_fault_score,
             );
         }
@@ -513,54 +573,123 @@ fn map_one_tile(
     result.map_err(|e| e.in_stage(format!("tile {tile_idx}")))
 }
 
-/// Simulates tiles across worker threads (tiles are independent crossbars).
-fn simulate_tiles_parallel(
-    tiles: &[Tile],
-    cfg: &MapConfig,
-    layer_abs_max: f32,
+/// One planned-but-unsolved tile: `(layer slot, panel index, tile index)`
+/// into the phase-1 [`LayerWork`] plan.
+#[derive(Debug, Clone, Copy)]
+struct TileJob(usize, usize, usize);
+
+/// One panel of a layer after transform/rearrange/partition, with its solved
+/// tiles (`mapped`) filled in either by the emulator (phase 1) or by the
+/// shared tile pool (phase 2).
+struct PanelWork {
+    rearrangement: Rearrangement,
+    arranged_rows: usize,
+    arranged_cols: usize,
+    tiles: Vec<Tile>,
     seed_base: u64,
+    mapped: Option<Vec<MappedTile>>,
+}
+
+/// One layer's phase-1 plan.
+struct LayerWork {
+    layer_index: usize,
+    layer_abs_max: f32,
+    transformed: TransformedLayer,
+    panels: Vec<PanelWork>,
+}
+
+/// Solves every planned tile job on one work-stealing pool: workers claim
+/// jobs off a shared atomic cursor, so tiles of different layers and panels
+/// interleave freely and no thread idles at a per-layer join while another
+/// still grinds a slow panel. Per-tile variation seeds are position-derived
+/// (`tile_seed_base + tile index`), so the schedule cannot change results —
+/// only wall-clock. Returns results in job order.
+fn solve_tile_jobs(
+    layers: &[LayerWork],
+    jobs: &[TileJob],
+    cfg: &MapConfig,
 ) -> Result<Vec<MappedTile>, MapError> {
-    let workers = xbar_tensor::threads::max_threads().min(tiles.len().max(1));
-    if workers <= 1 || tiles.len() < 4 {
-        return tiles
-            .iter()
-            .enumerate()
-            .map(|(i, t)| map_one_tile(t, cfg, layer_abs_max, seed_base.wrapping_add(i as u64), i))
-            .collect();
+    let run_one = |&TileJob(l, p, t): &TileJob| -> Result<MappedTile, MapError> {
+        let lw = &layers[l];
+        let pw = &lw.panels[p];
+        map_one_tile(
+            &pw.tiles[t],
+            cfg,
+            lw.layer_abs_max,
+            pw.seed_base.wrapping_add(t as u64),
+            t,
+        )
+        .map_err(|e| e.in_stage(format!("simulate layer {} panel {p}", lw.layer_index)))
+    };
+    let workers = xbar_tensor::threads::max_threads().min(jobs.len().max(1));
+    if workers <= 1 || jobs.len() < 4 {
+        return jobs.iter().map(run_one).collect();
     }
-    let chunk = tiles.len().div_ceil(workers);
-    let results = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (w, tile_chunk) in tiles.chunks(chunk).enumerate() {
-            let start = w * chunk;
-            handles.push(scope.spawn(move || {
-                tile_chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| {
-                        map_one_tile(
-                            t,
-                            cfg,
-                            layer_abs_max,
-                            seed_base.wrapping_add((start + i) as u64),
-                            start + i,
-                        )
-                    })
-                    .collect::<Result<Vec<_>, _>>()
-            }));
-        }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    let per_worker = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done: Vec<(usize, MappedTile)> = Vec::new();
+                    loop {
+                        if abort.load(std::sync::atomic::Ordering::Relaxed) {
+                            break Ok(done);
+                        }
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break Ok(done);
+                        }
+                        match run_one(&jobs[i]) {
+                            Ok(mapped) => done.push((i, mapped)),
+                            Err(e) => {
+                                abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                                break Err((i, e));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
         handles
             .into_iter()
             .map(|h| {
                 h.join().unwrap_or_else(|_| {
-                    Err(MapError::WorkerPanic {
-                        stage: "simulate tiles".into(),
-                    })
+                    Err((
+                        usize::MAX,
+                        MapError::WorkerPanic {
+                            stage: "simulate tiles".into(),
+                        },
+                    ))
                 })
             })
-            .collect::<Result<Vec<_>, _>>()
-    })?;
-    Ok(results.into_iter().flatten().collect())
+            .collect::<Vec<_>>()
+    });
+    // Report the failure at the lowest job index so which error surfaces
+    // does not depend on thread scheduling.
+    let mut first_err: Option<(usize, MapError)> = None;
+    let mut out: Vec<Option<MappedTile>> = jobs.iter().map(|_| None).collect();
+    for result in per_worker {
+        match result {
+            Ok(done) => {
+                for (i, mapped) in done {
+                    out[i] = Some(mapped);
+                }
+            }
+            Err((i, e)) => {
+                if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(out
+        .into_iter()
+        .map(|m| m.expect("every job claimed exactly once"))
+        .collect())
 }
 
 /// Maps one panel's tiles through a learned emulator instead of the circuit

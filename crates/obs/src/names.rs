@@ -82,6 +82,7 @@ pub const SERVE_HEALTH_SWEEPS: &str = "serve/health_sweeps";
 pub const SERVE_SWEEP_US: &str = "serve/sweep_us";
 pub const SERVE_PROBE_ACCURACY: &str = "serve/probe_accuracy";
 pub const SERVE_PROBE_DEVIATION: &str = "serve/probe_deviation";
+pub const SERVE_PROBE_CURRENT_DEVIATION: &str = "serve/probe_current_deviation";
 pub const SERVE_MITIGATION_RUNG: &str = "serve/mitigation_rung";
 pub const SERVE_DRIFT_REFRESHED_CELLS: &str = "serve/drift_refreshed_cells";
 pub const SERVE_DRIFT_REMAPPED_COLUMNS: &str = "serve/drift_remapped_columns";
@@ -122,6 +123,9 @@ pub const SIM_SOLVE_CACHE_HITS: &str = "sim/solve_cache_hits";
 pub const SIM_SOLVE_CACHE_MISSES: &str = "sim/solve_cache_misses";
 pub const SIM_TILE_FALLBACKS: &str = "sim/tile_fallbacks";
 pub const SIM_TILE_FAILURES: &str = "sim/tile_failures";
+pub const SIM_SOLVE_BATCH_CALLS: &str = "sim/solve_batch_calls";
+pub const SIM_SOLVE_BATCH_SIZE: &str = "sim/solve_batch_size";
+pub const SIM_SOLVE_BATCH_SWEEPS: &str = "sim/solve_batch_sweeps";
 
 // --- mapping pipeline ----------------------------------------------------
 pub const MAP_CROSSBARS: &str = "map/crossbars";
@@ -326,6 +330,11 @@ pub const REGISTRY: &[MetricDef] = &[
         help: "mean |score deviation| of probe outputs vs the pristine model",
     },
     MetricDef {
+        name: SERVE_PROBE_CURRENT_DEVIATION,
+        kind: MetricKind::Gauge,
+        help: "relative drift of batched probe column currents vs pristine devices",
+    },
+    MetricDef {
         name: SERVE_MITIGATION_RUNG,
         kind: MetricKind::Gauge,
         help: "ladder rung applied at the last sweep (0 none, 1 refresh, 2 remap, 3 reload)",
@@ -404,6 +413,21 @@ pub const REGISTRY: &[MetricDef] = &[
         name: SIM_TILE_FAILURES,
         kind: MetricKind::Counter,
         help: "tile solves that never converged",
+    },
+    MetricDef {
+        name: SIM_SOLVE_BATCH_CALLS,
+        kind: MetricKind::Counter,
+        help: "batched circuit-solve invocations",
+    },
+    MetricDef {
+        name: SIM_SOLVE_BATCH_SIZE,
+        kind: MetricKind::Histogram,
+        help: "input vectors per batched circuit solve",
+    },
+    MetricDef {
+        name: SIM_SOLVE_BATCH_SWEEPS,
+        kind: MetricKind::Histogram,
+        help: "relaxation sweeps per batch element",
     },
     MetricDef {
         name: MAP_CROSSBARS,

@@ -107,6 +107,9 @@ pub struct LifecycleStatus {
     pub probe_accuracy: f64,
     /// Mean |score − reference score| over the probe set.
     pub probe_deviation: f64,
+    /// Relative deviation of batched probe column currents against pristine
+    /// devices — the circuit-level drift signal (0 when pristine).
+    pub probe_current_deviation: f64,
     /// Mitigation rung applied by the last sweep (0 = none).
     pub rung: u8,
     /// Seconds of simulated drift since (re)programming.
@@ -122,6 +125,7 @@ impl Default for LifecycleStatus {
             last_sweep_unix_s: None,
             probe_accuracy: 1.0,
             probe_deviation: 0.0,
+            probe_current_deviation: 0.0,
             rung: 0,
             drift_elapsed_s: 0.0,
             mean_decay: 0.0,
@@ -138,6 +142,8 @@ pub struct SweepReport {
     pub post_accuracy: f64,
     /// Mean score deviation after mitigation.
     pub post_deviation: f64,
+    /// Circuit-level probe current deviation after mitigation.
+    pub post_current_deviation: f64,
     /// Ladder rung applied (0 = none).
     pub rung: u8,
     /// Cells rewritten by the refresh pass.
@@ -448,6 +454,13 @@ impl DriftController {
         } else {
             self.probe_eval(model.clone()).unwrap_or((0.0, 1.0))
         };
+        // Hardware-level cross-check: the probe micro-batch read straight
+        // off the drifted devices through batched circuit solves. Catches
+        // decay the logits hide (saturated softmax, degenerate probe sets).
+        let post_current_deviation = state
+            .drift
+            .circuit_probe_deviation(self.cfg.probe_count.clamp(1, 8), self.cfg.seed)
+            .unwrap_or(1.0);
         drop(state);
         self.slot.publish_exact(model);
 
@@ -455,6 +468,7 @@ impl DriftController {
         metrics::latency_record_us(names::SERVE_SWEEP_US, start.elapsed().as_micros() as u64);
         metrics::gauge_set(names::SERVE_PROBE_ACCURACY, post_accuracy);
         metrics::gauge_set(names::SERVE_PROBE_DEVIATION, post_deviation);
+        metrics::gauge_set(names::SERVE_PROBE_CURRENT_DEVIATION, post_current_deviation);
         metrics::gauge_set(names::SERVE_MITIGATION_RUNG, f64::from(rung));
         metrics::gauge_set(names::SERVE_DRIFT_ELAPSED_S, drift_elapsed_s);
         metrics::gauge_set(names::SERVE_DRIFT_MEAN_DECAY, mean_decay);
@@ -470,6 +484,7 @@ impl DriftController {
         status.last_sweep_unix_s = unix_time_s();
         status.probe_accuracy = post_accuracy;
         status.probe_deviation = post_deviation;
+        status.probe_current_deviation = post_current_deviation;
         status.rung = rung;
         status.drift_elapsed_s = drift_elapsed_s;
         status.mean_decay = mean_decay;
@@ -478,6 +493,7 @@ impl DriftController {
             pre_accuracy,
             post_accuracy,
             post_deviation,
+            post_current_deviation,
             rung,
             refreshed_cells: refreshed,
             remapped_columns: remapped,
@@ -534,9 +550,11 @@ impl DriftController {
         metrics::gauge_set(names::SERVE_PROBE_ACCURACY, 1.0);
         metrics::gauge_set(names::SERVE_PROBE_DEVIATION, 0.0);
         metrics::gauge_set(names::SERVE_MITIGATION_RUNG, 0.0);
+        metrics::gauge_set(names::SERVE_PROBE_CURRENT_DEVIATION, 0.0);
         let mut status = self.status.lock().expect("lifecycle status poisoned");
         status.probe_accuracy = 1.0;
         status.probe_deviation = 0.0;
+        status.probe_current_deviation = 0.0;
         status.rung = 0;
         status.drift_elapsed_s = elapsed;
         status.mean_decay = 0.0;

@@ -734,6 +734,10 @@ fn lifecycle_fields(ctx: &Ctx) -> Vec<(String, Json)> {
         ),
         ("probe_accuracy".into(), Json::Num(status.probe_accuracy)),
         ("probe_deviation".into(), Json::Num(status.probe_deviation)),
+        (
+            "probe_current_deviation".into(),
+            Json::Num(status.probe_current_deviation),
+        ),
         ("mitigation_rung".into(), Json::Num(f64::from(status.rung))),
         ("drift_elapsed_s".into(), Json::Num(status.drift_elapsed_s)),
         ("drift_mean_decay".into(), Json::Num(status.mean_decay)),

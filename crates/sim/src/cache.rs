@@ -64,9 +64,23 @@ const MODE_SEED: u8 = 3;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
 
-/// Total `f64`s of node voltages the cache may hold before FIFO eviction
-/// kicks in (~64 MiB of voltages).
+/// Total `f64`-equivalents the cache may hold before FIFO eviction kicks
+/// in (~64 MiB). Each entry is charged its voltage payload *plus*
+/// [`ENTRY_OVERHEAD_F64S`], so the bound covers what the process actually
+/// holds, not just the voltages.
 const MAX_CACHED_F64S: usize = 8_000_000;
+
+/// Per-entry bookkeeping charged on top of the voltage payload, in f64
+/// units (8 bytes each): the 16-byte key stored twice (map + FIFO order),
+/// the `SolveStats`/fallback fields, two `Vec` headers, and the hash-map
+/// bucket. Slightly generous on purpose — the original accounting counted
+/// only `vr.len() + vc.len()` and quietly undershot the "~64 MiB" bound.
+const ENTRY_OVERHEAD_F64S: usize = 24;
+
+/// The charged size of one entry: voltage payload plus fixed overhead.
+fn entry_f64s(nodes: &NodeVoltages) -> usize {
+    nodes.vr.len() + nodes.vc.len() + ENTRY_OVERHEAD_F64S
+}
 
 struct Store {
     entries: HashMap<u128, CachedSolve>,
@@ -132,37 +146,67 @@ pub fn solve_cache_len() -> usize {
     guard.as_ref().map_or(0, |s| s.entries.len())
 }
 
-/// 128-bit FNV-1a over everything that determines an array solve.
-pub(crate) fn solve_key(solver: &NonIdealSolver, g: &ConductanceMatrix, v: &[f64]) -> u128 {
-    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
-    let mut h = OFFSET;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= u128::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-    };
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+#[inline]
+fn fnv_eat(h: &mut u128, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u128::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// 128-bit FNV-1a over everything that determines an array solve *except*
+/// the input-voltage vector: method, shape, circuit parameters, solver
+/// knobs, and all conductance bit patterns. A batch of solves through one
+/// conductance matrix shares this prefix and only pays per-element hashing
+/// for its voltage vectors ([`solve_keys_batch`]).
+pub(crate) fn solve_key_prefix(solver: &NonIdealSolver, g: &ConductanceMatrix) -> u128 {
+    let mut h = FNV_OFFSET;
     let tag: u8 = match solver.method() {
         SolveMethod::DenseExact => 1,
         SolveMethod::LineRelaxation => 2,
     };
-    eat(&[tag]);
+    fnv_eat(&mut h, &[tag]);
     let p = solver.params();
-    eat(&(g.rows() as u64).to_le_bytes());
-    eat(&(g.cols() as u64).to_le_bytes());
+    fnv_eat(&mut h, &(g.rows() as u64).to_le_bytes());
+    fnv_eat(&mut h, &(g.cols() as u64).to_le_bytes());
     for r in [p.r_driver, p.r_wire_row, p.r_wire_col, p.r_sense] {
-        eat(&r.to_bits().to_le_bytes());
+        fnv_eat(&mut h, &r.to_bits().to_le_bytes());
     }
-    eat(&solver.tolerance.to_bits().to_le_bytes());
-    eat(&(solver.max_sweeps as u64).to_le_bytes());
-    for &x in v {
-        eat(&x.to_bits().to_le_bytes());
-    }
+    fnv_eat(&mut h, &solver.tolerance.to_bits().to_le_bytes());
+    fnv_eat(&mut h, &(solver.max_sweeps as u64).to_le_bytes());
     for &x in g.as_slice() {
-        eat(&x.to_bits().to_le_bytes());
+        fnv_eat(&mut h, &x.to_bits().to_le_bytes());
     }
     h
+}
+
+/// Continues a [`solve_key_prefix`] with one input-voltage vector.
+pub(crate) fn extend_key(prefix: u128, v: &[f64]) -> u128 {
+    let mut h = prefix;
+    for &x in v {
+        fnv_eat(&mut h, &x.to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// 128-bit FNV-1a over everything that determines an array solve.
+pub(crate) fn solve_key(solver: &NonIdealSolver, g: &ConductanceMatrix, v: &[f64]) -> u128 {
+    extend_key(solve_key_prefix(solver, g), v)
+}
+
+/// Cache keys for a whole batch of solves through one conductance matrix:
+/// the conductance/parameter prefix is hashed once and extended per
+/// element.
+pub(crate) fn solve_keys_batch(
+    solver: &NonIdealSolver,
+    g: &ConductanceMatrix,
+    vs: &[Vec<f64>],
+) -> Vec<u128> {
+    let prefix = solve_key_prefix(solver, g);
+    vs.iter().map(|v| extend_key(prefix, v)).collect()
 }
 
 pub(crate) fn lookup(key: u128) -> Option<CachedSolve> {
@@ -171,7 +215,7 @@ pub(crate) fn lookup(key: u128) -> Option<CachedSolve> {
 }
 
 pub(crate) fn insert(key: u128, nodes: NodeVoltages, fallback: bool) {
-    let size = nodes.vr.len() + nodes.vc.len();
+    let size = entry_f64s(&nodes);
     if size > MAX_CACHED_F64S {
         return;
     }
@@ -189,12 +233,20 @@ pub(crate) fn insert(key: u128, nodes: NodeVoltages, fallback: bool) {
             break;
         };
         if let Some(evicted) = store.entries.remove(&oldest) {
-            store.held_f64s -= evicted.nodes.vr.len() + evicted.nodes.vc.len();
+            store.held_f64s -= entry_f64s(&evicted.nodes);
         }
     }
     store.held_f64s += size;
     store.order.push_back(key);
     store.entries.insert(key, CachedSolve { nodes, fallback });
+}
+
+/// Charged cache volume in f64-equivalents (payload + per-entry overhead);
+/// test hook for the eviction bound.
+#[cfg(test)]
+fn solve_cache_held_f64s() -> usize {
+    let guard = STORE.lock().unwrap_or_else(|e| e.into_inner());
+    guard.as_ref().map_or(0, |s| s.held_f64s)
 }
 
 #[cfg(test)]
@@ -251,19 +303,55 @@ mod tests {
     #[test]
     fn eviction_keeps_volume_bounded() {
         clear_solve_cache();
-        let nodes = |k: u64| NodeVoltages {
-            vr: vec![k as f64; MAX_CACHED_F64S / 4],
-            vc: vec![k as f64; MAX_CACHED_F64S / 4],
+        let nodes = |k: u64, len: usize| NodeVoltages {
+            vr: vec![k as f64; len],
+            vc: vec![k as f64; len],
             stats: Default::default(),
         };
+        // Exactly-half-payload entries: with the per-entry overhead charged,
+        // two of them exceed the budget — the original accounting (payload
+        // only) would have kept both and quietly overshot the bound.
         for k in 0..5u64 {
-            insert(u128::from(k), nodes(k), false);
+            insert(u128::from(k), nodes(k, MAX_CACHED_F64S / 4), false);
         }
-        // Half-budget entries: only two fit at a time.
-        assert_eq!(solve_cache_len(), 2);
+        assert_eq!(
+            solve_cache_len(),
+            1,
+            "overhead must count against the bound"
+        );
         assert!(lookup(0).is_none(), "oldest entries must be evicted");
         assert!(lookup(4).is_some());
+        assert!(solve_cache_held_f64s() <= MAX_CACHED_F64S);
+        // Entries that leave room for the overhead: two fit at a time.
+        clear_solve_cache();
+        let len = MAX_CACHED_F64S / 4 - ENTRY_OVERHEAD_F64S;
+        for k in 0..5u64 {
+            insert(u128::from(k), nodes(k, len), false);
+        }
+        assert_eq!(solve_cache_len(), 2);
+        assert!(lookup(3).is_some() && lookup(4).is_some());
+        assert!(solve_cache_held_f64s() <= MAX_CACHED_F64S);
+        // Accounting stays exact through eviction churn: an empty cache
+        // holds zero charged volume again.
         clear_solve_cache();
         assert_eq!(solve_cache_len(), 0);
+        assert_eq!(solve_cache_held_f64s(), 0);
+    }
+
+    #[test]
+    fn batch_keys_match_per_element_keys() {
+        let s = solver(4);
+        let g = ConductanceMatrix::filled(4, 4, 1e-5);
+        let vs: Vec<Vec<f64>> = vec![
+            vec![0.25; 4],
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![0.25; 4], // duplicate of element 0 — identical key expected
+        ];
+        let batch = solve_keys_batch(&s, &g, &vs);
+        for (k, v) in batch.iter().zip(&vs) {
+            assert_eq!(*k, solve_key(&s, &g, v));
+        }
+        assert_eq!(batch[0], batch[2]);
+        assert_ne!(batch[0], batch[1]);
     }
 }

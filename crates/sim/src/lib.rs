@@ -70,4 +70,6 @@ pub use faults::{FaultKind, FaultModel};
 pub use params::{CrossbarParams, InvalidParams};
 pub use program::{FaultReport, ProgramConfig, StuckCell};
 pub use solve::{NodeVoltages, NonIdealSolver, SolveMethod, Warm};
-pub use tile::{simulate_tile, simulate_tile_seeded, TileOutcome, TileSolveState};
+pub use tile::{
+    simulate_tile, simulate_tile_seeded, solve_currents_batch, TileOutcome, TileSolveState,
+};

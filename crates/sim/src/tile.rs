@@ -83,10 +83,17 @@ impl TileSolveState {
     ///
     /// # Panics
     ///
-    /// Panics if a swap index is out of range for the array geometry.
+    /// Panics if a swap index is out of range for the array geometry, or if
+    /// the stored voltages are not a whole number of `cols`-wide rows (a
+    /// seed from a different tile geometry).
     pub fn swap_columns(&self, cols: usize, swaps: &[(usize, usize)]) -> TileSolveState {
         let mut out = self.clone();
         for nodes in [&mut out.pos, &mut out.neg] {
+            assert!(
+                cols > 0 && nodes.vr.len() % cols == 0,
+                "seed holds {} node voltages, not a whole number of {cols}-wide rows",
+                nodes.vr.len()
+            );
             let rows = nodes.vr.len() / cols;
             for &(a, b) in swaps {
                 assert!(
@@ -260,6 +267,16 @@ pub fn simulate_tile_seeded(
     let solver =
         NonIdealSolver::try_new(*params, method).map_err(|e| SolveError::Config(e.to_string()))?;
     let v = vec![params.v_read; tile.rows()];
+    // A seed whose shape disagrees with the prepared tile (left over from a
+    // pre-repair geometry, a remap, or a column permutation against the
+    // wrong width) must not reach the solver: drop it and solve cold — one
+    // normal cold solve, counted once — instead of failing the tile.
+    let n = tile.rows() * tile.cols();
+    let warm = warm.filter(|w| {
+        [&w.pos, &w.neg]
+            .iter()
+            .all(|nodes| nodes.vr.len() == n && nodes.vc.len() == n)
+    });
     let solve_start = std::time::Instant::now();
     let (pos_solve, pos_nodes, pos_fallback) =
         solve_array(&solver, &pair.pos, &v, warm.map(|w| w.pos.warm()))?;
@@ -386,6 +403,150 @@ fn solve_array(
         }
     }
     Ok((solve, nodes, fallback))
+}
+
+/// Batched column currents through one programmed conductance array,
+/// routed through the solve cache: the whole batch shares one key prefix
+/// ([`cache`] hashes the conductances once), cache hits replay or
+/// verify-and-reuse per [`CacheMode`], and the remaining cold elements are
+/// deduplicated by key — identical input vectors solve **once** and insert
+/// **once** — before solving together through
+/// [`NonIdealSolver::solve_nodes_batch`].
+///
+/// Elements that miss the base sweep budget get the same 4× resume
+/// fallback as [`simulate_tile_seeded`]'s per-array solves (abandoned
+/// sweeps counted once), so results are bit-identical to solving each
+/// element alone through this module.
+///
+/// # Errors
+///
+/// * [`SolveError::Dimension`] on a length mismatch or negative voltage in
+///   any element;
+/// * [`SolveError::NoConvergence`] if any element still fails after the
+///   fallback.
+pub fn solve_currents_batch(
+    solver: &NonIdealSolver,
+    g: &ConductanceMatrix,
+    vs: &[Vec<f64>],
+) -> Result<Vec<Vec<f64>>> {
+    let rows = g.rows();
+    for (idx, v) in vs.iter().enumerate() {
+        if v.len() != rows {
+            return Err(SolveError::Dimension(format!(
+                "crossbar has {rows} rows but batch element {idx} carries {} input voltages",
+                v.len()
+            )));
+        }
+        if v.iter().any(|&x| x < 0.0) {
+            return Err(SolveError::Dimension(format!(
+                "column currents require non-negative input voltages (batch element {idx})"
+            )));
+        }
+    }
+    if vs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mode = cache::solve_cache_mode();
+    if mode == CacheMode::Off {
+        return batch_with_fallback(solver, g, vs, None);
+    }
+    let keys = cache::solve_keys_batch(solver, g, vs);
+    let mut results: Vec<Option<Vec<f64>>> = vec![None; vs.len()];
+    let mut pending: Vec<usize> = Vec::new();
+    for (idx, &key) in keys.iter().enumerate() {
+        let Some(hit) = cache::lookup(key) else {
+            xbar_obs::metrics::counter_add(names::SIM_SOLVE_CACHE_MISSES, 1);
+            pending.push(idx);
+            continue;
+        };
+        xbar_obs::metrics::counter_add(names::SIM_SOLVE_CACHE_HITS, 1);
+        match mode {
+            CacheMode::Full => results[idx] = Some(solver.currents_of(g, &hit.nodes)?),
+            CacheMode::Seed => {
+                let nodes = solver.solve_nodes(g, &vs[idx], Some(hit.nodes.warm()))?;
+                if nodes.stats.converged {
+                    results[idx] = Some(solver.currents_of(g, &nodes)?);
+                } else {
+                    pending.push(idx);
+                }
+            }
+            CacheMode::Off => unreachable!("cache keys computed with cache off"),
+        }
+    }
+    if !pending.is_empty() {
+        // Deduplicate the cold work by key: within a batch, identical
+        // input vectors share one solve and one cache insert.
+        let mut by_key: std::collections::HashMap<u128, usize> = std::collections::HashMap::new();
+        let mut unique_keys: Vec<u128> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for &idx in &pending {
+            match by_key.entry(keys[idx]) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    members[*slot.get()].push(idx);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(unique_keys.len());
+                    unique_keys.push(keys[idx]);
+                    members.push(vec![idx]);
+                }
+            }
+        }
+        let cold_vs: Vec<Vec<f64>> = members.iter().map(|m| vs[m[0]].clone()).collect();
+        let currents = batch_with_fallback(solver, g, &cold_vs, Some(&unique_keys))?;
+        for (m, cur) in members.iter().zip(currents) {
+            for &idx in m {
+                results[idx] = Some(cur.clone());
+            }
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every batch element resolved"))
+        .collect())
+}
+
+/// Cold-solves a batch and applies the per-element 4× resume fallback on
+/// sweep-cap misses (abandoned sweeps counted once, exactly like
+/// [`solve_array`]). When `insert_keys` is given, each solved element is
+/// inserted into the cache under its key — once per element, since the
+/// caller already deduplicated.
+fn batch_with_fallback(
+    solver: &NonIdealSolver,
+    g: &ConductanceMatrix,
+    vs: &[Vec<f64>],
+    insert_keys: Option<&[u128]>,
+) -> Result<Vec<Vec<f64>>> {
+    let solved = solver.solve_nodes_batch(g, vs)?;
+    solved
+        .into_iter()
+        .zip(vs)
+        .enumerate()
+        .map(|(idx, (first, v))| {
+            let (nodes, fallback) = if first.stats.converged {
+                (first, false)
+            } else {
+                xbar_obs::metrics::counter_add(names::SIM_TILE_FALLBACKS, 1);
+                let abandoned = first.stats.iterations;
+                let mut retry = *solver;
+                retry.max_sweeps *= 4;
+                let mut resumed = retry.solve_nodes(g, v, Some(first.warm()))?;
+                resumed.stats.iterations += abandoned;
+                if !resumed.stats.converged {
+                    xbar_obs::metrics::counter_add(names::SIM_TILE_FAILURES, 1);
+                    return Err(SolveError::NoConvergence {
+                        iterations: resumed.stats.iterations,
+                        residual: resumed.stats.residual,
+                    });
+                }
+                (resumed, true)
+            };
+            let currents = solver.currents_of(g, &nodes)?;
+            if let Some(keys) = insert_keys {
+                cache::insert(keys[idx], nodes, fallback);
+            }
+            Ok(currents)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -798,6 +959,196 @@ mod tests {
             "abandoned sweeps must be counted exactly once"
         );
         cache::set_solve_cache_mode(prior);
+    }
+
+    fn rand_g(n: usize, seed: u64, params: &CrossbarParams) -> ConductanceMatrix {
+        let mut g = ConductanceMatrix::filled(n, n, 0.0);
+        let mut s = seed;
+        for i in 0..n {
+            for j in 0..n {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let frac = (s % 1000) as f64 / 1000.0;
+                g.set(
+                    i,
+                    j,
+                    params.g_min() + frac * (params.g_max() - params.g_min()),
+                );
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn batched_tile_currents_match_singles_and_insert_once() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = cache::solve_cache_mode();
+        let n = 10usize;
+        let params = CrossbarParams::with_size(16);
+        let g = rand_g(n, 77, &params);
+        let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+        let uniform = vec![params.v_read; n];
+        let ramp: Vec<f64> = (0..n)
+            .map(|i| params.v_read * i as f64 / n as f64)
+            .collect();
+        let sparse: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { params.v_read } else { 0.0 })
+            .collect();
+        // Four elements, three unique: the duplicate must not double-insert.
+        let vs = vec![uniform.clone(), ramp.clone(), uniform.clone(), sparse];
+        let singles: Vec<Vec<f64>> = vs
+            .iter()
+            .map(|v| solver.column_currents(&g, v).unwrap())
+            .collect();
+        for mode in [CacheMode::Off, CacheMode::Full, CacheMode::Seed] {
+            cache::set_solve_cache_mode(mode);
+            cache::clear_solve_cache();
+            let batch = solve_currents_batch(&solver, &g, &vs).unwrap();
+            assert_eq!(batch, singles, "{mode:?} cold batch vs singles");
+            let expect_len = if mode == CacheMode::Off { 0 } else { 3 };
+            assert_eq!(
+                cache::solve_cache_len(),
+                expect_len,
+                "{mode:?}: one insert per unique vector, duplicates share"
+            );
+            // Replay entirely from the cache (where enabled): still equal,
+            // and no further inserts.
+            let again = solve_currents_batch(&solver, &g, &vs).unwrap();
+            assert_eq!(again, singles, "{mode:?} warm batch vs singles");
+            assert_eq!(cache::solve_cache_len(), expect_len);
+        }
+        cache::clear_solve_cache();
+        cache::set_solve_cache_mode(prior);
+    }
+
+    /// Property sweep for the batched solver: over tile edges that are not
+    /// multiples of the 8-wide lane chunk, batch sizes {1, 2, 7, 32}, and
+    /// every cache mode, with stuck-at faults injected and the conductances
+    /// routed through the drift layer at `dt = 0` (a bit-identical
+    /// passthrough by contract), the batched currents must equal the
+    /// single-vector path's bit for bit — cold and on cache replay.
+    #[test]
+    fn property_batched_currents_bitwise_match_singles() {
+        use crate::drift::{DriftModel, ProgrammedPair};
+        use crate::faults::FaultModel;
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = cache::solve_cache_mode();
+        for n in [5usize, 9, 13] {
+            let params = CrossbarParams::with_size(n.max(8));
+            let mut g = rand_g(n, 0xF00D ^ n as u64, &params);
+            let faults = FaultModel {
+                stuck_at_gmin: 0.08,
+                stuck_at_gmax: 0.08,
+            };
+            faults.inject(&mut g, params.g_min(), params.g_max(), 0xFA ^ n as u64);
+            let pair = DifferentialPair {
+                pos: g,
+                neg: ConductanceMatrix::filled(n, n, params.g_min()),
+                w_ref: 1.0,
+            };
+            let mut programmed =
+                ProgrammedPair::new(pair, DriftModel::new(1e3, 1e5), params.g_min(), 11)
+                    .expect("valid drift model");
+            programmed.advance_time(0.0);
+            let g = programmed.current().pos;
+            let solver = NonIdealSolver::new(params, SolveMethod::LineRelaxation);
+            let mut s = 0x5EED ^ (n as u64) << 8;
+            let mut xorshift = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 1000) as f64 / 999.0
+            };
+            for nb in [1usize, 2, 7, 32] {
+                let vs: Vec<Vec<f64>> = (0..nb)
+                    .map(|_| (0..n).map(|_| xorshift() * params.v_read).collect())
+                    .collect();
+                let singles: Vec<Vec<f64>> = vs
+                    .iter()
+                    .map(|v| solver.column_currents(&g, v).unwrap())
+                    .collect();
+                for mode in [CacheMode::Off, CacheMode::Full, CacheMode::Seed] {
+                    cache::set_solve_cache_mode(mode);
+                    cache::clear_solve_cache();
+                    let cold = solve_currents_batch(&solver, &g, &vs).unwrap();
+                    assert!(
+                        bits_eq(&cold, &singles),
+                        "n={n} nb={nb} {mode:?}: cold batch diverged from singles"
+                    );
+                    let warm = solve_currents_batch(&solver, &g, &vs).unwrap();
+                    assert!(
+                        bits_eq(&warm, &singles),
+                        "n={n} nb={nb} {mode:?}: cache replay diverged from singles"
+                    );
+                }
+            }
+        }
+        cache::clear_solve_cache();
+        cache::set_solve_cache_mode(prior);
+    }
+
+    fn bits_eq(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+            })
+    }
+
+    #[test]
+    fn stale_shape_warm_seed_falls_back_to_cold_bitwise() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = cache::solve_cache_mode();
+        cache::set_solve_cache_mode(CacheMode::Off);
+        let params = CrossbarParams::with_size(12);
+        let run = |t: &Tensor, warm: Option<&TileSolveState>| {
+            simulate_tile_seeded(
+                t,
+                MappingScale::PerTileMax,
+                1.0,
+                &params,
+                SolveMethod::LineRelaxation,
+                4,
+                warm,
+            )
+            .unwrap()
+        };
+        // A seed from a 12×12 geometry handed to an 8×8 re-map (the remap /
+        // hot-swap path after repair changed the tile shape) must be dropped,
+        // not fed to the solver: the run degrades to exactly the cold solve.
+        let (_, stale) = run(&rand_tile(12, 12, 31, 1.0), None);
+        let small = rand_tile(8, 8, 32, 1.0);
+        let (cold, _) = run(&small, None);
+        let (warmed, _) = run(&small, Some(&stale));
+        assert_eq!(warmed.weights, cold.weights);
+        assert_eq!(
+            warmed.stats, cold.stats,
+            "stale seed must cost nothing extra"
+        );
+        assert_eq!(warmed.fallback, cold.fallback);
+        cache::set_solve_cache_mode(prior);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn swap_columns_rejects_mismatched_geometry() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prior = cache::solve_cache_mode();
+        cache::set_solve_cache_mode(CacheMode::Off);
+        let params = CrossbarParams::with_size(8);
+        let (_, state) = simulate_tile_seeded(
+            &rand_tile(8, 8, 17, 1.0),
+            MappingScale::PerTileMax,
+            1.0,
+            &params,
+            SolveMethod::LineRelaxation,
+            2,
+            None,
+        )
+        .unwrap();
+        cache::set_solve_cache_mode(prior);
+        // 64 voltages are not a whole number of 5-wide rows.
+        let _ = state.swap_columns(5, &[(0, 1)]);
     }
 
     #[test]
