@@ -2,7 +2,12 @@
 # Runs a command against a live `serve` instance and guarantees the
 # background server is reaped no matter how the command exits.
 #
-# Usage: with-serve.sh <artifact> <host:port> <command...>
+# Usage: with-serve.sh [--wait-ready SECS] <artifact> <host:port> <command...>
+#
+# `--wait-ready` bounds the /healthz readiness poll (default 10 s): the
+# server is given that long to come up before the command runs, so callers
+# never need fixed sleeps, and a slow artifact load (a big model on a cold
+# cache) just needs a larger deadline, not a guessed-at sleep.
 #
 # Extra serve flags can be passed via $SERVE_FLAGS (word-split
 # deliberately), e.g. SERVE_FLAGS="--drift-test-hooks" for the drift smoke.
@@ -13,8 +18,18 @@
 # gracefully (kill of a reaped PID fails under `set -e`).
 set -euo pipefail
 
+WAIT_READY=10
+if [ "${1:-}" = "--wait-ready" ]; then
+  if [ "$#" -lt 2 ]; then
+    echo "error: --wait-ready needs a seconds value" >&2
+    exit 2
+  fi
+  WAIT_READY=$2
+  shift 2
+fi
+
 if [ "$#" -lt 3 ]; then
-  echo "usage: $0 <artifact> <host:port> <command...>" >&2
+  echo "usage: $0 [--wait-ready SECS] <artifact> <host:port> <command...>" >&2
   exit 2
 fi
 
@@ -39,16 +54,25 @@ trap cleanup EXIT
 ./target/release/serve --artifact "$ARTIFACT" --addr "$ADDR" ${SERVE_FLAGS:-} &
 SERVE_PID=$!
 
-for _ in $(seq 1 50); do
-  if curl -sf "http://$ADDR/healthz" > /dev/null; then
-    exec_ready=1
-    break
+# Poll /healthz until the deadline. Health is answered from the event
+# loop's fast path (never shed by admission control), so readiness here
+# means "accepting and serving", not just "socket bound". Also bail as
+# soon as the server process dies: a crashed server should fail the run
+# immediately, not after the full deadline.
+SECONDS=0
+until curl -sf "http://$ADDR/healthz" > /dev/null; do
+  if [ "$SECONDS" -ge "$WAIT_READY" ]; then
+    echo "error: serve did not become healthy on $ADDR within ${WAIT_READY}s" >&2
+    exit 1
   fi
-  sleep 0.2
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "error: serve exited before becoming healthy" >&2
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+    exit 1
+  fi
+  sleep 0.1
 done
-if [ -z "${exec_ready:-}" ]; then
-  echo "error: serve did not become healthy on $ADDR" >&2
-  exit 1
-fi
+echo "serve ready on $ADDR after ${SECONDS}s" >&2
 
 "$@"

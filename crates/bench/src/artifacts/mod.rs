@@ -24,6 +24,7 @@ pub mod drift;
 pub mod figures;
 pub mod perfmap;
 pub mod profile;
+pub mod serveperf;
 pub mod solveperf;
 pub mod surrogate;
 pub mod tables;
@@ -222,6 +223,14 @@ fn run_solve(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
     )
 }
 
+fn run_serve(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
+    serveperf::serve_bench(
+        ctx,
+        serveperf::SERVE_BENCH_CONNECTIONS,
+        serveperf::SERVE_BENCH_REQUESTS,
+    )
+}
+
 fn run_surrogate(ctx: &ArtifactCtx) -> Result<ArtifactOutput, String> {
     surrogate::surrogate_accuracy(ctx, surrogate::SURROGATE_SIZE)
 }
@@ -396,6 +405,13 @@ pub fn registry() -> Vec<ArtifactSpec> {
             paper_ref: "batched-solve bench (ours)",
             exclusive: true,
             run: run_solve,
+            scenarios: no_scenarios,
+        },
+        ArtifactSpec {
+            name: "serve",
+            paper_ref: "serving throughput bench (ours)",
+            exclusive: true,
+            run: run_serve,
             scenarios: no_scenarios,
         },
         ArtifactSpec {

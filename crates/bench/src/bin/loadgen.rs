@@ -4,76 +4,38 @@
 //!
 //! Usage: `cargo run --release -p xbar-bench --bin loadgen --
 //! --addr 127.0.0.1:7878 [--connections 32] [--requests 25]
-//! [--input-len 3072] [--interval-ms N] [--json-floats]`
+//! [--input-len 3072] [--interval-ms N] [--json-floats]
+//! [--hist-out PATH]`
 //!
-//! Latencies are recorded in a log-bucketed histogram
+//! The connection fleet, schedule, and outcome accounting live in
+//! [`xbar_bench::loadcore`] — the same machinery the suite's `serve`
+//! benchmark artifact uses, so external and in-process measurements
+//! cannot drift apart. Latencies are recorded in a log-bucketed histogram
 //! ([`xbar_obs::LogHistogram`]), so the tail percentiles stay accurate at
-//! any request count. By default each connection runs closed-loop (next
-//! request after the previous response). `--interval-ms N` switches to an
-//! open-loop schedule: each connection *intends* to send every N ms and
-//! latency is measured from the intended send time, so a stalled server
-//! inflates the percentiles instead of silently slowing the workload —
+//! any request count; `--hist-out PATH` additionally writes the raw
+//! histogram buckets as JSONL for offline analysis or CI artifacts.
+//!
+//! By default each connection runs closed-loop (next request after the
+//! previous response). `--interval-ms N` switches to an open-loop
+//! schedule: each connection *intends* to send every N ms and latency is
+//! measured from the intended send time, so a stalled server inflates the
+//! percentiles instead of silently slowing the workload —
 //! coordinated-omission-honest reporting.
 //!
-//! Exit status is non-zero if any request failed with something other than
-//! explicit backpressure (HTTP 503) — the acceptance bar for the serving
-//! demo is "zero dropped errors".
+//! Exit status is non-zero if any request failed with something other
+//! than explicit overload — admission shedding (HTTP 429) and
+//! backpressure (HTTP 503) are the server working as designed; the
+//! acceptance bar for the serving demo is "zero dropped errors".
 
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
-use xbar_bench::openloop::OpenLoopSchedule;
+use std::time::Duration;
+use xbar_bench::loadcore::{self, LoadConfig};
 use xbar_bench::report::Table;
 use xbar_bench::runner::{Arity, RunContext};
-use xbar_obs::LogHistogram;
-use xbar_serve::base64::encode_f32;
-use xbar_serve::{RetryPolicy, RetryingClient};
 
-/// Sub-bucket precision of the latency histograms: 2^5 sub-buckets per
-/// power of two, ~3% relative error on reported quantiles.
-const LATENCY_SUB_BITS: u32 = 5;
-
-/// Per-connection outcome tallies and successful-request latencies.
-struct ConnStats {
-    latency: LogHistogram,
-    ok: u64,
-    backpressure: u64,
-    timeouts: u64,
-    other_status: u64,
-    io_errors: u64,
-    retries: u64,
-}
-
-impl Default for ConnStats {
-    fn default() -> Self {
-        ConnStats {
-            latency: LogHistogram::new(LATENCY_SUB_BITS),
-            ok: 0,
-            backpressure: 0,
-            timeouts: 0,
-            other_status: 0,
-            io_errors: 0,
-            retries: 0,
-        }
-    }
-}
-
-/// Deterministic pseudo-image: contents do not matter for load, but
-/// varying them defeats any accidental caching.
-fn image(len: usize, seed: u64) -> Vec<f32> {
-    (0..len)
-        .map(|i| {
-            let x = (i as u64)
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(seed);
-            (x >> 33) as f32 / u32::MAX as f32 - 0.25
-        })
-        .collect()
-}
-
-fn quantile_ms(h: &LogHistogram, q: f64) -> f64 {
-    h.quantile(q) as f64 / 1e3
+fn quantile_ms(stats: &loadcore::LoadStats, q: f64) -> f64 {
+    stats.quantile_us(q) as f64 / 1e3
 }
 
 fn parse_count(ctx: &RunContext, flag: &str, default: usize) -> usize {
@@ -99,6 +61,7 @@ fn main() -> ExitCode {
             ("--input-len", Arity::Value),
             ("--interval-ms", Arity::Value),
             ("--json-floats", Arity::Flag),
+            ("--hist-out", Arity::Value),
         ],
     );
     let Some(addr) = ctx.args.get("--addr").map(str::to_string) else {
@@ -120,6 +83,7 @@ fn main() -> ExitCode {
             }
         },
     };
+    let hist_out = ctx.args.get("--hist-out").map(PathBuf::from);
     let as_json_floats = ctx.args.is_set("--json-floats");
     let seed = ctx.args.seed;
     ctx.config("addr", &addr);
@@ -141,90 +105,16 @@ fn main() -> ExitCode {
             "closed-loop".to_string()
         }
     );
-    let addr = Arc::new(addr);
-    let started = Instant::now();
-    // One schedule anchor for every connection, captured before any thread
-    // spawns: the intended-time grid is a pure function of (anchor, req), so
-    // a slow spawn, handshake, connection error, or retry storm can never
-    // re-anchor it and quietly reintroduce coordinated omission.
-    let schedule = OpenLoopSchedule::new(started, Duration::from_millis(interval_ms));
-    let workers: Vec<_> = (0..connections)
-        .map(|conn| {
-            let addr = Arc::clone(&addr);
-            thread::spawn(move || {
-                let mut stats = ConnStats::default();
-                // Retrying client: transient resets and 503 backpressure are
-                // absorbed by capped exponential backoff (per-connection
-                // jitter seed desynchronises the retry storms).
-                let mut client = RetryingClient::new(
-                    addr.as_str(),
-                    Duration::from_secs(30),
-                    RetryPolicy {
-                        seed: seed ^ conn as u64,
-                        ..RetryPolicy::default()
-                    },
-                );
-                for req in 0..requests {
-                    let img = image(input_len, seed ^ ((conn * 1_000_003 + req) as u64));
-                    let body = if as_json_floats {
-                        let values: Vec<String> = img.iter().map(|v| format!("{v}")).collect();
-                        format!("{{\"image\":[{}]}}", values.join(","))
-                    } else {
-                        format!("{{\"image_b64\":\"{}\"}}", encode_f32(&img))
-                    };
-                    // Open-loop: latency counts from the *intended* send
-                    // time, so falling behind schedule is charged to the
-                    // server, not hidden by it (coordinated omission).
-                    let begin = if interval_ms > 0 {
-                        schedule.wait_until_intended(req)
-                    } else {
-                        Instant::now()
-                    };
-                    match client.post_json("/v1/classify", &body) {
-                        Ok(response) => match response.status {
-                            200 => {
-                                stats.ok += 1;
-                                stats.latency.record(begin.elapsed().as_micros() as u64);
-                            }
-                            503 => stats.backpressure += 1,
-                            504 => stats.timeouts += 1,
-                            status => {
-                                eprintln!(
-                                    "connection {conn}: unexpected HTTP {status}: {}",
-                                    response.text()
-                                );
-                                stats.other_status += 1;
-                            }
-                        },
-                        Err(e) => {
-                            // Already retried with backoff inside the client;
-                            // a surfaced error is a real failure.
-                            eprintln!("connection {conn}: request failed: {e}");
-                            stats.io_errors += 1;
-                        }
-                    }
-                }
-                stats.retries = client.retries();
-                stats
-            })
-        })
-        .collect();
-
-    let mut all = ConnStats::default();
-    for worker in workers {
-        let stats = worker.join().expect("load thread panicked");
-        all.latency
-            .merge(&stats.latency)
-            .expect("same sub-bucket precision");
-        all.ok += stats.ok;
-        all.backpressure += stats.backpressure;
-        all.timeouts += stats.timeouts;
-        all.other_status += stats.other_status;
-        all.io_errors += stats.io_errors;
-        all.retries += stats.retries;
-    }
-    let wall = started.elapsed().as_secs_f64();
-    let throughput = all.ok as f64 / wall.max(f64::MIN_POSITIVE);
+    let all = loadcore::drive(&LoadConfig {
+        addr,
+        connections,
+        requests_per_connection: requests,
+        input_len,
+        interval: Duration::from_millis(interval_ms),
+        as_json_floats,
+        seed,
+        timeout: Duration::from_secs(30),
+    });
 
     let mut table = Table::new(
         "Serving load test",
@@ -232,6 +122,7 @@ fn main() -> ExitCode {
             "Connections",
             "Requests",
             "OK",
+            "429",
             "503",
             "504",
             "Errors",
@@ -248,15 +139,16 @@ fn main() -> ExitCode {
         connections.to_string(),
         (connections * requests).to_string(),
         all.ok.to_string(),
+        all.shed.to_string(),
         all.backpressure.to_string(),
         all.timeouts.to_string(),
         (all.other_status + all.io_errors).to_string(),
         all.retries.to_string(),
-        format!("{throughput:.1}"),
+        format!("{:.1}", all.throughput_rps()),
         format!("{:.2}", all.latency.mean() / 1e3),
-        format!("{:.2}", quantile_ms(&all.latency, 0.50)),
-        format!("{:.2}", quantile_ms(&all.latency, 0.95)),
-        format!("{:.2}", quantile_ms(&all.latency, 0.99)),
+        format!("{:.2}", quantile_ms(&all, 0.50)),
+        format!("{:.2}", quantile_ms(&all, 0.95)),
+        format!("{:.2}", quantile_ms(&all, 0.99)),
         format!(
             "{:.2}",
             if all.latency.is_empty() {
@@ -268,11 +160,20 @@ fn main() -> ExitCode {
     ]);
     println!("{}", table.to_markdown());
     table.emit("loadgen").expect("write results");
+    if let Some(path) = &hist_out {
+        match loadcore::write_histogram_jsonl(path, &all.latency) {
+            Ok(()) => eprintln!("wrote latency histogram to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ctx.finish();
 
-    let dropped = all.timeouts + all.other_status + all.io_errors;
+    let dropped = all.dropped();
     if dropped > 0 || all.ok == 0 {
-        eprintln!("FAILED: {dropped} non-backpressure errors, {} ok", all.ok);
+        eprintln!("FAILED: {dropped} non-overload errors, {} ok", all.ok);
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -16,6 +16,7 @@
 //! R and WCT mitigations. `EXPERIMENTS.md` records both sides.
 
 pub mod artifacts;
+pub mod loadcore;
 pub mod openloop;
 pub mod report;
 pub mod runner;

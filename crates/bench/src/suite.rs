@@ -375,6 +375,49 @@ pub fn solve_gate_failures(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec
     )
 }
 
+/// Below this absolute p99 the serve latency gate stays quiet: at a few
+/// milliseconds the bucket-to-bucket scheduler noise of the load fleet
+/// dwarfs any real regression, so a purely relative ceiling would flag
+/// noise. A genuine event-loop regression (a stall, a lost wakeup, a
+/// blocked accept path) lands in the hundreds of milliseconds and clears
+/// this slack immediately.
+pub const SERVE_P99_SLACK_US: f64 = 50_000.0;
+
+/// Compares a fresh `BENCH_serve.json` against the committed baseline:
+/// served throughput must stay within `tolerance` below the baseline,
+/// p99 latency within `tolerance` *above* it (latency gates invert, and
+/// only above [`SERVE_P99_SLACK_US`]), and replica bit-identity must
+/// hold (a hard failure regardless of tolerance).
+pub fn serve_gate_failures(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    let mut failures = bench_gate_failures(
+        baseline,
+        fresh,
+        tolerance,
+        "serve",
+        "BENCH_serve.json",
+        &["throughput_rps"],
+        &["bit_identical_replicas"],
+    );
+    let key = "p99_us";
+    match (
+        baseline.get(key).and_then(Json::as_f64),
+        fresh.get(key).and_then(Json::as_f64),
+    ) {
+        (Some(b), Some(n)) => {
+            if n > b * (1.0 + tolerance) && n > SERVE_P99_SLACK_US {
+                failures.push(format!(
+                    "serve regression: {key} {n:.0} above baseline {b:.0} \
+                     (tolerance {:.0}%)",
+                    100.0 * tolerance
+                ));
+            }
+        }
+        (Some(_), None) => failures.push(format!("serve: fresh BENCH_serve.json lacks {key}")),
+        (None, _) => {} // baseline predates the field; nothing to compare
+    }
+    failures
+}
+
 fn bench_gate_failures(
     baseline: &Json,
     fresh: &Json,
@@ -569,6 +612,9 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
         .ok()
         .and_then(|text| Json::parse(&text).ok());
     let solve_baseline = std::fs::read_to_string(results_dir().join("BENCH_solve.json"))
+        .ok()
+        .and_then(|text| Json::parse(&text).ok());
+    let serve_baseline = std::fs::read_to_string(results_dir().join("BENCH_serve.json"))
         .ok()
         .and_then(|text| Json::parse(&text).ok());
 
@@ -839,6 +885,31 @@ pub fn run_suite(cfg: &SuiteConfig) -> Result<SuiteReport, String> {
                     .push("solve ran but left no readable BENCH_solve.json".to_string()),
             }
         }
+        let serve_ran = report
+            .artifacts
+            .iter()
+            .any(|a| a.name == "serve" && a.status == ArtifactStatus::Ok);
+        if serve_ran {
+            match (
+                &serve_baseline,
+                std::fs::read_to_string(results_dir().join("BENCH_serve.json"))
+                    .ok()
+                    .and_then(|text| Json::parse(&text).ok()),
+            ) {
+                (Some(baseline), Some(fresh)) => report.gate_failures.extend(serve_gate_failures(
+                    baseline,
+                    &fresh,
+                    cfg.tolerance,
+                )),
+                (None, _) => progress(
+                    cfg,
+                    "gate: no committed BENCH_serve.json baseline; skipping serve comparison",
+                ),
+                (_, None) => report
+                    .gate_failures
+                    .push("serve ran but left no readable BENCH_serve.json".to_string()),
+            }
+        }
     }
     if let Some(path) = write_suite_trace() {
         progress(
@@ -946,6 +1017,83 @@ mod tests {
         let baseline = Json::Obj(vec![]);
         let fresh = solve_json(1.0, 1.0, true);
         assert!(solve_gate_failures(&baseline, &fresh, 0.5).is_empty());
+    }
+
+    fn serve_json(throughput_rps: f64, p99_us: f64, bit_identical: bool) -> Json {
+        Json::Obj(vec![
+            ("throughput_rps".to_string(), Json::Num(throughput_rps)),
+            ("p99_us".to_string(), Json::Num(p99_us)),
+            (
+                "bit_identical_replicas".to_string(),
+                Json::Bool(bit_identical),
+            ),
+        ])
+    }
+
+    #[test]
+    fn serve_gate_passes_within_tolerance() {
+        let baseline = serve_json(2000.0, 10_000.0, true);
+        let fresh = serve_json(1100.0, 14_000.0, true);
+        assert!(serve_gate_failures(&baseline, &fresh, 0.5).is_empty());
+    }
+
+    #[test]
+    fn serve_gate_flags_throughput_regression() {
+        let baseline = serve_json(2000.0, 10_000.0, true);
+        let fresh = serve_json(900.0, 10_000.0, true);
+        let failures = serve_gate_failures(&baseline, &fresh, 0.5);
+        assert!(
+            failures.iter().any(|f| f.contains("throughput_rps")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn serve_gate_latency_ceiling_inverts() {
+        // Throughput gates below the baseline, latency gates above it: a
+        // faster-throughput run with a blown p99 tail must still fail.
+        let baseline = serve_json(2000.0, 100_000.0, true);
+        let fresh = serve_json(3000.0, 160_000.0, true);
+        let failures = serve_gate_failures(&baseline, &fresh, 0.5);
+        assert!(
+            failures.iter().any(|f| f.contains("p99_us")),
+            "{failures:?}"
+        );
+        // And a *better* p99 never fails, however large the improvement.
+        let fresh = serve_json(2000.0, 100.0, true);
+        assert!(serve_gate_failures(&baseline, &fresh, 0.5).is_empty());
+    }
+
+    #[test]
+    fn serve_gate_p99_noise_below_the_slack_is_not_a_regression() {
+        // 4 ms -> 12 ms is a 3x ratio but well under the absolute slack:
+        // scheduler noise, not an event-loop regression.
+        let baseline = serve_json(2000.0, 4_000.0, true);
+        let fresh = serve_json(2000.0, 12_000.0, true);
+        assert!(serve_gate_failures(&baseline, &fresh, 0.5).is_empty());
+        // The same ratio above the slack is gated.
+        let fresh = serve_json(2000.0, 3.0 * SERVE_P99_SLACK_US, true);
+        assert!(!serve_gate_failures(&baseline, &fresh, 0.5).is_empty());
+    }
+
+    #[test]
+    fn serve_gate_lost_bit_identity_is_a_hard_failure() {
+        let baseline = serve_json(2000.0, 10_000.0, true);
+        let fresh = serve_json(4000.0, 5_000.0, false);
+        let failures = serve_gate_failures(&baseline, &fresh, 0.5);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("bit_identical_replicas")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn serve_gate_tolerates_missing_baseline_fields() {
+        let baseline = Json::Obj(vec![]);
+        let fresh = serve_json(1.0, 1.0, true);
+        assert!(serve_gate_failures(&baseline, &fresh, 0.5).is_empty());
     }
 
     #[test]

@@ -788,6 +788,21 @@ pub fn load_artifact_bundle_from_file(
     load_artifact_bundle(io::BufReader::new(file))
 }
 
+/// Loads a fidelity-tier bundle by memory-mapping the file and parsing the
+/// tensor blocks straight out of the page cache — no read-side copies of
+/// the (potentially large) weight payload. Behaviour is byte-for-byte
+/// identical to [`load_artifact_bundle_from_file`]; only the I/O path
+/// differs.
+///
+/// # Errors
+///
+/// Propagates mapping failures as [`ArtifactError::Io`], plus the usual
+/// [`load_artifact_bundle`] errors.
+pub fn load_artifact_bundle_mmap(path: impl AsRef<Path>) -> Result<ArtifactBundle, ArtifactError> {
+    let map = crate::mmap::MappedFile::open(path)?;
+    load_artifact_bundle(map.as_slice())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1009,6 +1024,36 @@ mod tests {
         let want = bundle.model.forward(&x, Mode::Eval).unwrap();
         let got = legacy_model.forward(&x, Mode::Eval).unwrap();
         assert_eq!(want, got);
+    }
+
+    #[test]
+    fn mmap_bundle_load_matches_the_buffered_file_load() {
+        let (noisy, mut meta) = mapped();
+        let (record, net) = surrogate_parts(&meta);
+        meta.surrogate = Some(record);
+        let mut bundle = ArtifactBundle {
+            ideal_model: Some(tiny_model()),
+            surrogate_model: Some(noisy.clone()),
+            surrogate_net: Some(net),
+            model: noisy,
+            meta,
+        };
+        let dir = std::env::temp_dir().join(format!("xbar_artifact_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.xbarmdl");
+        save_artifact_bundle_to_file(&mut bundle, &path).unwrap();
+
+        let mut buffered = load_artifact_bundle_from_file(&path).unwrap();
+        let mut mapped = load_artifact_bundle_mmap(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Both paths must produce the same models: re-serialize each and
+        // compare bytes — exact equality, weights and meta alike.
+        let mut via_file = Vec::new();
+        save_artifact_bundle(&mut buffered, &mut via_file).unwrap();
+        let mut via_mmap = Vec::new();
+        save_artifact_bundle(&mut mapped, &mut via_mmap).unwrap();
+        assert_eq!(via_file, via_mmap, "mmap load must equal buffered load");
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod drift;
 pub mod evaluate;
 pub mod exact_inference;
 pub mod heatmap;
+pub mod mmap;
 pub mod partition;
 pub mod pipeline;
 pub mod rearrange;
@@ -56,10 +57,12 @@ pub mod repair;
 pub mod wct;
 
 pub use artifact::{
-    load_artifact_bundle_from_file, load_artifact_from_file, save_artifact_bundle_to_file,
-    save_artifact_to_file, ArtifactBundle, ArtifactMeta, SurrogateMeta,
+    load_artifact_bundle_from_file, load_artifact_bundle_mmap, load_artifact_from_file,
+    save_artifact_bundle_to_file, save_artifact_to_file, ArtifactBundle, ArtifactMeta,
+    SurrogateMeta,
 };
 pub use drift::{DriftModel, DriftStatus, ModelDriftState};
+pub use mmap::MappedFile;
 pub use pipeline::{map_to_crossbars, MapConfig, MapError, MapReport};
 pub use rearrange::{ColumnOrder, Rearrangement};
 pub use repair::RepairConfig;

@@ -87,6 +87,18 @@ pub const SERVE_MITIGATION_RUNG: &str = "serve/mitigation_rung";
 pub const SERVE_DRIFT_REFRESHED_CELLS: &str = "serve/drift_refreshed_cells";
 pub const SERVE_DRIFT_REMAPPED_COLUMNS: &str = "serve/drift_remapped_columns";
 pub const SERVE_RELOADS: &str = "serve/reloads";
+pub const SERVE_ADMISSION_SHED: &str = "serve/admission_shed";
+pub const SERVE_OPEN_CONNECTIONS: &str = "serve/open_connections";
+pub const SERVE_INFLIGHT: &str = "serve/inflight";
+/// Family prefix for the per-replica classify-request counters.
+const SERVE_REPLICA_REQUESTS_PREFIX: &str = "serve/replica_requests/";
+
+/// Per-replica request counter name (`serve/replica_requests/<i>`), one
+/// series per inference replica in the pool.
+pub fn serve_replica_requests(replica: usize) -> String {
+    format!("{SERVE_REPLICA_REQUESTS_PREFIX}{replica}")
+}
+
 /// Family prefix for the per-endpoint request-latency log histograms.
 const SERVE_REQUEST_US_PREFIX: &str = "serve/request_us/";
 
@@ -202,7 +214,7 @@ pub const REGISTRY: &[MetricDef] = &[
     MetricDef {
         name: SERVE_CONNECTIONS_REJECTED,
         kind: MetricKind::Counter,
-        help: "connections turned away with 503 (conn queue full)",
+        help: "connections turned away with 503 (--max-connections cap)",
     },
     MetricDef {
         name: SERVE_BAD_REQUESTS,
@@ -353,6 +365,26 @@ pub const REGISTRY: &[MetricDef] = &[
         name: SERVE_RELOADS,
         kind: MetricKind::Counter,
         help: "hot artifact swaps through /admin/reload (plus rung-3 re-maps)",
+    },
+    MetricDef {
+        name: SERVE_ADMISSION_SHED,
+        kind: MetricKind::Counter,
+        help: "classify requests shed with 429 before the batch queue",
+    },
+    MetricDef {
+        name: SERVE_OPEN_CONNECTIONS,
+        kind: MetricKind::Gauge,
+        help: "connections currently registered with the event loop",
+    },
+    MetricDef {
+        name: SERVE_INFLIGHT,
+        kind: MetricKind::Gauge,
+        help: "admitted classify requests awaiting an inference result",
+    },
+    MetricDef {
+        name: "serve/replica_requests/*",
+        kind: MetricKind::Counter,
+        help: "classify requests executed per inference replica",
     },
     MetricDef {
         name: "serve/classify_tier/*",

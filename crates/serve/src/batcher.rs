@@ -44,12 +44,19 @@ pub struct ClassifyOutcome {
 
 type SlotState = Option<Result<ClassifyOutcome, String>>;
 
-/// One-shot rendezvous the HTTP worker blocks on while the inference
-/// worker computes.
+/// One-shot rendezvous between request submission and the inference
+/// worker that computes the answer. Callers either block on [`wait`]
+/// (thread-per-request style, used by tests) or register a [`notifier`]
+/// and poll [`take`] (the event loop's completion path).
+///
+/// [`wait`]: ResponseSlot::wait
+/// [`take`]: ResponseSlot::take
+/// [`notifier`]: ResponseSlot::set_notifier
 #[derive(Default)]
 pub struct ResponseSlot {
     state: Mutex<SlotState>,
     cond: Condvar,
+    notify: Mutex<Option<Box<dyn FnOnce() + Send>>>,
 }
 
 impl ResponseSlot {
@@ -57,13 +64,41 @@ impl ResponseSlot {
         Arc::new(Self::default())
     }
 
+    /// Registers a one-shot callback invoked (once) right after the slot
+    /// is filled. The event loop uses this to get woken through its wake
+    /// pipe instead of blocking a thread per request. Register *before*
+    /// submitting the request, or the fill can race past the registration
+    /// and the callback will never run.
+    pub fn set_notifier(&self, f: impl FnOnce() + Send + 'static) {
+        *self.notify.lock().expect("slot notifier poisoned") = Some(Box::new(f));
+    }
+
     /// Fills the slot and wakes the waiter. Second fills are ignored.
     pub fn fill(&self, value: Result<ClassifyOutcome, String>) {
-        let mut state = self.state.lock().expect("slot lock poisoned");
-        if state.is_none() {
-            *state = Some(value);
-            self.cond.notify_all();
+        let filled = {
+            let mut state = self.state.lock().expect("slot lock poisoned");
+            if state.is_none() {
+                *state = Some(value);
+                self.cond.notify_all();
+                true
+            } else {
+                false
+            }
+        };
+        if filled {
+            // Run the notifier outside the state lock: it typically locks
+            // the event loop's completion list.
+            let notify = self.notify.lock().expect("slot notifier poisoned").take();
+            if let Some(f) = notify {
+                f();
+            }
         }
+    }
+
+    /// Non-blocking read: returns the outcome if the slot has been filled,
+    /// consuming it. `None` means not ready yet.
+    pub fn take(&self) -> Option<Result<ClassifyOutcome, String>> {
+        self.state.lock().expect("slot lock poisoned").take()
     }
 
     /// Blocks until the slot is filled or `timeout` elapses; `None` means
@@ -479,6 +514,25 @@ mod tests {
     fn slot_times_out_when_never_filled() {
         let slot = ResponseSlot::new();
         assert!(slot.wait(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn slot_notifier_fires_once_on_fill_and_take_consumes() {
+        let slot = ResponseSlot::new();
+        let fired = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        assert!(slot.take().is_none(), "empty slot yields nothing");
+        {
+            let fired = Arc::clone(&fired);
+            slot.set_notifier(move || {
+                fired.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+        slot.fill(Err("first".into()));
+        slot.fill(Err("second fill is ignored".into()));
+        assert_eq!(fired.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let outcome = slot.take().expect("filled");
+        assert_eq!(outcome.unwrap_err(), "first");
+        assert!(slot.take().is_none(), "take consumes the outcome");
     }
 
     #[test]

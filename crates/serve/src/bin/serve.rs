@@ -3,13 +3,20 @@
 //! ```text
 //! serve --artifact results/vgg11.xbarmdl [--addr 127.0.0.1:7878]
 //!       [--fidelity exact|surrogate|ideal] [--threads N]
-//!       [--http-workers N] [--infer-workers N]
+//!       [--replicas N] [--max-connections N] [--admission-limit N]
 //!       [--batch-size N] [--batch-deadline-ms N] [--queue-cap N]
 //!       [--timeout-ms N] [--trace-sample N] [--slow-ms N]
 //!       [--trace-out PATH]
 //!       [--sweep-interval-ms N] [--probe-count N]
 //!       [--drift-tau-fast S] [--drift-tau-slow S] [--drift-test-hooks]
 //! ```
+//!
+//! `--replicas` sets the inference replica count (each pulls its own
+//! snapshot of the served model); `--max-connections` caps the epoll set;
+//! `--admission-limit` caps admitted-but-unanswered classify requests
+//! (0 auto-sizes to the pipeline capacity). The legacy `--infer-workers`
+//! flag is an alias for `--replicas`, and `--http-workers` is accepted
+//! and ignored (the event loop replaced the HTTP worker pool).
 //!
 //! `--fidelity` picks the default weight set classify requests run
 //! against (requests can override it per call with a `"tier"` body
@@ -48,13 +55,17 @@ struct Args {
 fn usage() -> &'static str {
     "usage: serve --artifact <path.xbarmdl> [--addr HOST:PORT] [--threads N]\n\
      \x20             [--fidelity exact|surrogate|ideal]\n\
-     \x20             [--http-workers N] [--infer-workers N] [--batch-size N]\n\
+     \x20             [--replicas N] [--max-connections N] [--admission-limit N]\n\
+     \x20             [--batch-size N]\n\
      \x20             [--batch-deadline-ms N] [--queue-cap N] [--timeout-ms N]\n\
      \x20             [--trace-sample N] [--slow-ms N] [--trace-out PATH]\n\
      \x20             [--sweep-interval-ms N] [--probe-count N]\n\
      \x20             [--drift-tau-fast S] [--drift-tau-slow S] [--drift-test-hooks]\n\
      \x20 --threads 0 resets the compute-thread budget to auto-detection\n\
      \x20 --fidelity picks the default serving tier (default exact)\n\
+     \x20 --replicas N inference replicas (--infer-workers is an alias)\n\
+     \x20 --max-connections caps concurrently open connections\n\
+     \x20 --admission-limit caps in-flight classifies (0 = auto-size)\n\
      \x20 --trace-sample N traces 1-in-N classify requests (0 = off)\n\
      \x20 --slow-ms N dumps requests slower than N ms to stderr (0 = off)\n\
      \x20 --trace-out PATH writes the JSONL observability sink at shutdown\n\
@@ -101,11 +112,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 cfg.default_tier = Tier::parse(next_value(&mut it, "--fidelity")?)?;
             }
             "--threads" => threads = Some(next_usize(&mut it, "--threads")?),
-            "--http-workers" => {
-                cfg.http_workers = next_usize(&mut it, "--http-workers")?.max(1);
+            "--replicas" | "--infer-workers" => {
+                cfg.replicas = next_usize(&mut it, flag)?.max(1);
             }
-            "--infer-workers" => {
-                cfg.infer_workers = next_usize(&mut it, "--infer-workers")?.max(1);
+            "--http-workers" => {
+                // Obsolete (the event loop replaced the worker pool);
+                // accepted so existing launch scripts keep working.
+                let _ = next_usize(&mut it, "--http-workers")?;
+            }
+            "--max-connections" => {
+                cfg.max_connections = next_usize(&mut it, "--max-connections")?.max(1);
+            }
+            "--admission-limit" => {
+                cfg.admission_limit = next_usize(&mut it, "--admission-limit")?;
             }
             "--batch-size" => {
                 cfg.max_batch = next_usize(&mut it, "--batch-size")?.max(1);
@@ -169,7 +188,8 @@ fn main() -> ExitCode {
     if let Some(n) = args.threads {
         xbar_tensor::threads::set_max_threads(n);
     }
-    let bundle = match xbar_core::load_artifact_bundle_from_file(&args.artifact) {
+    // mmap, not read: weights deserialise straight out of the page cache.
+    let bundle = match xbar_core::load_artifact_bundle_mmap(&args.artifact) {
         Ok(loaded) => loaded,
         Err(e) => {
             eprintln!("cannot load artifact {:?}: {e}", args.artifact);

@@ -3,9 +3,10 @@
 //! Exists so the `loadgen` bench binary, the e2e tests, and the CI smoke
 //! job all exercise the server the same way without an external HTTP
 //! library. [`RetryingClient`] layers capped exponential-backoff retries
-//! (connection resets, refused connects, and `503` backpressure) on top of
-//! the bare [`Client`], so callers survive server restarts and transient
-//! queue overflow without hand-rolled reconnect loops.
+//! (connection resets, refused connects, `503` backpressure, and `429`
+//! admission sheds) on top of the bare [`Client`], so callers survive
+//! server restarts and transient overload without hand-rolled reconnect
+//! loops.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -17,7 +18,8 @@ pub struct Response {
     pub status: u16,
     pub body: Vec<u8>,
     /// Parsed `Retry-After` header (delay-seconds form), if present — the
-    /// server attaches it to backpressure `503`s.
+    /// server attaches it to backpressure `503`s and admission-shed
+    /// `429`s.
     pub retry_after: Option<u64>,
 }
 
@@ -216,9 +218,11 @@ fn retryable(e: &io::Error) -> bool {
     )
 }
 
-/// A [`Client`] that reconnects and retries on connection failures and
+/// A [`Client`] that reconnects and retries on connection failures,
 /// `503 Service Unavailable` (the server's explicit backpressure answer),
-/// with capped exponential backoff between attempts.
+/// and `429 Too Many Requests` (its admission-control shed), with capped
+/// exponential backoff between attempts — honouring any `Retry-After`
+/// hint over the local schedule.
 ///
 /// Connects lazily: construction never touches the network, so a client
 /// can be created before its server is up.
@@ -252,9 +256,9 @@ impl RetryingClient {
     }
 
     /// Sends a request, reconnecting and retrying per the policy. Returns
-    /// the final response — which may still be a `503` if the server stayed
-    /// saturated through every attempt — or the last connection error once
-    /// attempts are exhausted.
+    /// the final response — which may still be a `503`/`429` if the server
+    /// stayed saturated through every attempt — or the last connection
+    /// error once attempts are exhausted.
     ///
     /// Requests are assumed idempotent from the server's point of view
     /// (true of every endpoint here: classify is pure inference).
@@ -266,12 +270,12 @@ impl RetryingClient {
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
         let attempts = self.policy.max_attempts.max(1);
         let mut last_err: Option<io::Error> = None;
-        let mut last_503: Option<Response> = None;
+        let mut last_overload: Option<Response> = None;
         let mut server_hint: Option<Duration> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                // A Retry-After hint from the previous 503 overrides the
-                // exponential backoff: the server knows its drain rate
+                // A Retry-After hint from the previous 503/429 overrides
+                // the exponential backoff: the server knows its drain rate
                 // better than our schedule does. Still capped by max_delay.
                 let sleep = match server_hint.take() {
                     Some(hint) => hint.min(self.policy.max_delay),
@@ -292,12 +296,16 @@ impl RetryingClient {
                 },
             };
             match conn.request(method, path, body) {
-                Ok(resp) if resp.status == 503 => {
-                    // Backpressure: the server often closes the connection
-                    // with it, so start the next attempt on a fresh socket.
-                    self.conn = None;
+                Ok(resp) if matches!(resp.status, 503 | 429) => {
+                    // Explicit overload: 503 backpressure (queue full) or
+                    // 429 admission shed. A shed keeps the connection
+                    // alive — reuse it; a 503 often closes it, so start
+                    // the next attempt on a fresh socket.
+                    if resp.status == 503 {
+                        self.conn = None;
+                    }
                     server_hint = resp.retry_after.map(Duration::from_secs);
-                    last_503 = Some(resp);
+                    last_overload = Some(resp);
                 }
                 Ok(resp) => return Ok(resp),
                 Err(e) if retryable(&e) => {
@@ -310,7 +318,7 @@ impl RetryingClient {
                 }
             }
         }
-        if let Some(resp) = last_503 {
+        if let Some(resp) = last_overload {
             return Ok(resp);
         }
         Err(last_err
@@ -474,6 +482,57 @@ mod tests {
         let resp = client.get("/healthz").unwrap();
         assert_eq!(resp.status, 503);
         assert_eq!(resp.retry_after, Some(7));
+    }
+
+    #[test]
+    fn shed_429s_are_retried_on_the_same_connection() {
+        // The server sheds twice with `429` + `Retry-After: 0` on a
+        // keep-alive connection, then answers `200` — all on ONE socket.
+        // The retrying client must honour the hint, keep the connection,
+        // and surface the eventual success.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let conns = Arc::new(AtomicUsize::new(0));
+        let conns_clone = Arc::clone(&conns);
+        std::thread::spawn(move || {
+            if let Some(Ok(mut stream)) = listener.incoming().next() {
+                conns_clone.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..2 {
+                    read_headers(&mut stream);
+                    stream
+                        .write_all(
+                            b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 0\r\nRetry-After: 0\r\n\r\n",
+                        )
+                        .ok();
+                }
+                read_headers(&mut stream);
+                stream
+                    .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                    .ok();
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_secs(3600),
+            max_delay: Duration::from_secs(3600),
+            jitter: 0.0,
+            seed: 3,
+        };
+        let start = std::time::Instant::now();
+        let mut client = RetryingClient::new(addr, Duration::from_secs(2), policy);
+        let resp = client.get("/v1/classify").expect("should reach the 200");
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.retries(), 2, "two sheds = two retries");
+        assert_eq!(
+            conns.load(Ordering::SeqCst),
+            1,
+            "a 429 keeps the connection: no reconnects expected"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "the Retry-After hint must replace the hour-long backoff, took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -170,6 +170,123 @@ pub fn read_request<R: BufRead>(
     Ok(Some(request))
 }
 
+/// Pulls one complete line (up to `\n`, CRLF-trimmed) out of `buf`
+/// starting at `*pos`, advancing `*pos` past the terminator. `Ok(None)`
+/// means the line is still incomplete — wait for more bytes.
+fn try_take_line<'a>(buf: &'a [u8], pos: &mut usize) -> Result<Option<&'a str>, HttpError> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(nl) => {
+            if nl > MAX_LINE {
+                return Err(HttpError::Bad(format!(
+                    "header line exceeds {MAX_LINE} bytes"
+                )));
+            }
+            let mut line = &rest[..nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            *pos += nl + 1;
+            std::str::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::Bad("non-UTF-8 header data".into()))
+        }
+        None if rest.len() > MAX_LINE => Err(HttpError::Bad(format!(
+            "header line exceeds {MAX_LINE} bytes"
+        ))),
+        None => Ok(None),
+    }
+}
+
+/// Non-blocking counterpart of [`read_request`]: parses one request out of
+/// an in-memory byte buffer. Returns `Ok(Some((request, consumed)))` when a
+/// complete request (head and body) is present, `Ok(None)` when the buffer
+/// holds only a prefix of a request and more bytes must arrive first.
+///
+/// Semantics match [`read_request`]: one stray empty line before the
+/// request line is tolerated, header names are lower-cased, chunked bodies
+/// are refused with [`HttpError::NeedsLength`], and a declared
+/// `Content-Length` beyond `max_body` fails with
+/// [`HttpError::BodyTooLarge`] as soon as the head is complete — before
+/// the body ever arrives.
+///
+/// # Errors
+///
+/// See [`HttpError`] for the caller's response obligations.
+pub fn try_parse_request(
+    buf: &[u8],
+    max_body: usize,
+) -> Result<Option<(Request, usize)>, HttpError> {
+    let mut pos = 0usize;
+    let request_line = match try_take_line(buf, &mut pos)? {
+        None => return Ok(None),
+        Some("") => {
+            // Tolerate a stray CRLF between pipelined requests.
+            match try_take_line(buf, &mut pos)? {
+                None => return Ok(None),
+                Some(line) => line,
+            }
+        }
+        Some(line) => line,
+    };
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::Bad(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version {version:?}")));
+    }
+    let (method, path) = (method.to_ascii_uppercase(), path.to_string());
+    let mut headers = Vec::new();
+    loop {
+        let line = match try_take_line(buf, &mut pos)? {
+            None => return Ok(None),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Bad(format!("more than {MAX_HEADERS} headers")));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::NeedsLength);
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::Bad(format!("bad content-length {len:?}")))?;
+        if len > max_body {
+            return Err(HttpError::BodyTooLarge { limit: max_body });
+        }
+        if buf.len() - pos < len {
+            return Ok(None);
+        }
+        request.body = buf[pos..pos + len].to_vec();
+        pos += len;
+    }
+    Ok(Some((request, pos)))
+}
+
 /// Writes a fixed-length response.
 ///
 /// # Errors
@@ -278,6 +395,69 @@ mod tests {
         let b = read_request(&mut reader, 1024).unwrap().unwrap();
         assert_eq!((a.path.as_str(), b.path.as_str()), ("/a", "/b"));
         assert!(read_request(&mut reader, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn try_parse_reports_partial_heads_and_bodies_as_incomplete() {
+        let full = "POST /v1/classify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..full.len() {
+            let partial = try_parse_request(&full.as_bytes()[..cut], 1 << 20).unwrap();
+            assert!(partial.is_none(), "prefix of {cut} bytes must be partial");
+        }
+        let (req, consumed) = try_parse_request(full.as_bytes(), 1 << 20)
+            .unwrap()
+            .expect("complete request parses");
+        assert_eq!(consumed, full.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/classify");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn try_parse_consumes_pipelined_requests_one_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (a, used_a) = try_parse_request(raw, 1024).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        let (b, used_b) = try_parse_request(&raw[used_a..], 1024).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(used_a + used_b, raw.len());
+        assert!(try_parse_request(&raw[used_a + used_b..], 1024)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn try_parse_tolerates_one_stray_crlf_between_requests() {
+        let raw = b"\r\nGET /a HTTP/1.1\r\n\r\n";
+        let (req, consumed) = try_parse_request(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_oversized_bodies_before_they_arrive() {
+        // Head only — the declared length alone triggers the rejection.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        let err = try_parse_request(raw, 10).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 10 }));
+    }
+
+    #[test]
+    fn try_parse_rejects_chunked_and_garbage() {
+        let chunked = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            try_parse_request(chunked, 1024),
+            Err(HttpError::NeedsLength)
+        ));
+        assert!(matches!(
+            try_parse_request(b"NOT HTTP\r\n\r\n", 1024),
+            Err(HttpError::Bad(_))
+        ));
+        let runaway = vec![b'a'; MAX_LINE + 2];
+        assert!(matches!(
+            try_parse_request(&runaway, 1024),
+            Err(HttpError::Bad(_))
+        ));
     }
 
     #[test]

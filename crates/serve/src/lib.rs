@@ -30,12 +30,28 @@
 //! * `POST /admin/advance-time` — test-only drift fast-forward (enabled by
 //!   [`lifecycle::LifecycleConfig::test_hooks`], otherwise `404`).
 //!
-//! Concurrent classify requests are micro-batched ([`batcher`]): they
-//! share one `Sequential::forward` whenever they arrive within the flush
-//! window, and batching is bit-exact with respect to single-request
-//! execution. Both the connection queue and the batch queue are bounded;
-//! overflow is answered `503` with a `Retry-After` hint (backpressure),
-//! never silently dropped — [`client::RetryingClient`] honours the hint.
+//! All sockets live on a single readiness-driven event loop
+//! (`event_loop`): raw `epoll` on Linux (a portable short-poll fallback
+//! elsewhere), non-blocking accept/read/write, and a per-connection state
+//! machine instead of a thread per connection, so thousands of keep-alive
+//! connections cost file descriptors rather than stacks.
+//! `/healthz`, `/metrics`, and `/v1/model` are answered directly on that
+//! fast path and are never shed. Artifacts load zero-copy via `mmap`.
+//!
+//! Concurrent classify requests are micro-batched ([`batcher`]) and
+//! executed by a pool of [`server::ServeConfig::replicas`] inference
+//! threads: requests share one `Sequential::forward` whenever they arrive
+//! within the flush window, and both batching and replication are
+//! bit-exact with respect to single-replica single-request execution.
+//!
+//! Overload is layered and always an explicit answer, never a silent
+//! drop: admission control sheds classifies *before* body parsing with a
+//! cheap `429` + `Retry-After` once admitted-but-unanswered requests reach
+//! [`server::ServeConfig::admission_limit`] (the connection stays open);
+//! the bounded batch queue behind it answers `503` on overflow; requests
+//! that out-wait their deadline are answered `504`.
+//! [`client::RetryingClient`] honours the `Retry-After` hint for both
+//! `429` and `503`.
 //!
 //! [`lifecycle`] adds the device-drift story: a deterministic retention
 //! model of the served conductances, periodic health sweeps over a probe
@@ -47,6 +63,7 @@
 pub mod base64;
 pub mod batcher;
 pub mod client;
+pub(crate) mod event_loop;
 pub mod http;
 pub mod lifecycle;
 pub mod server;

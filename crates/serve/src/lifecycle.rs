@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use xbar_core::{load_artifact_bundle_from_file, ArtifactMeta, DriftModel, ModelDriftState};
+use xbar_core::{load_artifact_bundle_mmap, ArtifactMeta, DriftModel, ModelDriftState};
 use xbar_nn::{Mode, Sequential};
 use xbar_obs::{metrics, names};
 use xbar_tensor::Tensor;
@@ -272,15 +272,33 @@ pub fn hot_swap_inference_loop(
     max_batch: usize,
     deadline: Duration,
 ) {
+    replica_inference_loop(slot, queue, max_batch, deadline, None);
+}
+
+/// [`hot_swap_inference_loop`] for one replica of the serving pool: same
+/// semantics, plus every request it executes is counted on that replica's
+/// `serve/replica_requests/<id>` series so replica fairness is observable
+/// (and testable) from `/metrics`.
+pub fn replica_inference_loop(
+    slot: &ModelSlot,
+    queue: &BatchQueue,
+    max_batch: usize,
+    deadline: Duration,
+    replica: Option<usize>,
+) {
     // Reloads are validated shape-compatible, so the input shape is stable
     // for the life of the process.
     let input_shape = slot.meta().input_shape.clone();
+    let counter = replica.map(names::serve_replica_requests);
     let (mut version, mut models) = slot.snapshot();
     while let Some(batch) = queue.next_batch(max_batch, deadline) {
         if slot.version() != version {
             let (v, m) = slot.snapshot();
             version = v;
             models = m;
+        }
+        if let Some(name) = &counter {
+            metrics::counter_add(name, batch.len() as u64);
         }
         run_tier_batches(&mut models, &input_shape, batch);
     }
@@ -515,7 +533,7 @@ impl DriftController {
         let mut state = self.state.lock().expect("lifecycle state poisoned");
         let (version, label) = match artifact {
             Some(path) => {
-                let bundle = load_artifact_bundle_from_file(path)
+                let bundle = load_artifact_bundle_mmap(path)
                     .map_err(|e| format!("cannot load artifact {path}: {e}"))?;
                 let (models, meta) = TierModels::from_bundle(bundle);
                 let label = meta.label.clone();

@@ -3,34 +3,42 @@
 //! Thread layout:
 //!
 //! ```text
-//! accept thread ──► bounded ConnQueue ──► fixed pool of HTTP workers
-//!                                              │ (parse, route)
-//!                                              ▼
-//!                                        bounded BatchQueue ──► inference
-//!                                              ▲   workers (micro-batching,
-//!                                              │   own model clone each)
-//!                                        ResponseSlot per request
+//! xbar-eventloop thread ──► epoll-driven accept / read / write over every
+//!       │                   connection (non-blocking, state machine each)
+//!       │ admitted classify requests
+//!       ▼
+//! bounded BatchQueue ──► N inference replicas (micro-batching, own model
+//!       ▲                 snapshot each, hot-swap aware)
+//!       │ ResponseSlot notifier ──► completion list + wake pipe
 //! ```
 //!
-//! Backpressure is explicit at both queues: a full connection queue is
-//! answered `503` before the socket joins the pool, and a full batch queue
-//! is answered `503` by the HTTP worker. Shutdown (SIGTERM/SIGINT via
-//! [`signals`], or `POST /admin/shutdown`) stops the accept loop, lets
-//! in-flight requests finish, drains the batch queue, and joins every
-//! thread.
+//! One thread owns every socket: a hand-rolled epoll loop
+//! ([`crate::event_loop`]) accepts, parses, and writes responses without a
+//! per-connection thread. Classify requests pass **admission control**
+//! before touching the batch queue: once the in-flight count reaches the
+//! admission limit the server sheds load with a cheap `429` +
+//! `Retry-After` instead of queueing work it cannot finish in time. A full
+//! batch queue is still a `503` (backpressure), never a silent drop.
+//! `/healthz` and `/metrics` are answered directly from the event loop's
+//! fast path and are never shed.
+//!
+//! Shutdown (SIGTERM/SIGINT via [`signals`], or `POST /admin/shutdown`)
+//! stops accepting, drains in-flight requests up to the request timeout,
+//! closes the batch queue, and joins every thread.
 
-use std::io::{self, BufReader, ErrorKind};
+use std::io::{self, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use crate::base64;
-use crate::batcher::{BatchQueue, Pending, ResponseSlot, SubmitError};
-use crate::http::{read_request, write_response, write_response_with_headers, HttpError, Request};
+use crate::batcher::{BatchQueue, ClassifyOutcome, Pending, ResponseSlot, SubmitError};
+use crate::event_loop::EventLoop;
+use crate::http::{write_response_with_headers, HttpError, Request};
 use crate::lifecycle::{
-    hot_swap_inference_loop, sweep_loop, DriftController, LifecycleConfig, ModelSlot,
+    replica_inference_loop, sweep_loop, DriftController, LifecycleConfig, ModelSlot,
 };
 use crate::tier::{Tier, TierModels};
 use xbar_core::ArtifactMeta;
@@ -84,10 +92,9 @@ pub mod signals {
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
     pub addr: String,
-    /// Fixed HTTP worker pool size — also the keep-alive connection limit.
-    pub http_workers: usize,
-    /// Inference workers, each with its own model clone.
-    pub infer_workers: usize,
+    /// Inference replicas, each with its own snapshot of the served
+    /// model pulled from the versioned slot.
+    pub replicas: usize,
     /// Micro-batch flush threshold.
     pub max_batch: usize,
     /// Micro-batch flush deadline (from first queued request).
@@ -98,6 +105,15 @@ pub struct ServeConfig {
     pub request_timeout: Duration,
     /// Largest accepted request body.
     pub max_body: usize,
+    /// Most connections the event loop will keep registered; accepts past
+    /// this are turned away with a `503`.
+    pub max_connections: usize,
+    /// Admission control: most classify requests allowed in flight at
+    /// once — beyond it the server sheds with `429` + `Retry-After`
+    /// *before* the batch queue. `0` auto-sizes to
+    /// `queue_cap + replicas · max_batch` (everything the pipeline can
+    /// actually hold).
+    pub admission_limit: usize,
     /// Trace 1-in-N classify requests (0 disables tracing). Sampled
     /// requests get a `trace_id` in the response and their queue → batch →
     /// solve → respond breakdown lands in the trace ring and span buffer.
@@ -121,13 +137,14 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".into(),
-            http_workers: 64,
-            infer_workers: 1,
+            replicas: 1,
             max_batch: 32,
             batch_deadline: Duration::from_millis(2),
             queue_cap: 256,
             request_timeout: Duration::from_secs(10),
             max_body: 32 << 20,
+            max_connections: 4096,
+            admission_limit: 0,
             trace_sample: 0,
             slow_ms: 0,
             trace_ring_cap: 1024,
@@ -137,7 +154,19 @@ impl Default for ServeConfig {
     }
 }
 
-/// `Retry-After` seconds attached to backpressure `503`s (both queues):
+impl ServeConfig {
+    /// The effective admission limit: the configured value, or the
+    /// auto-sized pipeline capacity when 0.
+    pub fn effective_admission_limit(&self) -> usize {
+        if self.admission_limit > 0 {
+            self.admission_limit
+        } else {
+            self.queue_cap + self.replicas.max(1) * self.max_batch.max(1)
+        }
+    }
+}
+
+/// `Retry-After` seconds attached to shed `429`s and backpressure `503`s:
 /// micro-batches drain in milliseconds, so one second is a conservative
 /// hint that still stops naive clients from hammering a saturated server.
 const RETRY_AFTER_S: u64 = 1;
@@ -146,83 +175,90 @@ fn retry_after_header() -> [(&'static str, String); 1] {
     [("Retry-After", RETRY_AFTER_S.to_string())]
 }
 
-struct ConnState {
-    conns: Vec<TcpStream>,
-    closed: bool,
-}
-
-/// Bounded queue of accepted sockets feeding the HTTP worker pool.
-struct ConnQueue {
-    state: Mutex<ConnState>,
-    cond: Condvar,
-    cap: usize,
-}
-
-impl ConnQueue {
-    fn new(cap: usize) -> Arc<Self> {
-        Arc::new(ConnQueue {
-            state: Mutex::new(ConnState {
-                conns: Vec::new(),
-                closed: false,
-            }),
-            cond: Condvar::new(),
-            cap: cap.max(1),
-        })
-    }
-
-    /// Hands the socket back on failure (queue full or closed) so the
-    /// caller can turn it away with a 503.
-    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
-        let mut state = self.state.lock().expect("conn queue poisoned");
-        if state.closed || state.conns.len() >= self.cap {
-            return Err(stream);
-        }
-        state.conns.push(stream);
-        self.cond.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next socket; `None` once closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.state.lock().expect("conn queue poisoned");
-        loop {
-            if let Some(stream) = state.conns.pop() {
-                return Some(stream);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self.cond.wait(state).expect("conn queue poisoned");
-        }
-    }
-
-    fn close(&self) {
-        let mut state = self.state.lock().expect("conn queue poisoned");
-        state.closed = true;
-        self.cond.notify_all();
-    }
-}
-
-/// Shared request-handling context for HTTP workers.
-struct Ctx {
+/// Shared request-handling context for the event loop.
+pub(crate) struct Ctx {
     /// Versioned, hot-swappable holder of the served networks and their
     /// metadata; `/admin/reload` and drift sweeps republish through it.
-    slot: Arc<ModelSlot>,
+    pub(crate) slot: Arc<ModelSlot>,
     /// Drift lifecycle controller, present when the lifecycle is active.
-    lifecycle: Option<Arc<DriftController>>,
-    batch_queue: Arc<BatchQueue>,
-    shutdown: Arc<AtomicBool>,
-    cfg: ServeConfig,
-    sampler: Sampler,
-    trace_ring: Arc<TraceRing>,
+    pub(crate) lifecycle: Option<Arc<DriftController>>,
+    pub(crate) batch_queue: Arc<BatchQueue>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) sampler: Sampler,
+    pub(crate) trace_ring: Arc<TraceRing>,
+    /// Resolved admission limit (see [`ServeConfig::admission_limit`]).
+    pub(crate) admission_limit: usize,
+}
+
+/// A classify request handed to the inference replicas, with everything
+/// needed to finish its HTTP response once the slot fills (or times out).
+pub(crate) struct InFlight {
+    pub(crate) slot: Arc<ResponseSlot>,
+    pub(crate) tier: Tier,
+    pub(crate) endpoint: &'static str,
+    pub(crate) req_start_us: u64,
+    pub(crate) started: Instant,
+    pub(crate) deadline: Instant,
+    pub(crate) sampled: bool,
+    pub(crate) keep_alive: bool,
+}
+
+/// What handling one parsed request produced: either finished response
+/// bytes, or an in-flight classify awaiting its inference result.
+pub(crate) enum DispatchResult {
+    Done { bytes: Vec<u8>, keep_alive: bool },
+    Pending(Box<InFlight>),
+}
+
+fn done(bytes: Vec<u8>, keep_alive: bool) -> DispatchResult {
+    DispatchResult::Done { bytes, keep_alive }
+}
+
+/// Serialises a full HTTP/1.1 response into a buffer the event loop can
+/// write incrementally.
+fn response_bytes(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 256);
+    write_response_with_headers(
+        &mut out,
+        status,
+        reason,
+        content_type,
+        headers,
+        body,
+        keep_alive,
+    )
+    .expect("writing a response to a Vec cannot fail");
+    out
+}
+
+fn json_bytes(status: u16, reason: &str, body: &Json, keep_alive: bool) -> Vec<u8> {
+    response_bytes(
+        status,
+        reason,
+        "application/json",
+        &[],
+        body.to_json().as_bytes(),
+        keep_alive,
+    )
+}
+
+fn error_json(detail: &str) -> Json {
+    Json::Obj(vec![("error".into(), Json::Str(detail.into()))])
 }
 
 /// A running server; drop-in handle for tests, the binary, and CI smoke.
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-    http_handles: Vec<JoinHandle<()>>,
+    loop_handle: Option<JoinHandle<()>>,
     infer_handles: Vec<JoinHandle<()>>,
     sweep_handle: Option<JoinHandle<()>>,
     batch_queue: Arc<BatchQueue>,
@@ -230,8 +266,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, spawns the thread pools, and returns immediately, serving
-    /// only the exact tier (legacy single-model artifacts).
+    /// Binds, spawns the event loop and replicas, and returns immediately,
+    /// serving only the exact tier (legacy single-model artifacts).
     ///
     /// # Errors
     ///
@@ -240,13 +276,13 @@ impl Server {
         Server::start_tiered(TierModels::exact_only(model), meta, cfg)
     }
 
-    /// Binds, spawns the thread pools, and returns immediately, serving
-    /// every fidelity tier the artifact bundle carries.
+    /// Binds, spawns the event loop and replicas, and returns immediately,
+    /// serving every fidelity tier the artifact bundle carries.
     ///
     /// # Errors
     ///
     /// `InvalidInput` when `cfg.default_tier` is not among the loaded
-    /// tiers; otherwise the bind error if the address is unavailable.
+    /// tiers; otherwise the bind (or epoll setup) error.
     pub fn start_tiered(
         models: TierModels,
         meta: ArtifactMeta,
@@ -274,7 +310,6 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let batch_queue = BatchQueue::new(cfg.queue_cap);
-        let conn_queue = ConnQueue::new(cfg.http_workers.max(1) * 2);
 
         let slot = Arc::new(ModelSlot::new(models, meta));
         let lifecycle = if cfg.lifecycle.active() {
@@ -285,18 +320,18 @@ impl Server {
             None
         };
 
-        let infer_handles: Vec<JoinHandle<()>> = (0..cfg.infer_workers.max(1))
+        let infer_handles: Vec<JoinHandle<()>> = (0..cfg.replicas.max(1))
             .map(|i| {
-                let worker_slot = Arc::clone(&slot);
+                let replica_slot = Arc::clone(&slot);
                 let queue = Arc::clone(&batch_queue);
                 let max_batch = cfg.max_batch;
                 let deadline = cfg.batch_deadline;
                 thread::Builder::new()
                     .name(format!("xbar-infer-{i}"))
                     .spawn(move || {
-                        hot_swap_inference_loop(&worker_slot, &queue, max_batch, deadline);
+                        replica_inference_loop(&replica_slot, &queue, max_batch, deadline, Some(i));
                     })
-                    .expect("spawn inference worker")
+                    .expect("spawn inference replica")
             })
             .collect();
 
@@ -316,6 +351,7 @@ impl Server {
         };
 
         let trace_ring = Arc::new(TraceRing::new(cfg.trace_ring_cap.max(1)));
+        let admission_limit = cfg.effective_admission_limit();
         let ctx = Arc::new(Ctx {
             slot: Arc::clone(&slot),
             lifecycle,
@@ -324,33 +360,16 @@ impl Server {
             cfg: cfg.clone(),
             sampler: Sampler::new(cfg.trace_sample),
             trace_ring: Arc::clone(&trace_ring),
+            admission_limit,
         });
-        let http_handles: Vec<JoinHandle<()>> = (0..cfg.http_workers.max(1))
-            .map(|i| {
-                let queue = Arc::clone(&conn_queue);
-                let ctx = Arc::clone(&ctx);
-                thread::Builder::new()
-                    .name(format!("xbar-http-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = queue.pop() {
-                            handle_connection(stream, &ctx);
-                        }
-                    })
-                    .expect("spawn http worker")
-            })
-            .collect();
 
-        let accept_handle = {
-            let shutdown = Arc::clone(&shutdown);
-            let conn_queue = Arc::clone(&conn_queue);
-            thread::Builder::new()
-                .name("xbar-accept".into())
-                .spawn(move || {
-                    accept_loop(&listener, &conn_queue, &shutdown);
-                    conn_queue.close();
-                })
-                .expect("spawn accept thread")
-        };
+        // Build the event loop before spawning so epoll/pipe setup errors
+        // surface from start (not inside a dead thread).
+        let event_loop = EventLoop::new(listener, Arc::clone(&ctx))?;
+        let loop_handle = thread::Builder::new()
+            .name("xbar-eventloop".into())
+            .spawn(move || event_loop.run())
+            .expect("spawn event loop");
 
         metrics::gauge_set(names::SERVE_UP, 1.0);
         let meta = ctx.slot.meta();
@@ -370,8 +389,7 @@ impl Server {
         Ok(Server {
             addr,
             shutdown,
-            accept_handle: Some(accept_handle),
-            http_handles,
+            loop_handle: Some(loop_handle),
             infer_handles,
             sweep_handle,
             batch_queue,
@@ -409,19 +427,16 @@ impl Server {
     /// batch queue, join every thread.
     pub fn join(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_handle.take() {
-            handle.join().expect("accept thread panicked");
+        // The event loop polls the flag every tick, drops the listener,
+        // drains in-flight connections, and exits.
+        if let Some(handle) = self.loop_handle.take() {
+            handle.join().expect("event loop panicked");
         }
-        // The accept thread closed the connection queue; HTTP workers exit
-        // after finishing their current connection.
-        for handle in self.http_handles.drain(..) {
-            handle.join().expect("http worker panicked");
-        }
-        // No producers remain: close the batch queue so inference workers
+        // No producers remain: close the batch queue so inference replicas
         // drain what is left and exit.
         self.batch_queue.close();
         for handle in self.infer_handles.drain(..) {
-            handle.join().expect("inference worker panicked");
+            handle.join().expect("inference replica panicked");
         }
         // The sweep thread polls the shutdown flag in short ticks.
         if let Some(handle) = self.sweep_handle.take() {
@@ -443,156 +458,57 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, conn_queue: &ConnQueue, shutdown: &AtomicBool) {
-    while !shutdown.load(Ordering::SeqCst) && !signals::signalled() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                metrics::counter_add(names::SERVE_CONNECTIONS, 1);
-                if let Err(mut rejected) = conn_queue.push(stream) {
-                    metrics::counter_add(names::SERVE_CONNECTIONS_REJECTED, 1);
-                    respond_unavailable(&mut rejected, "connection queue full, retry later", false);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-/// Waits for the next request on a keep-alive connection, polling the
-/// shutdown flag between short peeks so idle connections release their
-/// worker promptly at shutdown.
-fn next_request(
-    reader: &mut BufReader<TcpStream>,
-    stream: &TcpStream,
-    ctx: &Ctx,
-) -> Result<Option<Request>, HttpError> {
-    loop {
-        if !reader.buffer().is_empty() {
-            break;
-        }
-        if ctx.shutdown.load(Ordering::SeqCst) || signals::signalled() {
-            return Ok(None);
-        }
-        let mut probe = [0u8; 1];
-        match stream.peek(&mut probe) {
-            Ok(0) => return Ok(None),
-            Ok(_) => break,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    // A request has begun: allow the client a generous window to finish it.
-    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
-    let request = read_request(reader, ctx.cfg.max_body);
-    stream
-        .set_read_timeout(Some(Duration::from_millis(250)))
-        .ok();
-    request
-}
-
-fn handle_connection(stream: TcpStream, ctx: &Ctx) {
-    stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(250)))
-        .ok();
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let request = match next_request(&mut reader, &writer, ctx) {
-            Ok(Some(request)) => request,
-            Ok(None) => return,
-            Err(HttpError::Io(_)) => return,
-            Err(HttpError::Bad(msg)) => {
-                metrics::counter_add(names::SERVE_BAD_REQUESTS, 1);
-                respond_error(&mut writer, 400, "Bad Request", &msg);
-                return;
-            }
-            Err(HttpError::NeedsLength) => {
-                respond_error(&mut writer, 411, "Length Required", "send Content-Length");
-                return;
-            }
-            Err(HttpError::BodyTooLarge { limit }) => {
-                respond_error(
-                    &mut writer,
-                    413,
-                    "Payload Too Large",
-                    &format!("body exceeds {limit} bytes"),
-                );
-                return;
-            }
-        };
-        metrics::counter_add(names::SERVE_HTTP_REQUESTS, 1);
-        let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
-        let ok = route(&mut writer, &request, keep_alive, ctx);
-        if !ok || !keep_alive {
-            return;
-        }
-    }
-}
-
-fn respond_json(
-    writer: &mut TcpStream,
-    status: u16,
-    reason: &str,
-    body: &Json,
-    keep_alive: bool,
-) -> bool {
-    write_response(
-        writer,
-        status,
-        reason,
-        "application/json",
-        body.to_json().as_bytes(),
-        keep_alive,
-    )
-    .is_ok()
-}
-
-/// [`respond_json`] plus extra response headers (`Retry-After` on
-/// backpressure 503s).
-fn respond_json_with_headers(
-    writer: &mut TcpStream,
-    status: u16,
-    reason: &str,
-    headers: &[(&str, String)],
-    body: &Json,
-    keep_alive: bool,
-) -> bool {
-    write_response_with_headers(
-        writer,
-        status,
-        reason,
-        "application/json",
-        headers,
-        body.to_json().as_bytes(),
-        keep_alive,
-    )
-    .is_ok()
-}
-
-fn respond_error(writer: &mut TcpStream, status: u16, reason: &str, detail: &str) {
-    let body = Json::Obj(vec![("error".into(), Json::Str(detail.into()))]);
-    respond_json(writer, status, reason, &body, false);
-}
-
-/// A `503` with a `Retry-After` hint, for both backpressure points (the
-/// connection queue and the batch queue).
-fn respond_unavailable(writer: &mut TcpStream, detail: &str, keep_alive: bool) -> bool {
-    let body = Json::Obj(vec![("error".into(), Json::Str(detail.into()))]);
-    respond_json_with_headers(
-        writer,
+/// Best-effort `503` for a socket turned away at the connection limit,
+/// before it ever joins the poll set.
+pub(crate) fn reject_connection(stream: TcpStream, max_connections: usize) {
+    stream.set_nonblocking(true).ok();
+    let body = error_json(&format!(
+        "connection limit reached ({max_connections} open), retry later"
+    ));
+    let bytes = response_bytes(
         503,
         "Service Unavailable",
+        "application/json",
         &retry_after_header(),
-        &body,
-        keep_alive,
+        body.to_json().as_bytes(),
+        false,
+    );
+    let _ = (&stream).write(&bytes);
+}
+
+/// The response for a request that arrived after drain began.
+pub(crate) fn shutting_down_response() -> Vec<u8> {
+    response_bytes(
+        503,
+        "Service Unavailable",
+        "application/json",
+        &retry_after_header(),
+        error_json("server is shutting down").to_json().as_bytes(),
+        false,
     )
+}
+
+/// Maps a request-parse error to its response bytes (empty ⇒ just close).
+pub(crate) fn http_error_response(err: &HttpError) -> Vec<u8> {
+    match err {
+        HttpError::Io(_) => Vec::new(),
+        HttpError::Bad(msg) => {
+            metrics::counter_add(names::SERVE_BAD_REQUESTS, 1);
+            json_bytes(400, "Bad Request", &error_json(msg), false)
+        }
+        HttpError::NeedsLength => json_bytes(
+            411,
+            "Length Required",
+            &error_json("send Content-Length"),
+            false,
+        ),
+        HttpError::BodyTooLarge { limit } => json_bytes(
+            413,
+            "Payload Too Large",
+            &error_json(&format!("body exceeds {limit} bytes")),
+            false,
+        ),
+    }
 }
 
 /// Stable low-cardinality label for the per-endpoint latency series.
@@ -609,80 +525,115 @@ fn endpoint_label(request: &Request) -> &'static str {
     }
 }
 
-/// Dispatches one request; returns `false` if the connection died. Every
-/// request lands in the per-endpoint request-latency log histogram.
-fn route(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
+/// Handles one parsed request from the event loop. `inflight_now` is the
+/// loop's current count of admitted-but-unanswered classify requests (the
+/// admission-control signal); `notify` is the completion callback a
+/// pending classify must fire when its slot fills.
+///
+/// Finished (`Done`) requests land in the per-endpoint latency histogram
+/// here; pending ones are recorded by [`finish_inflight`].
+pub(crate) fn dispatch(
+    request: &Request,
+    ctx: &Ctx,
+    inflight_now: usize,
+    notify: Box<dyn FnOnce() + Send>,
+) -> DispatchResult {
     let start = Instant::now();
     let endpoint = endpoint_label(request);
-    let ok = dispatch(writer, request, keep_alive, ctx, endpoint);
-    metrics::latency_record_us(
-        &names::serve_request_us(endpoint),
-        start.elapsed().as_micros() as u64,
-    );
-    ok
+    metrics::counter_add(names::SERVE_HTTP_REQUESTS, 1);
+    let keep_alive = request.keep_alive() && !ctx.shutdown.load(Ordering::SeqCst);
+    let result = route(request, ctx, endpoint, inflight_now, keep_alive, notify);
+    if let DispatchResult::Done { .. } = &result {
+        metrics::latency_record_us(
+            &names::serve_request_us(endpoint),
+            start.elapsed().as_micros() as u64,
+        );
+    }
+    result
 }
 
-fn dispatch(
-    writer: &mut TcpStream,
+fn route(
     request: &Request,
-    keep_alive: bool,
     ctx: &Ctx,
     endpoint: &'static str,
-) -> bool {
+    inflight_now: usize,
+    keep_alive: bool,
+    notify: Box<dyn FnOnce() + Send>,
+) -> DispatchResult {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            // Degraded ≠ dead: tiles past the repair threshold lower the
-            // reported health but the server keeps classifying, so probes
-            // still get HTTP 200 and orchestrators can alert without
-            // restarting a model that is merely less accurate.
-            let meta = ctx.slot.meta();
-            let status = if meta.is_degraded() { "degraded" } else { "ok" };
-            let mut fields = vec![
-                ("status".into(), Json::Str(status.into())),
-                ("model".into(), Json::Str(meta.label.clone())),
-                (
-                    "queue_depth".into(),
-                    Json::Num(ctx.batch_queue.depth() as f64),
-                ),
-                (
-                    "degraded_tiles".into(),
-                    Json::Num(meta.degraded_tiles as f64),
-                ),
-                (
-                    "repaired_columns".into(),
-                    Json::Num(meta.repaired_columns as f64),
-                ),
-                ("stuck_cells".into(), Json::Num(meta.stuck_cells as f64)),
-            ];
-            fields.extend(lifecycle_fields(ctx));
-            respond_json(writer, 200, "OK", &Json::Obj(fields), keep_alive)
-        }
-        ("GET", "/metrics") => write_response(
-            writer,
-            200,
-            "OK",
-            "text/plain; version=0.0.4",
-            metrics::to_text().as_bytes(),
+        // Health and metrics are answered straight off the fast path —
+        // admission control and the batch queue never touch them, so
+        // orchestrator probes keep working on a saturated server.
+        ("GET", "/healthz") => done(
+            json_bytes(200, "OK", &healthz_json(ctx), keep_alive),
             keep_alive,
-        )
-        .is_ok(),
-        ("GET", "/v1/model") => respond_json(writer, 200, "OK", &model_json(ctx), keep_alive),
-        ("POST", "/v1/classify") => classify(writer, request, keep_alive, ctx, endpoint),
+        ),
+        ("GET", "/metrics") => done(
+            response_bytes(
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &[],
+                metrics::to_text().as_bytes(),
+                keep_alive,
+            ),
+            keep_alive,
+        ),
+        ("GET", "/v1/model") => done(
+            json_bytes(200, "OK", &model_json(ctx), keep_alive),
+            keep_alive,
+        ),
+        ("POST", "/v1/classify") => {
+            classify_dispatch(request, ctx, endpoint, inflight_now, keep_alive, notify)
+        }
         ("POST", "/admin/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             let body = Json::Obj(vec![("status".into(), Json::Str("shutting down".into()))]);
-            respond_json(writer, 200, "OK", &body, false)
+            done(json_bytes(200, "OK", &body, false), false)
         }
-        ("POST", "/admin/reload") => admin_reload(writer, request, keep_alive, ctx),
-        ("POST", "/admin/advance-time") => admin_advance_time(writer, request, keep_alive, ctx),
+        ("POST", "/admin/reload") => {
+            let (status, reason, body) = admin_reload(request, ctx);
+            done(json_bytes(status, reason, &body, keep_alive), keep_alive)
+        }
+        ("POST", "/admin/advance-time") => {
+            let (status, reason, body) = admin_advance_time(request, ctx);
+            done(json_bytes(status, reason, &body, keep_alive), keep_alive)
+        }
         _ => {
-            let body = Json::Obj(vec![(
-                "error".into(),
-                Json::Str(format!("no route {} {}", request.method, request.path)),
-            )]);
-            respond_json(writer, 404, "Not Found", &body, keep_alive)
+            let body = error_json(&format!("no route {} {}", request.method, request.path));
+            done(json_bytes(404, "Not Found", &body, keep_alive), keep_alive)
         }
     }
+}
+
+/// The `/healthz` body: liveness, queue depth, degradation counters, and
+/// (when active) the drift-lifecycle status.
+fn healthz_json(ctx: &Ctx) -> Json {
+    // Degraded ≠ dead: tiles past the repair threshold lower the reported
+    // health but the server keeps classifying, so probes still get HTTP
+    // 200 and orchestrators can alert without restarting a model that is
+    // merely less accurate.
+    let meta = ctx.slot.meta();
+    let status = if meta.is_degraded() { "degraded" } else { "ok" };
+    let mut fields = vec![
+        ("status".into(), Json::Str(status.into())),
+        ("model".into(), Json::Str(meta.label.clone())),
+        (
+            "queue_depth".into(),
+            Json::Num(ctx.batch_queue.depth() as f64),
+        ),
+        (
+            "degraded_tiles".into(),
+            Json::Num(meta.degraded_tiles as f64),
+        ),
+        (
+            "repaired_columns".into(),
+            Json::Num(meta.repaired_columns as f64),
+        ),
+        ("stuck_cells".into(), Json::Num(meta.stuck_cells as f64)),
+    ];
+    fields.extend(lifecycle_fields(ctx));
+    Json::Obj(fields)
 }
 
 /// The `/v1/model` body: the artifact's mapping summary extended with the
@@ -748,7 +699,7 @@ fn lifecycle_fields(ctx: &Ctx) -> Vec<(String, Json)> {
 /// loads and swaps in that bundle (validated request-compatible); an empty
 /// body re-programs the current artifact in place (a manual rung-3
 /// recovery). In-flight requests finish on the old weights.
-fn admin_reload(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx: &Ctx) -> bool {
+fn admin_reload(request: &Request, ctx: &Ctx) -> (u16, &'static str, Json) {
     let artifact = if request.body.is_empty() {
         None
     } else {
@@ -761,14 +712,10 @@ fn admin_reload(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx
                         "\"artifact\" must be a path string, got {}",
                         other.to_json()
                     );
-                    let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
-                    return respond_json(writer, 400, "Bad Request", &body, keep_alive);
+                    return (400, "Bad Request", error_json(&msg));
                 }
             },
-            Err(msg) => {
-                let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
-                return respond_json(writer, 400, "Bad Request", &body, keep_alive);
-            }
+            Err(msg) => return (400, "Bad Request", error_json(&msg)),
         }
     };
     let result = match &ctx.lifecycle {
@@ -776,30 +723,30 @@ fn admin_reload(writer: &mut TcpStream, request: &Request, keep_alive: bool, ctx
         None => reload_without_lifecycle(&ctx.slot, artifact.as_deref()),
     };
     match result {
-        Ok((version, label)) => {
-            let body = Json::Obj(vec![
+        Ok((version, label)) => (
+            200,
+            "OK",
+            Json::Obj(vec![
                 ("status".into(), Json::Str("reloaded".into())),
                 ("model".into(), Json::Str(label)),
                 ("model_version".into(), Json::Num(version as f64)),
-            ]);
-            respond_json(writer, 200, "OK", &body, keep_alive)
-        }
-        Err(msg) => {
-            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
-            respond_json(writer, 409, "Conflict", &body, keep_alive)
-        }
+            ]),
+        ),
+        Err(msg) => (409, "Conflict", error_json(&msg)),
     }
 }
 
 /// The slot-only reload path for deployments without a drift lifecycle:
-/// still validates compatibility and swaps without dropping requests.
+/// still validates compatibility and swaps without dropping requests. The
+/// artifact is mapped, not read — the tensor parser streams straight out
+/// of the page cache.
 fn reload_without_lifecycle(
     slot: &ModelSlot,
     artifact: Option<&str>,
 ) -> Result<(u64, String), String> {
     let (version, label) = match artifact {
         Some(path) => {
-            let bundle = xbar_core::load_artifact_bundle_from_file(path)
+            let bundle = xbar_core::load_artifact_bundle_mmap(path)
                 .map_err(|e| format!("cannot load artifact {path}: {e}"))?;
             let (models, meta) = TierModels::from_bundle(bundle);
             let label = meta.label.clone();
@@ -820,26 +767,17 @@ fn reload_without_lifecycle(
 /// the simulated drift clock by `{"seconds": N}` and, with `"sweep": true`,
 /// runs one synchronous health sweep so tests observe the mitigation
 /// deterministically.
-fn admin_advance_time(
-    writer: &mut TcpStream,
-    request: &Request,
-    keep_alive: bool,
-    ctx: &Ctx,
-) -> bool {
+fn admin_advance_time(request: &Request, ctx: &Ctx) -> (u16, &'static str, Json) {
     if !ctx.cfg.lifecycle.test_hooks {
         // Hidden, not forbidden: indistinguishable from an unknown route.
-        let body = Json::Obj(vec![(
-            "error".into(),
-            Json::Str(format!("no route {} {}", request.method, request.path)),
-        )]);
-        return respond_json(writer, 404, "Not Found", &body, keep_alive);
+        return (
+            404,
+            "Not Found",
+            error_json(&format!("no route {} {}", request.method, request.path)),
+        );
     }
     let Some(controller) = &ctx.lifecycle else {
-        let body = Json::Obj(vec![(
-            "error".into(),
-            Json::Str("drift lifecycle is not active".into()),
-        )]);
-        return respond_json(writer, 409, "Conflict", &body, keep_alive);
+        return (409, "Conflict", error_json("drift lifecycle is not active"));
     };
     let parsed = parse_body(&request.body).and_then(|json| {
         let seconds = json
@@ -856,10 +794,7 @@ fn admin_advance_time(
     });
     let (seconds, sweep) = match parsed {
         Ok(parsed) => parsed,
-        Err(msg) => {
-            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
-            return respond_json(writer, 400, "Bad Request", &body, keep_alive);
-        }
+        Err(msg) => return (400, "Bad Request", error_json(&msg)),
     };
     let (elapsed, mean_decay) = controller.advance_time(seconds);
     let mut fields = vec![
@@ -886,7 +821,7 @@ fn admin_advance_time(
             ]),
         ));
     }
-    respond_json(writer, 200, "OK", &Json::Obj(fields), keep_alive)
+    (200, "OK", Json::Obj(fields))
 }
 
 /// Parses a classify body into JSON.
@@ -935,14 +870,37 @@ fn parse_image(json: &Json, expected_len: usize) -> Result<Vec<f32>, String> {
     Ok(image)
 }
 
-fn classify(
-    writer: &mut TcpStream,
+/// Starts a classify request: admission control first (shed with 429
+/// before any body parsing), then validation, then submission to the
+/// batch queue with the completion notifier pre-registered.
+fn classify_dispatch(
     request: &Request,
-    keep_alive: bool,
     ctx: &Ctx,
     endpoint: &'static str,
-) -> bool {
+    inflight_now: usize,
+    keep_alive: bool,
+    notify: Box<dyn FnOnce() + Send>,
+) -> DispatchResult {
     metrics::counter_add(names::SERVE_CLASSIFY_REQUESTS, 1);
+    if inflight_now >= ctx.admission_limit {
+        // Shed before spending anything on the body: the pipeline already
+        // holds more work than it can finish inside the request timeout.
+        metrics::counter_add(names::SERVE_ADMISSION_SHED, 1);
+        let body = error_json(&format!(
+            "admission limit reached ({inflight_now} requests in flight), retry later"
+        ));
+        return done(
+            response_bytes(
+                429,
+                "Too Many Requests",
+                "application/json",
+                &retry_after_header(),
+                body.to_json().as_bytes(),
+                keep_alive,
+            ),
+            keep_alive,
+        );
+    }
     let req_start_us = trace::now_us();
     let sampled = ctx.sampler.sample();
     let meta = ctx.slot.meta();
@@ -955,8 +913,10 @@ fn classify(
         Ok(parsed) => parsed,
         Err(msg) => {
             metrics::counter_add(names::SERVE_CLASSIFY_BAD_INPUT, 1);
-            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
-            return respond_json(writer, 400, "Bad Request", &body, keep_alive);
+            return done(
+                json_bytes(400, "Bad Request", &error_json(&msg), keep_alive),
+                keep_alive,
+            );
         }
     };
     let available_tiers = ctx.slot.available();
@@ -964,23 +924,23 @@ fn classify(
         // Never a silent fallback: the caller asked for a fidelity the
         // served artifact cannot honour.
         metrics::counter_add(names::SERVE_CLASSIFY_BAD_INPUT, 1);
-        let body = Json::Obj(vec![(
-            "error".into(),
-            Json::Str(format!(
-                "fidelity tier \"{tier}\" is not in the served artifact \
+        let body = error_json(&format!(
+            "fidelity tier \"{tier}\" is not in the served artifact \
              (available: {}); rebuild the artifact with that tier or drop \
              the \"tier\" field",
-                available_tiers
-                    .iter()
-                    .map(|t| t.as_str())
-                    .collect::<Vec<_>>()
-                    .join(", "),
-            )),
-        )]);
-        return respond_json(writer, 409, "Conflict", &body, keep_alive);
+            available_tiers
+                .iter()
+                .map(|t| t.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+        return done(json_bytes(409, "Conflict", &body, keep_alive), keep_alive);
     }
     metrics::counter_add(&names::serve_classify_tier(tier.as_str()), 1);
     let slot = ResponseSlot::new();
+    // Notifier before submit: a fill can race ahead of this line otherwise
+    // and the completion would never reach the event loop.
+    slot.set_notifier(notify);
     let pending = Pending::for_tier(tier, input, Arc::clone(&slot));
     if let Err(e) = ctx.batch_queue.submit(pending) {
         metrics::counter_add(names::SERVE_CLASSIFY_REJECTED, 1);
@@ -988,28 +948,57 @@ fn classify(
             SubmitError::QueueFull { cap } => format!("queue full ({cap} waiting), retry later"),
             SubmitError::Closed => "server is shutting down".into(),
         };
-        return respond_unavailable(writer, &detail, keep_alive);
+        return done(
+            response_bytes(
+                503,
+                "Service Unavailable",
+                "application/json",
+                &retry_after_header(),
+                error_json(&detail).to_json().as_bytes(),
+                keep_alive,
+            ),
+            keep_alive,
+        );
     }
-    match slot.wait(ctx.cfg.request_timeout) {
+    let now = Instant::now();
+    DispatchResult::Pending(Box::new(InFlight {
+        slot,
+        tier,
+        endpoint,
+        req_start_us,
+        started: now,
+        deadline: now + ctx.cfg.request_timeout,
+        sampled,
+        keep_alive,
+    }))
+}
+
+/// Finishes an in-flight classify: `None` means the request timed out
+/// (504), `Some(Err)` an inference failure (500), `Some(Ok)` the answer.
+/// Returns the response bytes and whether the connection stays open.
+pub(crate) fn finish_inflight(
+    inflight: InFlight,
+    outcome: Option<Result<ClassifyOutcome, String>>,
+    ctx: &Ctx,
+) -> (Vec<u8>, bool) {
+    let keep_alive = inflight.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
+    let bytes = match outcome {
         None => {
             metrics::counter_add(names::SERVE_CLASSIFY_TIMEOUT, 1);
-            let body = Json::Obj(vec![(
-                "error".into(),
-                Json::Str(format!(
-                    "no result within {:?} — inference backlog",
-                    ctx.cfg.request_timeout
-                )),
-            )]);
-            respond_json(writer, 504, "Gateway Timeout", &body, keep_alive)
+            let body = error_json(&format!(
+                "no result within {:?} — inference backlog",
+                ctx.cfg.request_timeout
+            ));
+            json_bytes(504, "Gateway Timeout", &body, keep_alive)
         }
         Some(Err(msg)) => {
             metrics::counter_add(names::SERVE_CLASSIFY_FAILED, 1);
-            let body = Json::Obj(vec![("error".into(), Json::Str(msg))]);
-            respond_json(writer, 500, "Internal Server Error", &body, keep_alive)
+            json_bytes(500, "Internal Server Error", &error_json(&msg), keep_alive)
         }
         Some(Ok(outcome)) => {
             metrics::counter_add(names::SERVE_CLASSIFY_OK, 1);
             let respond_start_us = trace::now_us();
+            let tier = inflight.tier;
             let mut fields = vec![
                 ("tier".into(), Json::Str(tier.as_str().into())),
                 ("class".into(), Json::Num(outcome.class as f64)),
@@ -1024,17 +1013,18 @@ fn classify(
                     ),
                 ),
                 ("batch_size".into(), Json::Num(outcome.batch_size as f64)),
-                ("model".into(), meta.summary_json()),
+                ("model".into(), ctx.slot.meta().summary_json()),
             ];
             // Finish the per-request trace. The `respond` stage and total
             // run to just before the socket write — the trace ID has to be
             // serialised into the very response it describes.
             let now_us = trace::now_us();
-            let total_us = now_us.saturating_sub(req_start_us);
+            let total_us = now_us.saturating_sub(inflight.req_start_us);
             metrics::latency_record_us(&names::serve_classify_tier_us(tier.as_str()), total_us);
             let slow = ctx.cfg.slow_ms > 0 && total_us > ctx.cfg.slow_ms * 1000;
-            if sampled || slow {
-                let mut rec = RequestTrace::new(next_trace_id(), endpoint, req_start_us);
+            if inflight.sampled || slow {
+                let mut rec =
+                    RequestTrace::new(next_trace_id(), inflight.endpoint, inflight.req_start_us);
                 rec.stages = outcome.stages.clone();
                 rec.push_stage(
                     "respond",
@@ -1042,7 +1032,7 @@ fn classify(
                     now_us.saturating_sub(respond_start_us),
                 );
                 rec.total_us = total_us;
-                if sampled {
+                if inflight.sampled {
                     metrics::counter_add(names::SERVE_TRACE_SAMPLED, 1);
                     rec.emit_spans();
                 }
@@ -1054,7 +1044,12 @@ fn classify(
                 // Ring before write: a client that sees the ID can find it.
                 ctx.trace_ring.push(rec);
             }
-            respond_json(writer, 200, "OK", &Json::Obj(fields), keep_alive)
+            json_bytes(200, "OK", &Json::Obj(fields), keep_alive)
         }
-    }
+    };
+    metrics::latency_record_us(
+        &names::serve_request_us(inflight.endpoint),
+        inflight.started.elapsed().as_micros() as u64,
+    );
+    (bytes, keep_alive)
 }

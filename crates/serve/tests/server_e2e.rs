@@ -75,10 +75,7 @@ fn connect(addr: &str) -> Client {
 
 #[test]
 fn classify_healthz_metrics_and_graceful_shutdown() {
-    let (server, addr) = start_server(ServeConfig {
-        http_workers: 8,
-        ..ServeConfig::default()
-    });
+    let (server, addr) = start_server(ServeConfig::default());
     let mut client = connect(&addr);
 
     // healthz
@@ -159,7 +156,6 @@ fn classify_healthz_metrics_and_graceful_shutdown() {
 #[test]
 fn concurrent_clients_share_batches_and_agree_with_serial_answers() {
     let (server, addr) = start_server(ServeConfig {
-        http_workers: 16,
         max_batch: 8,
         batch_deadline: Duration::from_millis(20),
         ..ServeConfig::default()
@@ -316,7 +312,6 @@ fn faulted_repaired_model_serves_degraded_but_alive() {
 #[test]
 fn sampled_classify_requests_carry_joinable_trace_ids() {
     let (server, addr) = start_server(ServeConfig {
-        http_workers: 4,
         trace_sample: 1, // trace every classify request
         ..ServeConfig::default()
     });
@@ -393,10 +388,11 @@ fn sampled_classify_requests_carry_joinable_trace_ids() {
 
 #[test]
 fn full_batch_queue_is_backpressure_not_an_error() {
-    // One inference worker, tiny queue, long deadline: the queue fills.
+    // One inference replica, tiny queue, long deadline: the queue fills,
+    // and the auto-sized admission limit (queue + replica capacity = 2)
+    // sheds the overflow with 429 before it even reaches the queue.
     let (server, addr) = start_server(ServeConfig {
-        http_workers: 8,
-        infer_workers: 1,
+        replicas: 1,
         max_batch: 1,
         batch_deadline: Duration::from_millis(200),
         queue_cap: 1,
@@ -421,8 +417,8 @@ fn full_batch_queue_is_backpressure_not_an_error() {
         .map(|h| h.join().expect("client thread"))
         .collect();
     assert!(
-        statuses.iter().all(|s| *s == 200 || *s == 503),
-        "only success or explicit backpressure allowed, got {statuses:?}"
+        statuses.iter().all(|s| *s == 200 || *s == 503 || *s == 429),
+        "only success, backpressure, or admission shed allowed, got {statuses:?}"
     );
     assert!(
         statuses.contains(&200),
@@ -657,10 +653,7 @@ fn saved_artifact(tag: &str, label: &str) -> (std::path::PathBuf, String) {
 
 #[test]
 fn admin_reload_hot_swaps_without_dropping_in_flight_requests() {
-    let (server, addr) = start_server(ServeConfig {
-        http_workers: 8,
-        ..ServeConfig::default()
-    });
+    let (server, addr) = start_server(ServeConfig::default());
     let (dir, artifact_path) = saved_artifact("reload_target", "e2e reload target");
 
     // Sustained classify traffic across 4 connections while the artifact
@@ -767,7 +760,6 @@ fn drift_lifecycle_fast_forward_sweeps_and_climbs_the_mitigation_ladder() {
     // Short retention taus so a simulated 1e7 s horizon decays the mapped
     // conductances essentially completely; test hooks expose the clock.
     let (server, addr) = start_server(ServeConfig {
-        http_workers: 4,
         lifecycle: LifecycleConfig {
             test_hooks: true,
             tau_fast: 10.0,
@@ -921,8 +913,7 @@ fn backpressure_503_carries_a_retry_after_hint() {
     // so a second connection's request must be refused with 503 and the
     // Retry-After hint the retrying client honours.
     let (server, addr) = start_server(ServeConfig {
-        http_workers: 4,
-        infer_workers: 1,
+        replicas: 1,
         max_batch: 64,
         batch_deadline: Duration::from_millis(500),
         queue_cap: 1,
@@ -951,6 +942,181 @@ fn backpressure_503_carries_a_retry_after_hint() {
         refused.text()
     );
     assert_eq!(first.join().expect("first client"), 200);
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+/// Parses a counter's value out of the Prometheus exposition text.
+fn counter_value(metrics_text: &str, name: &str) -> f64 {
+    metrics_text
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse::<f64>().ok())
+        })
+        .unwrap_or(0.0)
+}
+
+/// Extracts the softmax scores from a classify response body.
+fn scores_of(body: &str) -> Vec<f64> {
+    Json::parse(body)
+        .expect("classify JSON")
+        .get("scores")
+        .and_then(Json::as_arr)
+        .expect("scores array")
+        .iter()
+        .map(|v| v.as_f64().expect("score is a number"))
+        .collect()
+}
+
+#[test]
+fn saturated_admission_sheds_429_but_health_and_inflight_requests_survive() {
+    // One replica collecting a 64-wide batch for 400 ms with an admission
+    // limit of one: the first classify parks in flight for the whole
+    // window. During it, health endpoints must keep answering 200 and a
+    // second classify must be shed with 429 + Retry-After — and the
+    // parked request must still complete, bit-identical to an
+    // unsaturated run of the same image.
+    let (server, addr) = start_server(ServeConfig {
+        replicas: 1,
+        max_batch: 64,
+        batch_deadline: Duration::from_millis(400),
+        queue_cap: 1,
+        admission_limit: 1,
+        request_timeout: Duration::from_secs(20),
+        ..ServeConfig::default()
+    });
+    let parked_addr = addr.clone();
+    let parked = thread::spawn(move || {
+        let mut client = connect(&parked_addr);
+        let resp = client
+            .post_json("/v1/classify", &image_json(2))
+            .expect("parked classify");
+        (resp.status, resp.text())
+    });
+    // Let the first request get admitted and parked in the flush window.
+    thread::sleep(Duration::from_millis(150));
+    let mut client = connect(&addr);
+
+    // Health, model, and metrics ride the event loop's fast path: they
+    // are never subject to admission control or the batch queue.
+    let health = client.get("/healthz").expect("healthz while saturated");
+    assert_eq!(health.status, 200, "{}", health.text());
+    let model_info = client.get("/v1/model").expect("model while saturated");
+    assert_eq!(model_info.status, 200);
+    let metrics = client.get("/metrics").expect("metrics while saturated");
+    assert_eq!(metrics.status, 200);
+
+    // A second classify is over the admission limit: shed, not queued.
+    let shed = client
+        .post_json("/v1/classify", &image_json(3))
+        .expect("shed classify");
+    assert_eq!(shed.status, 429, "{}", shed.text());
+    assert_eq!(
+        shed.retry_after,
+        Some(1),
+        "admission shed must carry a Retry-After hint: {}",
+        shed.text()
+    );
+    assert!(shed.text().contains("admission limit"), "{}", shed.text());
+    let metrics_text = client.get("/metrics").expect("metrics").text();
+    assert!(
+        counter_value(&metrics_text, "serve_admission_shed") >= 1.0,
+        "shed counter must register: {metrics_text}"
+    );
+
+    // The parked request completes despite the shedding around it...
+    let (parked_status, parked_body) = parked.join().expect("parked thread");
+    assert_eq!(parked_status, 200, "{parked_body}");
+    // ...and its answer is bit-identical to the same image classified on
+    // the now-idle server (batching and admission never perturb scores).
+    let idle = client
+        .post_json("/v1/classify", &image_json(2))
+        .expect("idle classify");
+    assert_eq!(idle.status, 200, "{}", idle.text());
+    assert_eq!(
+        scores_of(&parked_body),
+        scores_of(&idle.text()),
+        "saturated and idle scores must match bit-for-bit"
+    );
+    server
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    server.run_until_shutdown();
+}
+
+#[test]
+fn replica_pool_answers_bit_identically_to_a_single_instance() {
+    const PROBES: usize = 6;
+
+    // Ground truth: a single-replica server classifies each probe.
+    let (single, single_addr) = start_server(ServeConfig {
+        replicas: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = connect(&single_addr);
+    let mut expected: Vec<Vec<f64>> = Vec::new();
+    for seed in 0..PROBES {
+        let resp = client
+            .post_json("/v1/classify", &image_json(seed))
+            .expect("single-replica classify");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        expected.push(scores_of(&resp.text()));
+    }
+    single
+        .shutdown_handle()
+        .store(true, std::sync::atomic::Ordering::SeqCst);
+    single.run_until_shutdown();
+
+    // A 3-replica pool under concurrent load: every answer must be
+    // bit-identical to the single instance, and every replica must have
+    // done real work (per-replica request counters all advance).
+    let (server, addr) = start_server(ServeConfig {
+        replicas: 3,
+        max_batch: 1, // one request per batch spreads work across replicas
+        ..ServeConfig::default()
+    });
+    let addr = Arc::new(addr);
+    let expected = Arc::new(expected);
+    let mut all_replicas_active = false;
+    for _round in 0..12 {
+        let workers: Vec<_> = (0..12)
+            .map(|worker| {
+                let addr = Arc::clone(&addr);
+                let expected = Arc::clone(&expected);
+                thread::spawn(move || {
+                    let mut client = connect(&addr);
+                    for rep in 0..PROBES {
+                        let seed = (worker + rep) % PROBES;
+                        let resp = client
+                            .post_json("/v1/classify", &image_json(seed))
+                            .expect("replica-pool classify");
+                        assert_eq!(resp.status, 200, "{}", resp.text());
+                        assert_eq!(
+                            scores_of(&resp.text()),
+                            expected[seed],
+                            "probe {seed} must match the single instance bit-for-bit"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for handle in workers {
+            handle.join().expect("worker thread");
+        }
+        let mut probe = connect(&addr);
+        let text = probe.get("/metrics").expect("metrics").text();
+        if (0..3).all(|r| counter_value(&text, &format!("serve_replica_requests_{r}")) > 0.0) {
+            all_replicas_active = true;
+            break;
+        }
+    }
+    assert!(
+        all_replicas_active,
+        "all three replicas must serve work under sustained concurrent load"
+    );
     server
         .shutdown_handle()
         .store(true, std::sync::atomic::Ordering::SeqCst);
